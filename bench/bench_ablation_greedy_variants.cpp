@@ -1,0 +1,89 @@
+// Ablation: greedy variants (Section 4). The paper's Procedure Greedy
+// considers the bottleneck task and its neighbours; Theorem 1's modified
+// greedy considers the bottleneck only; Theorem 2 motivates limited
+// backtracking. This bench quantifies each variant's optimality gap and
+// work on synthetic chains with varying communication intensity.
+#include <cstdio>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "support/table.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap::bench {
+namespace {
+
+struct VariantStats {
+  double ratio_sum = 0.0;
+  double worst = 1.0;
+  int exact = 0;
+  std::uint64_t work_sum = 0;
+};
+
+int Run() {
+  std::printf("Ablation: greedy variants vs DP optimum\n");
+  std::printf("(50 synthetic chains per communication intensity, P=32)\n\n");
+
+  for (double comm_ratio : {0.1, 0.4, 0.8}) {
+    VariantStats neighborhood, bottleneck_only, backtracking;
+    const int kChains = 50;
+    for (int seed = 0; seed < kChains; ++seed) {
+      workloads::SyntheticSpec spec;
+      spec.num_tasks = 3 + seed % 3;
+      spec.machine_procs = 32;
+      spec.comm_comp_ratio = comm_ratio;
+      spec.memory_tightness = 0.25;
+      spec.replicable_fraction = 0.8;
+      const Workload w =
+          workloads::MakeSynthetic(spec, 9000 + seed);
+      const Evaluator eval(w.chain, 32, w.machine.node_memory_bytes);
+      const MapResult dp = DpMapper().Map(eval, 32);
+
+      auto record = [&](VariantStats& stats, const GreedyOptions& options) {
+        const MapResult r = GreedyMapper(options).Map(eval, 32);
+        const double ratio = r.throughput / dp.throughput;
+        stats.ratio_sum += ratio;
+        stats.worst = std::min(stats.worst, ratio);
+        if (ratio > 1.0 - 1e-9) ++stats.exact;
+        stats.work_sum += r.work;
+      };
+
+      GreedyOptions plain;
+      record(neighborhood, plain);
+      GreedyOptions bo;
+      bo.variant = GreedyOptions::Variant::kBottleneckOnly;
+      record(bottleneck_only, bo);
+      GreedyOptions bt;
+      bt.limited_backtracking = true;
+      record(backtracking, bt);
+    }
+
+    std::printf("comm/comp ratio %.1f:\n", comm_ratio);
+    TextTable table({"Variant", "Mean thr ratio", "Worst", "Optimal found",
+                     "Mean work"});
+    auto row = [&](const char* name, const VariantStats& s) {
+      table.AddRow({name, TextTable::Num(s.ratio_sum / kChains, 4),
+                    TextTable::Num(s.worst, 4),
+                    std::to_string(s.exact) + "/" + std::to_string(kChains),
+                    TextTable::Num(
+                        static_cast<double>(s.work_sum) / kChains, 0)});
+    };
+    row("neighborhood (paper)", neighborhood);
+    row("bottleneck-only (Thm 1)", bottleneck_only);
+    row("neighborhood + backtracking", backtracking);
+    std::fputs(table.Render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: the neighbourhood variant dominates bottleneck-only as\n"
+      "communication grows (neighbour processor counts enter the response\n"
+      "time), and limited backtracking closes most of the remaining gap —\n"
+      "the Section 4 narrative.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main() { return pipemap::bench::Run(); }

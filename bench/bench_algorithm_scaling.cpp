@@ -1,0 +1,111 @@
+// Algorithm runtime scaling (Sections 3 and 4): the dynamic program costs
+// O(P^4 k^2) (O(P^4 k) without clustering) while the greedy heuristic is
+// O(P k) — "this computation cost can be unacceptably high when the number
+// of processors is large, particularly when mapping tasks dynamically."
+//
+// google-benchmark timings over P for both mappers, plus k-scaling at
+// fixed P.
+#include <benchmark/benchmark.h>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap::bench {
+namespace {
+
+Workload ChainFor(int num_tasks, int procs) {
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.machine_procs = procs;
+  spec.comm_comp_ratio = 0.4;
+  spec.memory_tightness = 0.15;
+  return workloads::MakeSynthetic(spec, 12345);
+}
+
+void BM_DpMapperVsProcs(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const Workload w = ChainFor(3, procs);
+  const Evaluator eval(w.chain, procs, w.machine.node_memory_bytes);
+  DpMapper mapper;
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const MapResult r = mapper.Map(eval, procs);
+    work = r.work;
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.counters["dp_transitions"] = static_cast<double>(work);
+}
+BENCHMARK(BM_DpMapperVsProcs)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void BM_DpAssignOnlyVsProcs(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const Workload w = ChainFor(3, procs);
+  const Evaluator eval(w.chain, procs, w.machine.node_memory_bytes);
+  MapperOptions options;
+  options.allow_clustering = false;
+  DpMapper mapper(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Map(eval, procs).throughput);
+  }
+}
+BENCHMARK(BM_DpAssignOnlyVsProcs)->Arg(16)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_GreedyMapperVsProcs(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const Workload w = ChainFor(3, procs);
+  const Evaluator eval(w.chain, procs, w.machine.node_memory_bytes);
+  GreedyMapper mapper;
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const MapResult r = mapper.Map(eval, procs);
+    work = r.work;
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.counters["greedy_steps"] = static_cast<double>(work);
+}
+BENCHMARK(BM_GreedyMapperVsProcs)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512);
+
+void BM_DpMapperVsTasks(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Workload w = ChainFor(k, 24);
+  const Evaluator eval(w.chain, 24, w.machine.node_memory_bytes);
+  DpMapper mapper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Map(eval, 24).throughput);
+  }
+}
+BENCHMARK(BM_DpMapperVsTasks)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_GreedyMapperVsTasks(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Workload w = ChainFor(k, 24);
+  const Evaluator eval(w.chain, 24, w.machine.node_memory_bytes);
+  GreedyMapper mapper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Map(eval, 24).throughput);
+  }
+}
+BENCHMARK(BM_GreedyMapperVsTasks)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EvaluatorThroughput(benchmark::State& state) {
+  const Workload w = ChainFor(4, 64);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 1, 4, 8});
+  m.modules.push_back(ModuleAssignment{2, 3, 2, 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Throughput(m));
+  }
+}
+BENCHMARK(BM_EvaluatorThroughput);
+
+}  // namespace
+}  // namespace pipemap::bench
+
+BENCHMARK_MAIN();

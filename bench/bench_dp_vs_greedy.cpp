@@ -1,0 +1,77 @@
+// Reproduces the Section 6.3 key algorithmic result: "for all cases the
+// dynamic programming and the greedy algorithms reached the same optimal
+// mapping", plus a broader synthetic sweep quantifying how often and how
+// closely the O(Pk) greedy heuristic matches the O(P^4 k^2) optimum.
+#include <cstdio>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "support/table.h"
+#include "workloads/synthetic.h"
+#include "bench_util.h"
+
+namespace pipemap::bench {
+namespace {
+
+int Run() {
+  std::printf("Section 6.3: dynamic programming vs greedy heuristic\n\n");
+  std::printf("Application workloads:\n");
+  TextTable table({"Program", "Size", "Comm", "DP ds/s", "Greedy ds/s",
+                   "Ratio", "Same mapping", "DP work", "Greedy work"});
+  int exact = 0, total = 0;
+  for (const NamedWorkload& c : Table2Configs()) {
+    const int P = c.workload.machine.total_procs();
+    const Evaluator eval(c.workload.chain, P,
+                         c.workload.machine.node_memory_bytes);
+    const MapResult dp = DpMapper().Map(eval, P);
+    const MapResult greedy = GreedyMapper().Map(eval, P);
+    const bool same = dp.mapping == greedy.mapping;
+    exact += same ? 1 : 0;
+    ++total;
+    table.AddRow({c.label, c.size, ToString(c.workload.machine.comm_mode),
+                  TextTable::Num(dp.throughput, 2),
+                  TextTable::Num(greedy.throughput, 2),
+                  TextTable::Num(greedy.throughput / dp.throughput, 3),
+                  same ? "yes" : "no",
+                  std::to_string(dp.work), std::to_string(greedy.work)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf("Identical mappings: %d / %d\n\n", exact, total);
+
+  std::printf("Synthetic sweep (40 random chains, k=2..5, P=32):\n");
+  int sweep_exact = 0;
+  double worst_ratio = 1.0, ratio_sum = 0.0;
+  const int kSweep = 40;
+  for (int seed = 0; seed < kSweep; ++seed) {
+    workloads::SyntheticSpec spec;
+    spec.num_tasks = 2 + seed % 4;
+    spec.machine_procs = 32;
+    spec.comm_comp_ratio = 0.2 + 0.15 * (seed % 5);
+    spec.memory_tightness = 0.25;
+    spec.replicable_fraction = 0.8;
+    const Workload w = workloads::MakeSynthetic(spec, 7000 + seed);
+    const Evaluator eval(w.chain, 32, w.machine.node_memory_bytes);
+    const MapResult dp = DpMapper().Map(eval, 32);
+    const MapResult greedy = GreedyMapper().Map(eval, 32);
+    const double ratio = greedy.throughput / dp.throughput;
+    ratio_sum += ratio;
+    worst_ratio = std::min(worst_ratio, ratio);
+    if (ratio > 1.0 - 1e-9) ++sweep_exact;
+  }
+  std::printf("  optimal throughput reached: %d / %d chains\n", sweep_exact,
+              kSweep);
+  std::printf("  mean greedy/DP throughput ratio: %.4f\n",
+              ratio_sum / kSweep);
+  std::printf("  worst ratio: %.4f\n", worst_ratio);
+  std::printf(
+      "\nShape check: greedy reaches the DP optimum on most instances and\n"
+      "stays within a few percent otherwise, at orders of magnitude less\n"
+      "work — the paper's justification for using it in practice.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main() { return pipemap::bench::Run(); }

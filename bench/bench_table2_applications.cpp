@@ -1,0 +1,77 @@
+// Reproduces paper Table 2: "Performance Results" — for each application
+// configuration: the predicted optimal throughput (dynamic program on the
+// profile-fitted cost model), the measured throughput of that mapping (the
+// ground-truth simulator with noise and contention), the percentage
+// difference, the measured throughput of the pure data-parallel mapping,
+// and the optimal/data-parallel ratio.
+#include <cstdio>
+
+#include "core/baseline.h"
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "machine/feasible.h"
+#include "profiling/profiler.h"
+#include "support/table.h"
+#include "bench_util.h"
+
+namespace pipemap::bench {
+namespace {
+
+int Run() {
+  std::printf("Table 2: Performance Results\n");
+  std::printf("(methodology: 8 profiled training runs -> Section-5 model\n");
+  std::printf(" fit -> DP mapping on the fitted model -> measured on the\n");
+  std::printf(" ground-truth simulator; paper reports 0-12%% prediction\n");
+  std::printf(" error and 2-9x gain over pure data parallelism)\n\n");
+
+  TextTable table({"Program", "Size", "Comm", "Predicted", "Measured",
+                   "Diff %", "DataPar", "Ratio"});
+  for (const NamedWorkload& c : Table2Configs()) {
+    const int P = c.workload.machine.total_procs();
+    const double node_mem = c.workload.machine.node_memory_bytes;
+
+    // Profile and fit against the real (simulated) machine.
+    Profiler profiler(c.workload.chain, P, node_mem);
+    ProfilerOptions poptions;
+    poptions.sim.noise.systematic_stddev = 0.03;
+    poptions.sim.noise.jitter_stddev = 0.01;
+    const FittedModel model = profiler.Fit(poptions);
+
+    // Predict the optimal mapping from the fitted model, restricted to
+    // machine-feasible configurations.
+    const FeasibilityChecker checker(c.workload.machine);
+    const Evaluator fitted_eval(model.chain, P, node_mem);
+    MapperOptions options;
+    options.proc_feasible = checker.ProcCountPredicate();
+    const MapResult predicted = DpMapper(options).Map(fitted_eval, P);
+    const Mapping mapping =
+        checker.MakeFeasible(predicted.mapping, fitted_eval);
+    const double predicted_throughput = fitted_eval.Throughput(mapping);
+
+    // Measure on the ground-truth simulator.
+    PipelineSimulator sim(c.workload.chain);
+    const SimOptions soptions = MeasurementSettings();
+    const double measured = sim.Run(mapping, soptions).throughput;
+
+    // Pure data parallelism, measured the same way.
+    const Evaluator truth_eval(c.workload.chain, P, node_mem);
+    const MapResult data_parallel = DataParallelMapping(truth_eval, P);
+    const double dp_measured =
+        sim.Run(data_parallel.mapping, soptions).throughput;
+
+    const double diff =
+        100.0 * (measured - predicted_throughput) / predicted_throughput;
+    table.AddRow({c.label, c.size, ToString(c.workload.machine.comm_mode),
+                  TextTable::Num(predicted_throughput, 2),
+                  TextTable::Num(measured, 2), TextTable::Num(diff, 2),
+                  TextTable::Num(dp_measured, 2),
+                  TextTable::Num(measured / dp_measured, 2)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main() { return pipemap::bench::Run(); }

@@ -1,0 +1,61 @@
+// Shared plumbing for the benchmark harness: the paper's workload
+// configurations and the standard measurement settings used to reproduce
+// its tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/pipeline_sim.h"
+#include "workloads/fft_hist.h"
+#include "workloads/radar.h"
+#include "workloads/stereo.h"
+#include "workloads/workload.h"
+
+namespace pipemap::bench {
+
+struct NamedWorkload {
+  std::string label;
+  std::string size;
+  Workload workload;
+};
+
+/// The four FFT-Hist configurations of Table 1.
+inline std::vector<NamedWorkload> FftHistConfigs() {
+  return {
+      {"FFT-Hist", "256x256",
+       workloads::MakeFftHist(256, CommMode::kMessage)},
+      {"FFT-Hist", "256x256",
+       workloads::MakeFftHist(256, CommMode::kSystolic)},
+      {"FFT-Hist", "512x512",
+       workloads::MakeFftHist(512, CommMode::kMessage)},
+      {"FFT-Hist", "512x512",
+       workloads::MakeFftHist(512, CommMode::kSystolic)},
+  };
+}
+
+/// The six application rows of Table 2.
+inline std::vector<NamedWorkload> Table2Configs() {
+  std::vector<NamedWorkload> configs = FftHistConfigs();
+  configs.push_back(
+      {"Radar", "512x10x4", workloads::MakeRadar(CommMode::kSystolic)});
+  configs.push_back(
+      {"Stereo", "256x100", workloads::MakeStereo(CommMode::kSystolic)});
+  return configs;
+}
+
+/// Standard "measured" settings: a stream long enough for steady state,
+/// with the systematic-bias / jitter / contention noise that stands in for
+/// the paper's second-order effects.
+inline SimOptions MeasurementSettings(std::uint64_t seed = 20260706) {
+  SimOptions options;
+  options.num_datasets = 400;
+  options.warmup = 150;
+  options.noise.systematic_stddev = 0.03;
+  options.noise.jitter_stddev = 0.01;
+  options.noise.contention_coeff = 0.05;
+  options.noise.seed = seed;
+  return options;
+}
+
+}  // namespace pipemap::bench

@@ -1,0 +1,103 @@
+// The full Section-6 workflow on FFT-Hist, as the Fx mapping tool ran it:
+//
+//   1. run 8 training executions of the program (here: the simulator),
+//   2. fit the Section-5 polynomial cost model from the profiles,
+//   3. find the optimal mapping with the DP and greedy algorithms,
+//   4. restrict to machine-feasible mappings (rectangles, packing,
+//      pathways),
+//   5. execute the chosen mapping and compare predicted vs measured.
+//
+// Usage: fft_hist_tool [n] [message|systolic]     (default: 256 message)
+#include <cstdio>
+#include <cstring>
+
+#include "core/baseline.h"
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "machine/feasible.h"
+#include "profiling/profiler.h"
+#include "sim/pipeline_sim.h"
+#include "workloads/fft_hist.h"
+
+using namespace pipemap;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const CommMode mode = (argc > 2 && std::strcmp(argv[2], "systolic") == 0)
+                            ? CommMode::kSystolic
+                            : CommMode::kMessage;
+  const Workload w = workloads::MakeFftHist(n, mode);
+  const int P = w.machine.total_procs();
+  const double node_mem = w.machine.node_memory_bytes;
+  std::printf("== %s, %s communication, %d-cell array ==\n\n",
+              w.name.c_str(), ToString(mode), P);
+
+  // Step 1-2: profile and fit.
+  Profiler profiler(w.chain, P, node_mem);
+  ProfilerOptions poptions;
+  poptions.sim.noise.systematic_stddev = 0.03;
+  poptions.sim.noise.jitter_stddev = 0.01;
+  std::printf("Profiling with %zu training mappings...\n",
+              profiler.TrainingMappings().size());
+  const FittedModel model = profiler.Fit(poptions);
+  std::printf("Model fitted; residual on training samples: mean %.1f%%, "
+              "max %.1f%%\n\n",
+              100 * model.report.mean_relative_error,
+              100 * model.report.max_relative_error);
+
+  // Step 3: map on the fitted model.
+  const Evaluator eval(model.chain, P, node_mem);
+  const FeasibilityChecker checker(w.machine);
+  MapperOptions options;
+  options.proc_feasible = checker.ProcCountPredicate();
+
+  const MapResult dp = DpMapper(options).Map(eval, P);
+  GreedyOptions goptions;
+  goptions.base = options;
+  const MapResult greedy = GreedyMapper(goptions).Map(eval, P);
+  std::printf("DP mapping:     %s\n", dp.mapping.ToString(w.chain).c_str());
+  std::printf("                predicted %.2f data sets/s\n", dp.throughput);
+  std::printf("Greedy mapping: %s\n",
+              greedy.mapping.ToString(w.chain).c_str());
+  std::printf("                predicted %.2f data sets/s (work: %llu vs "
+              "DP %llu)\n\n",
+              greedy.throughput,
+              static_cast<unsigned long long>(greedy.work),
+              static_cast<unsigned long long>(dp.work));
+
+  // Step 4: machine feasibility (grid packing, systolic pathways).
+  const Mapping feasible = checker.MakeFeasible(dp.mapping, eval);
+  const FeasibilityReport report = checker.Check(feasible);
+  std::printf("Feasible mapping: %s\n", feasible.ToString(w.chain).c_str());
+  std::printf("                  packs in %llu search nodes",
+              static_cast<unsigned long long>(report.packing.nodes));
+  if (mode == CommMode::kSystolic) {
+    std::printf("; %d pathways, max link load %d/%d",
+                report.pathways.pathways, report.pathways.max_link_load,
+                report.pathways.capacity);
+  }
+  std::printf("\n\n");
+
+  // Step 5: execute and compare.
+  PipelineSimulator sim(w.chain);
+  SimOptions soptions;
+  soptions.num_datasets = 400;
+  soptions.warmup = 150;
+  soptions.noise.systematic_stddev = 0.03;
+  soptions.noise.jitter_stddev = 0.01;
+  soptions.noise.contention_coeff = 0.05;
+  const double predicted = eval.Throughput(feasible);
+  const SimResult measured = sim.Run(feasible, soptions);
+  const Evaluator truth_eval(w.chain, P, node_mem);
+  const double dp_baseline =
+      sim.Run(DataParallelMapping(truth_eval, P).mapping, soptions)
+          .throughput;
+  std::printf("Predicted: %.2f data sets/s\n", predicted);
+  std::printf("Measured:  %.2f data sets/s (%+.1f%%)\n", measured.throughput,
+              100.0 * (measured.throughput - predicted) / predicted);
+  std::printf("Pure data parallel: %.2f data sets/s -> optimal/data-parallel"
+              " = %.2fx\n",
+              dp_baseline, measured.throughput / dp_baseline);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Mapping a latency-sensitive streaming application: the narrowband
+// tracking radar. Shows the throughput/latency trade-off across mapping
+// styles — a tracking radar cares about both how many dwells per second it
+// sustains and how stale each track update is.
+#include <cstdio>
+
+#include "core/baseline.h"
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "sim/pipeline_sim.h"
+#include "support/table.h"
+#include "workloads/radar.h"
+
+using namespace pipemap;
+
+int main() {
+  const Workload w = workloads::MakeRadar(CommMode::kSystolic);
+  const int P = w.machine.total_procs();
+  const Evaluator eval(w.chain, P, w.machine.node_memory_bytes);
+  PipelineSimulator sim(w.chain);
+  SimOptions options;
+  options.num_datasets = 500;
+  options.warmup = 200;
+
+  std::printf("== %s on %d processors ==\n\n", w.name.c_str(), P);
+
+  struct Candidate {
+    std::string label;
+    Mapping mapping;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"data parallel", DataParallelMapping(eval, P).mapping});
+  candidates.push_back(
+      {"task parallel", TaskParallelMapping(eval, P).mapping});
+  candidates.push_back(
+      {"replicated data parallel",
+       ReplicatedDataParallelMapping(eval, P, ReplicationPolicy::kMaximal)
+           .mapping});
+  candidates.push_back({"DP optimal", DpMapper().Map(eval, P).mapping});
+
+  // A latency-biased variant: the DP optimum without replication keeps
+  // each data set on wide groups, trading throughput for response time.
+  MapperOptions no_replication;
+  no_replication.replication = ReplicationPolicy::kNone;
+  candidates.push_back(
+      {"DP optimal (no replication)",
+       DpMapper(no_replication).Map(eval, P).mapping});
+
+  TextTable table({"Mapping style", "Structure", "Thr ds/s", "Latency ms",
+                   "Latency x thr"});
+  for (const Candidate& c : candidates) {
+    const SimResult r = sim.Run(c.mapping, options);
+    table.AddRow({c.label, c.mapping.ToString(w.chain),
+                  TextTable::Num(r.throughput, 1),
+                  TextTable::Num(1000.0 * r.mean_latency, 2),
+                  TextTable::Num(r.throughput * r.mean_latency, 1)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nReading the table: replication multiplies throughput but each\n"
+      "dwell takes longer to traverse the pipeline (more, narrower\n"
+      "instances); a tracking radar would pick the no-replication mapping\n"
+      "if track staleness dominates, and the DP optimum otherwise.\n");
+  return 0;
+}

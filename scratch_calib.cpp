@@ -1,0 +1,62 @@
+// Temporary calibration scratch (not part of the build).
+#include <cstdio>
+
+#include "core/baseline.h"
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "machine/feasible.h"
+#include "sim/pipeline_sim.h"
+#include "workloads/fft_hist.h"
+#include "workloads/radar.h"
+#include "workloads/stereo.h"
+
+using namespace pipemap;
+
+static void Report(const Workload& w) {
+  const int P = w.machine.total_procs();
+  Evaluator eval(w.chain, P, w.machine.node_memory_bytes);
+  std::printf("=== %s (%s) ===\n", w.name.c_str(), ToString(w.machine.comm_mode));
+  for (int t = 0; t < w.chain.size(); ++t) {
+    std::printf("  task %s minp=%d exec(1)=%.4f exec(4)=%.4f exec(64)=%.4f\n",
+                w.chain.task(t).name.c_str(), eval.MinProcs(t, t),
+                eval.Exec(t, 1), eval.Exec(t, 4), eval.Exec(t, 64));
+  }
+  for (int e = 0; e < w.chain.size() - 1; ++e) {
+    std::printf("  edge %d icom(4)=%.4f icom(64)=%.4f ecom(3,4)=%.4f ecom(32,32)=%.4f\n",
+                e, eval.ICom(e, 4), eval.ICom(e, 64), eval.ECom(e, 3, 4),
+                eval.ECom(e, 32, 32));
+  }
+  std::printf("  minp(whole)=%d minp(1,2)=%d\n", eval.MinProcs(0, w.chain.size()-1),
+              w.chain.size() >= 3 ? eval.MinProcs(1, 2) : -1);
+
+  DpMapper dp;
+  auto dpres = dp.Map(eval, P);
+  std::printf("  DP:     %.3f ds/s  %s  (work=%llu)\n", dpres.throughput,
+              dpres.mapping.ToString(w.chain).c_str(),
+              (unsigned long long)dpres.work);
+  GreedyMapper greedy;
+  auto gres = greedy.Map(eval, P);
+  std::printf("  Greedy: %.3f ds/s  %s  (work=%llu)\n", gres.throughput,
+              gres.mapping.ToString(w.chain).c_str(),
+              (unsigned long long)gres.work);
+  auto dpl = DataParallelMapping(eval, P);
+  std::printf("  DataPar:%.3f ds/s  ratio=%.2f\n", dpl.throughput,
+              dpres.throughput / dpl.throughput);
+
+  PipelineSimulator sim(w.chain);
+  SimOptions so;
+  auto meas = sim.Run(dpres.mapping, so);
+  std::printf("  sim(optimal, no-noise): %.3f ds/s (pred %.3f)\n",
+              meas.throughput, dpres.throughput);
+}
+
+int main() {
+  Report(workloads::MakeFftHist(256, CommMode::kMessage));
+  Report(workloads::MakeFftHist(256, CommMode::kSystolic));
+  Report(workloads::MakeFftHist(512, CommMode::kMessage));
+  Report(workloads::MakeFftHist(512, CommMode::kSystolic));
+  Report(workloads::MakeRadar(CommMode::kSystolic));
+  Report(workloads::MakeStereo(CommMode::kSystolic));
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include <cstdio>
+
+#include "core/dp_mapper.h"
+#include "profiling/profiler.h"
+#include "sim/pipeline_sim.h"
+#include "workloads/fft_hist.h"
+
+using namespace pipemap;
+
+int main() {
+  auto w = workloads::MakeFftHist(256, CommMode::kSystolic);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions po;
+  po.sim.noise.systematic_stddev = 0.03;
+  po.sim.noise.jitter_stddev = 0.01;
+  auto model = profiler.Fit(po);
+  auto q = CompareChainModels(w.chain, model.chain, 64);
+  std::printf("fit vs truth: mean=%.3f max=%.3f\n", q.mean_relative_error,
+              q.max_relative_error);
+
+  Evaluator fitted_eval(model.chain, 64, w.machine.node_memory_bytes);
+  Evaluator truth_eval(w.chain, 64, w.machine.node_memory_bytes);
+  auto pred = DpMapper().Map(fitted_eval, 64);
+  std::printf("fitted-model DP: %.2f  %s\n", pred.throughput,
+              pred.mapping.ToString(w.chain).c_str());
+  std::printf("truth eval of that mapping: %.2f\n",
+              truth_eval.Throughput(pred.mapping));
+  auto truth_opt = DpMapper().Map(truth_eval, 64);
+  std::printf("truth DP: %.2f  %s\n", truth_opt.throughput,
+              truth_opt.mapping.ToString(w.chain).c_str());
+
+  PipelineSimulator sim(w.chain);
+  SimOptions base;
+  base.num_datasets = 300;
+  base.warmup = 100;
+  auto r0 = sim.Run(pred.mapping, base);
+  std::printf("sim clean: %.2f\n", r0.throughput);
+  SimOptions s1 = base;
+  s1.noise.systematic_stddev = 0.03;
+  s1.noise.seed = 1234;
+  std::printf("sim sys-noise: %.2f\n", sim.Run(pred.mapping, s1).throughput);
+  SimOptions s2 = base;
+  s2.noise.jitter_stddev = 0.01;
+  s2.noise.seed = 1234;
+  std::printf("sim jitter: %.2f\n", sim.Run(pred.mapping, s2).throughput);
+  SimOptions s3 = base;
+  s3.noise.contention_coeff = 0.05;
+  s3.noise.seed = 1234;
+  std::printf("sim contention: %.2f\n", sim.Run(pred.mapping, s3).throughput);
+  return 0;
+}

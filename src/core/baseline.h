@@ -1,0 +1,40 @@
+// Baseline mappings (paper Figure 1 and the comparisons of Section 6.4).
+//
+//  * Pure data parallelism (Fig. 1a): every task on all processors — the
+//    mapping the paper's Table 2 baselines against.
+//  * Replicated data parallelism (Fig. 1c): one module, maximal replication.
+//  * Pure task parallelism (Fig. 1b): one module per task, budgets split as
+//    evenly as memory minima allow.
+//  * No-communication-cost assignment (Choudhary et al. [4]): the O(P k)
+//    allocator that repeatedly grants a processor to the task with the
+//    largest execution-only effective time, ignoring communication — used
+//    as an ablation to show why a realistic communication model matters.
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/mapper.h"
+
+namespace pipemap {
+
+/// Fig. 1(a): all tasks in one module on all processors, no replication.
+MapResult DataParallelMapping(const Evaluator& eval, int total_procs);
+
+/// Fig. 1(c): all tasks in one module, replicated per `policy`.
+MapResult ReplicatedDataParallelMapping(const Evaluator& eval,
+                                        int total_procs,
+                                        ReplicationPolicy policy);
+
+/// Fig. 1(b): one module per task, processors split evenly subject to the
+/// per-task memory minima; no replication. Throws pipemap::Infeasible when
+/// the minima do not fit.
+MapResult TaskParallelMapping(const Evaluator& eval, int total_procs);
+
+/// Choudhary-style assignment: singleton modules, replication per `policy`,
+/// processors granted one at a time to the task with the largest effective
+/// execution time, with all communication costs treated as zero during the
+/// allocation. The returned throughput is nevertheless evaluated under the
+/// full model, so the result quantifies the cost of ignoring communication.
+MapResult NoCommAssignmentMapping(const Evaluator& eval, int total_procs,
+                                  ReplicationPolicy policy);
+
+}  // namespace pipemap

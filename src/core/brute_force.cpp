@@ -1,0 +1,151 @@
+#include "core/brute_force.h"
+
+#include <limits>
+#include <optional>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+/// Enumerates every clustering of a k-task chain (all boundary subsets)
+/// and invokes `visit(clustering)`.
+template <typename Visit>
+void ForEachClustering(int k, bool allow_clustering, Visit&& visit) {
+  const std::uint64_t num_clusterings =
+      allow_clustering ? (std::uint64_t{1} << (k - 1)) : 1;
+  for (std::uint64_t mask = 0; mask < num_clusterings; ++mask) {
+    Clustering clustering;
+    int first = 0;
+    for (int e = 0; e < k - 1; ++e) {
+      const bool split = allow_clustering ? ((mask >> e) & 1) != 0 : true;
+      if (split) {
+        clustering.emplace_back(first, e);
+        first = e + 1;
+      }
+    }
+    clustering.emplace_back(first, k - 1);
+    visit(clustering);
+  }
+}
+
+}  // namespace
+
+BruteForceMapper::BruteForceMapper(BruteForceOptions options)
+    : options_(std::move(options)) {}
+
+MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
+  const int k = eval.num_tasks();
+  const ReplicationPolicy policy = options_.base.replication;
+  const ProcPredicate& feasible = options_.base.proc_feasible;
+
+  std::uint64_t work = 0;
+  std::optional<Mapping> best;
+  double best_throughput = 0.0;
+
+  ForEachClustering(k, options_.base.allow_clustering,
+                    [&](const Clustering& clustering) {
+    const int l = static_cast<int>(clustering.size());
+    // Enumerate budget vectors recursively.
+    std::vector<int> budgets(l, 0);
+    auto recurse = [&](auto&& self, int idx, int used) -> void {
+      if (idx == l) {
+        ++work;
+        if (work > options_.max_evaluations) {
+          throw ResourceLimit("BruteForceMapper: evaluation cap exceeded");
+        }
+        const auto mapping =
+            BuildMapping(eval, clustering, budgets, policy, feasible);
+        if (!mapping) return;
+        const double t = eval.Throughput(*mapping);
+        if (t > best_throughput) {
+          best_throughput = t;
+          best = *mapping;
+        }
+        return;
+      }
+      for (int b = 1; used + b <= total_procs; ++b) {
+        budgets[idx] = b;
+        self(self, idx + 1, used + b);
+      }
+    };
+    recurse(recurse, 0, 0);
+  });
+
+  if (!best) {
+    throw Infeasible("BruteForceMapper: no valid mapping exists");
+  }
+  MapResult result;
+  result.mapping = *best;
+  result.throughput = best_throughput;
+  result.work = work;
+  return result;
+}
+
+LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
+                                        int total_procs,
+                                        double min_throughput,
+                                        const BruteForceOptions& options) {
+  const int k = eval.num_tasks();
+  const ProcPredicate& feasible = options.base.proc_feasible;
+
+  std::uint64_t work = 0;
+  std::optional<Mapping> best;
+  double best_latency = std::numeric_limits<double>::infinity();
+
+  ForEachClustering(k, options.base.allow_clustering,
+                    [&](const Clustering& clustering) {
+    const int l = static_cast<int>(clustering.size());
+    Mapping mapping;
+    mapping.modules.resize(l);
+    // Enumerate per-module (instance size, replica count) pairs.
+    auto recurse = [&](auto&& self, int idx, int used) -> void {
+      if (idx == l) {
+        ++work;
+        if (work > options.max_evaluations) {
+          throw ResourceLimit("BruteForceMinLatency: evaluation cap"
+                              " exceeded");
+        }
+        if (min_throughput > 0.0 &&
+            eval.Throughput(mapping) < min_throughput) {
+          return;
+        }
+        const double latency = eval.Latency(mapping);
+        if (latency < best_latency) {
+          best_latency = latency;
+          best = mapping;
+        }
+        return;
+      }
+      const auto [first, last] = clustering[idx];
+      const int min_p = eval.MinProcs(first, last);
+      if (min_p >= kInfeasibleProcs) return;
+      const int max_r = (options.base.replication != ReplicationPolicy::kNone
+                             ? eval.Replicable(first, last)
+                             : false)
+                            ? (total_procs - used) / min_p
+                            : 1;
+      for (int r = 1; r <= std::max(1, max_r); ++r) {
+        for (int p = min_p; used + r * p <= total_procs; ++p) {
+          if (feasible && !feasible(p)) continue;
+          mapping.modules[idx] = ModuleAssignment{first, last, r, p};
+          self(self, idx + 1, used + r * p);
+        }
+        if (used + (r + 1) * min_p > total_procs) break;
+      }
+    };
+    recurse(recurse, 0, 0);
+  });
+
+  if (!best) {
+    throw Infeasible("BruteForceMinLatency: no valid mapping exists");
+  }
+  LatencyBruteResult result;
+  result.latency = best_latency;
+  result.throughput = eval.Throughput(*best);
+  result.mapping = std::move(*best);
+  result.work = work;
+  return result;
+}
+
+}  // namespace pipemap

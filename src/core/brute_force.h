@@ -1,0 +1,51 @@
+// Exhaustive reference mapper.
+//
+// Enumerates every clustering (2^(k-1) boundary subsets), every budget
+// vector, and configures modules with the same rule as the other mappers.
+// Exponential in P and k — usable only for small instances, where it serves
+// as the ground truth that certifies the dynamic program's optimality in
+// tests.
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/mapper.h"
+
+namespace pipemap {
+
+struct BruteForceOptions {
+  MapperOptions base;
+  /// Abort (pipemap::ResourceLimit) if more than this many assignments
+  /// would be evaluated.
+  std::uint64_t max_evaluations = 50'000'000;
+};
+
+class BruteForceMapper {
+ public:
+  explicit BruteForceMapper(BruteForceOptions options = {});
+
+  MapResult Map(const Evaluator& eval, int total_procs) const;
+
+ private:
+  BruteForceOptions options_;
+};
+
+/// Result of an exhaustive latency optimization.
+struct LatencyBruteResult {
+  Mapping mapping;
+  double latency = 0.0;
+  double throughput = 0.0;
+  std::uint64_t work = 0;
+};
+
+/// Exhaustive minimum-latency search: enumerates every clustering and
+/// every per-module (instance size, replica count) pair — unconstrained by
+/// any replication policy — subject to the processor budget and, when
+/// `min_throughput` > 0, a throughput floor. The exact reference for
+/// LatencyMapper (whose throughput-constrained mode optimizes over two
+/// restricted configuration families). Exponential; small instances only.
+LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
+                                        int total_procs,
+                                        double min_throughput = 0.0,
+                                        const BruteForceOptions& options = {});
+
+}  // namespace pipemap

@@ -1,0 +1,82 @@
+#include "core/chain_ops.h"
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+TaskChain SubChain(const TaskChain& chain, int first, int last) {
+  PIPEMAP_CHECK(first >= 0 && last < chain.size() && first <= last,
+                "SubChain: bad task range");
+  const ChainCostModel& costs = chain.costs();
+  std::vector<Task> tasks;
+  ChainCostModel sub;
+  for (int t = first; t <= last; ++t) {
+    tasks.push_back(chain.task(t));
+    sub.AddTask(costs.ExecFn(t).Clone(), costs.Memory(t));
+  }
+  for (int e = first; e < last; ++e) {
+    sub.SetEdge(e - first, costs.IComFn(e).Clone(), costs.EComFn(e).Clone());
+  }
+  return TaskChain(std::move(tasks), std::move(sub));
+}
+
+TaskChain ConcatChains(const TaskChain& head, const TaskChain& tail,
+                       std::unique_ptr<ScalarCost> joint_icom,
+                       std::unique_ptr<PairCost> joint_ecom) {
+  PIPEMAP_CHECK(joint_icom != nullptr && joint_ecom != nullptr,
+                "ConcatChains: joint edge costs required");
+  std::vector<Task> tasks;
+  ChainCostModel costs;
+  auto append = [&](const TaskChain& part, int from_edge_offset) {
+    const ChainCostModel& src = part.costs();
+    for (int t = 0; t < part.size(); ++t) {
+      tasks.push_back(part.task(t));
+      costs.AddTask(src.ExecFn(t).Clone(), src.Memory(t));
+      if (t > 0) {
+        const int e = t - 1;
+        costs.SetEdge(from_edge_offset + e, src.IComFn(e).Clone(),
+                      src.EComFn(e).Clone());
+      }
+    }
+  };
+  append(head, 0);
+  const int joint_edge = head.size() - 1;
+  // Reserve the joint edge slot by adding tail's first task, then fill it.
+  append(tail, head.size());
+  costs.SetEdge(joint_edge, std::move(joint_icom), std::move(joint_ecom));
+  return TaskChain(std::move(tasks), std::move(costs));
+}
+
+TaskChain EraseTask(const TaskChain& chain, int task,
+                    std::unique_ptr<ScalarCost> joint_icom,
+                    std::unique_ptr<PairCost> joint_ecom) {
+  PIPEMAP_CHECK(task >= 0 && task < chain.size(), "EraseTask: bad index");
+  PIPEMAP_CHECK(chain.size() >= 2, "EraseTask: cannot empty the chain");
+  const bool interior = task > 0 && task < chain.size() - 1;
+  PIPEMAP_CHECK(!interior || (joint_icom != nullptr && joint_ecom != nullptr),
+                "EraseTask: interior removal needs joint edge costs");
+
+  const ChainCostModel& costs = chain.costs();
+  std::vector<Task> tasks;
+  ChainCostModel out;
+  for (int t = 0; t < chain.size(); ++t) {
+    if (t == task) continue;
+    tasks.push_back(chain.task(t));
+    out.AddTask(costs.ExecFn(t).Clone(), costs.Memory(t));
+  }
+  // Copy edges not incident to the removed task; splice the joint.
+  int out_edge = 0;
+  for (int e = 0; e < chain.size() - 1; ++e) {
+    if (e == task - 1 && interior) {
+      out.SetEdge(out_edge++, std::move(joint_icom), std::move(joint_ecom));
+      continue;  // skips the e == task edge via the condition below
+    }
+    if (e == task - 1 || e == task) continue;  // incident to removed end task
+    out.SetEdge(out_edge++, costs.IComFn(e).Clone(), costs.EComFn(e).Clone());
+  }
+  return TaskChain(std::move(tasks), std::move(out));
+}
+
+}  // namespace pipemap

@@ -1,0 +1,33 @@
+// Structural operations on task chains.
+//
+// Real pipelines are assembled and dissected: a front-end chain feeds a
+// back-end chain, a subrange is profiled or mapped in isolation, a stage is
+// spliced out. These helpers keep the task metadata, memory specs, and all
+// three cost-function families consistent through such edits.
+#pragma once
+
+#include <memory>
+
+#include "core/task.h"
+
+namespace pipemap {
+
+/// The chain restricted to tasks [first, last] (costs and memory cloned;
+/// edges interior to the range kept).
+TaskChain SubChain(const TaskChain& chain, int first, int last);
+
+/// Concatenates two chains, joining them with the given edge costs for the
+/// new boundary between `head`'s last task and `tail`'s first task.
+TaskChain ConcatChains(const TaskChain& head, const TaskChain& tail,
+                       std::unique_ptr<ScalarCost> joint_icom,
+                       std::unique_ptr<PairCost> joint_ecom);
+
+/// The chain with task `task` removed. The two edges surrounding the task
+/// collapse into one, whose costs must be supplied (there is no generally
+/// correct way to compose them automatically). Requires chain.size() >= 2.
+/// Removing an end task needs no joint costs (pass nullptr).
+TaskChain EraseTask(const TaskChain& chain, int task,
+                    std::unique_ptr<ScalarCost> joint_icom,
+                    std::unique_ptr<PairCost> joint_ecom);
+
+}  // namespace pipemap

@@ -1,0 +1,152 @@
+#include "core/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pipemap {
+namespace {
+
+/// Records one check into a report; `description` is only materialized for
+/// the first violation (it calls the callback lazily).
+template <typename DescribeFn>
+void Record(ConditionReport& report, bool ok, DescribeFn&& describe) {
+  ++report.checks;
+  if (!ok) {
+    ++report.violations;
+    report.holds = false;
+    if (report.first_violation.empty()) {
+      report.first_violation = describe();
+    }
+  }
+}
+
+std::string Describe(const char* what, int index, int p, double before,
+                     double after) {
+  std::ostringstream os;
+  os << what << "[" << index << "] at p=" << p << ": " << before << " -> "
+     << after;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ChainDiagnostics::Summary() const {
+  std::ostringstream os;
+  auto line = [&](const char* name, const ConditionReport& r,
+                  const char* consequence) {
+    os << "  " << name << ": " << (r.holds ? "holds" : "violated") << " ("
+       << r.violations << "/" << r.checks << " checks failed)";
+    if (!r.holds) {
+      os << "\n    e.g. " << r.first_violation << "\n    -> " << consequence;
+    }
+    os << "\n";
+  };
+  line("communication monotone (Thm 1)", comm_monotone,
+       "bottleneck-only greedy loses its optimality guarantee");
+  line("cost functions convex (Thm 2.1)", convex,
+       "greedy may over-allocate; enable limited backtracking");
+  line("computation dominates (Thm 2.2)", computation_dominates,
+       "greedy's +/-2 bound does not apply");
+  line("non-superlinear costs (Sec 3.2)", non_superlinear,
+       "maximal replication may be suboptimal; consider kSearch");
+  return os.str();
+}
+
+ChainDiagnostics DiagnoseChain(const Evaluator& eval) {
+  ChainDiagnostics d;
+  const int k = eval.num_tasks();
+  const int P = eval.max_procs();
+  const int pair_stride = std::max(1, P / 16);
+
+  // Communication monotonicity and convexity; execution convexity and
+  // non-superlinearity.
+  for (int e = 0; e < k - 1; ++e) {
+    for (int p = 1; p + 1 <= P; ++p) {
+      const double a = eval.ICom(e, p);
+      const double b = eval.ICom(e, p + 1);
+      Record(d.comm_monotone, b >= a - 1e-12,
+             [&] { return Describe("icom", e, p, a, b); });
+      if (p + 2 <= P) {
+        const double c = eval.ICom(e, p + 2);
+        Record(d.convex, (c - b) >= (b - a) - 1e-12,
+               [&] { return Describe("icom convexity", e, p, b - a, c - b); });
+      }
+    }
+    for (int ps = 1; ps <= P; ps += pair_stride) {
+      for (int pr = 1; pr <= P; pr += pair_stride) {
+        const double base = eval.ECom(e, ps, pr);
+        if (ps + 1 <= P) {
+          const double up = eval.ECom(e, ps + 1, pr);
+          Record(d.comm_monotone, up >= base - 1e-12,
+                 [&] { return Describe("ecom(sender)", e, ps, base, up); });
+          if (ps + 2 <= P) {
+            const double up2 = eval.ECom(e, ps + 2, pr);
+            Record(d.convex, (up2 - up) >= (up - base) - 1e-12, [&] {
+              return Describe("ecom convexity(sender)", e, ps, up - base,
+                              up2 - up);
+            });
+          }
+        }
+        if (pr + 1 <= P) {
+          const double up = eval.ECom(e, ps, pr + 1);
+          Record(d.comm_monotone, up >= base - 1e-12,
+                 [&] { return Describe("ecom(receiver)", e, pr, base, up); });
+        }
+      }
+    }
+  }
+
+  for (int t = 0; t < k; ++t) {
+    for (int p = 1; p + 1 <= P; ++p) {
+      const double a = eval.Exec(t, p);
+      const double b = eval.Exec(t, p + 1);
+      Record(d.non_superlinear,
+             b >= a * p / (p + 1.0) - 1e-12,
+             [&] { return Describe("exec superlinear", t, p, a, b); });
+      if (p + 2 <= P) {
+        const double c = eval.Exec(t, p + 2);
+        Record(d.convex, (c - b) >= (b - a) - 1e-12,
+               [&] { return Describe("exec convexity", t, p, b - a, c - b); });
+      }
+
+      // Theorem 2 condition 2: delta (computation improvement) must exceed
+      // 4 * delta_c (best communication improvement from adding a
+      // processor to this task or a neighbour). Probe at matched counts.
+      const double delta = a - b;
+      double delta_c = 0.0;
+      if (t > 0) {
+        delta_c = std::max(
+            delta_c, eval.ECom(t - 1, p, p) - eval.ECom(t - 1, p, p + 1));
+        delta_c = std::max(
+            delta_c, eval.ECom(t - 1, p, p) - eval.ECom(t - 1, p + 1, p));
+      }
+      if (t < k - 1) {
+        delta_c = std::max(
+            delta_c, eval.ECom(t, p, p) - eval.ECom(t, p, p + 1));
+        delta_c = std::max(
+            delta_c, eval.ECom(t, p, p) - eval.ECom(t, p + 1, p));
+      }
+      Record(d.computation_dominates, delta > 4.0 * delta_c - 1e-12, [&] {
+        std::ostringstream os;
+        os << "task " << t << " at p=" << p << ": delta=" << delta
+           << " <= 4*delta_c=" << 4.0 * delta_c;
+        return os.str();
+      });
+    }
+  }
+
+  // Communication non-superlinearity (Section 3.2 covers communication
+  // functions as well).
+  for (int e = 0; e < k - 1; ++e) {
+    for (int p = 1; p + 1 <= P; ++p) {
+      const double a = eval.ICom(e, p);
+      const double b = eval.ICom(e, p + 1);
+      Record(d.non_superlinear, b >= a * p / (p + 1.0) - 1e-12,
+             [&] { return Describe("icom superlinear", e, p, a, b); });
+    }
+  }
+
+  return d;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,72 @@
+// Diagnostics: do the paper's theorem preconditions hold for a chain?
+//
+// The greedy mapper's optimality guarantees are conditional:
+//   * Theorem 1 — the bottleneck-only greedy is optimal when communication
+//     time increases monotonically with the processor counts involved;
+//   * Theorem 2 — the neighbourhood greedy over-allocates at most two
+//     processors when (1) all cost functions are (discretely) convex and
+//     (2) computation dominates communication (delta > 4 * delta_c);
+//   * Section 3.2 — maximal replication is optimal when no cost function
+//     is superlinear (adding a processor to a k-processor group improves
+//     time by at most a factor k/(k+1)).
+//
+// The paper notes these "may be difficult to verify"; with a cost model in
+// hand they are mechanical. A mapping tool should tell its user which
+// guarantees apply — this module does that.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.h"
+
+namespace pipemap {
+
+/// Outcome of one precondition check: whether it holds everywhere over the
+/// probed range, and how often it was violated.
+struct ConditionReport {
+  bool holds = true;
+  std::size_t checks = 0;
+  std::size_t violations = 0;
+  /// Description of the first violation found (empty when none).
+  std::string first_violation;
+
+  double violation_rate() const {
+    return checks == 0 ? 0.0
+                       : static_cast<double>(violations) / checks;
+  }
+};
+
+struct ChainDiagnostics {
+  /// Theorem 1: every communication function is monotonically increasing
+  /// in each processor-count argument.
+  ConditionReport comm_monotone;
+  /// Theorem 2, condition 1: execution and communication functions are
+  /// discretely convex in each argument.
+  ConditionReport convex;
+  /// Theorem 2, condition 2: the computation-time improvement from one
+  /// more processor exceeds four times the best communication-time
+  /// improvement (delta > 4 * delta_c).
+  ConditionReport computation_dominates;
+  /// Section 3.2: no cost function improves superlinearly with an added
+  /// processor (f(p+1) >= f(p) * p / (p+1)).
+  ConditionReport non_superlinear;
+
+  /// True iff Theorem 1's guarantee applies.
+  bool Theorem1Applies() const { return comm_monotone.holds; }
+  /// True iff Theorem 2's guarantee applies.
+  bool Theorem2Applies() const {
+    return convex.holds && computation_dominates.holds;
+  }
+  /// True iff the maximal-replication rule is provably optimal.
+  bool MaximalReplicationSafe() const { return non_superlinear.holds; }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// Probes every cost function of `eval`'s chain over processor counts
+/// 1..eval.max_procs() (pair functions on a subsampled grid for large P)
+/// and reports which preconditions hold.
+ChainDiagnostics DiagnoseChain(const Evaluator& eval);
+
+}  // namespace pipemap

@@ -1,0 +1,310 @@
+#include "core/dp_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pipemap::detail {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Backpointer layout: L_prev (6 bits) | b_prev (13 bits) | pp_prev (13 bits).
+// L_prev == 0 marks a first-module state.
+constexpr std::uint32_t PackBp(int l_prev, int b_prev, int pp_prev) {
+  return (static_cast<std::uint32_t>(l_prev) << 26) |
+         (static_cast<std::uint32_t>(b_prev) << 13) |
+         static_cast<std::uint32_t>(pp_prev);
+}
+constexpr int BpLen(std::uint32_t bp) { return static_cast<int>(bp >> 26); }
+constexpr int BpBudget(std::uint32_t bp) {
+  return static_cast<int>((bp >> 13) & 0x1fff);
+}
+constexpr int BpPrevProcs(std::uint32_t bp) {
+  return static_cast<int>(bp & 0x1fff);
+}
+
+/// One DP stage: all states whose last module ends at task `j` and has
+/// length `L`. States are indexed by (p_used, budget, prev_instance_procs).
+struct Stage {
+  std::vector<double> value;  // kInf = unreachable
+  std::vector<std::uint32_t> bp;
+  bool allocated = false;
+};
+
+struct StageGrid {
+  int k = 0;
+  std::vector<Stage> stages;  // indexed j * k + (L - 1)
+
+  Stage& At(int j, int len) { return stages[j * k + (len - 1)]; }
+};
+
+}  // namespace
+
+ModuleConfig LatencyConfig(const Evaluator& eval, int first, int last,
+                           int budget, double response_cap,
+                           const ProcPredicate& feasible) {
+  const int min_p = eval.MinProcs(first, last);
+  if (budget < min_p || budget < 1 || min_p >= kInfeasibleProcs) return {};
+
+  auto feasible_procs = [&](int replicas) {
+    const int start = budget / replicas;
+    if (!feasible) return start >= min_p ? start : 0;
+    for (int p = start; p >= min_p; --p) {
+      if (feasible(p)) return p;
+    }
+    return 0;
+  };
+
+  // With no throughput cap, replication is pointless for latency (it only
+  // burns budget that narrower modules could use); pin replicas to 1.
+  const bool replicable =
+      eval.Replicable(first, last) && std::isfinite(response_cap);
+  const int max_r = replicable ? budget / min_p : 1;
+  ModuleConfig best;
+  double best_body = kInf;
+  for (int r = 1; r <= max_r; ++r) {
+    const int procs = feasible_procs(r);
+    if (procs == 0) continue;
+    // For a given instance size, the maximal replica count within the
+    // budget never hurts: latency depends only on the instance size, and
+    // more replicas only loosen the throughput cap.
+    const int replicas = replicable ? budget / procs : 1;
+    const double body = eval.Body(first, last, procs);
+    if (body / replicas > response_cap) continue;
+    if (body < best_body ||
+        (body == best_body && best.valid && replicas > best.replicas)) {
+      best_body = body;
+      best = {replicas, procs, true};
+    }
+  }
+  return best;
+}
+
+DpSolution RunChainDp(const DpProblem& problem) {
+  PIPEMAP_CHECK(problem.eval != nullptr, "RunChainDp: evaluator required");
+  const Evaluator& eval = *problem.eval;
+  const int k = eval.num_tasks();
+  const int cap = problem.total_procs;
+  const MapperOptions& options = problem.options;
+  PIPEMAP_CHECK(cap >= 1, "RunChainDp: need at least one processor");
+  PIPEMAP_CHECK(cap <= 8191, "RunChainDp: processor count exceeds"
+                             " backpointer encoding (8191)");
+  PIPEMAP_CHECK(k <= 63, "RunChainDp: chain length exceeds backpointer"
+                         " encoding (63)");
+  PIPEMAP_CHECK(problem.max_effective_response > 0.0,
+                "RunChainDp: response cap must be positive");
+  const ReplicationPolicy policy = options.replication;
+  const int max_len = options.allow_clustering ? k : 1;
+  const bool path_sum = problem.objective == DpObjective::kPathSum;
+  const double response_cap = problem.max_effective_response;
+
+  // Per-module-range configuration cache: cfg[(first,last)][budget].
+  // Also the smallest usable budget per range, and infinity if none.
+  std::vector<std::vector<ModuleConfig>> cfg_cache(
+      static_cast<std::size_t>(k) * k);
+  std::vector<int> min_budget(static_cast<std::size_t>(k) * k,
+                              kInfeasibleProcs);
+  auto range_index = [k](int first, int last) {
+    return static_cast<std::size_t>(first) * k + last;
+  };
+  for (int first = 0; first < k; ++first) {
+    for (int last = first; last < std::min(k, first + max_len); ++last) {
+      auto& cfgs = cfg_cache[range_index(first, last)];
+      cfgs.assign(cap + 1, ModuleConfig{});
+      for (int b = 1; b <= cap; ++b) {
+        cfgs[b] = problem.config_rule == DpConfigRule::kLatencyBody
+                      ? LatencyConfig(eval, first, last, b, response_cap,
+                                      options.proc_feasible)
+                      : ConfigureConstrained(eval, first, last, b, policy,
+                                             options.proc_feasible);
+        if (cfgs[b].valid && min_budget[range_index(first, last)] > b) {
+          min_budget[range_index(first, last)] = b;
+        }
+      }
+    }
+  }
+
+  // Minimal total budget needed to map tasks t..k-1 (for pruning) and to
+  // detect infeasibility early.
+  std::vector<long long> suffix_min(k + 1, 0);
+  for (int t = k - 1; t >= 0; --t) {
+    long long best = std::numeric_limits<long long>::max() / 4;
+    for (int last = t; last < std::min(k, t + max_len); ++last) {
+      const int mb = min_budget[range_index(t, last)];
+      if (mb >= kInfeasibleProcs) continue;
+      best =
+          std::min(best, static_cast<long long>(mb) + suffix_min[last + 1]);
+    }
+    suffix_min[t] = best;
+  }
+  if (suffix_min[0] > cap) {
+    throw Infeasible(
+        "RunChainDp: not enough processors to satisfy module memory minima");
+  }
+
+  StageGrid grid;
+  grid.k = k;
+  grid.stages.resize(static_cast<std::size_t>(k) * k);
+  const std::size_t block_states =
+      static_cast<std::size_t>(cap + 1) * (cap + 1) * (cap + 1);
+  const std::size_t bytes_per_block =
+      block_states * (sizeof(double) + sizeof(std::uint32_t));
+  std::size_t allocated_bytes = 0;
+  auto ensure_stage = [&](int j, int len) -> Stage& {
+    Stage& s = grid.At(j, len);
+    if (!s.allocated) {
+      allocated_bytes += bytes_per_block;
+      if (allocated_bytes > options.max_table_bytes) {
+        throw ResourceLimit(
+            "RunChainDp: DP table exceeds max_table_bytes; reduce P or use "
+            "GreedyMapper");
+      }
+      s.value.assign(block_states, kInf);
+      s.bp.assign(block_states, 0);
+      s.allocated = true;
+    }
+    return s;
+  };
+  auto state_index = [&](int p_used, int budget, int prev_procs) {
+    return (static_cast<std::size_t>(p_used) * (cap + 1) + budget) *
+               (cap + 1) +
+           prev_procs;
+  };
+
+  std::uint64_t work = 0;
+
+  // Seed: first module [0 .. len-1] with budget b.
+  for (int len = 1; len <= std::min(max_len, k); ++len) {
+    const int last = len - 1;
+    const auto& cfgs = cfg_cache[range_index(0, last)];
+    const long long suffix_needed = suffix_min[last + 1];
+    for (int b = 1; b <= cap; ++b) {
+      if (!cfgs[b].valid) continue;
+      if (b + suffix_needed > cap) break;
+      Stage& s = ensure_stage(last, len);
+      const std::size_t idx = state_index(b, b, 0);
+      if (s.value[idx] > 0.0) {
+        s.value[idx] = 0.0;
+        s.bp[idx] = PackBp(0, 0, 0);
+      }
+    }
+  }
+
+  double best_total = kInf;
+  int best_j = -1, best_len = -1, best_pu = -1, best_b = -1, best_pp = -1;
+
+  // Process stages in increasing end-task order so transitions always move
+  // forward.
+  for (int j = 0; j < k; ++j) {
+    for (int len = 1; len <= std::min(max_len, j + 1); ++len) {
+      Stage& s = grid.At(j, len);
+      if (!s.allocated) continue;
+      const int first = j - len + 1;
+      const auto& cfgs = cfg_cache[range_index(first, j)];
+      const bool is_last_stage = (j == k - 1);
+
+      for (int pu = 1; pu <= cap; ++pu) {
+        for (int b = 1; b <= pu; ++b) {
+          const ModuleConfig& cfg = cfgs[b];
+          if (!cfg.valid) continue;
+          const std::size_t base = state_index(pu, b, 0);
+          for (int pp = 0; pp <= cap; ++pp) {
+            const double v = s.value[base + pp];
+            if (v == kInf) continue;
+            const double in_com =
+                pp > 0 ? eval.ECom(first - 1, pp, cfg.procs) : 0.0;
+            const double body = eval.Body(first, j, cfg.procs);
+
+            if (is_last_stage) {
+              ++work;
+              const double resp = (in_com + body) / cfg.replicas;
+              if (resp > response_cap) continue;
+              // Path-sum counts the body only: the incoming transfer was
+              // charged when the previous module completed.
+              const double total =
+                  path_sum ? v + body : std::max(v, resp);
+              if (total < best_total) {
+                best_total = total;
+                best_j = j;
+                best_len = len;
+                best_pu = pu;
+                best_b = b;
+                best_pp = pp;
+              }
+              continue;
+            }
+
+            // Extend with the next module [j+1 .. j+len2] and budget b2.
+            for (int len2 = 1; len2 <= std::min(max_len, k - 1 - j);
+                 ++len2) {
+              const int next_last = j + len2;
+              const auto& next_cfgs = cfg_cache[range_index(j + 1, next_last)];
+              const long long tail_needed = suffix_min[next_last + 1];
+              const int next_min = min_budget[range_index(j + 1, next_last)];
+              if (next_min >= kInfeasibleProcs ||
+                  pu + next_min + tail_needed > cap) {
+                continue;
+              }
+              Stage& ns = ensure_stage(next_last, len2);
+              for (int b2 = 1; pu + b2 <= cap; ++b2) {
+                const ModuleConfig& cfg2 = next_cfgs[b2];
+                if (!cfg2.valid) continue;
+                if (pu + b2 + tail_needed > cap) break;
+                ++work;
+                const double out_com = eval.ECom(j, cfg.procs, cfg2.procs);
+                const double resp =
+                    (in_com + body + out_com) / cfg.replicas;
+                if (resp > response_cap) continue;
+                const double nv =
+                    path_sum ? v + body + out_com : std::max(v, resp);
+                const std::size_t nidx = state_index(pu + b2, b2, cfg.procs);
+                if (nv < ns.value[nidx]) {
+                  ns.value[nidx] = nv;
+                  ns.bp[nidx] = PackBp(len, b, pp);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (best_j < 0) {
+    throw Infeasible("RunChainDp: no valid mapping found");
+  }
+
+  // Reconstruct module list by walking backpointers from the best terminal
+  // state.
+  std::vector<ModuleAssignment> reversed;
+  int j = best_j, len = best_len, pu = best_pu, b = best_b, pp = best_pp;
+  while (true) {
+    const int first = j - len + 1;
+    const ModuleConfig& cfg = cfg_cache[range_index(first, j)][b];
+    reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
+    const Stage& s = grid.At(j, len);
+    const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
+    const int l_prev = BpLen(bp);
+    if (l_prev == 0) break;
+    const int b_prev = BpBudget(bp);
+    const int pp_prev = BpPrevProcs(bp);
+    j = first - 1;
+    pu -= b;
+    len = l_prev;
+    b = b_prev;
+    pp = pp_prev;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+
+  DpSolution solution;
+  solution.mapping.modules = std::move(reversed);
+  solution.objective_value = best_total;
+  solution.work = work;
+  return solution;
+}
+
+}  // namespace pipemap::detail

@@ -1,0 +1,41 @@
+// Dynamic-programming mapper (paper Section 3).
+//
+// Finds the mapping of a chain of k tasks onto at most P processors that
+// maximizes throughput, over all combinations of clustering, replication,
+// and processor allocation, in O(P^4 k^2) time (O(P^4 k) when clustering is
+// disabled). The solution is provably optimal with respect to the chain's
+// cost model and the configured replication policy.
+//
+// Formulation. The paper defines the forward function
+// A_j(p_total, p_last, p_next): the optimal assignment to the subchain
+// t1..tj given the processors of tj and t_{j+1}. We implement the mirror
+// image: a state describes the mapping of a *prefix* whose last module is
+// fully identified (end task j, length L, budget b) together with the
+// per-instance processor count of the module before it. A module's response
+// time is completed — and folded into the running bottleneck — at the
+// transition that fixes its successor's processor count, exactly the role
+// p_next plays in the paper's recurrence.
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/mapper.h"
+
+namespace pipemap {
+
+class DpMapper {
+ public:
+  explicit DpMapper(MapperOptions options = {});
+
+  /// Optimal mapping of `eval`'s chain onto at most `total_procs`
+  /// processors. Throws pipemap::Infeasible when no valid mapping exists
+  /// and pipemap::ResourceLimit when the DP table would exceed
+  /// options.max_table_bytes.
+  MapResult Map(const Evaluator& eval, int total_procs) const;
+
+  const MapperOptions& options() const { return options_; }
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace pipemap

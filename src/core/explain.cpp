@@ -1,0 +1,96 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+MappingExplanation ExplainMapping(const Evaluator& eval,
+                                  const Mapping& mapping) {
+  PIPEMAP_CHECK(mapping.IsValidFor(eval.num_tasks()),
+                "ExplainMapping: mapping invalid for chain");
+  MappingExplanation out;
+  const int l = mapping.num_modules();
+  out.modules.resize(l);
+  out.procs_used = mapping.TotalProcs();
+
+  double worst = 0.0;
+  for (int m = 0; m < l; ++m) {
+    const ModuleAssignment& mod = mapping.modules[m];
+    ModuleExplanation& e = out.modules[m];
+    e.module = m;
+    e.first_task = mod.first_task;
+    e.last_task = mod.last_task;
+    e.replicas = mod.replicas;
+    e.procs = mod.procs_per_instance;
+    e.min_procs = eval.MinProcs(mod.first_task, mod.last_task);
+    e.replicable = eval.Replicable(mod.first_task, mod.last_task);
+    e.max_replicas =
+        e.replicable && e.min_procs < kInfeasibleProcs
+            ? std::max(1, mod.total_procs() / e.min_procs)
+            : 1;
+
+    e.body = eval.Body(mod.first_task, mod.last_task, e.procs);
+    if (m > 0) {
+      e.in_com = eval.ECom(mod.first_task - 1,
+                           mapping.modules[m - 1].procs_per_instance,
+                           e.procs);
+    }
+    if (m + 1 < l) {
+      e.out_com = eval.ECom(mod.last_task, e.procs,
+                            mapping.modules[m + 1].procs_per_instance);
+    }
+    e.response = e.in_com + e.body + e.out_com;
+    e.effective_response = e.response / e.replicas;
+    if (e.effective_response > worst) {
+      worst = e.effective_response;
+      out.bottleneck = m;
+    }
+  }
+  for (ModuleExplanation& e : out.modules) {
+    e.utilization = worst > 0.0 ? e.effective_response / worst : 0.0;
+  }
+  out.throughput = eval.Throughput(mapping);
+  out.latency = eval.Latency(mapping);
+  return out;
+}
+
+std::string MappingExplanation::Render(const TaskChain& chain) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "mapping uses " << procs_used << " processors, predicted throughput "
+     << throughput << " data sets/s, latency " << latency * 1000.0
+     << " ms\n";
+  for (const ModuleExplanation& e : modules) {
+    os << "  module " << e.module << " [";
+    for (int t = e.first_task; t <= e.last_task; ++t) {
+      if (t > e.first_task) os << " ";
+      os << chain.task(t).name;
+    }
+    os << "] x" << e.replicas << " @" << e.procs << "p";
+    if (e.module == bottleneck) os << "  <-- bottleneck";
+    os << "\n";
+    os << "    response " << e.response * 1000.0 << " ms = in "
+       << e.in_com * 1000.0 << " + body " << e.body * 1000.0 << " + out "
+       << e.out_com * 1000.0 << "; effective "
+       << e.effective_response * 1000.0 << " ms (x" << e.replicas << ")\n";
+    os << "    memory minimum " << e.min_procs << " procs/instance; ";
+    if (!e.replicable) {
+      os << "not replicable";
+    } else if (e.replicas >= e.max_replicas) {
+      os << "replicated maximally (" << e.replicas << "/" << e.max_replicas
+         << ")";
+    } else {
+      os << "replication " << e.replicas << " of up to " << e.max_replicas;
+    }
+    os << "; predicted occupancy " << std::setprecision(0)
+       << e.utilization * 100.0 << "%\n"
+       << std::setprecision(2);
+  }
+  return os.str();
+}
+
+}  // namespace pipemap

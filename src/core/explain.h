@@ -1,0 +1,59 @@
+// Mapping explanation: the quantitative story behind a mapping, in the
+// style of the paper's Section 6.3 walkthrough ("rowffts and hist use the
+// same distributions, hence merging them eliminates the data transfer
+// cost... to satisfy the memory requirements, each instance must be
+// assigned at least 3 and 4 processors").
+//
+// For each module: the response-time breakdown (incoming transfer, body,
+// outgoing transfer), the replication state and its memory-imposed limit,
+// the predicted utilization (response relative to the pipeline period),
+// and how far the module sits from the bottleneck.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapping.h"
+
+namespace pipemap {
+
+struct ModuleExplanation {
+  int module = 0;
+  int first_task = 0;
+  int last_task = 0;
+  int replicas = 1;
+  int procs = 1;
+  /// Memory-imposed minimum processors per instance.
+  int min_procs = 1;
+  /// Maximum replicas the module's total processors would allow.
+  int max_replicas = 1;
+  bool replicable = true;
+
+  double in_com = 0.0;
+  double body = 0.0;
+  double out_com = 0.0;
+  double response = 0.0;            // in + body + out
+  double effective_response = 0.0;  // response / replicas
+  /// effective_response / bottleneck response; 1.0 = this is the
+  /// bottleneck, lower values = headroom (predicted utilization in steady
+  /// state).
+  double utilization = 0.0;
+};
+
+struct MappingExplanation {
+  std::vector<ModuleExplanation> modules;
+  int bottleneck = 0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  int procs_used = 0;
+
+  /// Multi-line report naming tasks via `chain`.
+  std::string Render(const TaskChain& chain) const;
+};
+
+/// Explains `mapping` under `eval`'s cost model.
+MappingExplanation ExplainMapping(const Evaluator& eval,
+                                  const Mapping& mapping);
+
+}  // namespace pipemap

@@ -1,0 +1,176 @@
+#include "core/latency_mapper.h"
+
+#include <algorithm>
+
+#include "core/dp_engine.h"
+#include "core/dp_mapper.h"
+#include "support/error.h"
+
+namespace pipemap {
+
+LatencyMapper::LatencyMapper(MapperOptions options)
+    : options_(std::move(options)) {}
+
+namespace {
+
+LatencyResult ToResult(const Evaluator& eval, detail::DpSolution solution) {
+  LatencyResult result;
+  result.latency = eval.Latency(solution.mapping);
+  result.throughput = eval.Throughput(solution.mapping);
+  result.mapping = std::move(solution.mapping);
+  result.work = solution.work;
+  return result;
+}
+
+}  // namespace
+
+LatencyResult LatencyMapper::MinLatency(const Evaluator& eval,
+                                        int total_procs) const {
+  detail::DpProblem problem;
+  problem.eval = &eval;
+  problem.total_procs = total_procs;
+  problem.options = options_;
+  problem.objective = detail::DpObjective::kPathSum;
+  problem.config_rule = detail::DpConfigRule::kLatencyBody;
+  return ToResult(eval, detail::RunChainDp(problem));
+}
+
+LatencyResult LatencyMapper::MinLatencyWithThroughput(
+    const Evaluator& eval, int total_procs, double min_throughput) const {
+  PIPEMAP_CHECK(min_throughput > 0.0,
+                "MinLatencyWithThroughput: floor must be positive");
+  detail::DpProblem problem;
+  problem.eval = &eval;
+  problem.total_procs = total_procs;
+  problem.options = options_;
+  problem.objective = detail::DpObjective::kPathSum;
+  problem.max_effective_response = 1.0 / min_throughput;
+
+  // Two configuration families: latency-greedy configurations (loose
+  // floors) and the paper's replication-policy configurations (tight
+  // floors, where meeting the cap dominates the design). Each DP is exact
+  // within its family; take the better feasible result.
+  LatencyResult best;
+  bool found = false;
+  std::uint64_t total_work = 0;
+  for (const detail::DpConfigRule rule :
+       {detail::DpConfigRule::kLatencyBody, detail::DpConfigRule::kPolicy}) {
+    problem.config_rule = rule;
+    try {
+      LatencyResult candidate = ToResult(eval, detail::RunChainDp(problem));
+      total_work += candidate.work;
+      if (!found || candidate.latency < best.latency) {
+        best = std::move(candidate);
+      }
+      found = true;
+    } catch (const Infeasible&) {
+      // Try the other family.
+    }
+  }
+  if (!found) {
+    throw Infeasible(
+        "MinLatencyWithThroughput: throughput floor unreachable");
+  }
+  best.work = total_work;
+  return best;
+}
+
+ProcCountResult MinProcessorsForThroughput(const Evaluator& eval,
+                                           int max_procs,
+                                           double target_throughput,
+                                           const MapperOptions& options) {
+  PIPEMAP_CHECK(max_procs >= 1,
+                "MinProcessorsForThroughput: need at least one processor");
+  PIPEMAP_CHECK(target_throughput > 0.0,
+                "MinProcessorsForThroughput: target must be positive");
+  const DpMapper mapper(options);
+
+  // Feasibility check at the top of the range first; the memory minima may
+  // also make small budgets outright unmappable, which the binary search
+  // treats the same as "too slow".
+  MapResult best = mapper.Map(eval, max_procs);
+  if (best.throughput < target_throughput) {
+    throw Infeasible(
+        "MinProcessorsForThroughput: target unreachable on max_procs");
+  }
+
+  auto reaches = [&](int procs, MapResult* out) {
+    try {
+      MapResult r = mapper.Map(eval, procs);
+      const bool ok = r.throughput >= target_throughput;
+      if (ok) *out = std::move(r);
+      return ok;
+    } catch (const Infeasible&) {
+      return false;
+    }
+  };
+
+  int lo = 1, hi = max_procs;  // invariant: hi reaches the target
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    MapResult candidate;
+    if (reaches(mid, &candidate)) {
+      hi = mid;
+      best = std::move(candidate);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return ProcCountResult{hi, std::move(best.mapping), best.throughput};
+}
+
+std::vector<FrontierPoint> LatencyThroughputFrontier(
+    const Evaluator& eval, int total_procs, int num_points,
+    const MapperOptions& options) {
+  PIPEMAP_CHECK(num_points >= 2,
+                "LatencyThroughputFrontier: need at least two points");
+  const LatencyMapper latency_mapper(options);
+  const DpMapper throughput_mapper(options);
+
+  const LatencyResult fastest_path =
+      latency_mapper.MinLatency(eval, total_procs);
+  const MapResult max_throughput = throughput_mapper.Map(eval, total_procs);
+
+  std::vector<FrontierPoint> points;
+  const double lo = fastest_path.throughput;
+  const double hi = max_throughput.throughput;
+  for (int i = 0; i < num_points; ++i) {
+    const double floor =
+        lo + (hi - lo) * static_cast<double>(i) / (num_points - 1);
+    try {
+      LatencyResult r = latency_mapper.MinLatencyWithThroughput(
+          eval, total_procs, std::max(floor, lo));
+      points.push_back(
+          FrontierPoint{r.throughput, r.latency, std::move(r.mapping)});
+    } catch (const Infeasible&) {
+      // Floating-point edge at the extreme floor: fall back to the
+      // throughput-optimal mapping.
+      points.push_back(FrontierPoint{max_throughput.throughput,
+                                     eval.Latency(max_throughput.mapping),
+                                     max_throughput.mapping});
+    }
+  }
+
+  // Pareto-filter: keep points where higher throughput strictly costs
+  // latency.
+  std::sort(points.begin(), points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.throughput != b.throughput) {
+                return a.throughput < b.throughput;
+              }
+              return a.latency < b.latency;
+            });
+  std::vector<FrontierPoint> frontier;
+  for (FrontierPoint& p : points) {
+    while (!frontier.empty() && frontier.back().latency >= p.latency &&
+           frontier.back().throughput <= p.throughput) {
+      frontier.pop_back();
+    }
+    if (frontier.empty() || p.throughput > frontier.back().throughput) {
+      frontier.push_back(std::move(p));
+    }
+  }
+  return frontier;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,94 @@
+// Latency and processor-count optimization for task pipelines.
+//
+// The paper optimizes throughput; its companion work (Vondran, "Optimization
+// of latency, throughput and processors for pipelines of data parallel
+// tasks", reference [14]) treats the remaining corners of the problem:
+//
+//   * minimum latency — the fastest a single data set can traverse the
+//     pipeline, given at most P processors;
+//   * minimum latency subject to a throughput floor — the practical design
+//     point for streaming systems with deadlines (a tracking radar must
+//     both keep up with the dwell rate and deliver fresh tracks);
+//   * minimum processors subject to a throughput floor — sizing a machine
+//     partition for a required rate;
+//   * the full latency/throughput Pareto frontier.
+//
+// All four reduce to the paper's dynamic program: latency is a path-sum
+// objective over the same state space, and a throughput floor decomposes
+// into a local per-module bound on the effective response f_i / r_i.
+#pragma once
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapper.h"
+
+namespace pipemap {
+
+/// Result of a latency optimization.
+struct LatencyResult {
+  Mapping mapping;
+  /// Predicted time for one data set to traverse the pipeline (seconds).
+  double latency = 0.0;
+  /// Predicted throughput of the same mapping (data sets per second).
+  double throughput = 0.0;
+  std::uint64_t work = 0;
+};
+
+class LatencyMapper {
+ public:
+  explicit LatencyMapper(MapperOptions options = {});
+
+  /// Minimum-latency mapping using at most `total_procs` processors.
+  /// Replication is disabled for this objective: extra instances never
+  /// reduce (and via narrower groups usually increase) per-data-set
+  /// latency.
+  LatencyResult MinLatency(const Evaluator& eval, int total_procs) const;
+
+  /// Minimum-latency mapping whose throughput is at least
+  /// `min_throughput`. Replication follows options.replication (it helps
+  /// meet the floor). Throws pipemap::Infeasible when the floor cannot be
+  /// met with `total_procs` processors.
+  LatencyResult MinLatencyWithThroughput(const Evaluator& eval,
+                                         int total_procs,
+                                         double min_throughput) const;
+
+  const MapperOptions& options() const { return options_; }
+
+ private:
+  MapperOptions options_;
+};
+
+/// Result of a machine-sizing query.
+struct ProcCountResult {
+  int procs = 0;
+  Mapping mapping;
+  double throughput = 0.0;
+};
+
+/// Smallest processor count in [1, max_procs] whose optimal mapping reaches
+/// `target_throughput`, found by binary search over the throughput DP
+/// (optimal throughput is monotone in the processor budget). Throws
+/// pipemap::Infeasible when even `max_procs` falls short.
+ProcCountResult MinProcessorsForThroughput(const Evaluator& eval,
+                                           int max_procs,
+                                           double target_throughput,
+                                           const MapperOptions& options = {});
+
+/// One point of the latency/throughput trade-off.
+struct FrontierPoint {
+  double throughput = 0.0;
+  double latency = 0.0;
+  Mapping mapping;
+};
+
+/// The latency/throughput Pareto frontier on `total_procs` processors:
+/// for `num_points` throughput floors spaced between a pure-latency design
+/// and the maximum achievable throughput, the minimum-latency mapping
+/// meeting each floor. Points are returned in increasing-throughput order
+/// and strictly Pareto-filtered.
+std::vector<FrontierPoint> LatencyThroughputFrontier(
+    const Evaluator& eval, int total_procs, int num_points,
+    const MapperOptions& options = {});
+
+}  // namespace pipemap

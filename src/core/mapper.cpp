@@ -1,0 +1,81 @@
+#include "core/mapper.h"
+
+#include <limits>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+Clustering SingletonClustering(int num_tasks) {
+  Clustering clustering;
+  clustering.reserve(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) clustering.emplace_back(t, t);
+  return clustering;
+}
+
+ModuleConfig ConfigureConstrained(const Evaluator& eval, int first, int last,
+                                  int budget, ReplicationPolicy policy,
+                                  const ProcPredicate& feasible) {
+  if (!feasible) return eval.ConfigureModule(first, last, budget, policy);
+
+  const int min_p = eval.MinProcs(first, last);
+  if (budget < min_p || budget < 1) return {};
+
+  // Largest feasible instance size in [min_p, budget / r], or 0.
+  auto feasible_procs = [&](int replicas) {
+    for (int p = budget / replicas; p >= min_p; --p) {
+      if (feasible(p)) return p;
+    }
+    return 0;
+  };
+
+  const bool may_replicate = policy != ReplicationPolicy::kNone &&
+                             eval.Replicable(first, last) &&
+                             min_p < kInfeasibleProcs;
+  const int max_r = may_replicate ? budget / min_p : 1;
+
+  if (policy == ReplicationPolicy::kSearch) {
+    ModuleConfig best;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int r = 1; r <= max_r; ++r) {
+      const int procs = feasible_procs(r);
+      if (procs == 0) continue;
+      const double score = eval.Body(first, last, procs) / r;
+      if (score < best_score) {
+        best_score = score;
+        best = {r, procs, true};
+      }
+    }
+    return best;
+  }
+
+  // kMaximal (and kNone, where max_r == 1): prefer the highest replica
+  // count whose per-instance share admits a feasible rectangle.
+  for (int r = max_r; r >= 1; --r) {
+    const int procs = feasible_procs(r);
+    if (procs != 0) return {r, procs, true};
+  }
+  return {};
+}
+
+std::optional<Mapping> BuildMapping(const Evaluator& eval,
+                                    const Clustering& clustering,
+                                    const std::vector<int>& budgets,
+                                    ReplicationPolicy policy,
+                                    const ProcPredicate& feasible) {
+  PIPEMAP_CHECK(clustering.size() == budgets.size(),
+                "BuildMapping: clustering/budget size mismatch");
+  Mapping mapping;
+  mapping.modules.reserve(clustering.size());
+  for (std::size_t i = 0; i < clustering.size(); ++i) {
+    const auto [first, last] = clustering[i];
+    const ModuleConfig cfg =
+        ConfigureConstrained(eval, first, last, budgets[i], policy, feasible);
+    if (!cfg.valid) return std::nullopt;
+    mapping.modules.push_back(
+        ModuleAssignment{first, last, cfg.replicas, cfg.procs});
+  }
+  return mapping;
+}
+
+}  // namespace pipemap

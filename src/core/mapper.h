@@ -1,0 +1,64 @@
+// Shared mapper types: options, results, and the constrained module
+// configuration rule that all mappers (dynamic programming, greedy, brute
+// force) must share so their optimality claims are comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapping.h"
+
+namespace pipemap {
+
+/// Predicate over per-instance processor counts; models machine/compiler
+/// constraints such as the Fx compiler's rectangular-subarray requirement
+/// (Section 6.1). Null means every count is allowed.
+using ProcPredicate = std::function<bool(int)>;
+
+/// Options shared by the mapping algorithms.
+struct MapperOptions {
+  ReplicationPolicy replication = ReplicationPolicy::kMaximal;
+  bool allow_clustering = true;
+  ProcPredicate proc_feasible;
+  /// Upper bound on dynamic-programming table memory; exceeding it throws
+  /// pipemap::ResourceLimit instead of silently thrashing.
+  std::size_t max_table_bytes = std::size_t{3} << 30;
+};
+
+/// Result of a mapping run.
+struct MapResult {
+  Mapping mapping;
+  /// Predicted throughput of `mapping` (data sets per second).
+  double throughput = 0.0;
+  /// Inner-loop iterations performed; exposes the O(P^4 k^2) vs O(P k)
+  /// complexity contrast empirically.
+  std::uint64_t work = 0;
+};
+
+/// A clustering: contiguous task ranges [first, last], in chain order.
+using Clustering = std::vector<std::pair<int, int>>;
+
+/// Clustering with every task in its own module.
+Clustering SingletonClustering(int num_tasks);
+
+/// Configures module [first, last] with `budget` processors under `policy`,
+/// then lowers the per-instance count to the largest value satisfying
+/// `feasible` (if given). Returns an invalid config when the budget cannot
+/// satisfy the memory minimum or no feasible instance size exists.
+ModuleConfig ConfigureConstrained(const Evaluator& eval, int first, int last,
+                                  int budget, ReplicationPolicy policy,
+                                  const ProcPredicate& feasible);
+
+/// Builds the Mapping induced by a clustering and per-module processor
+/// budgets; nullopt if any module cannot be configured.
+std::optional<Mapping> BuildMapping(const Evaluator& eval,
+                                    const Clustering& clustering,
+                                    const std::vector<int>& budgets,
+                                    ReplicationPolicy policy,
+                                    const ProcPredicate& feasible);
+
+}  // namespace pipemap

@@ -1,0 +1,66 @@
+#include "core/mapping.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+int Mapping::TotalProcs() const {
+  int total = 0;
+  for (const ModuleAssignment& m : modules) total += m.total_procs();
+  return total;
+}
+
+bool Mapping::IsValidFor(int num_tasks) const {
+  if (modules.empty()) return false;
+  int expected_first = 0;
+  for (const ModuleAssignment& m : modules) {
+    if (m.first_task != expected_first) return false;
+    if (m.last_task < m.first_task) return false;
+    if (m.replicas < 1 || m.procs_per_instance < 1) return false;
+    expected_first = m.last_task + 1;
+  }
+  return expected_first == num_tasks;
+}
+
+int Mapping::ModuleOf(int task) const {
+  for (int i = 0; i < num_modules(); ++i) {
+    if (task >= modules[i].first_task && task <= modules[i].last_task) {
+      return i;
+    }
+  }
+  throw InvalidArgument("Mapping::ModuleOf: task not covered by mapping");
+}
+
+std::string Mapping::ToString(const TaskChain& chain) const {
+  std::ostringstream os;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (i > 0) os << " | ";
+    const ModuleAssignment& m = modules[i];
+    os << "[";
+    for (int t = m.first_task; t <= m.last_task; ++t) {
+      if (t > m.first_task) os << " ";
+      os << chain.task(t).name;
+    }
+    os << "]x" << m.replicas << " @" << m.procs_per_instance << "p";
+  }
+  os << "  (" << TotalProcs() << " procs)";
+  return os.str();
+}
+
+void ValidateMapping(const Mapping& mapping, const TaskChain& chain,
+                     int max_procs) {
+  PIPEMAP_CHECK(mapping.IsValidFor(chain.size()),
+                "mapping does not partition the chain");
+  PIPEMAP_CHECK(mapping.TotalProcs() <= max_procs,
+                "mapping uses more processors than available");
+  for (const ModuleAssignment& m : mapping.modules) {
+    if (m.replicas > 1) {
+      PIPEMAP_CHECK(chain.RangeReplicable(m.first_task, m.last_task),
+                    "replicated module contains a non-replicable task");
+    }
+  }
+}
+
+}  // namespace pipemap

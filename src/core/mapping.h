@@ -1,0 +1,57 @@
+// Mapping representation (paper Section 2.2).
+//
+// A mapping is a list of modules M; M(i) is a triplet (T, r, p) where T is a
+// contiguous subsequence of tasks clustered into the module, r the number of
+// replicated instances, and p the number of processors per instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+
+namespace pipemap {
+
+/// One module of a mapping: tasks [first_task, last_task] run as `replicas`
+/// instances of `procs_per_instance` processors each.
+struct ModuleAssignment {
+  int first_task = 0;
+  int last_task = 0;  // inclusive
+  int replicas = 1;
+  int procs_per_instance = 1;
+
+  int num_tasks() const { return last_task - first_task + 1; }
+  int total_procs() const { return replicas * procs_per_instance; }
+
+  bool operator==(const ModuleAssignment&) const = default;
+};
+
+/// A complete mapping of a chain.
+struct Mapping {
+  std::vector<ModuleAssignment> modules;
+
+  int num_modules() const { return static_cast<int>(modules.size()); }
+
+  /// Total processors consumed over all module instances.
+  int TotalProcs() const;
+
+  /// True iff the modules partition tasks 0..k-1 in order with no gaps and
+  /// every module has positive replicas and processors.
+  bool IsValidFor(int num_tasks) const;
+
+  /// Index of the module containing `task`; requires a valid mapping.
+  int ModuleOf(int task) const;
+
+  /// Human-readable rendering, e.g.
+  ///   [colffts]x8 @3p | [rowffts hist]x10 @4p  (64 procs)
+  std::string ToString(const TaskChain& chain) const;
+
+  bool operator==(const Mapping&) const = default;
+};
+
+/// Throws pipemap::InvalidArgument unless `mapping` is a valid mapping of
+/// `chain` using at most `max_procs` processors.
+void ValidateMapping(const Mapping& mapping, const TaskChain& chain,
+                     int max_procs);
+
+}  // namespace pipemap

@@ -1,0 +1,131 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+const char* KindName(SensitivityEntry::Kind kind) {
+  switch (kind) {
+    case SensitivityEntry::Kind::kExec:
+      return "exec";
+    case SensitivityEntry::Kind::kICom:
+      return "icom";
+    case SensitivityEntry::Kind::kECom:
+      return "ecom";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SensitivityReport AnalyzeSensitivity(const Evaluator& eval,
+                                     const Mapping& mapping,
+                                     double perturbation) {
+  PIPEMAP_CHECK(perturbation > 0.0,
+                "AnalyzeSensitivity: perturbation must be positive");
+  PIPEMAP_CHECK(mapping.IsValidFor(eval.num_tasks()),
+                "AnalyzeSensitivity: mapping invalid for chain");
+  const int k = eval.num_tasks();
+  const int l = mapping.num_modules();
+
+  // Base responses and the bottleneck.
+  std::vector<double> response(l);
+  int bottleneck = 0;
+  for (int m = 0; m < l; ++m) {
+    response[m] = eval.EffectiveResponse(mapping, m);
+    if (response[m] > response[bottleneck]) bottleneck = m;
+  }
+  const double base_throughput = 1.0 / response[bottleneck];
+
+  // Per-component contribution to each module's *effective* response.
+  // contribution[component][module].
+  struct Component {
+    SensitivityEntry::Kind kind;
+    int index;
+    std::vector<double> contribution;
+  };
+  std::vector<Component> components;
+
+  auto procs_of = [&](int module) {
+    return mapping.modules[module].procs_per_instance;
+  };
+  auto replicas_of = [&](int module) {
+    return static_cast<double>(mapping.modules[module].replicas);
+  };
+
+  for (int t = 0; t < k; ++t) {
+    Component c{SensitivityEntry::Kind::kExec, t, std::vector<double>(l, 0.0)};
+    const int m = mapping.ModuleOf(t);
+    c.contribution[m] = eval.Exec(t, procs_of(m)) / replicas_of(m);
+    components.push_back(std::move(c));
+  }
+  for (int e = 0; e < k - 1; ++e) {
+    const int m_up = mapping.ModuleOf(e);
+    const int m_down = mapping.ModuleOf(e + 1);
+    if (m_up == m_down) {
+      Component c{SensitivityEntry::Kind::kICom, e,
+                  std::vector<double>(l, 0.0)};
+      c.contribution[m_up] =
+          eval.ICom(e, procs_of(m_up)) / replicas_of(m_up);
+      components.push_back(std::move(c));
+    } else {
+      // The rendezvous occupies both sides: the transfer time enters both
+      // adjacent modules' responses.
+      Component c{SensitivityEntry::Kind::kECom, e,
+                  std::vector<double>(l, 0.0)};
+      const double cost = eval.ECom(e, procs_of(m_up), procs_of(m_down));
+      c.contribution[m_up] = cost / replicas_of(m_up);
+      c.contribution[m_down] = cost / replicas_of(m_down);
+      components.push_back(std::move(c));
+    }
+  }
+
+  SensitivityReport report;
+  report.base_throughput = base_throughput;
+  for (const Component& c : components) {
+    // New bottleneck if this component cost grows by `perturbation`.
+    double worst = 0.0;
+    for (int m = 0; m < l; ++m) {
+      worst = std::max(worst, response[m] + perturbation * c.contribution[m]);
+    }
+    const double new_throughput = 1.0 / worst;
+    SensitivityEntry entry;
+    entry.kind = c.kind;
+    entry.index = c.index;
+    entry.elasticity =
+        (base_throughput - new_throughput) / (base_throughput * perturbation);
+    entry.on_bottleneck = c.contribution[bottleneck] > 0.0;
+    report.entries.push_back(entry);
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              return a.elasticity > b.elasticity;
+            });
+  return report;
+}
+
+std::string SensitivityReport::Summary(const TaskChain& chain,
+                                       std::size_t top_n) const {
+  std::ostringstream os;
+  os << "throughput elasticity per cost component (top " << top_n << "):\n";
+  std::size_t shown = 0;
+  for (const SensitivityEntry& e : entries) {
+    if (shown++ >= top_n) break;
+    os << "  " << KindName(e.kind) << " ";
+    if (e.kind == SensitivityEntry::Kind::kExec) {
+      os << chain.task(e.index).name;
+    } else {
+      os << chain.task(e.index).name << "->" << chain.task(e.index + 1).name;
+    }
+    os << ": " << e.elasticity;
+    if (e.on_bottleneck) os << " (bottleneck)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pipemap

@@ -1,0 +1,50 @@
+// Sensitivity analysis: which cost-model components drive a mapping's
+// predicted throughput?
+//
+// The paper's methodology lives or dies by the profile-fitted model
+// (Section 5); its prediction error budget (~10%) is not spent uniformly —
+// only the components that feed the bottleneck module's response matter.
+// This analysis computes, for every execution, internal-communication, and
+// external-communication function, the elasticity of throughput with
+// respect to that component: how many percent throughput drops when the
+// component costs one percent more. A profiling tool uses this to decide
+// which measurements to refine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapping.h"
+
+namespace pipemap {
+
+struct SensitivityEntry {
+  enum class Kind { kExec, kICom, kECom };
+  Kind kind = Kind::kExec;
+  /// Task index for kExec; edge index for kICom/kECom.
+  int index = 0;
+  /// -d(throughput)/throughput per d(cost)/cost, in [0, 1]. 0 = the
+  /// component does not touch the bottleneck; 1 = the bottleneck response
+  /// is entirely this component.
+  double elasticity = 0.0;
+  /// True when the component contributes to the bottleneck module.
+  bool on_bottleneck = false;
+};
+
+struct SensitivityReport {
+  /// Entries sorted by descending elasticity.
+  std::vector<SensitivityEntry> entries;
+  double base_throughput = 0.0;
+
+  /// Human-readable listing ("exec colffts: 0.83 (bottleneck)").
+  std::string Summary(const TaskChain& chain, std::size_t top_n = 8) const;
+};
+
+/// Analyzes `mapping` under `eval`'s cost model. `perturbation` is the
+/// relative cost increase used for the finite difference (default +10%).
+SensitivityReport AnalyzeSensitivity(const Evaluator& eval,
+                                     const Mapping& mapping,
+                                     double perturbation = 0.1);
+
+}  // namespace pipemap

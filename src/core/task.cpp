@@ -1,0 +1,32 @@
+#include "core/task.h"
+
+#include "support/error.h"
+
+namespace pipemap {
+
+TaskChain::TaskChain(std::vector<Task> tasks, ChainCostModel costs)
+    : tasks_(std::move(tasks)), costs_(std::move(costs)) {
+  PIPEMAP_CHECK(!tasks_.empty(), "TaskChain: chain must have at least one task");
+  PIPEMAP_CHECK(static_cast<int>(tasks_.size()) == costs_.num_tasks(),
+                "TaskChain: task list and cost model sizes differ");
+}
+
+const Task& TaskChain::task(int i) const {
+  PIPEMAP_CHECK(i >= 0 && i < size(), "TaskChain: task index out of range");
+  return tasks_[i];
+}
+
+bool TaskChain::RangeReplicable(int first, int last) const {
+  PIPEMAP_CHECK(first >= 0 && last < size() && first <= last,
+                "TaskChain: bad task range");
+  for (int t = first; t <= last; ++t) {
+    if (!tasks_[t].replicable) return false;
+  }
+  return true;
+}
+
+TaskChain TaskChain::WithCosts(ChainCostModel costs) const {
+  return TaskChain(tasks_, std::move(costs));
+}
+
+}  // namespace pipemap

@@ -1,0 +1,50 @@
+// Task and task-chain types (paper Section 2.1).
+//
+// A program is a linear chain of data parallel tasks t1..tk; each task
+// receives a data set from its predecessor, processes it, and passes the
+// result on. The chain object couples the task metadata (name,
+// replicability) with the chain's cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/chain_costs.h"
+
+namespace pipemap {
+
+/// A single data parallel task.
+struct Task {
+  std::string name;
+  /// Whether alternate data sets may be processed by distinct instances of
+  /// this task (Section 2.2: legality comes from data-dependence analysis,
+  /// which the paper treats as an oracle; we carry the oracle's answer).
+  bool replicable = true;
+};
+
+/// A linear chain of data parallel tasks plus its cost model.
+class TaskChain {
+ public:
+  /// Requires tasks.size() == costs.num_tasks() and at least one task.
+  TaskChain(std::vector<Task> tasks, ChainCostModel costs);
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+
+  const Task& task(int i) const;
+  const ChainCostModel& costs() const { return costs_; }
+  ChainCostModel& mutable_costs() { return costs_; }
+
+  /// True iff every task in [first, last] is replicable; only such ranges
+  /// may form replicated modules.
+  bool RangeReplicable(int first, int last) const;
+
+  /// Chain with the same tasks but a different cost model (e.g. swapping
+  /// ground truth for a fitted model).
+  TaskChain WithCosts(ChainCostModel costs) const;
+
+ private:
+  std::vector<Task> tasks_;
+  ChainCostModel costs_;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,95 @@
+#include "costmodel/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/linalg.h"
+
+namespace pipemap {
+namespace {
+
+FitQuality Summarize(const std::vector<double>& predicted,
+                     const std::vector<double>& actual) {
+  FitQuality q;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::max(std::abs(actual[i]), 1e-12);
+    const double rel = std::abs(predicted[i] - actual[i]) / denom;
+    sum += rel;
+    q.max_relative_error = std::max(q.max_relative_error, rel);
+  }
+  q.mean_relative_error = actual.empty() ? 0.0 : sum / actual.size();
+  return q;
+}
+
+}  // namespace
+
+PolyScalarCost FitScalarPoly(
+    const std::vector<std::pair<int, double>>& samples) {
+  PIPEMAP_CHECK(!samples.empty(), "FitScalarPoly: no samples");
+  Matrix a(samples.size(), 3);
+  std::vector<double> b(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double p = static_cast<double>(samples[i].first);
+    PIPEMAP_CHECK(samples[i].first >= 1, "FitScalarPoly: procs must be >= 1");
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0 / p;
+    a(i, 2) = p;
+    b[i] = samples[i].second;
+  }
+  const std::vector<double> c = NonNegativeLeastSquares(a, b);
+  return PolyScalarCost(c[0], c[1], c[2]);
+}
+
+PolyPairCost FitPairPoly(
+    const std::vector<TabulatedPairCost::Sample>& samples) {
+  PIPEMAP_CHECK(!samples.empty(), "FitPairPoly: no samples");
+  Matrix a(samples.size(), 5);
+  std::vector<double> b(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double ps = static_cast<double>(samples[i].sender_procs);
+    const double pr = static_cast<double>(samples[i].receiver_procs);
+    PIPEMAP_CHECK(samples[i].sender_procs >= 1 &&
+                      samples[i].receiver_procs >= 1,
+                  "FitPairPoly: processor counts must be >= 1");
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0 / ps;
+    a(i, 2) = 1.0 / pr;
+    a(i, 3) = ps;
+    a(i, 4) = pr;
+    b[i] = samples[i].seconds;
+  }
+  const std::vector<double> c = NonNegativeLeastSquares(a, b);
+  return PolyPairCost(c[0], c[1], c[2], c[3], c[4]);
+}
+
+FitQuality EvaluateScalarFit(
+    const ScalarCost& model,
+    const std::vector<std::pair<int, double>>& samples) {
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  predicted.reserve(samples.size());
+  actual.reserve(samples.size());
+  for (const auto& [p, t] : samples) {
+    predicted.push_back(model.Eval(p));
+    actual.push_back(t);
+  }
+  return Summarize(predicted, actual);
+}
+
+FitQuality EvaluatePairFit(
+    const PairCost& model,
+    const std::vector<TabulatedPairCost::Sample>& samples) {
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  predicted.reserve(samples.size());
+  actual.reserve(samples.size());
+  for (const auto& s : samples) {
+    predicted.push_back(model.Eval(s.sender_procs, s.receiver_procs));
+    actual.push_back(s.seconds);
+  }
+  return Summarize(predicted, actual);
+}
+
+}  // namespace pipemap

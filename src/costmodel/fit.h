@@ -1,0 +1,44 @@
+// Fitting the Section-5 polynomial models to profiled timings.
+//
+// The paper derives all model parameters "automatically by analyzing the
+// profile information from a set of executions" (eight runs suffice for the
+// full model). These fitters perform that derivation: non-negative least
+// squares over the model's basis functions.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "costmodel/piecewise.h"
+#include "costmodel/poly.h"
+
+namespace pipemap {
+
+/// Quality of a fit: mean and max relative error of the model against the
+/// samples it was fitted to.
+struct FitQuality {
+  double mean_relative_error = 0.0;
+  double max_relative_error = 0.0;
+};
+
+/// Fits f(p) = C1 + C2/p + C3*p to (procs, seconds) samples.
+/// Requires at least one sample; with fewer than 3 distinct processor
+/// counts the richer terms simply fit to zero.
+PolyScalarCost FitScalarPoly(
+    const std::vector<std::pair<int, double>>& samples);
+
+/// Fits f(ps,pr) = C1 + C2/ps + C3/pr + C4*ps + C5*pr to samples.
+PolyPairCost FitPairPoly(
+    const std::vector<TabulatedPairCost::Sample>& samples);
+
+/// Relative-error summary of a scalar model against samples.
+FitQuality EvaluateScalarFit(
+    const ScalarCost& model,
+    const std::vector<std::pair<int, double>>& samples);
+
+/// Relative-error summary of a pair model against samples.
+FitQuality EvaluatePairFit(
+    const PairCost& model,
+    const std::vector<TabulatedPairCost::Sample>& samples);
+
+}  // namespace pipemap

@@ -1,0 +1,27 @@
+#include "costmodel/memory.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+int MinProcessors(const MemorySpec& spec, double node_memory_bytes) {
+  PIPEMAP_CHECK(node_memory_bytes > 0.0,
+                "MinProcessors: node memory must be positive");
+  PIPEMAP_CHECK(spec.fixed_bytes >= 0.0 && spec.distributed_bytes >= 0.0,
+                "MinProcessors: memory requirements must be non-negative");
+  const double headroom = node_memory_bytes - spec.fixed_bytes;
+  if (headroom <= 0.0) {
+    std::ostringstream os;
+    os << "module fixed memory (" << spec.fixed_bytes
+       << " B) exceeds node memory (" << node_memory_bytes << " B)";
+    throw Infeasible(os.str());
+  }
+  if (spec.distributed_bytes == 0.0) return 1;
+  const double p = spec.distributed_bytes / headroom;
+  return std::max(1, static_cast<int>(std::ceil(p - 1e-9)));
+}
+
+}  // namespace pipemap

@@ -1,0 +1,41 @@
+#include "costmodel/poly.h"
+
+#include "support/error.h"
+
+namespace pipemap {
+
+PolyScalarCost::PolyScalarCost(double fixed, double parallel, double overhead)
+    : c_{fixed, parallel, overhead} {}
+
+PolyScalarCost::PolyScalarCost(const std::array<double, 3>& coeffs)
+    : c_(coeffs) {}
+
+double PolyScalarCost::Eval(int procs) const {
+  PIPEMAP_CHECK(procs >= 1, "PolyScalarCost: procs must be >= 1");
+  const double p = static_cast<double>(procs);
+  return c_[0] + c_[1] / p + c_[2] * p;
+}
+
+std::unique_ptr<ScalarCost> PolyScalarCost::Clone() const {
+  return std::make_unique<PolyScalarCost>(c_);
+}
+
+PolyPairCost::PolyPairCost(double fixed, double par_send, double par_recv,
+                           double over_send, double over_recv)
+    : c_{fixed, par_send, par_recv, over_send, over_recv} {}
+
+PolyPairCost::PolyPairCost(const std::array<double, 5>& coeffs) : c_(coeffs) {}
+
+double PolyPairCost::Eval(int sender_procs, int receiver_procs) const {
+  PIPEMAP_CHECK(sender_procs >= 1 && receiver_procs >= 1,
+                "PolyPairCost: processor counts must be >= 1");
+  const double ps = static_cast<double>(sender_procs);
+  const double pr = static_cast<double>(receiver_procs);
+  return c_[0] + c_[1] / ps + c_[2] / pr + c_[3] * ps + c_[4] * pr;
+}
+
+std::unique_ptr<PairCost> PolyPairCost::Clone() const {
+  return std::make_unique<PolyPairCost>(c_);
+}
+
+}  // namespace pipemap

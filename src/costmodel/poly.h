@@ -1,0 +1,52 @@
+// Section-5 polynomial cost models.
+//
+//   f_exec(p)       = C1 + C2/p + C3*p
+//   f_icom(p)       = C1 + C2/p + C3*p
+//   f_ecom(ps, pr)  = C1 + C2/ps + C3/pr + C4*ps + C5*pr
+//
+// C1 captures fixed sequential/startup cost, the 1/p terms the perfectly
+// parallel share, and the linear terms per-processor overhead (more
+// messages, more synchronization partners).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "costmodel/cost_function.h"
+
+namespace pipemap {
+
+/// f(p) = c[0] + c[1]/p + c[2]*p.
+class PolyScalarCost final : public ScalarCost {
+ public:
+  PolyScalarCost() = default;
+  PolyScalarCost(double fixed, double parallel, double overhead);
+  explicit PolyScalarCost(const std::array<double, 3>& coeffs);
+
+  double Eval(int procs) const override;
+  std::unique_ptr<ScalarCost> Clone() const override;
+
+  const std::array<double, 3>& coeffs() const { return c_; }
+
+ private:
+  std::array<double, 3> c_{0.0, 0.0, 0.0};
+};
+
+/// f(ps, pr) = c[0] + c[1]/ps + c[2]/pr + c[3]*ps + c[4]*pr.
+class PolyPairCost final : public PairCost {
+ public:
+  PolyPairCost() = default;
+  PolyPairCost(double fixed, double par_send, double par_recv,
+               double over_send, double over_recv);
+  explicit PolyPairCost(const std::array<double, 5>& coeffs);
+
+  double Eval(int sender_procs, int receiver_procs) const override;
+  std::unique_ptr<PairCost> Clone() const override;
+
+  const std::array<double, 5>& coeffs() const { return c_; }
+
+ private:
+  std::array<double, 5> c_{0.0, 0.0, 0.0, 0.0, 0.0};
+};
+
+}  // namespace pipemap

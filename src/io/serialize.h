@@ -1,0 +1,50 @@
+// Text serialization for chains, cost models, mappings, and machines.
+//
+// A mapping tool lives in a workflow: profiles are collected on the
+// machine, models are fitted and stored, mappings are computed offline and
+// shipped back. This module defines a line-oriented, human-diffable text
+// format for those artifacts.
+//
+// Cost functions are persisted exactly when they are Section-5 polynomials
+// or tabulated samples; arbitrary callback functions (e.g. workload ground
+// truth) are sampled onto a grid at serialization time and round-trip as
+// tabulated/interpolated models — which is also precisely what a real tool
+// could know about a machine it only observes through measurements.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mapping.h"
+#include "core/task.h"
+#include "machine/machine.h"
+
+namespace pipemap {
+
+/// Serializes `chain` (tasks, replicability, memory, cost model).
+/// Non-polynomial, non-tabulated cost functions are sampled at processor
+/// counts 1..max_procs (pair costs on a grid subsampled to at most 16
+/// points per axis).
+std::string SerializeChain(const TaskChain& chain, int max_procs);
+
+/// Parses a chain serialized by SerializeChain. Throws
+/// pipemap::InvalidArgument on malformed input.
+TaskChain ParseChain(const std::string& text);
+
+/// Serializes a mapping.
+std::string SerializeMapping(const Mapping& mapping);
+
+/// Parses a mapping serialized by SerializeMapping.
+Mapping ParseMapping(const std::string& text);
+
+/// Serializes a machine configuration.
+std::string SerializeMachine(const MachineConfig& machine);
+
+/// Parses a machine configuration.
+MachineConfig ParseMachine(const std::string& text);
+
+/// File helpers; throw pipemap::InvalidArgument on I/O failure.
+void WriteTextFile(const std::string& path, const std::string& content);
+std::string ReadTextFile(const std::string& path);
+
+}  // namespace pipemap

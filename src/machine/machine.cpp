@@ -1,0 +1,31 @@
+#include "machine/machine.h"
+
+namespace pipemap {
+
+const char* ToString(CommMode mode) {
+  switch (mode) {
+    case CommMode::kMessage:
+      return "Message";
+    case CommMode::kSystolic:
+      return "Systolic";
+  }
+  return "?";
+}
+
+MachineConfig MachineConfig::IWarp64(CommMode mode) {
+  MachineConfig m;
+  m.name = "iwarp64";
+  m.grid_rows = 8;
+  m.grid_cols = 8;
+  m.comm_mode = mode;
+  if (mode == CommMode::kSystolic) {
+    // Pathway communication bypasses the message system: negligible
+    // per-message software cost, slightly lower startup, same raw
+    // bandwidth; the price is the per-link pathway capacity.
+    m.msg_overhead_s = 6.0e-6;
+    m.transfer_startup_s = 60.0e-6;
+  }
+  return m;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,62 @@
+// Parallel machine description.
+//
+// Stands in for the paper's 64-processor iWarp: a 2-D grid of processing
+// cells with per-node memory and two communication modes — conventional
+// message passing and iWarp's systolic pathways (Section 6.1). The mapping
+// algorithms never see this struct directly; it parameterizes the workload
+// ground-truth cost functions, the feasibility checker, and the simulator.
+#pragma once
+
+#include <string>
+
+namespace pipemap {
+
+/// Communication mechanism used between (and within) processor groups.
+enum class CommMode {
+  /// Conventional message passing: high per-message software overhead,
+  /// bandwidth shared per node port.
+  kMessage,
+  /// Systolic pathways: logical channels reserved through the network,
+  /// near-zero per-word software cost, but each physical link supports only
+  /// a bounded number of pathways (a feasibility constraint, Section 6.1).
+  kSystolic,
+};
+
+const char* ToString(CommMode mode);
+
+struct MachineConfig {
+  std::string name = "iwarp64";
+  int grid_rows = 8;
+  int grid_cols = 8;
+
+  /// Usable memory per processing node, in bytes.
+  double node_memory_bytes = 4.0 * 1024 * 1024;
+
+  CommMode comm_mode = CommMode::kMessage;
+
+  /// Sustained per-node compute rate in floating-point-operation-equivalents
+  /// per second (used by workload ground-truth execution models).
+  double node_flops = 20.0e6;
+
+  /// Per-message fixed software overhead, seconds.
+  double msg_overhead_s = 95.0e-6;
+  /// Per-transfer fixed startup latency, seconds.
+  double transfer_startup_s = 250.0e-6;
+  /// Per-node injection bandwidth, bytes per second.
+  double node_bandwidth = 40.0e6;
+  /// Per-group synchronization overhead growth, seconds per processor.
+  double sync_per_proc_s = 2.0e-6;
+
+  /// Maximum number of systolic pathways a physical link can carry
+  /// (kSystolic only).
+  int pathways_per_link = 4;
+
+  int total_procs() const { return grid_rows * grid_cols; }
+
+  /// The paper's evaluation machine: an 8x8 iWarp array. Message mode uses
+  /// the deputy/runtime message system (high software overhead); systolic
+  /// mode reserves pathways (low overhead, link-capacity constrained).
+  static MachineConfig IWarp64(CommMode mode);
+};
+
+}  // namespace pipemap

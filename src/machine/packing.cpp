@@ -1,0 +1,135 @@
+#include "machine/packing.h"
+
+#include <algorithm>
+
+#include "machine/rect.h"
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+struct SearchState {
+  int rows = 0;
+  int cols = 0;
+  std::vector<char> occupied;           // rows * cols
+  std::vector<int> remaining;           // instances left per module
+  std::vector<std::vector<std::pair<int, int>>> factorizations;  // per module
+  std::vector<InstancePlacement> placements;
+  int waste_left = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool hit_cap = false;
+
+  bool Occupied(int r, int c) const { return occupied[r * cols + c] != 0; }
+
+  bool CanPlace(int r, int c, int h, int w) const {
+    if (r + h > rows || c + w > cols) return false;
+    for (int rr = r; rr < r + h; ++rr) {
+      for (int cc = c; cc < c + w; ++cc) {
+        if (Occupied(rr, cc)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Fill(int r, int c, int h, int w, char v) {
+    for (int rr = r; rr < r + h; ++rr) {
+      for (int cc = c; cc < c + w; ++cc) {
+        occupied[rr * cols + cc] = v;
+      }
+    }
+  }
+
+  bool Solve() {
+    if (++nodes > max_nodes) {
+      hit_cap = true;
+      return false;
+    }
+    // Find the topmost-leftmost free cell; it must be covered by some
+    // remaining instance anchored here, or declared wasted.
+    int free_r = -1, free_c = -1;
+    for (int idx = 0; idx < rows * cols; ++idx) {
+      if (!occupied[idx]) {
+        free_r = idx / cols;
+        free_c = idx % cols;
+        break;
+      }
+    }
+    if (free_r < 0) {
+      // Grid full; success iff nothing remains.
+      return std::all_of(remaining.begin(), remaining.end(),
+                         [](int r) { return r == 0; });
+    }
+    if (std::all_of(remaining.begin(), remaining.end(),
+                    [](int r) { return r == 0; })) {
+      return true;  // all instances placed; leftover cells are idle
+    }
+
+    for (std::size_t m = 0; m < remaining.size(); ++m) {
+      if (remaining[m] == 0) continue;
+      for (const auto& [h, w] : factorizations[m]) {
+        if (!CanPlace(free_r, free_c, h, w)) continue;
+        Fill(free_r, free_c, h, w, 1);
+        --remaining[m];
+        placements.push_back(InstancePlacement{
+            static_cast<int>(m), remaining[m],
+            GridRect{free_r, free_c, h, w}});
+        if (Solve()) return true;
+        placements.pop_back();
+        ++remaining[m];
+        Fill(free_r, free_c, h, w, 0);
+        if (hit_cap) return false;
+      }
+    }
+
+    // Declare this cell idle, if the waste budget allows.
+    if (waste_left > 0) {
+      occupied[free_r * cols + free_c] = 2;
+      --waste_left;
+      if (Solve()) return true;
+      ++waste_left;
+      occupied[free_r * cols + free_c] = 0;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+PackResult PackInstances(const Mapping& mapping, int rows, int cols,
+                         std::uint64_t max_nodes) {
+  PIPEMAP_CHECK(rows >= 1 && cols >= 1, "PackInstances: grid must be non-empty");
+  SearchState st;
+  st.rows = rows;
+  st.cols = cols;
+  st.occupied.assign(static_cast<std::size_t>(rows) * cols, 0);
+  st.max_nodes = max_nodes;
+
+  int total_area = 0;
+  for (const ModuleAssignment& m : mapping.modules) {
+    st.remaining.push_back(m.replicas);
+    auto facts = RectFactorizations(m.procs_per_instance, rows, cols);
+    if (facts.empty()) {
+      return PackResult{false, {}, 0, false};
+    }
+    // Prefer squarer rectangles: they obstruct the remaining space least.
+    std::sort(facts.begin(), facts.end(), [](const auto& a, const auto& b) {
+      return std::abs(a.first - a.second) < std::abs(b.first - b.second);
+    });
+    st.factorizations.push_back(std::move(facts));
+    total_area += m.total_procs();
+  }
+  if (total_area > rows * cols) {
+    return PackResult{false, {}, 0, false};
+  }
+  st.waste_left = rows * cols - total_area;
+
+  PackResult result;
+  result.success = st.Solve();
+  result.nodes = st.nodes;
+  result.hit_node_cap = st.hit_cap;
+  if (result.success) result.placements = std::move(st.placements);
+  return result;
+}
+
+}  // namespace pipemap

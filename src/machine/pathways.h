@@ -1,0 +1,42 @@
+// Systolic pathway feasibility (paper Section 6.1).
+//
+// In iWarp's systolic mode, each communicating module pair is connected by
+// logical pathways reserved through the physical links; a physical link
+// carries at most a fixed number of pathways. "This caused some mappings to
+// be infeasible because of a limit on the number of pathways that can pass
+// through a physical communication link."
+//
+// We reserve one pathway per communicating instance pair. With r_a
+// upstream and r_b downstream instances and round-robin data-set
+// distribution, instance a talks to instance b iff some data set index d
+// satisfies d = a (mod r_a) and d = b (mod r_b). Pathways are routed
+// dimension-ordered (column-first, then row) between rectangle centers.
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.h"
+#include "machine/packing.h"
+
+namespace pipemap {
+
+struct PathwayCheck {
+  bool ok = false;
+  /// Heaviest per-link pathway load encountered.
+  int max_link_load = 0;
+  int capacity = 0;
+  /// Total pathways reserved.
+  int pathways = 0;
+};
+
+/// The communicating instance pairs between adjacent modules with `r_up`
+/// and `r_down` replicas (round-robin distribution). Exposed for testing.
+std::vector<std::pair<int, int>> CommunicatingPairs(int r_up, int r_down);
+
+/// Routes all inter-module pathways over an rows x cols grid and checks
+/// the per-link capacity.
+PathwayCheck CheckPathways(const Mapping& mapping,
+                           const std::vector<InstancePlacement>& placements,
+                           int rows, int cols, int capacity);
+
+}  // namespace pipemap

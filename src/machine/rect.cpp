@@ -1,0 +1,35 @@
+#include "machine/rect.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+std::vector<std::pair<int, int>> RectFactorizations(int procs, int rows,
+                                                    int cols) {
+  PIPEMAP_CHECK(procs >= 1, "RectFactorizations: procs must be >= 1");
+  PIPEMAP_CHECK(rows >= 1 && cols >= 1,
+                "RectFactorizations: grid must be non-empty");
+  std::vector<std::pair<int, int>> out;
+  for (int h = 1; h <= rows; ++h) {
+    if (procs % h != 0) continue;
+    const int w = procs / h;
+    if (w >= 1 && w <= cols) out.emplace_back(h, w);
+  }
+  return out;
+}
+
+bool IsRectFeasible(int procs, int rows, int cols) {
+  return !RectFactorizations(procs, rows, cols).empty();
+}
+
+std::vector<int> FeasibleProcCounts(int rows, int cols) {
+  std::vector<int> counts;
+  for (int p = 1; p <= rows * cols; ++p) {
+    if (IsRectFeasible(p, rows, cols)) counts.push_back(p);
+  }
+  return counts;
+}
+
+}  // namespace pipemap

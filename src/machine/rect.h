@@ -1,0 +1,26 @@
+// Rectangular subarray feasibility (paper Section 6.1).
+//
+// The Fx compiler maps each module instance onto a rectangular subarray of
+// the processor grid, so a processor count p is usable only if p = a*b with
+// a <= grid_rows and b <= grid_cols. On an 8x8 array this excludes e.g.
+// 11, 13, 17, ... — the reason the paper's Table 1 "feasible optimal"
+// mapping for 512x512/systolic drops module 2 from 13 to 12 processors.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace pipemap {
+
+/// All (height, width) factorizations of `procs` that fit an rows x cols
+/// grid, sorted by ascending height. Empty if none fit.
+std::vector<std::pair<int, int>> RectFactorizations(int procs, int rows,
+                                                    int cols);
+
+/// True iff some rectangle of area `procs` fits the grid.
+bool IsRectFeasible(int procs, int rows, int cols);
+
+/// Sorted list of all rectangle-feasible processor counts on the grid.
+std::vector<int> FeasibleProcCounts(int rows, int cols);
+
+}  // namespace pipemap

@@ -1,0 +1,322 @@
+#include "profiling/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+/// Distributes `total` processors over modules with the given minima and
+/// positive weights; returns empty if the minima alone do not fit.
+std::vector<int> WeightedBudgets(const std::vector<int>& minima,
+                                 const std::vector<double>& weights,
+                                 int total) {
+  const int l = static_cast<int>(minima.size());
+  std::vector<int> budgets = minima;
+  int used = std::accumulate(minima.begin(), minima.end(), 0);
+  if (used > total) return {};
+  // Hand out the remainder one processor at a time to the module whose
+  // current budget is furthest below its weight share.
+  const double weight_sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  while (used < total) {
+    int pick = 0;
+    double worst = -1e300;
+    for (int i = 0; i < l; ++i) {
+      const double target = total * weights[i] / weight_sum;
+      const double deficit = target - budgets[i];
+      if (deficit > worst) {
+        worst = deficit;
+        pick = i;
+      }
+    }
+    ++budgets[pick];
+    ++used;
+  }
+  return budgets;
+}
+
+/// Largest coefficient of variation among groups of samples sharing a key.
+template <typename Sample, typename KeyFn, typename ValueFn>
+double MaxGroupVariation(const std::vector<Sample>& samples, KeyFn key_of,
+                         ValueFn value_of) {
+  std::map<decltype(key_of(samples[0])), std::vector<double>> groups;
+  for (const Sample& s : samples) {
+    groups[key_of(s)].push_back(value_of(s));
+  }
+  double worst = 0.0;
+  for (const auto& [key, values] : groups) {
+    if (values.size() < 2) continue;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    const double mean = sum / values.size();
+    if (mean <= 0.0) continue;
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= values.size();
+    worst = std::max(worst, std::sqrt(var) / mean);
+  }
+  return worst;
+}
+
+}  // namespace
+
+Profiler::Profiler(const TaskChain& chain, int total_procs,
+                   double node_memory_bytes)
+    : chain_(&chain),
+      total_procs_(total_procs),
+      eval_(chain, total_procs, node_memory_bytes) {
+  PIPEMAP_CHECK(total_procs >= 1, "Profiler: need at least one processor");
+}
+
+std::vector<Mapping> Profiler::TrainingMappings() const {
+  const int k = chain_->size();
+  const int P = total_procs_;
+  std::vector<Mapping> mappings;
+
+  auto add_single_module = [&](int procs) {
+    const int min_p = eval_.MinProcs(0, k - 1);
+    if (min_p >= kInfeasibleProcs) return;
+    procs = std::max(procs, min_p);
+    if (procs > P) return;
+    Mapping m;
+    m.modules.push_back(ModuleAssignment{0, k - 1, 1, procs});
+    mappings.push_back(std::move(m));
+  };
+
+  auto add_clustered = [&](const std::vector<std::pair<int, int>>& ranges,
+                           const std::vector<double>& weights) {
+    std::vector<int> minima;
+    for (const auto& [first, last] : ranges) {
+      const int min_p = eval_.MinProcs(first, last);
+      if (min_p >= kInfeasibleProcs) return;
+      minima.push_back(min_p);
+    }
+    const std::vector<int> budgets = WeightedBudgets(minima, weights, P);
+    if (budgets.empty()) return;
+    Mapping m;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      m.modules.push_back(ModuleAssignment{ranges[i].first, ranges[i].second,
+                                           1, budgets[i]});
+    }
+    mappings.push_back(std::move(m));
+  };
+
+  // Runs 1-3: the whole chain as one module at three machine sizes; these
+  // sample every execution and internal-redistribution function.
+  add_single_module(P);
+  add_single_module(std::max(1, P / 2));
+  add_single_module(std::max(1, P / 4));
+
+  // Runs 4-8: one module per task, with five weight profiles chosen so
+  // that every edge observes diverse and decorrelated (sender, receiver)
+  // processor counts — otherwise the five-coefficient external
+  // communication model is underdetermined and extrapolates poorly.
+  std::vector<std::pair<int, int>> singletons;
+  for (int t = 0; t < k; ++t) singletons.emplace_back(t, t);
+  {
+    std::vector<double> equal(k, 1.0);
+    std::vector<double> increasing(k), decreasing(k), valley(k);
+    for (int t = 0; t < k; ++t) {
+      increasing[t] = 1.0 + 2.0 * t;
+      decreasing[t] = 1.0 + 2.0 * (k - 1 - t);
+      valley[t] = 1.0 + 2.0 * std::abs(2.0 * t - (k - 1));
+    }
+    add_clustered(singletons, equal);
+    add_clustered(singletons, increasing);
+    add_clustered(singletons, decreasing);
+    add_clustered(singletons, valley);
+
+    // Run 8: every task at its memory-minimum processor count. The mappers
+    // routinely evaluate small instances (replication drives per-instance
+    // counts toward the minimum), and without samples there the 1/p model
+    // terms are pure extrapolation.
+    std::vector<int> minima(k);
+    bool ok = true;
+    int total = 0;
+    for (int t = 0; t < k; ++t) {
+      minima[t] = eval_.MinProcs(t, t);
+      if (minima[t] >= kInfeasibleProcs) ok = false;
+      total += minima[t];
+    }
+    if (ok && total <= P) {
+      Mapping m;
+      for (int t = 0; t < k; ++t) {
+        m.modules.push_back(ModuleAssignment{t, t, 1, minima[t]});
+      }
+      mappings.push_back(std::move(m));
+    }
+  }
+
+  PIPEMAP_CHECK(!mappings.empty(),
+                "Profiler: no training mapping fits the machine");
+  return mappings;
+}
+
+namespace {
+
+/// Fits the chain cost model (and its quality report) from a merged
+/// profile; shared by Fit and Refine.
+FittedModel FitModelFromProfile(const TaskChain& chain, Profile merged,
+                                const ProfilerOptions& options) {
+  const int k = chain.size();
+  ChainCostModel fitted;
+  FitReport report;
+  double err_sum = 0.0;
+  int err_count = 0;
+  auto absorb = [&](const FitQuality& q) {
+    err_sum += q.mean_relative_error;
+    ++err_count;
+    report.max_relative_error =
+        std::max(report.max_relative_error, q.max_relative_error);
+  };
+
+  const bool tabulated = options.form == ModelForm::kTabulated;
+  auto fit_scalar = [&](const std::vector<std::pair<int, double>>& samples)
+      -> std::unique_ptr<ScalarCost> {
+    if (tabulated) return std::make_unique<TabulatedScalarCost>(samples);
+    return FitScalarPoly(samples).Clone();
+  };
+  auto fit_pair =
+      [&](const std::vector<TabulatedPairCost::Sample>& samples)
+      -> std::unique_ptr<PairCost> {
+    if (tabulated) return std::make_unique<TabulatedPairCost>(samples);
+    return FitPairPoly(samples).Clone();
+  };
+
+  for (int t = 0; t < k; ++t) {
+    PIPEMAP_CHECK(!merged.exec_samples[t].empty(),
+                  "Profiler: no execution samples for a task");
+    std::unique_ptr<ScalarCost> exec = fit_scalar(merged.exec_samples[t]);
+    report.exec.push_back(EvaluateScalarFit(*exec, merged.exec_samples[t]));
+    absorb(report.exec.back());
+    fitted.AddTask(std::move(exec), chain.costs().Memory(t));
+  }
+  for (int e = 0; e < k - 1; ++e) {
+    PIPEMAP_CHECK(!merged.icom_samples[e].empty(),
+                  "Profiler: no internal communication samples for an edge");
+    PIPEMAP_CHECK(!merged.ecom_samples[e].empty(),
+                  "Profiler: no external communication samples for an edge");
+    std::unique_ptr<ScalarCost> icom = fit_scalar(merged.icom_samples[e]);
+    std::unique_ptr<PairCost> ecom = fit_pair(merged.ecom_samples[e]);
+    report.icom.push_back(EvaluateScalarFit(*icom, merged.icom_samples[e]));
+    absorb(report.icom.back());
+    report.ecom.push_back(EvaluatePairFit(*ecom, merged.ecom_samples[e]));
+    absorb(report.ecom.back());
+    fitted.SetEdge(e, std::move(icom), std::move(ecom));
+  }
+  report.mean_relative_error = err_count > 0 ? err_sum / err_count : 0.0;
+
+  // Data-dependence check: repeated observations of the same configuration
+  // should agree; strong variation means the static-cost-model assumption
+  // (Section 2.1) does not hold for this program.
+  for (int t = 0; t < k; ++t) {
+    report.max_repeat_variation = std::max(
+        report.max_repeat_variation,
+        MaxGroupVariation(
+            merged.exec_samples[t],
+            [](const std::pair<int, double>& s) { return s.first; },
+            [](const std::pair<int, double>& s) { return s.second; }));
+  }
+  for (int e = 0; e < k - 1; ++e) {
+    report.max_repeat_variation = std::max(
+        report.max_repeat_variation,
+        MaxGroupVariation(
+            merged.icom_samples[e],
+            [](const std::pair<int, double>& s) { return s.first; },
+            [](const std::pair<int, double>& s) { return s.second; }));
+    report.max_repeat_variation = std::max(
+        report.max_repeat_variation,
+        MaxGroupVariation(
+            merged.ecom_samples[e],
+            [](const TabulatedPairCost::Sample& s) {
+              return std::pair<int, int>{s.sender_procs, s.receiver_procs};
+            },
+            [](const TabulatedPairCost::Sample& s) { return s.seconds; }));
+  }
+  report.data_dependence_warning =
+      report.max_repeat_variation > FitReport::kDataDependenceThreshold;
+
+  FittedModel model{chain.WithCosts(std::move(fitted)), std::move(report),
+                    std::move(merged)};
+  return model;
+}
+
+}  // namespace
+
+FittedModel Profiler::Fit(const ProfilerOptions& options) const {
+  PipelineSimulator sim(*chain_);
+  SimOptions sim_options = options.sim;
+  sim_options.collect_profile = true;
+
+  Profile merged(chain_->size());
+  std::uint64_t run_index = 0;
+  for (const Mapping& mapping : TrainingMappings()) {
+    // Decorrelate jitter across training runs while keeping determinism.
+    SimOptions per_run = sim_options;
+    per_run.noise.seed = sim_options.noise.seed + 1000 * run_index++;
+    const SimResult result = sim.Run(mapping, per_run);
+    PIPEMAP_CHECK(result.profile.has_value(), "Profiler: profile missing");
+    merged.Merge(*result.profile);
+  }
+  return FitModelFromProfile(*chain_, std::move(merged), options);
+}
+
+FittedModel Profiler::Refine(const FittedModel& model, const Mapping& mapping,
+                             const ProfilerOptions& options) const {
+  PipelineSimulator sim(*chain_);
+  SimOptions sim_options = options.sim;
+  sim_options.collect_profile = true;
+  // A fresh seed stream so the feedback run's jitter is independent of the
+  // training runs'.
+  sim_options.noise.seed = options.sim.noise.seed + 777'000;
+  const SimResult result = sim.Run(mapping, sim_options);
+  PIPEMAP_CHECK(result.profile.has_value(), "Profiler: profile missing");
+
+  Profile merged = model.profile;
+  merged.Merge(*result.profile);
+  return FitModelFromProfile(*chain_, std::move(merged), options);
+}
+
+FitQuality CompareChainModels(const TaskChain& truth, const TaskChain& fitted,
+                              int max_procs) {
+  PIPEMAP_CHECK(truth.size() == fitted.size(),
+                "CompareChainModels: chain sizes differ");
+  const int k = truth.size();
+  double err_sum = 0.0;
+  double err_max = 0.0;
+  std::size_t count = 0;
+  auto record = [&](double predicted, double actual) {
+    const double denom = std::max(std::abs(actual), 1e-12);
+    const double rel = std::abs(predicted - actual) / denom;
+    err_sum += rel;
+    err_max = std::max(err_max, rel);
+    ++count;
+  };
+  for (int p = 1; p <= max_procs; ++p) {
+    for (int t = 0; t < k; ++t) {
+      record(fitted.costs().Exec(t, p), truth.costs().Exec(t, p));
+    }
+    for (int e = 0; e < k - 1; ++e) {
+      record(fitted.costs().ICom(e, p), truth.costs().ICom(e, p));
+    }
+  }
+  const int stride = std::max(1, max_procs / 8);
+  for (int ps = 1; ps <= max_procs; ps += stride) {
+    for (int pr = 1; pr <= max_procs; pr += stride) {
+      for (int e = 0; e < k - 1; ++e) {
+        record(fitted.costs().ECom(e, ps, pr), truth.costs().ECom(e, ps, pr));
+      }
+    }
+  }
+  FitQuality q;
+  q.mean_relative_error = count > 0 ? err_sum / count : 0.0;
+  q.max_relative_error = err_max;
+  return q;
+}
+
+}  // namespace pipemap

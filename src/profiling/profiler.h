@@ -1,0 +1,110 @@
+// Automatic cost-model estimation (paper Section 5, applied in Section 6.3).
+//
+// "Our basic approach is to execute the user program with different mappings
+// to automatically infer how the time spent in execution of tasks and
+// communication between tasks varies with the number of processors."
+//
+// The Profiler selects a small set of training mappings (eight, like the
+// paper), executes each in the pipeline simulator with profiling enabled,
+// and fits the Section-5 polynomial models to the harvested samples. The
+// mapping algorithms then optimize against the *fitted* model while the
+// simulator measures against *ground truth* — reproducing the paper's
+// predicted-vs-measured methodology end to end.
+#pragma once
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/task.h"
+#include "costmodel/fit.h"
+#include "sim/pipeline_sim.h"
+
+namespace pipemap {
+
+/// Which model family to fit. Section 5 notes the algorithms accept either
+/// "mathematical functions computed at compile time or runtime" or costs
+/// "defined pointwise possibly using interpolation".
+enum class ModelForm {
+  /// The Section-5 polynomials, fitted by non-negative least squares.
+  /// Extrapolates with the model's structure; smooths measurement noise.
+  kPolynomial,
+  /// Tabulated samples with linear interpolation. Exact at profiled
+  /// configurations; clamps outside the profiled range.
+  kTabulated,
+};
+
+struct ProfilerOptions {
+  /// Simulation settings for each training run; collect_profile is forced.
+  SimOptions sim;
+  ModelForm form = ModelForm::kPolynomial;
+};
+
+/// Per-function and aggregate fit quality against the training samples.
+struct FitReport {
+  std::vector<FitQuality> exec;  // per task
+  std::vector<FitQuality> icom;  // per edge
+  std::vector<FitQuality> ecom;  // per edge
+  double mean_relative_error = 0.0;
+  double max_relative_error = 0.0;
+
+  /// Largest coefficient of variation among repeated observations of the
+  /// same configuration (same task/edge at the same processor counts).
+  /// The paper's model assumes "execution and communication times are
+  /// static functions of the relevant numbers of processors" and is
+  /// explicitly "not applicable to programs whose execution behavior is
+  /// strongly data dependent" — large repeat variation is the measurable
+  /// symptom of that situation.
+  double max_repeat_variation = 0.0;
+  /// Set when max_repeat_variation exceeds kDataDependenceThreshold.
+  bool data_dependence_warning = false;
+
+  static constexpr double kDataDependenceThreshold = 0.15;
+};
+
+struct FittedModel {
+  /// Same tasks as the ground-truth chain, with fitted polynomial costs and
+  /// the ground-truth memory specification (the paper measures memory
+  /// separately and exactly; see DESIGN.md).
+  TaskChain chain;
+  FitReport report;
+  /// The merged training profile the fit was computed from.
+  Profile profile;
+};
+
+class Profiler {
+ public:
+  /// `chain` carries ground-truth costs; `total_procs` and
+  /// `node_memory_bytes` describe the training machine.
+  Profiler(const TaskChain& chain, int total_procs,
+           double node_memory_bytes);
+
+  /// The training mappings (up to eight; fewer when memory minima make some
+  /// shapes infeasible). Exposed for inspection and testing.
+  std::vector<Mapping> TrainingMappings() const;
+
+  /// Runs the training mappings and fits the chain cost model.
+  FittedModel Fit(const ProfilerOptions& options) const;
+
+  /// Feedback refinement — the paper's "feedback driven compile time, or a
+  /// runtime tool": executes `mapping` (typically the one just chosen from
+  /// `model`), harvests its profile, merges it into the model's training
+  /// samples, and refits. The new observations sit at exactly the
+  /// configurations the production mapping uses, anchoring the model where
+  /// its accuracy matters most.
+  FittedModel Refine(const FittedModel& model, const Mapping& mapping,
+                     const ProfilerOptions& options) const;
+
+ private:
+  const TaskChain* chain_;
+  int total_procs_;
+  Evaluator eval_;
+};
+
+/// Relative error of `fitted`'s cost functions against `truth`'s, sampled
+/// over processor counts 1..max_procs (pair functions on a subsampled
+/// grid). Quantifies the Section-6.3 claim that the model is accurate to
+/// about 10%.
+FitQuality CompareChainModels(const TaskChain& truth, const TaskChain& fitted,
+                              int max_procs);
+
+}  // namespace pipemap

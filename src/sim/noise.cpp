@@ -1,0 +1,42 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+double LogNormalFactor(Rng& rng, double log_stddev) {
+  if (log_stddev <= 0.0) return 1.0;
+  return std::exp(rng.Gaussian(0.0, log_stddev));
+}
+
+}  // namespace
+
+NoiseModel::NoiseModel(const NoiseSpec& spec, int num_tasks)
+    : spec_(spec), rng_(spec.seed) {
+  PIPEMAP_CHECK(num_tasks >= 1, "NoiseModel: need at least one task");
+  exec_bias_.reserve(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    exec_bias_.push_back(LogNormalFactor(rng_, spec_.systematic_stddev));
+  }
+  const int edges = num_tasks - 1;
+  icom_bias_.reserve(edges);
+  ecom_bias_.reserve(edges);
+  for (int e = 0; e < edges; ++e) {
+    icom_bias_.push_back(LogNormalFactor(rng_, spec_.systematic_stddev));
+    ecom_bias_.push_back(LogNormalFactor(rng_, spec_.systematic_stddev));
+  }
+}
+
+double NoiseModel::Jitter() {
+  return LogNormalFactor(rng_, spec_.jitter_stddev);
+}
+
+double NoiseModel::ContentionFactor(int concurrent_transfers) const {
+  if (concurrent_transfers <= 1) return 1.0;
+  return 1.0 + spec_.contention_coeff * (concurrent_transfers - 1);
+}
+
+}  // namespace pipemap

@@ -1,0 +1,60 @@
+// Measurement-noise model for the pipeline simulator.
+//
+// The paper's predicted and measured throughputs differ by 0-12% (Table 2),
+// attributed to "inaccuracies in our modeling of performance parameters,
+// and second order effects like interference between communication inside
+// tasks and communication between tasks". The simulator reproduces those
+// error sources explicitly:
+//   * a systematic per-phase bias (each task's execution and each edge's
+//     communication deviates from its nominal cost function by a fixed,
+//     seeded log-normal factor — standing in for model-form error),
+//   * per-event jitter (run-to-run variation), and
+//   * transfer contention (concurrent transfers slow one another —
+//     the "interference" effect, applied by the simulator itself).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace pipemap {
+
+struct NoiseSpec {
+  /// Stddev of the log of the per-phase systematic factor. 0 = exact model.
+  double systematic_stddev = 0.0;
+  /// Stddev of the log of the per-event jitter factor.
+  double jitter_stddev = 0.0;
+  /// Fractional slowdown per additional concurrent transfer.
+  double contention_coeff = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic (seeded) noise factors for a chain with `num_tasks` tasks.
+class NoiseModel {
+ public:
+  NoiseModel(const NoiseSpec& spec, int num_tasks);
+
+  /// Fixed bias of task `task`'s execution time.
+  double ExecBias(int task) const { return exec_bias_[task]; }
+  /// Fixed bias of edge `edge`'s internal redistribution time.
+  double IComBias(int edge) const { return icom_bias_[edge]; }
+  /// Fixed bias of edge `edge`'s external transfer time.
+  double EComBias(int edge) const { return ecom_bias_[edge]; }
+
+  /// Fresh multiplicative jitter factor (1.0 when jitter disabled).
+  double Jitter();
+
+  /// Multiplicative slowdown for a transfer that overlaps
+  /// `concurrent_transfers - 1` other transfers at its start.
+  double ContentionFactor(int concurrent_transfers) const;
+
+ private:
+  NoiseSpec spec_;
+  Rng rng_;
+  std::vector<double> exec_bias_;
+  std::vector<double> icom_bias_;
+  std::vector<double> ecom_bias_;
+};
+
+}  // namespace pipemap

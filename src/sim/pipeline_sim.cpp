@@ -1,0 +1,157 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+PipelineSimulator::PipelineSimulator(const TaskChain& chain)
+    : chain_(&chain) {}
+
+SimResult PipelineSimulator::Run(const Mapping& mapping,
+                                 const SimOptions& options) const {
+  const TaskChain& chain = *chain_;
+  ValidateMapping(mapping, chain, mapping.TotalProcs());
+  PIPEMAP_CHECK(options.num_datasets >= 1,
+                "PipelineSimulator: need at least one data set");
+  const int n = options.num_datasets;
+  const int l = mapping.num_modules();
+  const ChainCostModel& costs = chain.costs();
+
+  NoiseModel noise(options.noise, chain.size());
+
+  // Per-instance availability and busy-time accounting.
+  std::vector<std::vector<double>> free_at(l);
+  std::vector<std::vector<double>> busy(l);
+  for (int m = 0; m < l; ++m) {
+    free_at[m].assign(mapping.modules[m].replicas, 0.0);
+    busy[m].assign(mapping.modules[m].replicas, 0.0);
+  }
+
+  // Transfer intervals already started, for contention counting.
+  std::vector<std::pair<double, double>> transfers;
+  auto concurrency_at = [&](double t) {
+    int count = 1;  // the transfer being scheduled
+    for (const auto& [s, e] : transfers) {
+      if (s <= t && t < e) ++count;
+    }
+    return count;
+  };
+
+  Profile profile(chain.size());
+  ExecutionTrace trace;
+
+  std::vector<double> done(n, 0.0);
+  std::vector<double> enter(n, 0.0);
+  // Completion time of data set d at the *previous* module while scanning
+  // modules left to right.
+  double upstream_done = 0.0;
+
+  for (int d = 0; d < n; ++d) {
+    for (int m = 0; m < l; ++m) {
+      const ModuleAssignment& mod = mapping.modules[m];
+      const int inst = d % mod.replicas;
+      const int p = mod.procs_per_instance;
+
+      double start;
+      if (m == 0) {
+        // External input is always available.
+        start = free_at[m][inst];
+        enter[d] = start;
+      } else {
+        const ModuleAssignment& prev = mapping.modules[m - 1];
+        const int sender = d % prev.replicas;
+        const int edge = mod.first_task - 1;
+        const double t_start =
+            std::max({upstream_done, free_at[m - 1][sender],
+                      free_at[m][inst]});
+        double dur = costs.ECom(edge, prev.procs_per_instance, p) *
+                     noise.EComBias(edge) * noise.Jitter() *
+                     noise.ContentionFactor(concurrency_at(t_start));
+        if (options.transfer_adjustment) {
+          dur = options.transfer_adjustment(edge, sender, inst, dur);
+        }
+        const double t_end = t_start + dur;
+        if (options.noise.contention_coeff > 0.0) {
+          transfers.emplace_back(t_start, t_end);
+        }
+        if (options.collect_profile) {
+          profile.ecom_samples[edge].push_back(
+              {prev.procs_per_instance, p, dur});
+        }
+        // The sender is occupied for the duration of the rendezvous; time
+        // spent waiting for the receiver to become free is idle time.
+        busy[m - 1][sender] += t_end - t_start;
+        free_at[m - 1][sender] = t_end;
+        busy[m][inst] += t_end - t_start;
+        if (options.collect_trace) {
+          trace.events.push_back(TraceEvent{m - 1, sender, d,
+                                            TraceEvent::Phase::kSend,
+                                            t_start, t_end});
+          trace.events.push_back(TraceEvent{m, inst, d,
+                                            TraceEvent::Phase::kReceive,
+                                            t_start, t_end});
+        }
+        start = t_end;
+      }
+
+      // Compute phase: member task executions plus internal
+      // redistributions, each an observable sub-phase.
+      double body = 0.0;
+      for (int t = mod.first_task; t <= mod.last_task; ++t) {
+        const double dur =
+            costs.Exec(t, p) * noise.ExecBias(t) * noise.Jitter();
+        body += dur;
+        if (options.collect_profile) {
+          profile.exec_samples[t].push_back({p, dur});
+        }
+        if (t < mod.last_task) {
+          const double redis =
+              costs.ICom(t, p) * noise.IComBias(t) * noise.Jitter();
+          body += redis;
+          if (options.collect_profile) {
+            profile.icom_samples[t].push_back({p, redis});
+          }
+        }
+      }
+      const double end = start + body;
+      busy[m][inst] += end - start;
+      free_at[m][inst] = end;
+      if (options.collect_trace) {
+        trace.events.push_back(TraceEvent{
+            m, inst, d, TraceEvent::Phase::kCompute, start, end});
+      }
+      upstream_done = end;
+    }
+    done[d] = upstream_done;
+  }
+
+  SimResult result;
+  result.makespan = done[n - 1];
+  const int warmup = std::min(options.warmup, n - 1);
+  if (warmup > 0) {
+    result.throughput =
+        static_cast<double>(n - warmup) / (done[n - 1] - done[warmup - 1]);
+  } else {
+    result.throughput = static_cast<double>(n) / done[n - 1];
+  }
+  double latency_sum = 0.0;
+  for (int d = 0; d < n; ++d) latency_sum += done[d] - enter[d];
+  result.mean_latency = latency_sum / n;
+  result.module_utilization.resize(l);
+  for (int m = 0; m < l; ++m) {
+    double total = 0.0;
+    for (double b : busy[m]) total += b;
+    result.module_utilization[m] =
+        total / (busy[m].size() * result.makespan);
+  }
+  if (options.collect_profile) result.profile = std::move(profile);
+  if (options.collect_trace) {
+    trace.makespan = result.makespan;
+    result.trace = std::move(trace);
+  }
+  return result;
+}
+
+}  // namespace pipemap

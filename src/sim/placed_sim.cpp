@@ -1,0 +1,171 @@
+#include "sim/placed_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <memory>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+struct RouteInfo {
+  int hops = 0;
+  int max_link_load = 1;  // including this route's own pathway
+};
+
+/// Center cell of a placed rectangle.
+std::pair<int, int> Center(const GridRect& r) {
+  return {r.row + r.height / 2, r.col + r.width / 2};
+}
+
+/// Per-link load counters plus column-first routing, matching the
+/// pathway-feasibility model (machine/pathways.cpp).
+class LinkMap {
+ public:
+  LinkMap(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        horizontal_(static_cast<std::size_t>(rows) * std::max(0, cols - 1),
+                    0),
+        vertical_(static_cast<std::size_t>(std::max(0, rows - 1)) * cols,
+                  0) {}
+
+  /// Walks the column-first route from `from` to `to`, applying `fn` to
+  /// every traversed link's load counter.
+  template <typename Fn>
+  void Walk(std::pair<int, int> from, std::pair<int, int> to, Fn&& fn) {
+    auto [r, c] = from;
+    const auto [r1, c1] = to;
+    while (c != c1) {
+      const int step = c1 > c ? 1 : -1;
+      fn(horizontal_[r * (cols_ - 1) + std::min(c, c + step)]);
+      c += step;
+    }
+    while (r != r1) {
+      const int step = r1 > r ? 1 : -1;
+      fn(vertical_[std::min(r, r + step) * cols_ + c]);
+      r += step;
+    }
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> horizontal_;
+  std::vector<int> vertical_;
+};
+
+}  // namespace
+
+PlacedSimulator::PlacedSimulator(const TaskChain& chain,
+                                 MachineConfig machine,
+                                 std::vector<InstancePlacement> placements,
+                                 LocationModel location)
+    : chain_(&chain),
+      machine_(std::move(machine)),
+      placements_(std::move(placements)),
+      location_(location) {}
+
+namespace {
+
+/// Route information for every communicating instance pair of a mapping.
+/// Key: (chain edge, sender instance, receiver instance).
+using RouteTable = std::map<std::tuple<int, int, int>, RouteInfo>;
+
+RouteTable BuildRouteTable(const Mapping& mapping,
+                           const std::vector<InstancePlacement>& placements,
+                           const MachineConfig& machine) {
+  // Index placements.
+  std::map<std::pair<int, int>, GridRect> rects;
+  for (const InstancePlacement& p : placements) {
+    rects[{p.module, p.instance}] = p.rect;
+  }
+  auto rect_of = [&](int module, int instance) -> const GridRect& {
+    const auto it = rects.find({module, instance});
+    PIPEMAP_CHECK(it != rects.end(),
+                  "PlacedSimulator: missing placement for an instance");
+    return it->second;
+  };
+
+  // First pass: accumulate link loads from every pair's route.
+  LinkMap links(machine.grid_rows, machine.grid_cols);
+  for (int m = 0; m + 1 < mapping.num_modules(); ++m) {
+    const int r_up = mapping.modules[m].replicas;
+    const int r_down = mapping.modules[m + 1].replicas;
+    const int period = std::lcm(r_up, r_down);
+    for (int d = 0; d < period; ++d) {
+      links.Walk(Center(rect_of(m, d % r_up)),
+                 Center(rect_of(m + 1, d % r_down)),
+                 [](int& load) { ++load; });
+    }
+  }
+
+  // Second pass: per-pair hop count and worst shared link.
+  RouteTable table;
+  for (int m = 0; m + 1 < mapping.num_modules(); ++m) {
+    const int edge = mapping.modules[m].last_task;
+    const int r_up = mapping.modules[m].replicas;
+    const int r_down = mapping.modules[m + 1].replicas;
+    const int period = std::lcm(r_up, r_down);
+    for (int d = 0; d < period; ++d) {
+      const int a = d % r_up;
+      const int b = d % r_down;
+      if (table.count({edge, a, b})) continue;
+      RouteInfo info;
+      links.Walk(Center(rect_of(m, a)), Center(rect_of(m + 1, b)),
+                 [&info](int& load) {
+                   ++info.hops;
+                   info.max_link_load = std::max(info.max_link_load, load);
+                 });
+      table[{edge, a, b}] = info;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+SimResult PlacedSimulator::Run(const Mapping& mapping,
+                               const SimOptions& options) const {
+  PIPEMAP_CHECK(!options.transfer_adjustment,
+                "PlacedSimulator: transfer_adjustment is provided by this"
+                " class");
+  auto table = std::make_shared<RouteTable>(
+      BuildRouteTable(mapping, placements_, machine_));
+  const LocationModel location = location_;
+
+  SimOptions placed = options;
+  placed.transfer_adjustment = [table, location](int edge, int sender,
+                                                 int receiver, double dur) {
+    const auto it = table->find({edge, sender, receiver});
+    PIPEMAP_CHECK(it != table->end(),
+                  "PlacedSimulator: transfer for unknown instance pair");
+    const RouteInfo& info = it->second;
+    return dur * (1.0 + location.link_share_penalty *
+                            (info.max_link_load - 1)) +
+           location.per_hop_latency_s * info.hops;
+  };
+  return PipelineSimulator(*chain_).Run(mapping, placed);
+}
+
+double PlacedSimulator::LocationOverhead(const Mapping& mapping, int edge,
+                                         int a, int b) const {
+  const RouteTable table =
+      BuildRouteTable(mapping, placements_, machine_);
+  const auto it = table.find({edge, a, b});
+  PIPEMAP_CHECK(it != table.end(),
+                "PlacedSimulator: unknown instance pair");
+  const int m = mapping.ModuleOf(edge);
+  const double base = chain_->costs().ECom(
+      edge, mapping.modules[m].procs_per_instance,
+      mapping.modules[m + 1].procs_per_instance);
+  const RouteInfo& info = it->second;
+  return base * location_.link_share_penalty * (info.max_link_load - 1) +
+         location_.per_hop_latency_s * info.hops;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,57 @@
+// Placement-aware pipeline simulation.
+//
+// The paper's model deliberately ignores where on the machine each module
+// instance sits: "We discovered that other factors like processor locations
+// and interference with external communication are a second order effect
+// even for communication intensive programs" (Section 2.1). This module
+// makes that claim testable: given a concrete grid placement, transfers pay
+// a per-hop routing latency and a penalty for sharing physical links with
+// other module-pair routes, and the simulator measures how much the
+// location-blind prediction misses.
+#pragma once
+
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/task.h"
+#include "machine/machine.h"
+#include "machine/packing.h"
+#include "sim/pipeline_sim.h"
+
+namespace pipemap {
+
+struct LocationModel {
+  /// Added transfer time per Manhattan hop between the communicating
+  /// rectangles' centers (wormhole-style distance sensitivity).
+  double per_hop_latency_s = 3.0e-6;
+  /// Fractional slowdown per additional pathway sharing the most loaded
+  /// physical link along the transfer's route.
+  double link_share_penalty = 0.03;
+};
+
+class PlacedSimulator {
+ public:
+  /// `placements` must cover every instance of any mapping later passed to
+  /// Run (typically the PackInstances result for that mapping).
+  PlacedSimulator(const TaskChain& chain, MachineConfig machine,
+                  std::vector<InstancePlacement> placements,
+                  LocationModel location = {});
+
+  /// Runs the mapping with location effects layered onto the base
+  /// communication costs. `options.transfer_adjustment` must be unset
+  /// (this class provides it).
+  SimResult Run(const Mapping& mapping, const SimOptions& options) const;
+
+  /// The location-induced extra seconds for one transfer of edge `edge`
+  /// between sender instance `a` and receiver instance `b` (diagnostic).
+  double LocationOverhead(const Mapping& mapping, int edge, int a,
+                          int b) const;
+
+ private:
+  const TaskChain* chain_;
+  MachineConfig machine_;
+  std::vector<InstancePlacement> placements_;
+  LocationModel location_;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,33 @@
+#include "sim/profile.h"
+
+#include "support/error.h"
+
+namespace pipemap {
+
+void Profile::Merge(const Profile& other) {
+  PIPEMAP_CHECK(other.num_tasks() == num_tasks(),
+                "Profile::Merge: chain shape mismatch");
+  for (std::size_t t = 0; t < exec_samples.size(); ++t) {
+    exec_samples[t].insert(exec_samples[t].end(),
+                           other.exec_samples[t].begin(),
+                           other.exec_samples[t].end());
+  }
+  for (std::size_t e = 0; e < icom_samples.size(); ++e) {
+    icom_samples[e].insert(icom_samples[e].end(),
+                           other.icom_samples[e].begin(),
+                           other.icom_samples[e].end());
+    ecom_samples[e].insert(ecom_samples[e].end(),
+                           other.ecom_samples[e].begin(),
+                           other.ecom_samples[e].end());
+  }
+}
+
+std::size_t Profile::TotalSamples() const {
+  std::size_t total = 0;
+  for (const auto& v : exec_samples) total += v.size();
+  for (const auto& v : icom_samples) total += v.size();
+  for (const auto& v : ecom_samples) total += v.size();
+  return total;
+}
+
+}  // namespace pipemap

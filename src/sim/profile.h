@@ -1,0 +1,39 @@
+// Profile data harvested from simulated executions.
+//
+// The shape mirrors what the Fx mapping tool collects from instrumented
+// runs: per-task execution timings at observed processor counts, per-edge
+// internal redistribution timings, and per-edge external transfer timings
+// at observed (sender, receiver) processor-count pairs. The profiling
+// subsystem fits Section-5 polynomial models to these samples.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "costmodel/piecewise.h"
+
+namespace pipemap {
+
+struct Profile {
+  /// exec_samples[task] = observed (procs, seconds) pairs.
+  std::vector<std::vector<std::pair<int, double>>> exec_samples;
+  /// icom_samples[edge] = observed (procs, seconds) pairs.
+  std::vector<std::vector<std::pair<int, double>>> icom_samples;
+  /// ecom_samples[edge] = observed (sender, receiver, seconds) triples.
+  std::vector<std::vector<TabulatedPairCost::Sample>> ecom_samples;
+
+  explicit Profile(int num_tasks = 0)
+      : exec_samples(num_tasks),
+        icom_samples(num_tasks > 0 ? num_tasks - 1 : 0),
+        ecom_samples(num_tasks > 0 ? num_tasks - 1 : 0) {}
+
+  int num_tasks() const { return static_cast<int>(exec_samples.size()); }
+
+  /// Appends all samples of `other` (must describe the same chain shape).
+  void Merge(const Profile& other);
+
+  /// Total number of samples across all categories.
+  std::size_t TotalSamples() const;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,14 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace pipemap::detail {
+
+void ThrowCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ") " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace pipemap::detail

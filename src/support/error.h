@@ -1,0 +1,55 @@
+// Error handling primitives for pipemap.
+//
+// The library reports contract violations and invalid configurations via
+// exceptions derived from pipemap::Error so that callers can distinguish
+// library failures from standard-library failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pipemap {
+
+/// Base class of all exceptions thrown by pipemap.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A requested computation would exceed a configured resource limit
+/// (e.g. a dynamic-programming table larger than the configured cap).
+class ResourceLimit : public Error {
+ public:
+  explicit ResourceLimit(const std::string& what) : Error(what) {}
+};
+
+/// No feasible solution exists for the requested problem (e.g. not enough
+/// processors to satisfy the memory minima of every task).
+class Infeasible : public Error {
+ public:
+  explicit Infeasible(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+}  // namespace detail
+
+}  // namespace pipemap
+
+/// Precondition check that throws pipemap::InvalidArgument on failure.
+/// Always active (not compiled out in release builds): the costs guarded by
+/// these checks are negligible next to the O(P^4 k^2) algorithm costs.
+#define PIPEMAP_CHECK(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::pipemap::detail::ThrowCheckFailure(__FILE__, __LINE__, #expr,   \
+                                           (msg));                     \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,195 @@
+#include "support/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  PIPEMAP_CHECK(cols_ == other.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  PIPEMAP_CHECK(cols_ == v.size(), "matrix-vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  PIPEMAP_CHECK(a.rows() == a.cols(), "SolveLinearSystem: matrix not square");
+  PIPEMAP_CHECK(a.rows() == b.size(), "SolveLinearSystem: rhs size mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw InvalidArgument("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a(ri, c) * x[c];
+    x[ri] = sum / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> LeastSquares(const Matrix& a, const std::vector<double>& b) {
+  PIPEMAP_CHECK(a.rows() >= a.cols(), "LeastSquares: underdetermined system");
+  PIPEMAP_CHECK(a.rows() == b.size(), "LeastSquares: rhs size mismatch");
+  const Matrix at = a.Transposed();
+  Matrix ata = at * a;
+  // Tikhonov-style jitter keeps near-collinear designs (e.g. training runs
+  // that reuse a processor count) solvable without visibly biasing the fit.
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += 1e-10;
+  return SolveLinearSystem(ata, at * b);
+}
+
+std::vector<double> NonNegativeLeastSquares(const Matrix& a,
+                                            const std::vector<double>& b) {
+  PIPEMAP_CHECK(a.rows() == b.size(), "NNLS: rhs size mismatch");
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  std::vector<double> x(n, 0.0);
+  std::vector<bool> active(n, true);  // active means constrained at zero
+
+  auto residual = [&] {
+    std::vector<double> r(m);
+    const std::vector<double> ax = a * x;
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - ax[i];
+    return r;
+  };
+
+  // Lawson–Hanson main loop: move the variable with the most positive
+  // gradient into the passive (free) set, solve the unconstrained
+  // subproblem over passive variables, and clip back to feasibility.
+  const std::size_t kMaxOuter = 3 * n + 16;
+  for (std::size_t outer = 0; outer < kMaxOuter; ++outer) {
+    const std::vector<double> r = residual();
+    // Gradient of 0.5||Ax-b||^2 is -A^T r; we want the largest A^T r among
+    // active variables.
+    double best_w = 1e-10;
+    std::size_t best_j = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      double w = 0.0;
+      for (std::size_t i = 0; i < m; ++i) w += a(i, j) * r[i];
+      if (w > best_w) {
+        best_w = w;
+        best_j = j;
+      }
+    }
+    if (best_j == n) break;  // KKT satisfied
+    active[best_j] = false;
+
+    // Inner loop: solve over the passive set; if any passive variable would
+    // go negative, step back to the boundary and re-activate it.
+    for (std::size_t inner = 0; inner <= n; ++inner) {
+      std::vector<std::size_t> passive;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!active[j]) passive.push_back(j);
+      }
+      if (passive.empty()) break;
+      Matrix ap(m, passive.size());
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t pj = 0; pj < passive.size(); ++pj) {
+          ap(i, pj) = a(i, passive[pj]);
+        }
+      }
+      std::vector<double> z;
+      try {
+        z = LeastSquares(ap, b);
+      } catch (const InvalidArgument&) {
+        // Degenerate subproblem: freeze the most recently freed variable.
+        active[best_j] = true;
+        break;
+      }
+      bool all_nonneg = true;
+      for (double v : z) {
+        if (v < 0.0) {
+          all_nonneg = false;
+          break;
+        }
+      }
+      if (all_nonneg) {
+        std::fill(x.begin(), x.end(), 0.0);
+        for (std::size_t pj = 0; pj < passive.size(); ++pj) {
+          x[passive[pj]] = z[pj];
+        }
+        break;
+      }
+      // Interpolate toward z until the first passive variable hits zero.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t pj = 0; pj < passive.size(); ++pj) {
+        if (z[pj] < 0.0) {
+          const double xj = x[passive[pj]];
+          alpha = std::min(alpha, xj / (xj - z[pj]));
+        }
+      }
+      for (std::size_t pj = 0; pj < passive.size(); ++pj) {
+        const std::size_t j = passive[pj];
+        x[j] += alpha * (z[pj] - x[j]);
+        if (x[j] <= 1e-12) {
+          x[j] = 0.0;
+          active[j] = true;
+        }
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,56 @@
+// Small dense linear algebra used by the cost-model fitter.
+//
+// The fitting problems in Section 5 of the paper are tiny (3 to 5 unknowns,
+// 8 observations), so a straightforward dense implementation with partial
+// pivoting is both sufficient and preferable to a dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pipemap {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws pipemap::InvalidArgument if A is singular to working precision.
+std::vector<double> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: minimizes ||A x - b||_2 via normal equations.
+/// Requires a.rows() >= a.cols().
+std::vector<double> LeastSquares(const Matrix& a, const std::vector<double>& b);
+
+/// Non-negative least squares: minimizes ||A x - b||_2 subject to x >= 0,
+/// using the Lawson–Hanson active-set method. The Section-5 cost models are
+/// physically non-negative (fixed cost, parallel share, per-processor
+/// overhead), and unconstrained fits on noisy profiles can otherwise produce
+/// negative coefficients that make the fitted functions non-monotone.
+std::vector<double> NonNegativeLeastSquares(const Matrix& a,
+                                            const std::vector<double>& b);
+
+}  // namespace pipemap

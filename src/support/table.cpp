@@ -1,0 +1,73 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PIPEMAP_CHECK(cells.size() <= headers_.size(),
+                "row has more cells than the table has columns");
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::string out = rule();
+  out += render_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : render_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string TextTable::Num(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string TextTable::Num(int value) { return std::to_string(value); }
+
+}  // namespace pipemap

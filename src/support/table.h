@@ -1,0 +1,45 @@
+// ASCII table rendering for benchmark and example output.
+//
+// The benchmark harness reproduces the paper's Tables 1 and 2 as text; this
+// helper keeps the row/column plumbing out of the experiment code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pipemap {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed precision.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row. The row may have fewer cells than there are columns;
+  /// missing cells render empty. Extra cells are an error.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with `|` column separators and a header rule.
+  std::string Render() const;
+
+  /// Formats a double with the given number of decimal places.
+  static std::string Num(double value, int decimals = 2);
+
+  /// Formats an integer.
+  static std::string Num(int value);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pipemap

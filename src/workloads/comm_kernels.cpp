@@ -1,0 +1,73 @@
+#include "workloads/comm_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+std::unique_ptr<PairCost> RemapECost(const MachineConfig& machine,
+                                     double bytes) {
+  PIPEMAP_CHECK(bytes >= 0.0, "RemapECost: bytes must be non-negative");
+  const double o = machine.msg_overhead_s;
+  const double s = machine.transfer_startup_s;
+  const double bw = machine.node_bandwidth;
+  return std::make_unique<CallbackPairCost>([o, s, bw, bytes](int ps, int pr) {
+    const double sender = o * pr + bytes / (ps * bw);
+    const double receiver = o * ps + bytes / (pr * bw);
+    return s + std::max(sender, receiver);
+  });
+}
+
+std::unique_ptr<ScalarCost> RemapICost(const MachineConfig& machine,
+                                       double bytes) {
+  PIPEMAP_CHECK(bytes >= 0.0, "RemapICost: bytes must be non-negative");
+  const double o = machine.msg_overhead_s;
+  const double s = machine.transfer_startup_s;
+  const double bw = machine.node_bandwidth;
+  return std::make_unique<CallbackScalarCost>([o, s, bw, bytes](int p) {
+    return s + o * p + 2.0 * bytes / (p * bw);
+  });
+}
+
+std::unique_ptr<ScalarCost> NoRedistICost(const MachineConfig& machine) {
+  // A local buffer hand-off: a small fraction of the transfer startup.
+  const double t = 0.1 * machine.transfer_startup_s;
+  return std::make_unique<CallbackScalarCost>([t](int) { return t; });
+}
+
+std::unique_ptr<ScalarCost> BlockExecCost(const MachineConfig& machine,
+                                          double flops, int units,
+                                          double fixed_s) {
+  PIPEMAP_CHECK(flops >= 0.0 && units >= 1,
+                "BlockExecCost: need non-negative flops and >= 1 unit");
+  const double flop_rate = machine.node_flops;
+  const double sync = machine.sync_per_proc_s;
+  return std::make_unique<CallbackScalarCost>(
+      [flops, units, fixed_s, flop_rate, sync](int p) {
+        const double per_unit = flops / units / flop_rate;
+        const int my_units = (units + p - 1) / p;  // ceil: block imbalance
+        return fixed_s + per_unit * my_units + sync * p;
+      });
+}
+
+std::unique_ptr<ScalarCost> TreeReduceExecCost(const MachineConfig& machine,
+                                               double flops, int units,
+                                               double reduce_bytes,
+                                               double fixed_s) {
+  PIPEMAP_CHECK(reduce_bytes >= 0.0,
+                "TreeReduceExecCost: bytes must be non-negative");
+  auto block = BlockExecCost(machine, flops, units, fixed_s);
+  const double o = machine.msg_overhead_s;
+  const double bw = machine.node_bandwidth;
+  // Capture the block cost by shared ownership so the callback is copyable.
+  std::shared_ptr<ScalarCost> base(std::move(block));
+  return std::make_unique<CallbackScalarCost>(
+      [base, o, bw, reduce_bytes](int p) {
+        const double steps = std::ceil(std::log2(static_cast<double>(p)));
+        return base->Eval(p) + steps * (o + reduce_bytes / bw);
+      });
+}
+
+}  // namespace pipemap

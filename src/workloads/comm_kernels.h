@@ -1,0 +1,54 @@
+// Ground-truth communication and computation kernels.
+//
+// These build the "real" cost functions the simulator executes, derived
+// from machine parameters (per-message software overhead, startup latency,
+// node bandwidth, compute rate) and workload quantities (bytes moved, flops
+// computed, block-distribution unit counts). They deliberately contain
+// non-polynomial structure — max() of sender/receiver serialization,
+// ceil() block imbalance, log2 reduction trees — so that the Section-5
+// polynomial model fitted from profiles has a realistic residual error,
+// just as on the paper's iWarp.
+#pragma once
+
+#include <memory>
+
+#include "costmodel/cost_function.h"
+#include "machine/machine.h"
+
+namespace pipemap {
+
+/// Full data redistribution of `bytes` between distinct groups (transpose,
+/// block remap): startup plus the slower of the sender-side and
+/// receiver-side serializations,
+///   max(o*pr + bytes/(ps*B),  o*ps + bytes/(pr*B)).
+std::unique_ptr<PairCost> RemapECost(const MachineConfig& machine,
+                                     double bytes);
+
+/// The same redistribution within one group of p processors (each node both
+/// sends and receives its share): startup + o*p + 2*bytes/(p*B).
+std::unique_ptr<ScalarCost> RemapICost(const MachineConfig& machine,
+                                       double bytes);
+
+/// Communication between tasks that share a distribution: merged into one
+/// module the transfer degenerates to a local buffer hand-off.
+std::unique_ptr<ScalarCost> NoRedistICost(const MachineConfig& machine);
+
+/// Data-parallel execution of `flops` floating-point-op-equivalents over
+/// `units` block-distributed work units (rows, columns, pulses): serial
+/// fraction + ceil-imbalanced parallel part + per-processor
+/// synchronization overhead,
+///   fixed_s + (flops/F) * ceil(units/p)/units + sync*p.
+std::unique_ptr<ScalarCost> BlockExecCost(const MachineConfig& machine,
+                                          double flops, int units,
+                                          double fixed_s = 0.0);
+
+/// Execution with an embedded reduction tree (e.g. histogram/statistics
+/// stages): BlockExecCost plus ceil(log2 p) communication steps each moving
+/// `reduce_bytes`:
+///   block_exec(p) + ceil(log2 p) * (o + reduce_bytes/B).
+std::unique_ptr<ScalarCost> TreeReduceExecCost(const MachineConfig& machine,
+                                               double flops, int units,
+                                               double reduce_bytes,
+                                               double fixed_s = 0.0);
+
+}  // namespace pipemap

@@ -1,0 +1,68 @@
+#include "workloads/fft_hist.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "workloads/comm_kernels.h"
+
+namespace pipemap::workloads {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+}  // namespace
+
+Workload MakeFftHist(int n, CommMode mode) {
+  PIPEMAP_CHECK(n >= 8, "MakeFftHist: array size too small");
+  MachineConfig machine = MachineConfig::IWarp64(mode);
+  // Memory sized so that (per the paper's Section 6.3 analysis at 256x256)
+  // a colffts instance needs at least 3 processors and a rowffts+hist
+  // instance at least 4.
+  machine.node_memory_bytes = 1.0 * kMB;
+
+  // One data set: n x n complex values, 16 bytes each (double complex).
+  const double array_bytes = static_cast<double>(n) * n * 16.0;
+  const double log2n = std::log2(static_cast<double>(n));
+
+  // FFT work: n 1-D FFTs of length n, ~5 n log2 n flops each.
+  const double fft_flops = 5.0 * n * n * log2n;
+  // Statistics: ~30 ops per element locally, then a tree reduction of the
+  // per-processor statistics vectors (4 bytes per element).
+  const double hist_flops = 30.0 * static_cast<double>(n) * n;
+  const double hist_reduce_bytes = 4.0 * static_cast<double>(n) * n;
+
+  // Memory footprints: input + output + workspace for the FFT stages, the
+  // array + statistics buffers for hist; a small per-node fixed part
+  // (globals, compiler buffers).
+  const double fixed_bytes = 0.05 * kMB;
+  const MemorySpec colffts_mem{fixed_bytes, 2.5 * array_bytes};
+  const MemorySpec rowffts_mem{fixed_bytes, 2.0 * array_bytes};
+  const MemorySpec hist_mem{fixed_bytes, 1.2 * array_bytes};
+
+  ChainCostModel costs;
+  costs.AddTask(BlockExecCost(machine, fft_flops, n, 1.0e-4), colffts_mem);
+  costs.AddTask(BlockExecCost(machine, fft_flops, n, 1.0e-4), rowffts_mem);
+  costs.AddTask(
+      TreeReduceExecCost(machine, hist_flops, n, hist_reduce_bytes, 1.0e-4),
+      hist_mem);
+
+  // colffts -> rowffts: a transpose; comparable cost internal or external.
+  costs.SetEdge(0, RemapICost(machine, array_bytes),
+                RemapECost(machine, array_bytes));
+  // rowffts -> hist: same distribution; free when clustered, a full copy
+  // when split.
+  costs.SetEdge(1, NoRedistICost(machine),
+                RemapECost(machine, array_bytes));
+
+  std::vector<Task> tasks = {
+      Task{"colffts", true},
+      Task{"rowffts", true},
+      Task{"hist", true},
+  };
+
+  Workload w{"FFT-Hist " + std::to_string(n) + "x" + std::to_string(n),
+             TaskChain(std::move(tasks), std::move(costs)), machine};
+  return w;
+}
+
+}  // namespace pipemap::workloads

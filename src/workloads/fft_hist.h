@@ -1,0 +1,30 @@
+// FFT-Hist (paper Section 6.2): the example program used throughout the
+// paper's evaluation.
+//
+// A stream of n x n complex arrays flows through three tasks:
+//   colffts  — 1-D FFTs over the columns (column-block distributed),
+//   rowffts  — 1-D FFTs over the rows (row-block distributed),
+//   hist     — statistical analysis with significant internal communication
+//              (a reduction tree over per-processor statistics).
+//
+// The cost structure that drives the paper's mapping decisions:
+//   * colffts -> rowffts crosses distributions, so the transpose costs
+//     roughly the same whether the tasks share processors (icom) or not
+//     (ecom) — clustering them buys nothing;
+//   * rowffts -> hist share a distribution, so clustering them eliminates
+//     the transfer entirely;
+//   * hist's reduction makes it inefficient on large groups, rewarding many
+//     small replicated instances;
+//   * merging more tasks into a module adds their memory footprints,
+//     raising the module's minimum processors and capping replication.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace pipemap::workloads {
+
+/// Builds FFT-Hist for n x n complex data sets (the paper uses n = 256 and
+/// n = 512) on a 64-cell iWarp in the given communication mode.
+Workload MakeFftHist(int n, CommMode mode);
+
+}  // namespace pipemap::workloads

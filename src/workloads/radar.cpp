@@ -1,0 +1,70 @@
+#include "workloads/radar.h"
+
+#include <cmath>
+
+#include "workloads/comm_kernels.h"
+
+namespace pipemap::workloads {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+}  // namespace
+
+Workload MakeRadar(CommMode mode) {
+  MachineConfig machine = MachineConfig::IWarp64(mode);
+  // Radar state (dwell history, filter weights, track files) is sized so
+  // that instances need 2-3 processors: replication is plentiful but not
+  // unbounded.
+  machine.node_memory_bytes = 0.5 * kMB;
+
+  const int samples = 512;
+  const int lanes = 10 * 4;  // range gates x channels
+  const double elems = static_cast<double>(samples) * lanes;
+  const double dwell_bytes = elems * 8.0;  // complex float
+
+  // Corner turn: negligible arithmetic, pure reformatting.
+  const double ct_flops = 2.0 * elems;
+  // Pulse FFTs: 512-point FFT per lane.
+  const double fft_flops = 5.0 * samples * std::log2(samples) * lanes;
+  // Doppler filtering: complex multiply-accumulate per element.
+  const double doppler_flops = 8.0 * elems;
+  // CFAR: sliding-window statistics plus a small detection reduce.
+  const double cfar_flops = 10.0 * elems;
+  const double cfar_reduce_bytes = 32768.0;
+
+  const double fixed_bytes = 0.05 * kMB;
+  ChainCostModel costs;
+  costs.AddTask(BlockExecCost(machine, ct_flops, lanes, 5.0e-5),
+                MemorySpec{fixed_bytes, 0.9 * kMB});
+  costs.AddTask(BlockExecCost(machine, fft_flops, lanes, 5.0e-5),
+                MemorySpec{fixed_bytes, 1.3 * kMB});
+  costs.AddTask(BlockExecCost(machine, doppler_flops, lanes, 5.0e-5),
+                MemorySpec{fixed_bytes, 1.1 * kMB});
+  costs.AddTask(
+      TreeReduceExecCost(machine, cfar_flops, lanes, cfar_reduce_bytes,
+                         5.0e-5),
+      MemorySpec{fixed_bytes, 0.7 * kMB});
+
+  // ct -> fft: the corner turn crosses distributions (sample-major to
+  // lane-major): full remap either way.
+  costs.SetEdge(0, RemapICost(machine, dwell_bytes),
+                RemapECost(machine, dwell_bytes));
+  // fft -> doppler: same lane-block distribution.
+  costs.SetEdge(1, NoRedistICost(machine), RemapECost(machine, dwell_bytes));
+  // doppler -> cfar: range-cell reordering: remap either way.
+  costs.SetEdge(2, RemapICost(machine, dwell_bytes),
+                RemapECost(machine, dwell_bytes));
+
+  std::vector<Task> tasks = {
+      Task{"ct", true},
+      Task{"fft", true},
+      Task{"doppler", true},
+      Task{"cfar", true},
+  };
+
+  return Workload{"Radar 512x10x4",
+                  TaskChain(std::move(tasks), std::move(costs)), machine};
+}
+
+}  // namespace pipemap::workloads

@@ -1,0 +1,64 @@
+#include "workloads/stereo.h"
+
+#include "workloads/comm_kernels.h"
+
+namespace pipemap::workloads {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+}  // namespace
+
+Workload MakeStereo(CommMode mode) {
+  MachineConfig machine = MachineConfig::IWarp64(mode);
+  machine.node_memory_bytes = 1.0 * kMB;
+
+  const int rows = 100;
+  const double pixels = 256.0 * rows;
+  const int disparities = 16;
+
+  // Three 8-bit camera images in; 16 single-precision difference/error
+  // images between the middle stages.
+  const double capture_bytes = 3.0 * pixels;
+  const double stack_bytes = disparities * pixels * 4.0;
+
+  const double capture_flops = 2.0 * capture_bytes;
+  const double disparity_flops = disparities * 5.0 * pixels;
+  const double error_flops = disparities * 10.0 * pixels;
+  const double depth_flops = disparities * 2.0 * pixels;
+  const double depth_reduce_bytes = pixels * 4.0;
+
+  const double fixed_bytes = 0.05 * kMB;
+  ChainCostModel costs;
+  costs.AddTask(BlockExecCost(machine, capture_flops, rows, 2.0e-4),
+                MemorySpec{fixed_bytes, 0.2 * kMB});
+  costs.AddTask(BlockExecCost(machine, disparity_flops, rows, 1.0e-4),
+                MemorySpec{fixed_bytes, capture_bytes + stack_bytes});
+  costs.AddTask(BlockExecCost(machine, error_flops, rows, 1.0e-4),
+                MemorySpec{fixed_bytes, 2.0 * stack_bytes});
+  costs.AddTask(
+      TreeReduceExecCost(machine, depth_flops, rows, depth_reduce_bytes,
+                         1.0e-4),
+      MemorySpec{fixed_bytes, stack_bytes + 0.1 * kMB});
+
+  // capture -> disparity: broadcast/scatter of the camera images.
+  costs.SetEdge(0, RemapICost(machine, capture_bytes),
+                RemapECost(machine, capture_bytes));
+  // disparity -> error: same row-block distribution of the image stack.
+  costs.SetEdge(1, NoRedistICost(machine), RemapECost(machine, stack_bytes));
+  // error -> depth: same distribution again; the reduction happens inside
+  // the depth task.
+  costs.SetEdge(2, NoRedistICost(machine), RemapECost(machine, stack_bytes));
+
+  std::vector<Task> tasks = {
+      Task{"capture", false},  // ordered camera source: not replicable
+      Task{"disparity", true},
+      Task{"error", true},
+      Task{"depth", true},
+  };
+
+  return Workload{"Stereo 256x100",
+                  TaskChain(std::move(tasks), std::move(costs)), machine};
+}
+
+}  // namespace pipemap::workloads

@@ -1,0 +1,19 @@
+// Multi-baseline stereo (paper Sections 1 and 6.4; Webb [15]).
+//
+// Three camera images per data set; a difference image per each of 16
+// disparity levels; an error image per difference image; and a minimum
+// reduction producing the depth map. The capture stage is modeled as
+// non-replicable (a single ordered camera source), which caps replication
+// on the front of the pipeline — one reason the paper's stereo speedup over
+// data parallelism (2.75x) is the smallest of its applications.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace pipemap::workloads {
+
+/// Builds the stereo chain (256 x 100 images, 16 disparities) on a 64-cell
+/// iWarp.
+Workload MakeStereo(CommMode mode);
+
+}  // namespace pipemap::workloads

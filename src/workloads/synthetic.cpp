@@ -1,0 +1,85 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+
+#include "costmodel/poly.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace pipemap::workloads {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+}  // namespace
+
+Workload MakeSynthetic(const SyntheticSpec& spec, std::uint64_t seed) {
+  PIPEMAP_CHECK(spec.num_tasks >= 1, "MakeSynthetic: need at least one task");
+  PIPEMAP_CHECK(spec.machine_procs >= spec.num_tasks,
+                "MakeSynthetic: machine smaller than the chain");
+  Rng rng(seed);
+
+  MachineConfig machine;
+  machine.name = "synthetic";
+  // A square-ish grid big enough for machine_procs.
+  machine.grid_rows = 1;
+  while (machine.grid_rows * machine.grid_rows < spec.machine_procs) {
+    ++machine.grid_rows;
+  }
+  machine.grid_cols =
+      (spec.machine_procs + machine.grid_rows - 1) / machine.grid_rows;
+  machine.node_memory_bytes = 1.0 * kMB;
+
+  const double headroom = machine.node_memory_bytes * 0.9;
+  const int max_min_procs = std::max(
+      1, static_cast<int>(2.0 * spec.memory_tightness * spec.machine_procs /
+                          spec.num_tasks));
+
+  ChainCostModel costs;
+  std::vector<Task> tasks;
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    const double work = spec.mean_work_s * rng.Uniform(0.3, 1.7);
+    const double fixed = work * rng.Uniform(0.0, 0.08);
+    const double overhead = work * rng.Uniform(0.0, 0.01);
+    auto exec = std::make_unique<PolyScalarCost>(fixed, work, overhead);
+
+    // Choose a target memory minimum, then a distributed footprint that
+    // produces it under MinProcessors.
+    const int min_procs =
+        spec.memory_tightness <= 0.0 ? 1 : rng.UniformInt(1, max_min_procs);
+    const double dist_bytes =
+        min_procs <= 1 ? 0.0 : (min_procs - 0.5) * headroom;
+    costs.AddTask(std::move(exec),
+                  MemorySpec{machine.node_memory_bytes * 0.1, dist_bytes});
+
+    const bool replicable = rng.NextDouble() < spec.replicable_fraction;
+    tasks.push_back(Task{"t" + std::to_string(t), replicable});
+  }
+
+  for (int e = 0; e < spec.num_tasks - 1; ++e) {
+    const double volume =
+        spec.mean_work_s * spec.comm_comp_ratio * rng.Uniform(0.3, 1.7);
+    if (spec.monotone_comm) {
+      // f(ps, pr) = fixed + a*ps + b*pr: strictly increasing in both.
+      const double fixed = volume * rng.Uniform(0.2, 0.6);
+      const double a = volume * rng.Uniform(0.005, 0.03);
+      const double b = volume * rng.Uniform(0.005, 0.03);
+      costs.SetEdge(e,
+                    std::make_unique<PolyScalarCost>(fixed, 0.0, a + b),
+                    std::make_unique<PolyPairCost>(fixed, 0.0, 0.0, a, b));
+    } else {
+      const double fixed = volume * rng.Uniform(0.05, 0.2);
+      const double par = volume * rng.Uniform(0.5, 1.0);
+      const double over = volume * rng.Uniform(0.002, 0.02);
+      costs.SetEdge(e,
+                    std::make_unique<PolyScalarCost>(fixed, par, over),
+                    std::make_unique<PolyPairCost>(fixed, par / 2.0, par / 2.0,
+                                                   over / 2.0, over / 2.0));
+    }
+  }
+
+  return Workload{"synthetic-" + std::to_string(seed),
+                  TaskChain(std::move(tasks), std::move(costs)), machine};
+}
+
+}  // namespace pipemap::workloads

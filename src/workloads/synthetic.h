@@ -1,0 +1,39 @@
+// Synthetic task chains for property tests and scaling benchmarks.
+//
+// Generates chains with Section-5 polynomial ground truth whose shape is
+// controlled by knobs matching the paper's theorem preconditions:
+// convexity (Theorem 2), monotone communication (Theorem 1), the
+// communication/computation ratio, replicability, and memory tightness.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace pipemap::workloads {
+
+struct SyntheticSpec {
+  int num_tasks = 4;
+  int machine_procs = 32;
+
+  /// Mean serial computation per task, seconds.
+  double mean_work_s = 0.1;
+  /// Communication volume relative to computation (0 = free communication).
+  double comm_comp_ratio = 0.3;
+
+  /// When set, external communication is monotonically increasing in both
+  /// processor counts (Theorem 1's precondition): the 1/p terms are zeroed.
+  bool monotone_comm = false;
+
+  /// Probability that a task is replicable.
+  double replicable_fraction = 1.0;
+  /// Expected per-task memory minimum as a fraction of machine_procs /
+  /// num_tasks (0 = every task fits on one processor).
+  double memory_tightness = 0.25;
+};
+
+/// Deterministic generation: the same (spec, seed) always yields the same
+/// workload.
+Workload MakeSynthetic(const SyntheticSpec& spec, std::uint64_t seed);
+
+}  // namespace pipemap::workloads

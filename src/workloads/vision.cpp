@@ -1,0 +1,61 @@
+#include "workloads/vision.h"
+
+#include "workloads/comm_kernels.h"
+
+namespace pipemap::workloads {
+
+Workload MakeVision(CommMode mode) {
+  MachineConfig machine;
+  machine.name = "wide48";
+  machine.grid_rows = 4;
+  machine.grid_cols = 12;
+  machine.node_memory_bytes = 2.0 * (1 << 20);
+  machine.node_flops = 50e6;
+  machine.node_bandwidth = 80e6;
+  machine.comm_mode = mode;
+  if (mode == CommMode::kSystolic) {
+    machine.msg_overhead_s = 8e-6;
+    machine.transfer_startup_s = 80e-6;
+  } else {
+    machine.msg_overhead_s = 150e-6;
+    machine.transfer_startup_s = 300e-6;
+  }
+
+  // 1920x1080 frames, 2 bytes per pixel raw; row-block distributed.
+  const int rows = 1080;
+  const double frame = 1920.0 * rows * 2.0;
+
+  ChainCostModel costs;
+  costs.AddTask(BlockExecCost(machine, 4e6, rows, 1e-4),
+                MemorySpec{64 << 10, 2 * frame});
+  costs.AddTask(BlockExecCost(machine, 30e6, rows, 1e-4),
+                MemorySpec{64 << 10, 3 * frame});
+  costs.AddTask(BlockExecCost(machine, 55e6, rows, 1e-4),
+                MemorySpec{64 << 10, 4 * frame});
+  costs.AddTask(TreeReduceExecCost(machine, 40e6, rows, 256 << 10, 1e-4),
+                MemorySpec{64 << 10, 3 * frame});
+  costs.AddTask(BlockExecCost(machine, 12e6, rows, 1e-4),
+                MemorySpec{64 << 10, 1.5 * frame});
+
+  // acquire -> demosaic and demosaic -> denoise share the row-block
+  // distribution; denoise -> segment needs halo/reorder traffic either
+  // way; segment -> encode shares the distribution again.
+  costs.SetEdge(0, NoRedistICost(machine), RemapECost(machine, frame));
+  costs.SetEdge(1, NoRedistICost(machine), RemapECost(machine, 3 * frame));
+  costs.SetEdge(2, RemapICost(machine, 3 * frame),
+                RemapECost(machine, 3 * frame));
+  costs.SetEdge(3, NoRedistICost(machine), RemapECost(machine, frame));
+
+  std::vector<Task> tasks = {
+      Task{"acquire", false},  // ordered camera source
+      Task{"demosaic", true},
+      Task{"denoise", true},
+      Task{"segment", true},
+      Task{"encode", true},
+  };
+
+  return Workload{"Vision 1920x1080",
+                  TaskChain(std::move(tasks), std::move(costs)), machine};
+}
+
+}  // namespace pipemap::workloads

@@ -1,0 +1,21 @@
+// A five-stage video-analytics pipeline: acquire -> demosaic -> denoise ->
+// segment -> encode, on full-HD frames.
+//
+// Not one of the paper's three applications, but squarely in the class the
+// paper targets ("a large class of real applications in computer vision,
+// image processing, and signal processing conform to this model") — and a
+// longer chain (k = 5) than the paper's programs, which exercises the
+// clustering dimension of the mapping algorithms harder. The acquire stage
+// is a single ordered camera source and therefore not replicable.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace pipemap::workloads {
+
+/// Builds the vision chain on a wide 4x12 (48-processor) machine — a
+/// deliberately non-square grid where rectangle feasibility bites
+/// differently than on the paper's 8x8 array.
+Workload MakeVision(CommMode mode);
+
+}  // namespace pipemap::workloads

@@ -1,0 +1,18 @@
+// A workload couples a task chain (with ground-truth costs) to the machine
+// it is evaluated on.
+#pragma once
+
+#include <string>
+
+#include "core/task.h"
+#include "machine/machine.h"
+
+namespace pipemap {
+
+struct Workload {
+  std::string name;
+  TaskChain chain;
+  MachineConfig machine;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,124 @@
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "support/error.h"
+#include "workloads/synthetic.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+TEST(DataParallelMappingTest, OneModuleAllProcessors) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 10, kTestNodeMemory);
+  const MapResult result = DataParallelMapping(eval, 10);
+  ASSERT_EQ(result.mapping.num_modules(), 1);
+  EXPECT_EQ(result.mapping.modules[0].replicas, 1);
+  EXPECT_EQ(result.mapping.modules[0].procs_per_instance, 10);
+  EXPECT_EQ(result.mapping.modules[0].first_task, 0);
+  EXPECT_EQ(result.mapping.modules[0].last_task, 2);
+}
+
+TEST(DataParallelMappingTest, InfeasibleWhenChainDoesNotFit) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 8}, TaskSpec{0, 1, 0, 8}}, {EdgeSpec{}});
+  const Evaluator eval(chain, 10, kTestNodeMemory);
+  EXPECT_THROW(DataParallelMapping(eval, 10), Infeasible);
+}
+
+TEST(ReplicatedDataParallelTest, ReplicatesWholeChain) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.5, 1.0, 0.0, 1}, TaskSpec{0.5, 1.0, 0.0, 1}},
+      {EdgeSpec{}});
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  const MapResult result =
+      ReplicatedDataParallelMapping(eval, 8, ReplicationPolicy::kMaximal);
+  ASSERT_EQ(result.mapping.num_modules(), 1);
+  EXPECT_EQ(result.mapping.modules[0].replicas, 8);
+}
+
+TEST(ReplicatedDataParallelTest, BeatsPlainDataParallelWithFixedCosts) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.5, 1.0, 0.0, 1}, TaskSpec{0.5, 1.0, 0.0, 1}},
+      {EdgeSpec{}});
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  const MapResult plain = DataParallelMapping(eval, 8);
+  const MapResult replicated =
+      ReplicatedDataParallelMapping(eval, 8, ReplicationPolicy::kMaximal);
+  EXPECT_GT(replicated.throughput, plain.throughput);
+}
+
+TEST(TaskParallelMappingTest, SplitsEvenlyRespectingMinima) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 1}, TaskSpec{0, 1, 0, 4}, TaskSpec{0, 1, 0, 1}},
+      {EdgeSpec{}, EdgeSpec{}});
+  const Evaluator eval(chain, 9, kTestNodeMemory);
+  const MapResult result = TaskParallelMapping(eval, 9);
+  ASSERT_EQ(result.mapping.num_modules(), 3);
+  EXPECT_EQ(result.mapping.TotalProcs(), 9);
+  EXPECT_GE(result.mapping.modules[1].procs_per_instance, 4);
+  for (const ModuleAssignment& m : result.mapping.modules) {
+    EXPECT_EQ(m.replicas, 1);
+  }
+}
+
+TEST(TaskParallelMappingTest, InfeasibleWhenMinimaExceedMachine) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 4}, TaskSpec{0, 1, 0, 4}}, {EdgeSpec{}});
+  const Evaluator eval(chain, 6, kTestNodeMemory);
+  EXPECT_THROW(TaskParallelMapping(eval, 6), Infeasible);
+}
+
+TEST(NoCommAssignmentTest, BalancesExecutionTimes) {
+  // Task 1 has 3x the work of task 0: with 8 processors and no
+  // replication, the exec-balancing split is 2/6.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.0, 1.0, 0.0, 1, false}, TaskSpec{0.0, 3.0, 0.0, 1, false}},
+      {EdgeSpec{}});
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  const MapResult result =
+      NoCommAssignmentMapping(eval, 8, ReplicationPolicy::kNone);
+  ASSERT_EQ(result.mapping.num_modules(), 2);
+  EXPECT_EQ(result.mapping.modules[0].procs_per_instance, 2);
+  EXPECT_EQ(result.mapping.modules[1].procs_per_instance, 6);
+}
+
+TEST(NoCommAssignmentTest, NeverBeatsDpUnderTheFullModel) {
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = 4;
+  spec.machine_procs = 12;
+  spec.comm_comp_ratio = 0.8;  // heavy communication: ignoring it hurts
+  for (int seed = 0; seed < 10; ++seed) {
+    const Workload w = workloads::MakeSynthetic(spec, 3000 + seed);
+    const Evaluator eval(w.chain, 12, w.machine.node_memory_bytes);
+    const MapResult dp = DpMapper().Map(eval, 12);
+    const MapResult nocomm =
+        NoCommAssignmentMapping(eval, 12, ReplicationPolicy::kMaximal);
+    EXPECT_LE(nocomm.throughput, dp.throughput * (1.0 + 1e-9))
+        << "seed " << seed;
+  }
+}
+
+TEST(BaselineTest, AllBaselinesReportEvaluatorThroughput) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 12, kTestNodeMemory);
+  for (const MapResult& r :
+       {DataParallelMapping(eval, 12),
+        ReplicatedDataParallelMapping(eval, 12, ReplicationPolicy::kMaximal),
+        TaskParallelMapping(eval, 12),
+        NoCommAssignmentMapping(eval, 12, ReplicationPolicy::kMaximal)}) {
+    EXPECT_NEAR(r.throughput, eval.Throughput(r.mapping), 1e-12);
+    EXPECT_TRUE(r.mapping.IsValidFor(chain.size()));
+    EXPECT_LE(r.mapping.TotalProcs(), 12);
+  }
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,138 @@
+#include "core/chain_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/poly.h"
+#include "support/error.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::TaskSpec;
+
+TaskChain FourTasks() {
+  return BuildChain(
+      {TaskSpec{0.1, 1.0, 0.0, 1}, TaskSpec{0.2, 2.0, 0.0, 2},
+       TaskSpec{0.3, 3.0, 0.0, 1, false}, TaskSpec{0.4, 4.0, 0.0, 1}},
+      {EdgeSpec{0.01, 0, 0, 0.11, 0, 0, 0, 0},
+       EdgeSpec{0.02, 0, 0, 0.22, 0, 0, 0, 0},
+       EdgeSpec{0.03, 0, 0, 0.33, 0, 0, 0, 0}});
+}
+
+TEST(SubChainTest, KeepsTasksEdgesAndMemory) {
+  const TaskChain chain = FourTasks();
+  const TaskChain sub = SubChain(chain, 1, 2);
+  ASSERT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.task(0).name, "t1");
+  EXPECT_EQ(sub.task(1).name, "t2");
+  EXPECT_FALSE(sub.task(1).replicable);
+  EXPECT_DOUBLE_EQ(sub.costs().Exec(0, 2), chain.costs().Exec(1, 2));
+  EXPECT_DOUBLE_EQ(sub.costs().ICom(0, 4), chain.costs().ICom(1, 4));
+  EXPECT_DOUBLE_EQ(sub.costs().ECom(0, 3, 5), chain.costs().ECom(1, 3, 5));
+  EXPECT_DOUBLE_EQ(sub.costs().Memory(0).distributed_bytes,
+                   chain.costs().Memory(1).distributed_bytes);
+}
+
+TEST(SubChainTest, WholeRangeIsDeepCopy) {
+  const TaskChain chain = FourTasks();
+  TaskChain copy = SubChain(chain, 0, 3);
+  copy.mutable_costs().SetEdge(
+      0, std::make_unique<PolyScalarCost>(9.0, 0, 0),
+      std::make_unique<PolyPairCost>(9.0, 0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(chain.costs().ICom(0, 1), 0.01);
+  EXPECT_DOUBLE_EQ(copy.costs().ICom(0, 1), 9.0);
+}
+
+TEST(SubChainTest, SingleTaskRange) {
+  const TaskChain sub = SubChain(FourTasks(), 2, 2);
+  EXPECT_EQ(sub.size(), 1);
+  EXPECT_EQ(sub.costs().num_edges(), 0);
+}
+
+TEST(SubChainTest, BadRangeThrows) {
+  EXPECT_THROW(SubChain(FourTasks(), 2, 1), InvalidArgument);
+  EXPECT_THROW(SubChain(FourTasks(), 0, 4), InvalidArgument);
+}
+
+TEST(ConcatChainsTest, JoinsWithSuppliedEdge) {
+  const TaskChain chain = FourTasks();
+  const TaskChain head = SubChain(chain, 0, 1);
+  const TaskChain tail = SubChain(chain, 2, 3);
+  const TaskChain joined = ConcatChains(
+      head, tail, std::make_unique<PolyScalarCost>(0.02, 0, 0),
+      std::make_unique<PolyPairCost>(0.22, 0, 0, 0, 0));
+  ASSERT_EQ(joined.size(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(joined.task(t).name, chain.task(t).name);
+    EXPECT_DOUBLE_EQ(joined.costs().Exec(t, 3), chain.costs().Exec(t, 3));
+  }
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(joined.costs().ICom(e, 5), chain.costs().ICom(e, 5));
+    EXPECT_DOUBLE_EQ(joined.costs().ECom(e, 2, 3),
+                     chain.costs().ECom(e, 2, 3));
+  }
+}
+
+TEST(ConcatChainsTest, SubThenConcatIsIdentityForCosts) {
+  // Splitting anywhere and rejoining with the original edge reproduces the
+  // original chain's cost surface.
+  const TaskChain chain = FourTasks();
+  for (int split = 0; split < 3; ++split) {
+    const TaskChain joined = ConcatChains(
+        SubChain(chain, 0, split), SubChain(chain, split + 1, 3),
+        chain.costs().IComFn(split).Clone(),
+        chain.costs().EComFn(split).Clone());
+    for (int e = 0; e < 3; ++e) {
+      EXPECT_DOUBLE_EQ(joined.costs().ICom(e, 7), chain.costs().ICom(e, 7))
+          << "split " << split << " edge " << e;
+    }
+  }
+}
+
+TEST(ConcatChainsTest, NullJointThrows) {
+  const TaskChain chain = FourTasks();
+  EXPECT_THROW(ConcatChains(SubChain(chain, 0, 0), SubChain(chain, 1, 3),
+                            nullptr, nullptr),
+               InvalidArgument);
+}
+
+TEST(EraseTaskTest, RemovesEndTaskWithoutJoint) {
+  const TaskChain chain = FourTasks();
+  const TaskChain no_first = EraseTask(chain, 0, nullptr, nullptr);
+  ASSERT_EQ(no_first.size(), 3);
+  EXPECT_EQ(no_first.task(0).name, "t1");
+  EXPECT_DOUBLE_EQ(no_first.costs().ICom(0, 2), chain.costs().ICom(1, 2));
+
+  const TaskChain no_last = EraseTask(chain, 3, nullptr, nullptr);
+  ASSERT_EQ(no_last.size(), 3);
+  EXPECT_EQ(no_last.task(2).name, "t2");
+  EXPECT_DOUBLE_EQ(no_last.costs().ICom(1, 2), chain.costs().ICom(1, 2));
+}
+
+TEST(EraseTaskTest, InteriorRemovalSplicesJoint) {
+  const TaskChain chain = FourTasks();
+  const TaskChain spliced = EraseTask(
+      chain, 1, std::make_unique<PolyScalarCost>(0.5, 0, 0),
+      std::make_unique<PolyPairCost>(0.7, 0, 0, 0, 0));
+  ASSERT_EQ(spliced.size(), 3);
+  EXPECT_EQ(spliced.task(1).name, "t2");
+  EXPECT_DOUBLE_EQ(spliced.costs().ICom(0, 4), 0.5);
+  EXPECT_DOUBLE_EQ(spliced.costs().ECom(0, 2, 2), 0.7);
+  // The t2 -> t3 edge is preserved.
+  EXPECT_DOUBLE_EQ(spliced.costs().ICom(1, 4), chain.costs().ICom(2, 4));
+}
+
+TEST(EraseTaskTest, InteriorWithoutJointThrows) {
+  EXPECT_THROW(EraseTask(FourTasks(), 1, nullptr, nullptr), InvalidArgument);
+}
+
+TEST(EraseTaskTest, CannotEmptyChain) {
+  const TaskChain single = BuildChain({TaskSpec{1, 0, 0, 1}}, {});
+  EXPECT_THROW(EraseTask(single, 0, nullptr, nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,102 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+TEST(ExplainTest, BreakdownSumsToResponse) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const MappingExplanation ex = ExplainMapping(eval, dp.mapping);
+  ASSERT_EQ(ex.modules.size(), dp.mapping.modules.size());
+  for (const ModuleExplanation& m : ex.modules) {
+    EXPECT_NEAR(m.response, m.in_com + m.body + m.out_com, 1e-12);
+    EXPECT_NEAR(m.effective_response, m.response / m.replicas, 1e-12);
+    EXPECT_GE(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_NEAR(ex.throughput, dp.throughput, 1e-9);
+}
+
+TEST(ExplainTest, BottleneckHasFullUtilization) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const MappingExplanation ex = ExplainMapping(eval, dp.mapping);
+  EXPECT_NEAR(ex.modules[ex.bottleneck].utilization, 1.0, 1e-12);
+  EXPECT_NEAR(ex.modules[ex.bottleneck].effective_response,
+              1.0 / ex.throughput, 1e-9);
+}
+
+TEST(ExplainTest, EndModulesHaveNoExternalBoundaryOnTheOutside) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 12, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 4});
+  m.modules.push_back(ModuleAssignment{1, 2, 1, 8});
+  const MappingExplanation ex = ExplainMapping(eval, m);
+  EXPECT_DOUBLE_EQ(ex.modules.front().in_com, 0.0);
+  EXPECT_DOUBLE_EQ(ex.modules.back().out_com, 0.0);
+  EXPECT_GT(ex.modules.front().out_com, 0.0);
+  EXPECT_GT(ex.modules.back().in_com, 0.0);
+}
+
+TEST(ExplainTest, ReplicationStateReported) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const MappingExplanation ex = ExplainMapping(eval, dp.mapping);
+  for (const ModuleExplanation& m : ex.modules) {
+    EXPECT_TRUE(m.replicable);
+    EXPECT_GE(m.max_replicas, m.replicas);
+    EXPECT_GE(m.procs, m.min_procs);
+  }
+}
+
+TEST(ExplainTest, NonReplicableModuleFlagged) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{1, 0, 0, 1, false}, TaskSpec{1, 0, 0, 1, true}},
+      {EdgeSpec{}});
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 4});
+  m.modules.push_back(ModuleAssignment{1, 1, 4, 1});
+  const MappingExplanation ex = ExplainMapping(eval, m);
+  EXPECT_FALSE(ex.modules[0].replicable);
+  EXPECT_EQ(ex.modules[0].max_replicas, 1);
+  EXPECT_TRUE(ex.modules[1].replicable);
+}
+
+TEST(ExplainTest, RenderNamesTasksAndBottleneck) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const std::string s =
+      ExplainMapping(eval, dp.mapping).Render(w.chain);
+  EXPECT_NE(s.find("colffts"), std::string::npos);
+  EXPECT_NE(s.find("bottleneck"), std::string::npos);
+  EXPECT_NE(s.find("memory minimum"), std::string::npos);
+  EXPECT_NE(s.find("data sets/s"), std::string::npos);
+}
+
+TEST(ExplainTest, InvalidMappingThrows) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  Mapping bad;
+  EXPECT_THROW(ExplainMapping(eval, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

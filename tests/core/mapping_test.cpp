@@ -1,0 +1,109 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+Mapping TwoModuleMapping() {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 2, 3});
+  m.modules.push_back(ModuleAssignment{1, 2, 1, 4});
+  return m;
+}
+
+TEST(ModuleAssignmentTest, DerivedQuantities) {
+  const ModuleAssignment m{1, 3, 4, 5};
+  EXPECT_EQ(m.num_tasks(), 3);
+  EXPECT_EQ(m.total_procs(), 20);
+}
+
+TEST(MappingTest, TotalProcsSumsInstances) {
+  EXPECT_EQ(TwoModuleMapping().TotalProcs(), 2 * 3 + 4);
+}
+
+TEST(MappingTest, IsValidForAcceptsPartition) {
+  EXPECT_TRUE(TwoModuleMapping().IsValidFor(3));
+}
+
+TEST(MappingTest, IsValidForRejectsWrongTaskCount) {
+  EXPECT_FALSE(TwoModuleMapping().IsValidFor(4));
+  EXPECT_FALSE(TwoModuleMapping().IsValidFor(2));
+}
+
+TEST(MappingTest, IsValidForRejectsGapsAndOverlaps) {
+  Mapping gap;
+  gap.modules.push_back(ModuleAssignment{0, 0, 1, 1});
+  gap.modules.push_back(ModuleAssignment{2, 2, 1, 1});
+  EXPECT_FALSE(gap.IsValidFor(3));
+
+  Mapping overlap;
+  overlap.modules.push_back(ModuleAssignment{0, 1, 1, 1});
+  overlap.modules.push_back(ModuleAssignment{1, 2, 1, 1});
+  EXPECT_FALSE(overlap.IsValidFor(3));
+}
+
+TEST(MappingTest, IsValidForRejectsEmptyOrNonPositive) {
+  Mapping empty;
+  EXPECT_FALSE(empty.IsValidFor(1));
+
+  Mapping bad;
+  bad.modules.push_back(ModuleAssignment{0, 0, 0, 1});
+  EXPECT_FALSE(bad.IsValidFor(1));
+  bad.modules[0] = ModuleAssignment{0, 0, 1, 0};
+  EXPECT_FALSE(bad.IsValidFor(1));
+}
+
+TEST(MappingTest, ModuleOfLocatesTask) {
+  const Mapping m = TwoModuleMapping();
+  EXPECT_EQ(m.ModuleOf(0), 0);
+  EXPECT_EQ(m.ModuleOf(1), 1);
+  EXPECT_EQ(m.ModuleOf(2), 1);
+  EXPECT_THROW(m.ModuleOf(3), InvalidArgument);
+}
+
+TEST(MappingTest, ToStringShowsStructure) {
+  const TaskChain chain = testing::SmallChain();
+  const std::string s = TwoModuleMapping().ToString(chain);
+  EXPECT_NE(s.find("[t0]x2 @3p"), std::string::npos);
+  EXPECT_NE(s.find("[t1 t2]x1 @4p"), std::string::npos);
+  EXPECT_NE(s.find("(10 procs)"), std::string::npos);
+}
+
+TEST(MappingTest, EqualityIsStructural) {
+  EXPECT_EQ(TwoModuleMapping(), TwoModuleMapping());
+  Mapping other = TwoModuleMapping();
+  other.modules[0].replicas = 3;
+  EXPECT_NE(TwoModuleMapping(), other);
+}
+
+TEST(ValidateMappingTest, AcceptsValidMapping) {
+  const TaskChain chain = testing::SmallChain();
+  EXPECT_NO_THROW(ValidateMapping(TwoModuleMapping(), chain, 10));
+}
+
+TEST(ValidateMappingTest, RejectsOverBudget) {
+  const TaskChain chain = testing::SmallChain();
+  EXPECT_THROW(ValidateMapping(TwoModuleMapping(), chain, 9),
+               InvalidArgument);
+}
+
+TEST(ValidateMappingTest, RejectsReplicatedNonReplicableModule) {
+  const TaskChain chain = testing::BuildChain(
+      {testing::TaskSpec{0, 1, 0, 1, false},
+       testing::TaskSpec{0, 1, 0, 1, true}},
+      {testing::EdgeSpec{}});
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 2, 1});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 1});
+  EXPECT_THROW(ValidateMapping(m, chain, 10), InvalidArgument);
+  // Non-replicated is fine.
+  m.modules[0].replicas = 1;
+  EXPECT_NO_THROW(ValidateMapping(m, chain, 10));
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,137 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+TEST(SensitivityTest, SingleTaskHasUnitElasticity) {
+  // One module, one task: the bottleneck is entirely that task's
+  // execution, so a 10% cost increase costs (asymptotically) 10%
+  // throughput: elasticity ~ 1/(1.1) scaled... exactly 1/(1+eps*1)
+  // relative change => elasticity = 1/(1+eps) / ... measured with the
+  // finite difference it is 1/(1+eps) ~ 0.909 at eps = 0.1.
+  const TaskChain chain = BuildChain({TaskSpec{1.0, 0.0, 0.0, 1}}, {});
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 2});
+  const SensitivityReport report = AnalyzeSensitivity(eval, m, 0.1);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_NEAR(report.entries[0].elasticity, 1.0 / 1.1, 1e-9);
+  EXPECT_TRUE(report.entries[0].on_bottleneck);
+}
+
+TEST(SensitivityTest, OffBottleneckComponentHasZeroElasticityUntilCrossover) {
+  // Module 1 (1s) dominates module 0 (0.1s); perturbing task 0 by 10%
+  // cannot move the bottleneck.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.1, 0.0, 0.0, 1}, TaskSpec{1.0, 0.0, 0.0, 1}},
+      {EdgeSpec{}});
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 2});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 2});
+  const SensitivityReport report = AnalyzeSensitivity(eval, m, 0.1);
+  // Find the exec-task-0 entry.
+  for (const SensitivityEntry& e : report.entries) {
+    if (e.kind == SensitivityEntry::Kind::kExec && e.index == 0) {
+      EXPECT_DOUBLE_EQ(e.elasticity, 0.0);
+      EXPECT_FALSE(e.on_bottleneck);
+    }
+    if (e.kind == SensitivityEntry::Kind::kExec && e.index == 1) {
+      EXPECT_GT(e.elasticity, 0.5);
+      EXPECT_TRUE(e.on_bottleneck);
+    }
+  }
+}
+
+TEST(SensitivityTest, BoundaryTransferTouchesBothModules) {
+  // Two near-balanced modules joined by a costly transfer: the ecom
+  // component is on the bottleneck and has positive elasticity.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.5, 0.0, 0.0, 1}, TaskSpec{0.5, 0.0, 0.0, 1}},
+      {EdgeSpec{0, 0, 0, /*e_fixed=*/0.4, 0, 0, 0, 0}});
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 2});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 2});
+  const SensitivityReport report = AnalyzeSensitivity(eval, m, 0.1);
+  const auto ecom = std::find_if(
+      report.entries.begin(), report.entries.end(),
+      [](const SensitivityEntry& e) {
+        return e.kind == SensitivityEntry::Kind::kECom;
+      });
+  ASSERT_NE(ecom, report.entries.end());
+  EXPECT_TRUE(ecom->on_bottleneck);
+  // Transfer is 0.4 of the 0.9s bottleneck response: elasticity ~ 0.4/0.9
+  // (up to the finite-difference factor).
+  EXPECT_GT(ecom->elasticity, 0.3);
+  EXPECT_LT(ecom->elasticity, 0.5);
+}
+
+TEST(SensitivityTest, ElasticitiesAreSortedAndBounded) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const SensitivityReport report = AnalyzeSensitivity(eval, dp.mapping);
+  ASSERT_EQ(report.entries.size(), 5u);  // 3 exec + 2 edges
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    EXPECT_GE(report.entries[i].elasticity, 0.0);
+    EXPECT_LE(report.entries[i].elasticity, 1.0 + 1e-9);
+    if (i > 0) {
+      EXPECT_LE(report.entries[i].elasticity,
+                report.entries[i - 1].elasticity);
+    }
+  }
+  EXPECT_NEAR(report.base_throughput, dp.throughput, 1e-9);
+}
+
+TEST(SensitivityTest, MergedEdgeReportsICom) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  // DP optimum merges rowffts+hist: edge 1 is internal, edge 0 external.
+  const MapResult dp = DpMapper().Map(eval, 64);
+  ASSERT_EQ(dp.mapping.num_modules(), 2);
+  const SensitivityReport report = AnalyzeSensitivity(eval, dp.mapping);
+  int icom_count = 0, ecom_count = 0;
+  for (const SensitivityEntry& e : report.entries) {
+    if (e.kind == SensitivityEntry::Kind::kICom) ++icom_count;
+    if (e.kind == SensitivityEntry::Kind::kECom) ++ecom_count;
+  }
+  EXPECT_EQ(icom_count, 1);
+  EXPECT_EQ(ecom_count, 1);
+}
+
+TEST(SensitivityTest, SummaryNamesComponents) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const std::string s =
+      AnalyzeSensitivity(eval, dp.mapping).Summary(w.chain);
+  EXPECT_NE(s.find("exec"), std::string::npos);
+  EXPECT_NE(s.find("colffts"), std::string::npos);
+  EXPECT_NE(s.find("bottleneck"), std::string::npos);
+}
+
+TEST(SensitivityTest, InvalidArgumentsThrow) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 2, 1, 4});
+  EXPECT_THROW(AnalyzeSensitivity(eval, m, 0.0), InvalidArgument);
+  Mapping bad;
+  EXPECT_THROW(AnalyzeSensitivity(eval, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,84 @@
+#include "core/task.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "costmodel/poly.h"
+#include "support/error.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::TaskSpec;
+
+TEST(TaskChainTest, SizeAndAccess) {
+  const TaskChain chain = testing::SmallChain();
+  EXPECT_EQ(chain.size(), 3);
+  EXPECT_EQ(chain.task(0).name, "t0");
+  EXPECT_EQ(chain.task(2).name, "t2");
+  EXPECT_THROW(chain.task(3), InvalidArgument);
+  EXPECT_THROW(chain.task(-1), InvalidArgument);
+}
+
+TEST(TaskChainTest, RejectsEmptyChain) {
+  EXPECT_THROW(TaskChain({}, ChainCostModel{}), InvalidArgument);
+}
+
+TEST(TaskChainTest, RejectsSizeMismatch) {
+  ChainCostModel costs;
+  costs.AddTask(std::make_unique<PolyScalarCost>(1, 0, 0), {});
+  EXPECT_THROW(TaskChain({Task{"a"}, Task{"b"}}, std::move(costs)),
+               InvalidArgument);
+}
+
+TEST(TaskChainTest, RangeReplicableAllTrue) {
+  const TaskChain chain = testing::SmallChain();
+  EXPECT_TRUE(chain.RangeReplicable(0, 2));
+  EXPECT_TRUE(chain.RangeReplicable(1, 1));
+}
+
+TEST(TaskChainTest, RangeReplicableDetectsNonReplicableMember) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 1, true}, TaskSpec{0, 1, 0, 1, false},
+       TaskSpec{0, 1, 0, 1, true}},
+      {EdgeSpec{}, EdgeSpec{}});
+  EXPECT_FALSE(chain.RangeReplicable(0, 1));
+  EXPECT_FALSE(chain.RangeReplicable(1, 2));
+  EXPECT_FALSE(chain.RangeReplicable(0, 2));
+  EXPECT_TRUE(chain.RangeReplicable(0, 0));
+  EXPECT_TRUE(chain.RangeReplicable(2, 2));
+}
+
+TEST(TaskChainTest, RangeReplicableValidatesRange) {
+  const TaskChain chain = testing::SmallChain();
+  EXPECT_THROW(chain.RangeReplicable(2, 1), InvalidArgument);
+  EXPECT_THROW(chain.RangeReplicable(0, 3), InvalidArgument);
+}
+
+TEST(TaskChainTest, WithCostsKeepsTasksSwapsCosts) {
+  const TaskChain chain = testing::SmallChain();
+  ChainCostModel other;
+  for (int t = 0; t < 3; ++t) {
+    other.AddTask(std::make_unique<PolyScalarCost>(7.0, 0.0, 0.0), {});
+  }
+  const TaskChain swapped = chain.WithCosts(std::move(other));
+  EXPECT_EQ(swapped.size(), 3);
+  EXPECT_EQ(swapped.task(1).name, "t1");
+  EXPECT_DOUBLE_EQ(swapped.costs().Exec(1, 4), 7.0);
+  EXPECT_NE(chain.costs().Exec(1, 4), 7.0);
+}
+
+TEST(TaskChainTest, MutableCostsAllowsInPlaceEdit) {
+  TaskChain chain = testing::SmallChain();
+  chain.mutable_costs().SetEdge(
+      0, std::make_unique<PolyScalarCost>(42.0, 0.0, 0.0),
+      std::make_unique<PolyPairCost>(42.0, 0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(chain.costs().ICom(0, 1), 42.0);
+}
+
+}  // namespace
+}  // namespace pipemap

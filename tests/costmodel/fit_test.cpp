@@ -1,0 +1,106 @@
+#include "costmodel/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace pipemap {
+namespace {
+
+TEST(FitScalarPolyTest, RecoversExactPolynomial) {
+  const PolyScalarCost truth(0.5, 8.0, 0.02);
+  std::vector<std::pair<int, double>> samples;
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    samples.emplace_back(p, truth.Eval(p));
+  }
+  const PolyScalarCost fit = FitScalarPoly(samples);
+  for (int p = 1; p <= 64; ++p) {
+    EXPECT_NEAR(fit.Eval(p), truth.Eval(p), 1e-6 * truth.Eval(p) + 1e-9);
+  }
+}
+
+TEST(FitScalarPolyTest, CoefficientsAreNonNegative) {
+  // Samples from a decreasing function with a negative-trend tail would
+  // drive an unconstrained linear term negative.
+  std::vector<std::pair<int, double>> samples = {
+      {1, 10.0}, {2, 4.0}, {4, 1.0}, {8, 0.2}};
+  const PolyScalarCost fit = FitScalarPoly(samples);
+  for (double c : fit.coeffs()) EXPECT_GE(c, 0.0);
+}
+
+TEST(FitScalarPolyTest, SingleSampleFitsConstant) {
+  const PolyScalarCost fit = FitScalarPoly({{4, 3.0}});
+  // With one observation the model must at least reproduce it.
+  EXPECT_NEAR(fit.Eval(4), 3.0, 1e-9);
+}
+
+TEST(FitPairPolyTest, RecoversExactPolynomial) {
+  const PolyPairCost truth(0.1, 3.0, 5.0, 0.01, 0.02);
+  std::vector<TabulatedPairCost::Sample> samples;
+  for (int ps : {1, 2, 4, 8, 16}) {
+    for (int pr : {1, 3, 9, 27}) {
+      samples.push_back({ps, pr, truth.Eval(ps, pr)});
+    }
+  }
+  const PolyPairCost fit = FitPairPoly(samples);
+  for (int ps = 1; ps <= 32; ps += 3) {
+    for (int pr = 1; pr <= 32; pr += 5) {
+      EXPECT_NEAR(fit.Eval(ps, pr), truth.Eval(ps, pr),
+                  1e-6 * truth.Eval(ps, pr) + 1e-9);
+    }
+  }
+}
+
+TEST(FitPairPolyTest, NonNegativeCoefficients) {
+  std::vector<TabulatedPairCost::Sample> samples = {
+      {1, 1, 5.0}, {2, 2, 2.0}, {4, 4, 0.5}, {8, 8, 0.1}, {16, 16, 0.05}};
+  const PolyPairCost fit = FitPairPoly(samples);
+  for (double c : fit.coeffs()) EXPECT_GE(c, 0.0);
+}
+
+TEST(EvaluateScalarFitTest, PerfectFitHasZeroError) {
+  const PolyScalarCost model(1.0, 2.0, 0.0);
+  std::vector<std::pair<int, double>> samples;
+  for (int p : {1, 2, 4}) samples.emplace_back(p, model.Eval(p));
+  const FitQuality q = EvaluateScalarFit(model, samples);
+  EXPECT_NEAR(q.mean_relative_error, 0.0, 1e-12);
+  EXPECT_NEAR(q.max_relative_error, 0.0, 1e-12);
+}
+
+TEST(EvaluateScalarFitTest, ReportsRelativeError) {
+  const PolyScalarCost model(2.0, 0.0, 0.0);  // constant 2
+  const FitQuality q = EvaluateScalarFit(model, {{1, 1.0}, {2, 4.0}});
+  // Errors: |2-1|/1 = 1.0 and |2-4|/4 = 0.5.
+  EXPECT_NEAR(q.mean_relative_error, 0.75, 1e-12);
+  EXPECT_NEAR(q.max_relative_error, 1.0, 1e-12);
+}
+
+TEST(EvaluatePairFitTest, ReportsRelativeError) {
+  const PolyPairCost model(1.0, 0.0, 0.0, 0.0, 0.0);  // constant 1
+  const FitQuality q = EvaluatePairFit(model, {{1, 1, 2.0}});
+  EXPECT_NEAR(q.max_relative_error, 0.5, 1e-12);
+}
+
+// Noisy-fit sweep: with bounded multiplicative noise the fitted model's
+// mean error against the samples stays bounded by the noise scale.
+class NoisyFit : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoisyFit, ErrorBoundedByNoise) {
+  Rng rng(GetParam());
+  const PolyScalarCost truth(0.2 + rng.NextDouble(), 5.0 + rng.NextDouble(),
+                             0.05 * rng.NextDouble());
+  std::vector<std::pair<int, double>> samples;
+  for (int p : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    const double noisy = truth.Eval(p) * rng.Uniform(0.95, 1.05);
+    samples.emplace_back(p, noisy);
+  }
+  const PolyScalarCost fit = FitScalarPoly(samples);
+  const FitQuality q = EvaluateScalarFit(fit, samples);
+  EXPECT_LT(q.mean_relative_error, 0.05);
+  EXPECT_LT(q.max_relative_error, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoisyFit, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace pipemap

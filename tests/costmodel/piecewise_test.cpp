@@ -1,0 +1,89 @@
+#include "costmodel/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(TabulatedScalarCostTest, ExactAtSamplePoints) {
+  TabulatedScalarCost f({{1, 10.0}, {4, 4.0}, {8, 3.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(1), 10.0);
+  EXPECT_DOUBLE_EQ(f.Eval(4), 4.0);
+  EXPECT_DOUBLE_EQ(f.Eval(8), 3.0);
+}
+
+TEST(TabulatedScalarCostTest, LinearInterpolationBetweenSamples) {
+  TabulatedScalarCost f({{2, 10.0}, {6, 2.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(4), 6.0);
+  EXPECT_DOUBLE_EQ(f.Eval(3), 8.0);
+}
+
+TEST(TabulatedScalarCostTest, ClampsOutsideSampledRange) {
+  TabulatedScalarCost f({{4, 8.0}, {8, 2.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(1), 8.0);
+  EXPECT_DOUBLE_EQ(f.Eval(100), 2.0);
+}
+
+TEST(TabulatedScalarCostTest, DuplicateSamplesAveraged) {
+  TabulatedScalarCost f({{4, 10.0}, {4, 6.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(4), 8.0);
+}
+
+TEST(TabulatedScalarCostTest, UnsortedInputHandled) {
+  TabulatedScalarCost f({{8, 1.0}, {2, 7.0}, {4, 4.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(2), 7.0);
+  EXPECT_DOUBLE_EQ(f.Eval(3), 5.5);
+}
+
+TEST(TabulatedScalarCostTest, EmptySamplesThrow) {
+  EXPECT_THROW(TabulatedScalarCost({}), InvalidArgument);
+}
+
+TEST(TabulatedScalarCostTest, CloneMatches) {
+  TabulatedScalarCost f({{1, 5.0}, {5, 1.0}});
+  auto clone = f.Clone();
+  for (int p = 1; p <= 10; ++p) {
+    EXPECT_DOUBLE_EQ(clone->Eval(p), f.Eval(p));
+  }
+}
+
+TEST(TabulatedPairCostTest, ExactAtGridPoints) {
+  TabulatedPairCost f({{1, 1, 10.0}, {1, 4, 6.0}, {4, 1, 8.0}, {4, 4, 2.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(f.Eval(4, 4), 2.0);
+  EXPECT_DOUBLE_EQ(f.Eval(1, 4), 6.0);
+}
+
+TEST(TabulatedPairCostTest, BilinearInterpolation) {
+  TabulatedPairCost f({{1, 1, 0.0}, {1, 3, 2.0}, {3, 1, 4.0}, {3, 3, 6.0}});
+  // Center of the cell: average of the four corners.
+  EXPECT_DOUBLE_EQ(f.Eval(2, 2), 3.0);
+}
+
+TEST(TabulatedPairCostTest, ClampsOutsideGrid) {
+  TabulatedPairCost f({{2, 2, 1.0}, {2, 4, 2.0}, {4, 2, 3.0}, {4, 4, 4.0}});
+  EXPECT_DOUBLE_EQ(f.Eval(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(f.Eval(10, 10), 4.0);
+}
+
+TEST(TabulatedPairCostTest, HolesFilledFromNearestSample) {
+  // Grid cell (4, 4) missing: nearest populated neighbour fills it.
+  TabulatedPairCost f({{1, 1, 5.0}, {1, 4, 6.0}, {4, 1, 7.0}});
+  EXPECT_GT(f.Eval(4, 4), 0.0);
+}
+
+TEST(TabulatedPairCostTest, EmptySamplesThrow) {
+  EXPECT_THROW(TabulatedPairCost(std::vector<TabulatedPairCost::Sample>{}),
+               InvalidArgument);
+}
+
+TEST(TabulatedPairCostTest, InvalidProcCountsThrow) {
+  TabulatedPairCost f({{1, 1, 1.0}});
+  EXPECT_THROW(f.Eval(0, 1), InvalidArgument);
+  EXPECT_THROW(TabulatedPairCost({{0, 1, 1.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

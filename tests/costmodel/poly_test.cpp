@@ -1,0 +1,90 @@
+#include "costmodel/poly.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(PolyScalarCostTest, EvaluatesSectionFiveForm) {
+  // f(p) = 2 + 12/p + 0.5p
+  PolyScalarCost f(2.0, 12.0, 0.5);
+  EXPECT_DOUBLE_EQ(f.Eval(1), 14.5);
+  EXPECT_DOUBLE_EQ(f.Eval(4), 2.0 + 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(f.Eval(12), 2.0 + 1.0 + 6.0);
+}
+
+TEST(PolyScalarCostTest, DefaultIsZero) {
+  PolyScalarCost f;
+  EXPECT_DOUBLE_EQ(f.Eval(1), 0.0);
+  EXPECT_DOUBLE_EQ(f.Eval(100), 0.0);
+}
+
+TEST(PolyScalarCostTest, RejectsNonPositiveProcs) {
+  PolyScalarCost f(1.0, 1.0, 1.0);
+  EXPECT_THROW(f.Eval(0), InvalidArgument);
+  EXPECT_THROW(f.Eval(-3), InvalidArgument);
+}
+
+TEST(PolyScalarCostTest, CloneIsIndependentAndEqual) {
+  PolyScalarCost f(1.0, 2.0, 3.0);
+  auto clone = f.Clone();
+  EXPECT_DOUBLE_EQ(clone->Eval(5), f.Eval(5));
+}
+
+TEST(PolyScalarCostTest, CoefficientsRoundTrip) {
+  PolyScalarCost f(std::array<double, 3>{0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(f.coeffs()[0], 0.1);
+  EXPECT_DOUBLE_EQ(f.coeffs()[1], 0.2);
+  EXPECT_DOUBLE_EQ(f.coeffs()[2], 0.3);
+}
+
+TEST(PolyPairCostTest, EvaluatesSectionFiveForm) {
+  // f(ps,pr) = 1 + 8/ps + 4/pr + 0.1 ps + 0.2 pr
+  PolyPairCost f(1.0, 8.0, 4.0, 0.1, 0.2);
+  EXPECT_DOUBLE_EQ(f.Eval(1, 1), 1.0 + 8.0 + 4.0 + 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(f.Eval(4, 2), 1.0 + 2.0 + 2.0 + 0.4 + 0.4);
+}
+
+TEST(PolyPairCostTest, AsymmetricInArguments) {
+  PolyPairCost f(0.0, 10.0, 0.0, 0.0, 0.0);
+  EXPECT_GT(f.Eval(1, 8), f.Eval(8, 1));
+}
+
+TEST(PolyPairCostTest, RejectsNonPositiveProcs) {
+  PolyPairCost f(1.0, 1.0, 1.0, 1.0, 1.0);
+  EXPECT_THROW(f.Eval(0, 1), InvalidArgument);
+  EXPECT_THROW(f.Eval(1, 0), InvalidArgument);
+}
+
+TEST(PolyPairCostTest, CloneIsEqual) {
+  PolyPairCost f(1, 2, 3, 4, 5);
+  auto clone = f.Clone();
+  EXPECT_DOUBLE_EQ(clone->Eval(3, 7), f.Eval(3, 7));
+}
+
+TEST(CallbackCostTest, ScalarWrapsFunction) {
+  CallbackScalarCost f([](int p) { return 10.0 / p; });
+  EXPECT_DOUBLE_EQ(f.Eval(5), 2.0);
+  auto clone = f.Clone();
+  EXPECT_DOUBLE_EQ(clone->Eval(2), 5.0);
+}
+
+TEST(CallbackCostTest, PairWrapsFunction) {
+  CallbackPairCost f([](int ps, int pr) { return ps * 100.0 + pr; });
+  EXPECT_DOUBLE_EQ(f.Eval(2, 3), 203.0);
+  EXPECT_DOUBLE_EQ(f.Clone()->Eval(1, 1), 101.0);
+}
+
+TEST(ZeroCostTest, AlwaysZero) {
+  ZeroScalarCost zs;
+  ZeroPairCost zp;
+  EXPECT_DOUBLE_EQ(zs.Eval(17), 0.0);
+  EXPECT_DOUBLE_EQ(zp.Eval(17, 3), 0.0);
+  EXPECT_DOUBLE_EQ(zs.Clone()->Eval(1), 0.0);
+  EXPECT_DOUBLE_EQ(zp.Clone()->Eval(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace pipemap

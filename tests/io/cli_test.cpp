@@ -1,0 +1,252 @@
+#include "tools/cli_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace pipemap::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/pipemap_cli_" + name;
+}
+
+int RunCommand(const std::vector<std::string>& args, std::string* output) {
+  std::ostringstream os;
+  const int code = RunCli(args, os);
+  *output = os.str();
+  return code;
+}
+
+class CliWorkflow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chain_path_ = TempPath("chain.txt");
+    machine_path_ = TempPath("machine.txt");
+    mapping_path_ = TempPath("mapping.txt");
+    std::string output;
+    ASSERT_EQ(RunCommand({"export-workload", "fft256", "message", "--chain-out",
+                   chain_path_, "--machine-out", machine_path_},
+                  &output),
+              0)
+        << output;
+  }
+
+  void TearDown() override {
+    std::remove(chain_path_.c_str());
+    std::remove(machine_path_.c_str());
+    std::remove(mapping_path_.c_str());
+  }
+
+  std::string chain_path_, machine_path_, mapping_path_;
+};
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  std::string output;
+  EXPECT_EQ(RunCommand({}, &output), 1);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"help"}, &output), 0);
+  EXPECT_NE(output.find("export-workload"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"frobnicate"}, &output), 1);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownWorkloadFails) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"export-workload", "doom", "message", "--chain-out", "x",
+                 "--machine-out", "y"},
+                &output),
+            1);
+  EXPECT_NE(output.find("unknown workload"), std::string::npos);
+}
+
+TEST(CliTest, MissingFlagFails) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", "only"}, &output), 1);
+  EXPECT_NE(output.find("--machine"), std::string::npos);
+}
+
+TEST(CliTest, MissingFileIsRuntimeError) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", "/no/such/file", "--machine",
+                 "/no/such/file"},
+                &output),
+            1);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, MapThenSimulateRoundTrip) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine", machine_path_,
+                 "--out", mapping_path_},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("predicted throughput"), std::string::npos);
+  EXPECT_NE(output.find("mapping:"), std::string::npos);
+
+  ASSERT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                 machine_path_, "--mapping", mapping_path_, "--datasets",
+                 "100"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("throughput:"), std::string::npos);
+  EXPECT_NE(output.find("module utilization:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, GreedyAlgorithmOption) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine", machine_path_,
+                 "--algorithm", "greedy"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("(greedy)"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, LatencyObjectiveWithFloor) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine", machine_path_,
+                 "--objective", "latency", "--floor", "40"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("minimum latency"), std::string::npos);
+  EXPECT_NE(output.find("throughput >= 40"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, DiagnoseReportsTheorems) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"diagnose", "--chain", chain_path_, "--machine",
+                 machine_path_},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("Theorem 1"), std::string::npos);
+  EXPECT_NE(output.find("Maximal replication"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, SizeFindsProcessorCount) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"size", "--chain", chain_path_, "--machine", machine_path_,
+                 "--target", "30"},
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("minimum processors:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, UnreachableSizeTargetIsRuntimeError) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"size", "--chain", chain_path_, "--machine", machine_path_,
+                 "--target", "1000000"},
+                &output),
+            2);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, SensitivityReportsElasticities) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand({"sensitivity", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("elasticity"), std::string::npos);
+  EXPECT_NE(output.find("exec"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, ExplainCommandRendersReport) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand({"explain", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("bottleneck"), std::string::npos);
+  EXPECT_NE(output.find("memory minimum"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, FrontierCommandListsParetoPoints) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"frontier", "--chain", chain_path_, "--machine",
+                        machine_path_, "--points", "4"},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("Pareto frontier"), std::string::npos);
+  EXPECT_NE(output.find("data sets/s @"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, ProcsFlagRestrictsTheMachine) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--procs", "16"},
+                       &output),
+            0)
+      << output;
+  // The mapping may not use more processors than requested.
+  const auto pos = output.find(" procs)");
+  ASSERT_NE(pos, std::string::npos);
+  const auto open = output.rfind('(', pos);
+  const int used = std::stoi(output.substr(open + 1));
+  EXPECT_LE(used, 16);
+}
+
+TEST_F(CliWorkflow, NoClusteringFlagKeepsSingletons) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--no-clustering"},
+                       &output),
+            0)
+      << output;
+  // FFT-Hist has 3 tasks: three separate modules appear.
+  EXPECT_NE(output.find("[colffts]"), std::string::npos);
+  EXPECT_NE(output.find("[rowffts]"), std::string::npos);
+  EXPECT_NE(output.find("[hist]"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, UnconstrainedSkipsFeasibility) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--unconstrained"},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("mapping:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, ReplicationPolicyNone) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine", machine_path_,
+                 "--replication", "none"},
+                &output),
+            0)
+      << output;
+  // Every module must be unreplicated: the rendering shows "x1" only.
+  EXPECT_EQ(output.find("]x2"), std::string::npos);
+  EXPECT_NE(output.find("]x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipemap::cli

@@ -1,0 +1,121 @@
+#include "machine/feasible.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "support/error.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::kTestNodeMemory;
+
+MachineConfig SmallGrid(CommMode mode = CommMode::kMessage) {
+  MachineConfig m = MachineConfig::IWarp64(mode);
+  m.node_memory_bytes = kTestNodeMemory;
+  return m;
+}
+
+TEST(FeasibilityCheckerTest, ProcCountPredicateMatchesRectangles) {
+  const FeasibilityChecker checker(SmallGrid());
+  const ProcPredicate pred = checker.ProcCountPredicate();
+  EXPECT_TRUE(pred(12));
+  EXPECT_FALSE(pred(13));
+  EXPECT_TRUE(pred(64));
+  EXPECT_FALSE(pred(11));
+}
+
+TEST(FeasibilityCheckerTest, AcceptsPackableMapping) {
+  const FeasibilityChecker checker(SmallGrid());
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 8, 3});
+  m.modules.push_back(ModuleAssignment{1, 2, 10, 4});
+  const FeasibilityReport report = checker.Check(m);
+  EXPECT_TRUE(report.feasible) << report.reason;
+  EXPECT_TRUE(report.packing.success);
+}
+
+TEST(FeasibilityCheckerTest, RejectsNonRectangularInstanceCount) {
+  const FeasibilityChecker checker(SmallGrid());
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 13});
+  const FeasibilityReport report = checker.Check(m);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.reason.find("13"), std::string::npos);
+}
+
+TEST(FeasibilityCheckerTest, RejectsOversubscribedGrid) {
+  const FeasibilityChecker checker(SmallGrid());
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 9, 8});  // 72 > 64
+  EXPECT_FALSE(checker.Check(m).feasible);
+}
+
+TEST(FeasibilityCheckerTest, SystolicModeChecksPathways) {
+  const FeasibilityChecker checker(SmallGrid(CommMode::kSystolic));
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 8, 3});
+  m.modules.push_back(ModuleAssignment{1, 2, 10, 4});
+  const FeasibilityReport report = checker.Check(m);
+  if (report.feasible) {
+    EXPECT_GT(report.pathways.pathways, 0);
+    EXPECT_LE(report.pathways.max_link_load,
+              checker.machine().pathways_per_link);
+  } else {
+    EXPECT_NE(report.reason.find("pathway"), std::string::npos);
+  }
+}
+
+TEST(MakeFeasibleTest, ReturnsMappingUnchangedWhenAlreadyFeasible) {
+  const MachineConfig machine = SmallGrid();
+  const FeasibilityChecker checker(machine);
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 64, machine.node_memory_bytes);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 2, 1, 8});
+  EXPECT_EQ(checker.MakeFeasible(m, eval), m);
+}
+
+TEST(MakeFeasibleTest, ReducesReplicationUntilPackable) {
+  const MachineConfig machine = SmallGrid();
+  const FeasibilityChecker checker(machine);
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 64, machine.node_memory_bytes);
+  // 24 instances of 3 processors = 72 > 64: must shed instances.
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 1, 24, 3});
+  m.modules.push_back(ModuleAssignment{2, 2, 1, 1});
+  const Mapping fixed = checker.MakeFeasible(m, eval);
+  EXPECT_TRUE(checker.Check(fixed).feasible);
+  EXPECT_LT(fixed.modules[0].replicas, 24);
+  // Structure is otherwise preserved.
+  EXPECT_EQ(fixed.modules[0].procs_per_instance, 3);
+  EXPECT_EQ(fixed.num_modules(), 2);
+}
+
+TEST(MakeFeasibleTest, ThrowsWhenNoVariantIsFeasible) {
+  const MachineConfig machine = SmallGrid();
+  const FeasibilityChecker checker(machine);
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 64, machine.node_memory_bytes);
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 2, 1, 13});  // 13 never packs
+  EXPECT_THROW(checker.MakeFeasible(m, eval), Infeasible);
+}
+
+TEST(FeasibilityIntegrationTest, DpWithPredicateProducesFeasibleCounts) {
+  const MachineConfig machine = SmallGrid();
+  const FeasibilityChecker checker(machine);
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 64, machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible = checker.ProcCountPredicate();
+  const MapResult result = DpMapper(options).Map(eval, 64);
+  for (const ModuleAssignment& m : result.mapping.modules) {
+    EXPECT_TRUE(checker.ProcCountPredicate()(m.procs_per_instance));
+  }
+}
+
+}  // namespace
+}  // namespace pipemap

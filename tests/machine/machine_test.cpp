@@ -1,0 +1,38 @@
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace pipemap {
+namespace {
+
+TEST(MachineTest, IWarp64Geometry) {
+  const MachineConfig m = MachineConfig::IWarp64(CommMode::kMessage);
+  EXPECT_EQ(m.grid_rows, 8);
+  EXPECT_EQ(m.grid_cols, 8);
+  EXPECT_EQ(m.total_procs(), 64);
+}
+
+TEST(MachineTest, SystolicModeHasLowerSoftwareOverhead) {
+  const MachineConfig msg = MachineConfig::IWarp64(CommMode::kMessage);
+  const MachineConfig sys = MachineConfig::IWarp64(CommMode::kSystolic);
+  EXPECT_LT(sys.msg_overhead_s, msg.msg_overhead_s);
+  EXPECT_LT(sys.transfer_startup_s, msg.transfer_startup_s);
+  EXPECT_DOUBLE_EQ(sys.node_bandwidth, msg.node_bandwidth);
+}
+
+TEST(MachineTest, CommModeNames) {
+  EXPECT_STREQ(ToString(CommMode::kMessage), "Message");
+  EXPECT_STREQ(ToString(CommMode::kSystolic), "Systolic");
+}
+
+TEST(MachineTest, DefaultsArePhysicallySensible) {
+  const MachineConfig m;
+  EXPECT_GT(m.node_memory_bytes, 0.0);
+  EXPECT_GT(m.node_flops, 0.0);
+  EXPECT_GT(m.node_bandwidth, 0.0);
+  EXPECT_GT(m.msg_overhead_s, 0.0);
+  EXPECT_GE(m.pathways_per_link, 1);
+}
+
+}  // namespace
+}  // namespace pipemap

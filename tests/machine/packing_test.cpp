@@ -1,0 +1,127 @@
+#include "machine/packing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pipemap {
+namespace {
+
+Mapping MakeMapping(std::vector<std::pair<int, int>> replicas_procs) {
+  Mapping m;
+  int task = 0;
+  for (const auto& [r, p] : replicas_procs) {
+    m.modules.push_back(ModuleAssignment{task, task, r, p});
+    ++task;
+  }
+  return m;
+}
+
+/// Placements must be within bounds, have the right areas, and not overlap.
+void CheckPlacements(const Mapping& mapping, const PackResult& result,
+                     int rows, int cols) {
+  ASSERT_TRUE(result.success);
+  std::size_t expected = 0;
+  for (const ModuleAssignment& m : mapping.modules) expected += m.replicas;
+  ASSERT_EQ(result.placements.size(), expected);
+
+  std::vector<char> occupied(rows * cols, 0);
+  for (const InstancePlacement& p : result.placements) {
+    const GridRect& r = p.rect;
+    EXPECT_EQ(r.height * r.width,
+              mapping.modules[p.module].procs_per_instance);
+    ASSERT_GE(r.row, 0);
+    ASSERT_GE(r.col, 0);
+    ASSERT_LE(r.row + r.height, rows);
+    ASSERT_LE(r.col + r.width, cols);
+    for (int rr = r.row; rr < r.row + r.height; ++rr) {
+      for (int cc = r.col; cc < r.col + r.width; ++cc) {
+        EXPECT_EQ(occupied[rr * cols + cc], 0) << "overlap at " << rr << ","
+                                               << cc;
+        occupied[rr * cols + cc] = 1;
+      }
+    }
+  }
+}
+
+TEST(PackingTest, PerfectTilingOfFullGrid) {
+  // 8 instances of 1x8 rows fill an 8x8 grid exactly.
+  const Mapping m = MakeMapping({{8, 8}});
+  const PackResult r = PackInstances(m, 8, 8);
+  CheckPlacements(m, r, 8, 8);
+}
+
+TEST(PackingTest, PaperTableOneMapping) {
+  // FFT-Hist 256/message: 8 instances of 3 + 10 instances of 4 = 64 procs.
+  const Mapping m = MakeMapping({{8, 3}, {10, 4}});
+  const PackResult r = PackInstances(m, 8, 8);
+  CheckPlacements(m, r, 8, 8);
+}
+
+TEST(PackingTest, PartialOccupancyLeavesIdleCells) {
+  const Mapping m = MakeMapping({{2, 6}, {1, 9}});
+  const PackResult r = PackInstances(m, 8, 8);
+  CheckPlacements(m, r, 8, 8);
+}
+
+TEST(PackingTest, FailsWhenAreaExceedsGrid) {
+  const Mapping m = MakeMapping({{9, 8}});  // 72 > 64
+  EXPECT_FALSE(PackInstances(m, 8, 8).success);
+}
+
+TEST(PackingTest, FailsWhenNoRectangleFits) {
+  const Mapping m = MakeMapping({{1, 13}});  // prime > 8
+  EXPECT_FALSE(PackInstances(m, 8, 8).success);
+}
+
+TEST(PackingTest, FailsOnGeometricObstruction) {
+  // Area fits (2 * 2*2 = 8 <= 9) but a 3x3 grid cannot host two 2x2
+  // rectangles plus a 1x5... actually two 2x2s fit in 3x3? 2x2 at (0,0) and
+  // 2x2 needs another 2x2 region: remaining cells form an L of width 1 —
+  // impossible.
+  const Mapping m = MakeMapping({{2, 4}});
+  const PackResult r = PackInstances(m, 3, 3);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(PackingTest, SucceedsWithMixedOrientations) {
+  // 1x4 and 4x1 rectangles must coexist: 4 instances of 4 on a 4x4 grid.
+  const Mapping m = MakeMapping({{4, 4}});
+  const PackResult r = PackInstances(m, 4, 4);
+  CheckPlacements(m, r, 4, 4);
+}
+
+TEST(PackingTest, NodeCapReportsGiveUp) {
+  const Mapping m = MakeMapping({{8, 3}, {10, 4}});
+  const PackResult r = PackInstances(m, 8, 8, /*max_nodes=*/1);
+  if (!r.success) {
+    EXPECT_TRUE(r.hit_node_cap);
+  }
+}
+
+TEST(PackingTest, SingleCellInstances) {
+  const Mapping m = MakeMapping({{5, 1}});
+  const PackResult r = PackInstances(m, 2, 3);
+  CheckPlacements(m, r, 2, 3);
+}
+
+// Property sweep: random-ish feasible instance sets always pack on a grid
+// with ample slack, and placements are disjoint.
+class PackingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingSweep, FeasibleSetsPack) {
+  const int n = GetParam();
+  // n instances of area 2 plus one of area n: total 2n + n <= 48 slack on
+  // an 8x8 grid for n <= 12. (11 and 13 are skipped by the range: primes
+  // above the grid side have no rectangle at all.)
+  const Mapping m = MakeMapping({{n, 2}, {1, n}});
+  const PackResult r = PackInstances(m, 8, 8);
+  CheckPlacements(m, r, 8, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PackingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           12));
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,107 @@
+#include "machine/pathways.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(CommunicatingPairsTest, EqualReplicasPairUpOneToOne) {
+  const auto pairs = CommunicatingPairs(3, 3);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& [a, b] : pairs) EXPECT_EQ(a, b);
+}
+
+TEST(CommunicatingPairsTest, SingleUpstreamTalksToAllDownstream) {
+  const auto pairs = CommunicatingPairs(1, 4);
+  ASSERT_EQ(pairs.size(), 4u);
+  for (const auto& [a, b] : pairs) EXPECT_EQ(a, 0);
+}
+
+TEST(CommunicatingPairsTest, CoprimeReplicasFullyConnect) {
+  // lcm(2,3) = 6 data sets cover all 6 pairs.
+  const auto pairs = CommunicatingPairs(2, 3);
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(CommunicatingPairsTest, SharedFactorReducesConnections) {
+  // lcm(2,4) = 4: upstream 0 -> {0, 2}, upstream 1 -> {1, 3}.
+  const auto pairs = CommunicatingPairs(2, 4);
+  EXPECT_EQ(pairs.size(), 4u);
+  for (const auto& [a, b] : pairs) EXPECT_EQ(b % 2, a);
+}
+
+Mapping TwoModules(int r1, int p1, int r2, int p2) {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, r1, p1});
+  m.modules.push_back(ModuleAssignment{1, 1, r2, p2});
+  return m;
+}
+
+TEST(CheckPathwaysTest, AdjacentSingleInstancesUseFewLinks) {
+  const Mapping m = TwoModules(1, 4, 1, 4);
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 2, 2}},
+      {1, 0, GridRect{0, 2, 2, 2}},
+  };
+  const PathwayCheck check = CheckPathways(m, placements, 4, 4, 4);
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.pathways, 1);
+  EXPECT_LE(check.max_link_load, 1);
+}
+
+TEST(CheckPathwaysTest, ManyPathwaysThroughOneLinkExceedCapacity) {
+  // 6 upstream instances in column 0, 6 downstream in column 3, all routed
+  // through the middle: per-row routing keeps loads low, but forcing all
+  // destinations into one row concentrates load.
+  Mapping m = TwoModules(6, 1, 1, 1);
+  std::vector<InstancePlacement> placements;
+  for (int i = 0; i < 6; ++i) {
+    placements.push_back({0, i, GridRect{i, 0, 1, 1}});
+  }
+  placements.push_back({1, 0, GridRect{0, 3, 1, 1}});
+  // All 6 pathways converge on the receiver; the final vertical/horizontal
+  // links near it carry several pathways.
+  const PathwayCheck tight = CheckPathways(m, placements, 6, 4, 2);
+  EXPECT_FALSE(tight.ok);
+  const PathwayCheck loose = CheckPathways(m, placements, 6, 4, 6);
+  EXPECT_TRUE(loose.ok);
+  EXPECT_EQ(tight.pathways, 6);
+}
+
+TEST(CheckPathwaysTest, ZeroPathwaysForSingleModule) {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 1, 2, 2});
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 2}},
+      {0, 1, GridRect{1, 0, 1, 2}},
+  };
+  const PathwayCheck check = CheckPathways(m, placements, 2, 2, 1);
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.pathways, 0);
+  EXPECT_EQ(check.max_link_load, 0);
+}
+
+TEST(CheckPathwaysTest, MissingPlacementThrows) {
+  const Mapping m = TwoModules(1, 1, 1, 1);
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+  };
+  EXPECT_THROW(CheckPathways(m, placements, 2, 2, 4), InvalidArgument);
+}
+
+TEST(CheckPathwaysTest, SamePositionPathwayUsesNoLinks) {
+  // Sender and receiver rectangle centers coincide: no link traversed.
+  const Mapping m = TwoModules(1, 2, 1, 2);
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 2, 2}},
+      {1, 0, GridRect{0, 0, 2, 2}},
+  };
+  const PathwayCheck check = CheckPathways(m, placements, 2, 2, 1);
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.max_link_load, 0);
+}
+
+}  // namespace
+}  // namespace pipemap

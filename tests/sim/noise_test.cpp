@@ -1,0 +1,78 @@
+#include "sim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pipemap {
+namespace {
+
+TEST(NoiseModelTest, ZeroSpecGivesUnitFactors) {
+  NoiseModel noise(NoiseSpec{}, 4);
+  for (int t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(noise.ExecBias(t), 1.0);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(noise.IComBias(e), 1.0);
+    EXPECT_DOUBLE_EQ(noise.EComBias(e), 1.0);
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(noise.Jitter(), 1.0);
+}
+
+TEST(NoiseModelTest, SameSeedSameBiases) {
+  NoiseSpec spec;
+  spec.systematic_stddev = 0.1;
+  spec.seed = 99;
+  NoiseModel a(spec, 3);
+  NoiseModel b(spec, 3);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(a.ExecBias(t), b.ExecBias(t));
+  }
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_DOUBLE_EQ(a.IComBias(e), b.IComBias(e));
+    EXPECT_DOUBLE_EQ(a.EComBias(e), b.EComBias(e));
+  }
+}
+
+TEST(NoiseModelTest, DifferentSeedsDifferentBiases) {
+  NoiseSpec a_spec;
+  a_spec.systematic_stddev = 0.1;
+  a_spec.seed = 1;
+  NoiseSpec b_spec = a_spec;
+  b_spec.seed = 2;
+  NoiseModel a(a_spec, 3);
+  NoiseModel b(b_spec, 3);
+  EXPECT_NE(a.ExecBias(0), b.ExecBias(0));
+}
+
+TEST(NoiseModelTest, BiasesArePositiveAndNearOne) {
+  NoiseSpec spec;
+  spec.systematic_stddev = 0.05;
+  spec.seed = 7;
+  NoiseModel noise(spec, 10);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_GT(noise.ExecBias(t), 0.7);
+    EXPECT_LT(noise.ExecBias(t), 1.4);
+  }
+}
+
+TEST(NoiseModelTest, JitterVariesPerEvent) {
+  NoiseSpec spec;
+  spec.jitter_stddev = 0.02;
+  NoiseModel noise(spec, 2);
+  const double j1 = noise.Jitter();
+  const double j2 = noise.Jitter();
+  EXPECT_NE(j1, j2);
+  EXPECT_GT(j1, 0.0);
+}
+
+TEST(NoiseModelTest, ContentionFactorGrowsLinearly) {
+  NoiseSpec spec;
+  spec.contention_coeff = 0.1;
+  NoiseModel noise(spec, 2);
+  EXPECT_DOUBLE_EQ(noise.ContentionFactor(1), 1.0);
+  EXPECT_DOUBLE_EQ(noise.ContentionFactor(2), 1.1);
+  EXPECT_DOUBLE_EQ(noise.ContentionFactor(5), 1.4);
+  EXPECT_DOUBLE_EQ(noise.ContentionFactor(0), 1.0);
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,266 @@
+#include "sim/pipeline_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "workloads/synthetic.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+Mapping Singletons(const std::vector<std::pair<int, int>>& replicas_procs) {
+  Mapping m;
+  int t = 0;
+  for (const auto& [r, p] : replicas_procs) {
+    m.modules.push_back(ModuleAssignment{t, t, r, p});
+    ++t;
+  }
+  return m;
+}
+
+TEST(PipelineSimTest, HandComputedTwoTaskPipeline) {
+  // t0 takes 1s, transfer 0.5s, t1 takes 2s; both on their own processor.
+  // Steady-state period = response of t1 = 0.5 + 2 = 2.5s; completion of
+  // data set d is 3.5 + 2.5 d.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{1.0, 0.0, 0.0, 1}, TaskSpec{2.0, 0.0, 0.0, 1}},
+      {EdgeSpec{0, 0, 0, /*e_fixed=*/0.5, 0, 0, 0, 0}});
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 10;
+  options.warmup = 2;
+  const SimResult result = sim.Run(Singletons({{1, 1}, {1, 1}}), options);
+  EXPECT_NEAR(result.makespan, 3.5 + 2.5 * 9, 1e-9);
+  EXPECT_NEAR(result.throughput, 1.0 / 2.5, 1e-9);
+}
+
+TEST(PipelineSimTest, SingleModuleIsSequentialPipeline) {
+  const TaskChain chain = BuildChain({TaskSpec{0.5, 0.0, 0.0, 1}}, {});
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 8;
+  options.warmup = 0;
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 1});
+  const SimResult result = sim.Run(m, options);
+  EXPECT_NEAR(result.makespan, 4.0, 1e-9);
+  EXPECT_NEAR(result.throughput, 2.0, 1e-9);
+  EXPECT_NEAR(result.mean_latency, 0.5, 1e-9);
+}
+
+TEST(PipelineSimTest, ReplicationDoublesThroughput) {
+  const TaskChain chain = BuildChain({TaskSpec{1.0, 0.0, 0.0, 1, true}}, {});
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 20;
+  options.warmup = 4;
+  Mapping single;
+  single.modules.push_back(ModuleAssignment{0, 0, 1, 1});
+  Mapping doubled;
+  doubled.modules.push_back(ModuleAssignment{0, 0, 2, 1});
+  const double t1 = sim.Run(single, options).throughput;
+  const double t2 = sim.Run(doubled, options).throughput;
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(PipelineSimTest, SenderBlockedByBusyReceiver) {
+  // Fast producer, slow consumer: the producer's instance cannot run ahead
+  // because the rendezvous occupies it until the consumer is free. Its
+  // utilization is therefore well below 1.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.1, 0.0, 0.0, 1}, TaskSpec{1.0, 0.0, 0.0, 1}},
+      {EdgeSpec{0, 0, 0, 0.1, 0, 0, 0, 0}});
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 50;
+  options.warmup = 10;
+  const SimResult result = sim.Run(Singletons({{1, 1}, {1, 1}}), options);
+  // Consumer is the bottleneck and nearly always busy.
+  EXPECT_GT(result.module_utilization[1], 0.95);
+  // Producer computes 0.1 + transfers 0.1 out of every 1.1s cycle.
+  EXPECT_LT(result.module_utilization[0], 0.3);
+  EXPECT_NEAR(result.throughput, 1.0 / 1.1, 1e-6);
+}
+
+TEST(PipelineSimTest, MatchesEvaluatorPredictionWithoutNoise) {
+  // The analytic throughput model (Section 2.2) and the simulator agree in
+  // the noise-free steady state — on the paper's own workload and mapping.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  PipelineSimulator sim(w.chain);
+  SimOptions options;
+  options.num_datasets = 300;
+  options.warmup = 100;
+  const SimResult result = sim.Run(dp.mapping, options);
+  EXPECT_NEAR(result.throughput, dp.throughput, 0.02 * dp.throughput);
+}
+
+class SimVsEvaluator : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimVsEvaluator, SteadyStateMatchesAnalyticThroughput) {
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = 3;
+  spec.machine_procs = 12;
+  spec.comm_comp_ratio = 0.4;
+  spec.memory_tightness = 0.2;
+  const Workload w = workloads::MakeSynthetic(spec, 4000 + GetParam());
+  const Evaluator eval(w.chain, 12, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 12);
+  PipelineSimulator sim(w.chain);
+  SimOptions options;
+  options.num_datasets = 400;
+  options.warmup = 200;
+  const SimResult result = sim.Run(dp.mapping, options);
+  EXPECT_NEAR(result.throughput, dp.throughput, 0.03 * dp.throughput)
+      << dp.mapping.ToString(w.chain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimVsEvaluator, ::testing::Range(0, 15));
+
+TEST(PipelineSimTest, LatencyAtLeastSumOfStageTimes) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 30;
+  const Mapping m = Singletons({{1, 2}, {1, 4}, {1, 2}});
+  const SimResult result = sim.Run(m, options);
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  EXPECT_GE(result.mean_latency, eval.Latency(m) - 1e-9);
+}
+
+TEST(PipelineSimTest, NoiseIsDeterministicPerSeed) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 40;
+  options.noise.systematic_stddev = 0.05;
+  options.noise.jitter_stddev = 0.02;
+  options.noise.seed = 11;
+  const Mapping m = Singletons({{1, 2}, {1, 4}, {1, 2}});
+  const double a = sim.Run(m, options).throughput;
+  const double b = sim.Run(m, options).throughput;
+  EXPECT_DOUBLE_EQ(a, b);
+  options.noise.seed = 12;
+  const double c = sim.Run(m, options).throughput;
+  EXPECT_NE(a, c);
+}
+
+TEST(PipelineSimTest, SystematicNoiseShiftsThroughputModestly) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions clean;
+  clean.num_datasets = 100;
+  SimOptions noisy = clean;
+  noisy.noise.systematic_stddev = 0.05;
+  noisy.noise.seed = 3;
+  const Mapping m = Singletons({{1, 2}, {1, 4}, {1, 2}});
+  const double t_clean = sim.Run(m, clean).throughput;
+  const double t_noisy = sim.Run(m, noisy).throughput;
+  EXPECT_NE(t_clean, t_noisy);
+  EXPECT_NEAR(t_noisy, t_clean, 0.25 * t_clean);
+}
+
+TEST(PipelineSimTest, ContentionSlowsTransfers) {
+  // Two modules exchanging data with many replicas: concurrent transfers
+  // overlap, so a positive contention coefficient lowers throughput.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.2, 0.0, 0.0, 1, true}, TaskSpec{0.2, 0.0, 0.0, 1, true}},
+      {EdgeSpec{0, 0, 0, 0.2, 0, 0, 0, 0}});
+  PipelineSimulator sim(chain);
+  SimOptions clean;
+  clean.num_datasets = 100;
+  clean.warmup = 20;
+  SimOptions contended = clean;
+  contended.noise.contention_coeff = 0.5;
+  const Mapping m = Singletons({{4, 1}, {4, 1}});
+  const double t_clean = sim.Run(m, clean).throughput;
+  const double t_cont = sim.Run(m, contended).throughput;
+  EXPECT_LE(t_cont, t_clean + 1e-12);
+}
+
+TEST(PipelineSimTest, ProfileCollectionRecordsAllPhases) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 5;
+  options.collect_profile = true;
+  const Mapping m = Singletons({{1, 2}, {1, 4}, {1, 2}});
+  const SimResult result = sim.Run(m, options);
+  ASSERT_TRUE(result.profile.has_value());
+  const Profile& p = *result.profile;
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(p.exec_samples[t].size(), 5u);
+  }
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_EQ(p.ecom_samples[e].size(), 5u);
+    EXPECT_TRUE(p.icom_samples[e].empty());  // no merged modules
+  }
+  // Samples carry the right processor counts.
+  EXPECT_EQ(p.exec_samples[1][0].first, 4);
+  EXPECT_EQ(p.ecom_samples[0][0].sender_procs, 2);
+  EXPECT_EQ(p.ecom_samples[0][0].receiver_procs, 4);
+}
+
+TEST(PipelineSimTest, MergedModuleRecordsInternalRedistribution) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 3;
+  options.collect_profile = true;
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 2, 1, 4});
+  const SimResult result = sim.Run(m, options);
+  const Profile& p = *result.profile;
+  EXPECT_EQ(p.icom_samples[0].size(), 3u);
+  EXPECT_EQ(p.icom_samples[1].size(), 3u);
+  EXPECT_TRUE(p.ecom_samples[0].empty());
+}
+
+TEST(PipelineSimTest, UtilizationBounded) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  options.num_datasets = 60;
+  const Mapping m = Singletons({{2, 1}, {1, 4}, {1, 2}});
+  const SimResult result = sim.Run(m, options);
+  for (double u : result.module_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(PipelineSimTest, RejectsInvalidMappings) {
+  const TaskChain chain = testing::SmallChain();
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  Mapping incomplete;
+  incomplete.modules.push_back(ModuleAssignment{0, 1, 1, 2});
+  EXPECT_THROW(sim.Run(incomplete, options), InvalidArgument);
+
+  options.num_datasets = 0;
+  const Mapping valid = Singletons({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_THROW(sim.Run(valid, options), InvalidArgument);
+}
+
+TEST(PipelineSimTest, RejectsReplicatedNonReplicableTask) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{1, 0, 0, 1, false}, TaskSpec{1, 0, 0, 1, true}},
+      {EdgeSpec{}});
+  PipelineSimulator sim(chain);
+  SimOptions options;
+  EXPECT_THROW(sim.Run(Singletons({{2, 1}, {1, 1}}), options),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

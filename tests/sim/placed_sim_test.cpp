@@ -1,0 +1,212 @@
+#include "sim/placed_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "machine/feasible.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "workloads/vision.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::TaskSpec;
+
+TaskChain TwoTaskChain() {
+  return BuildChain(
+      {TaskSpec{1.0, 0.0, 0.0, 1}, TaskSpec{1.0, 0.0, 0.0, 1}},
+      {EdgeSpec{0, 0, 0, /*e_fixed=*/0.5, 0, 0, 0, 0}});
+}
+
+Mapping TwoSingletons() {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 1});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 1});
+  return m;
+}
+
+MachineConfig TinyGrid() {
+  MachineConfig machine;
+  machine.grid_rows = 1;
+  machine.grid_cols = 8;
+  return machine;
+}
+
+TEST(PlacedSimTest, ZeroDistanceZeroSharingMatchesPlainSim) {
+  const TaskChain chain = TwoTaskChain();
+  // Adjacent cells: 1 hop; zero out the location model to compare.
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {1, 0, GridRect{0, 1, 1, 1}},
+  };
+  LocationModel location;
+  location.per_hop_latency_s = 0.0;
+  location.link_share_penalty = 0.0;
+  PlacedSimulator placed(chain, TinyGrid(), placements, location);
+  SimOptions options;
+  options.num_datasets = 20;
+  options.warmup = 5;
+  const SimResult a = placed.Run(TwoSingletons(), options);
+  const SimResult b = PipelineSimulator(chain).Run(TwoSingletons(), options);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(PlacedSimTest, DistanceAddsPerHopLatency) {
+  const TaskChain chain = TwoTaskChain();
+  LocationModel location;
+  location.per_hop_latency_s = 0.01;  // exaggerated for visibility
+  location.link_share_penalty = 0.0;
+
+  std::vector<InstancePlacement> near = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {1, 0, GridRect{0, 1, 1, 1}},  // 1 hop
+  };
+  std::vector<InstancePlacement> far = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {1, 0, GridRect{0, 7, 1, 1}},  // 7 hops
+  };
+  SimOptions options;
+  options.num_datasets = 30;
+  options.warmup = 10;
+  const double t_near = PlacedSimulator(chain, TinyGrid(), near, location)
+                            .Run(TwoSingletons(), options)
+                            .throughput;
+  const double t_far = PlacedSimulator(chain, TinyGrid(), far, location)
+                           .Run(TwoSingletons(), options)
+                           .throughput;
+  EXPECT_GT(t_near, t_far);
+  // Bottleneck response: 0.5 + 1.0 + hops * 0.01.
+  EXPECT_NEAR(1.0 / t_near, 1.51, 1e-9);
+  EXPECT_NEAR(1.0 / t_far, 1.57, 1e-9);
+}
+
+TEST(PlacedSimTest, LocationOverheadDiagnostic) {
+  const TaskChain chain = TwoTaskChain();
+  LocationModel location;
+  location.per_hop_latency_s = 0.002;
+  location.link_share_penalty = 0.0;
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {1, 0, GridRect{0, 3, 1, 1}},  // 3 hops
+  };
+  PlacedSimulator placed(chain, TinyGrid(), placements, location);
+  EXPECT_NEAR(placed.LocationOverhead(TwoSingletons(), 0, 0, 0), 0.006,
+              1e-12);
+}
+
+TEST(PlacedSimTest, SharedLinksSlowTransfers) {
+  // Two upstream instances route through the same middle link to one
+  // downstream instance: the shared link carries both pathways.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.2, 0.0, 0.0, 1, true}, TaskSpec{0.1, 0.0, 0.0, 1, true}},
+      {EdgeSpec{0, 0, 0, 0.3, 0, 0, 0, 0}});
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 2, 1});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 1});
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {0, 1, GridRect{0, 1, 1, 1}},
+      {1, 0, GridRect{0, 3, 1, 1}},
+  };
+  LocationModel penalized;
+  penalized.per_hop_latency_s = 0.0;
+  penalized.link_share_penalty = 0.5;
+  LocationModel free;
+  free.per_hop_latency_s = 0.0;
+  free.link_share_penalty = 0.0;
+  SimOptions options;
+  options.num_datasets = 40;
+  options.warmup = 10;
+  const double t_pen =
+      PlacedSimulator(chain, TinyGrid(), placements, penalized)
+          .Run(m, options)
+          .throughput;
+  const double t_free = PlacedSimulator(chain, TinyGrid(), placements, free)
+                            .Run(m, options)
+                            .throughput;
+  EXPECT_LT(t_pen, t_free);
+}
+
+TEST(PlacedSimTest, PaperClaimLocationIsSecondOrder) {
+  // Section 2.1: with realistic location parameters, the placed simulation
+  // of the optimal FFT-Hist mapping deviates from the location-blind
+  // prediction by a few percent only.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  const Evaluator eval(w.chain, 64, w.machine.node_memory_bytes);
+  const MapResult dp = DpMapper().Map(eval, 64);
+  const PackResult packing = PackInstances(dp.mapping, 8, 8);
+  ASSERT_TRUE(packing.success);
+
+  SimOptions options;
+  options.num_datasets = 300;
+  options.warmup = 100;
+  const double blind =
+      PipelineSimulator(w.chain).Run(dp.mapping, options).throughput;
+  const double placed =
+      PlacedSimulator(w.chain, w.machine, packing.placements)
+          .Run(dp.mapping, options)
+          .throughput;
+  EXPECT_LT(placed, blind);                 // location always costs
+  EXPECT_GT(placed, 0.9 * blind);           // ... but only a few percent
+}
+
+TEST(PlacedSimTest, WorksOnNonSquareGridWorkload) {
+  // The vision pipeline's 4x12 machine: pack the optimal mapping, then the
+  // placed run must stay within a few percent of the blind one.
+  const Workload w = workloads::MakeVision(CommMode::kMessage);
+  const int P = w.machine.total_procs();
+  const Evaluator eval(w.chain, P, w.machine.node_memory_bytes);
+  const FeasibilityChecker checker(w.machine);
+  MapperOptions options;
+  options.proc_feasible = checker.ProcCountPredicate();
+  const Mapping mapping =
+      checker.MakeFeasible(DpMapper(options).Map(eval, P).mapping, eval);
+  const PackResult packing =
+      PackInstances(mapping, w.machine.grid_rows, w.machine.grid_cols);
+  ASSERT_TRUE(packing.success);
+
+  SimOptions soptions;
+  soptions.num_datasets = 150;
+  soptions.warmup = 50;
+  const double blind =
+      PipelineSimulator(w.chain).Run(mapping, soptions).throughput;
+  const double placed =
+      PlacedSimulator(w.chain, w.machine, packing.placements)
+          .Run(mapping, soptions)
+          .throughput;
+  EXPECT_LE(placed, blind + 1e-9);
+  EXPECT_GT(placed, 0.85 * blind);
+}
+
+TEST(PlacedSimTest, MissingPlacementThrows) {
+  const TaskChain chain = TwoTaskChain();
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      // module 1 instance missing
+  };
+  PlacedSimulator placed(chain, TinyGrid(), placements);
+  SimOptions options;
+  options.num_datasets = 5;
+  EXPECT_THROW(placed.Run(TwoSingletons(), options), InvalidArgument);
+}
+
+TEST(PlacedSimTest, RejectsUserAdjustment) {
+  const TaskChain chain = TwoTaskChain();
+  std::vector<InstancePlacement> placements = {
+      {0, 0, GridRect{0, 0, 1, 1}},
+      {1, 0, GridRect{0, 1, 1, 1}},
+  };
+  PlacedSimulator placed(chain, TinyGrid(), placements);
+  SimOptions options;
+  options.transfer_adjustment = [](int, int, int, double d) { return d; };
+  EXPECT_THROW(placed.Run(TwoSingletons(), options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

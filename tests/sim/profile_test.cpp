@@ -1,0 +1,53 @@
+#include "sim/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(ProfileTest, ShapeFollowsChainSize) {
+  const Profile p(4);
+  EXPECT_EQ(p.num_tasks(), 4);
+  EXPECT_EQ(p.exec_samples.size(), 4u);
+  EXPECT_EQ(p.icom_samples.size(), 3u);
+  EXPECT_EQ(p.ecom_samples.size(), 3u);
+}
+
+TEST(ProfileTest, SingleTaskHasNoEdges) {
+  const Profile p(1);
+  EXPECT_TRUE(p.icom_samples.empty());
+  EXPECT_TRUE(p.ecom_samples.empty());
+}
+
+TEST(ProfileTest, TotalSamplesCountsEverything) {
+  Profile p(2);
+  p.exec_samples[0].push_back({1, 0.5});
+  p.exec_samples[1].push_back({2, 0.25});
+  p.icom_samples[0].push_back({2, 0.1});
+  p.ecom_samples[0].push_back({1, 2, 0.2});
+  p.ecom_samples[0].push_back({2, 1, 0.3});
+  EXPECT_EQ(p.TotalSamples(), 5u);
+}
+
+TEST(ProfileTest, MergeConcatenatesSamples) {
+  Profile a(2);
+  a.exec_samples[0].push_back({1, 0.5});
+  Profile b(2);
+  b.exec_samples[0].push_back({2, 0.25});
+  b.icom_samples[0].push_back({4, 0.1});
+  a.Merge(b);
+  EXPECT_EQ(a.exec_samples[0].size(), 2u);
+  EXPECT_EQ(a.icom_samples[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(a.exec_samples[0][1].second, 0.25);
+}
+
+TEST(ProfileTest, MergeRejectsShapeMismatch) {
+  Profile a(2);
+  Profile b(3);
+  EXPECT_THROW(a.Merge(b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

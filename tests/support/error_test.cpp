@@ -1,0 +1,48 @@
+#include "support/error.h"
+
+#include <gtest/gtest.h>
+
+namespace pipemap {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(PIPEMAP_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(ErrorTest, CheckThrowsInvalidArgumentOnFalseCondition) {
+  EXPECT_THROW(PIPEMAP_CHECK(false, "always fails"), InvalidArgument);
+}
+
+TEST(ErrorTest, CheckMessageContainsExpressionAndContext) {
+  try {
+    PIPEMAP_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw ResourceLimit("x"), Error);
+  EXPECT_THROW(throw Infeasible("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(ErrorTest, DistinctTypesAreDistinguishable) {
+  bool caught_infeasible = false;
+  try {
+    throw Infeasible("no mapping");
+  } catch (const ResourceLimit&) {
+    FAIL() << "Infeasible must not be caught as ResourceLimit";
+  } catch (const Infeasible&) {
+    caught_infeasible = true;
+  }
+  EXPECT_TRUE(caught_infeasible);
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,221 @@
+#include "support/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace pipemap {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+}
+
+TEST(MatrixTest, MatrixProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = r + 1.0;
+  }
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const std::vector<double> out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+  const std::vector<double> short_vec = {1.0, 2.0};
+  EXPECT_THROW(a * short_vec, InvalidArgument);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const std::vector<double> x = SolveLinearSystem(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(SolveLinearSystem(a, {1, 2}), InvalidArgument);
+}
+
+TEST(SolveLinearSystemTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const std::vector<double> x = SolveLinearSystem(a, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+// Random square systems: solving then multiplying back recovers b.
+class SolveRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRoundTrip, SolveThenMultiplyRecoversRhs) {
+  Rng rng(GetParam());
+  const int n = 1 + GetParam() % 7;
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.Uniform(-2.0, 2.0);
+    a(r, r) += 4.0;  // diagonally dominant => well conditioned
+  }
+  std::vector<double> b(n);
+  for (int r = 0; r < n; ++r) b[r] = rng.Uniform(-5.0, 5.0);
+  const std::vector<double> x = SolveLinearSystem(a, b);
+  const std::vector<double> back = a * x;
+  for (int r = 0; r < n; ++r) EXPECT_NEAR(back[r], b[r], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveRoundTrip, ::testing::Range(1, 16));
+
+TEST(LeastSquaresTest, ExactFitOnConsistentSystem) {
+  // y = 2 + 3x sampled without noise.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 2.0 + 3.0 * i;
+  }
+  const std::vector<double> x = LeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_NEAR(x[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualOnInconsistentSystem) {
+  // Overdetermined: best fit of a constant to {1, 2, 3} is 2.
+  Matrix a(3, 1, 1.0);
+  const std::vector<double> x = LeastSquares(a, {1, 2, 3});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedThrows) {
+  Matrix a(1, 2, 1.0);
+  EXPECT_THROW(LeastSquares(a, {1.0}), InvalidArgument);
+}
+
+TEST(NnlsTest, MatchesUnconstrainedWhenSolutionNonNegative) {
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  const std::vector<double> x = NonNegativeLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(NnlsTest, ClampsNegativeComponent) {
+  // y = -1 + x: unconstrained intercept is negative; NNLS must return a
+  // non-negative intercept.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i + 1.0;
+    b[i] = -1.0 + (i + 1.0);
+  }
+  const std::vector<double> x = NonNegativeLeastSquares(a, b);
+  EXPECT_GE(x[0], 0.0);
+  EXPECT_GE(x[1], 0.0);
+}
+
+TEST(NnlsTest, ZeroRhsGivesZeroSolution) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  a(2, 0) = 1;
+  const std::vector<double> x = NonNegativeLeastSquares(a, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+// NNLS residual must never beat the unconstrained least-squares residual
+// and must be reasonably close when the data is near-feasible.
+class NnlsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnlsProperty, SolutionIsNonNegativeAndResidualBounded) {
+  Rng rng(100 + GetParam());
+  const int m = 8;
+  const int n = 3;
+  Matrix a(m, n);
+  std::vector<double> truth(n);
+  for (int j = 0; j < n; ++j) truth[j] = rng.Uniform(0.0, 3.0);
+  std::vector<double> b(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.Uniform(0.0, 1.0);
+      b[i] += a(i, j) * truth[j];
+    }
+    b[i] += rng.Uniform(-0.01, 0.01);
+  }
+  const std::vector<double> x = NonNegativeLeastSquares(a, b);
+  ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+  double residual = 0.0;
+  const std::vector<double> ax = a * x;
+  for (int i = 0; i < m; ++i) residual += (ax[i] - b[i]) * (ax[i] - b[i]);
+  for (int j = 0; j < n; ++j) EXPECT_GE(x[j], 0.0);
+  // Ground truth is feasible, so the optimal residual is at most the noise.
+  EXPECT_LT(std::sqrt(residual), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pipemap

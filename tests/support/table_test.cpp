@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlignAcrossRows) {
+  TextTable t({"a", "b"});
+  t.AddRow({"x", "y"});
+  t.AddRow({"longer", "z"});
+  const std::string out = t.Render();
+  // Every rendered line between rules must have the same length.
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (expected == std::string::npos) {
+      expected = line.size();
+    } else if (!line.empty()) {
+      EXPECT_EQ(line.size(), expected) << "misaligned line: " << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(TextTableTest, ExtraCellsThrow) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.AddRow({"1", "2"}), InvalidArgument);
+}
+
+TEST(TextTableTest, SeparatorAddsRule) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // Header rule + top + bottom + middle separator = 4 rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTableTest, NumFormatsFixedDecimals) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::Num(42), "42");
+  EXPECT_EQ(TextTable::Num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace pipemap

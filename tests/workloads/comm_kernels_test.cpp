@@ -1,0 +1,150 @@
+#include "workloads/comm_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+MachineConfig TestMachine() {
+  MachineConfig m;
+  m.msg_overhead_s = 100e-6;
+  m.transfer_startup_s = 200e-6;
+  m.node_bandwidth = 50e6;
+  m.node_flops = 25e6;
+  m.sync_per_proc_s = 1e-6;
+  return m;
+}
+
+TEST(RemapECostTest, MatchesClosedForm) {
+  const MachineConfig m = TestMachine();
+  const double bytes = 1e6;
+  auto cost = RemapECost(m, bytes);
+  // sender side: o*pr + bytes/(ps*B); receiver side: o*ps + bytes/(pr*B).
+  const double sender = 100e-6 * 4 + 1e6 / (2 * 50e6);
+  const double receiver = 100e-6 * 2 + 1e6 / (4 * 50e6);
+  EXPECT_DOUBLE_EQ(cost->Eval(2, 4), 200e-6 + std::max(sender, receiver));
+}
+
+TEST(RemapECostTest, SymmetricAtEqualCounts) {
+  auto cost = RemapECost(TestMachine(), 5e5);
+  for (int p : {1, 2, 8, 16}) {
+    EXPECT_DOUBLE_EQ(cost->Eval(p, p), cost->Eval(p, p));
+    // Asymmetric pairs: the max() makes it symmetric under swapping too.
+    EXPECT_DOUBLE_EQ(cost->Eval(2, p), cost->Eval(p, 2));
+  }
+}
+
+TEST(RemapECostTest, MoreBandwidthPerSideHelpsUntilOverheadDominates) {
+  auto cost = RemapECost(TestMachine(), 4e6);
+  // Growing both sides first reduces time (bandwidth parallelism) and
+  // eventually increases it (per-message overhead o * p dominates).
+  EXPECT_GT(cost->Eval(1, 1), cost->Eval(4, 4));
+  EXPECT_LT(cost->Eval(16, 16), cost->Eval(64, 64));
+}
+
+TEST(RemapICostTest, MatchesClosedForm) {
+  const MachineConfig m = TestMachine();
+  auto cost = RemapICost(m, 1e6);
+  // s + o*p + 2*bytes/(p*B)
+  EXPECT_DOUBLE_EQ(cost->Eval(4),
+                   200e-6 + 100e-6 * 4 + 2e6 / (4 * 50e6));
+}
+
+TEST(RemapICostTest, ComparableToExternalAtMatchedSizes) {
+  // The FFT-Hist transpose argument: internal and external redistribution
+  // cost the same order of magnitude.
+  const MachineConfig m = TestMachine();
+  const double bytes = 1e6;
+  auto internal = RemapICost(m, bytes);
+  auto external = RemapECost(m, bytes);
+  for (int p : {2, 4, 8, 16}) {
+    const double ratio = internal->Eval(p) / external->Eval(p, p);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 2.5);
+  }
+}
+
+TEST(NoRedistICostTest, TinyAndFlat) {
+  const MachineConfig m = TestMachine();
+  auto cost = NoRedistICost(m);
+  EXPECT_LT(cost->Eval(1), m.transfer_startup_s);
+  EXPECT_DOUBLE_EQ(cost->Eval(1), cost->Eval(64));
+}
+
+TEST(BlockExecCostTest, PerfectDivisionMatchesIdealScaling) {
+  const MachineConfig m = TestMachine();
+  // 100 units, flops such that serial time = 1s.
+  auto cost = BlockExecCost(m, 25e6, 100, 0.0);
+  // p divides units: ceil has no effect, only sync overhead is added.
+  EXPECT_NEAR(cost->Eval(1), 1.0 + 1e-6, 1e-12);
+  EXPECT_NEAR(cost->Eval(4), 0.25 + 4e-6, 1e-12);
+  EXPECT_NEAR(cost->Eval(100), 0.01 + 100e-6, 1e-12);
+}
+
+TEST(BlockExecCostTest, CeilImbalanceCreatesStaircase) {
+  const MachineConfig m = TestMachine();
+  auto cost = BlockExecCost(m, 25e6, 100, 0.0);
+  // 51..99 processors all leave some processor with 2 units: equal compute
+  // time apart from the sync term.
+  const double at_51 = cost->Eval(51) - 51 * 1e-6;
+  const double at_99 = cost->Eval(99) - 99 * 1e-6;
+  EXPECT_NEAR(at_51, at_99, 1e-12);
+  EXPECT_NEAR(at_51, 0.02, 1e-12);  // ceil(100/51) = 2 units
+  // Crossing to 100 processors halves the per-processor work.
+  EXPECT_NEAR(cost->Eval(100) - 100e-6, 0.01, 1e-12);
+}
+
+TEST(BlockExecCostTest, FixedCostIsAdditive) {
+  const MachineConfig m = TestMachine();
+  auto with = BlockExecCost(m, 25e6, 100, 0.5);
+  auto without = BlockExecCost(m, 25e6, 100, 0.0);
+  for (int p : {1, 7, 64}) {
+    EXPECT_NEAR(with->Eval(p) - without->Eval(p), 0.5, 1e-12);
+  }
+}
+
+TEST(TreeReduceExecCostTest, AddsLogTreeSteps) {
+  const MachineConfig m = TestMachine();
+  auto base = BlockExecCost(m, 25e6, 100, 0.0);
+  auto reduce = TreeReduceExecCost(m, 25e6, 100, 1e5, 0.0);
+  const double step = m.msg_overhead_s + 1e5 / m.node_bandwidth;
+  // p = 1: no reduction steps.
+  EXPECT_NEAR(reduce->Eval(1), base->Eval(1), 1e-12);
+  // p = 8: exactly 3 steps.
+  EXPECT_NEAR(reduce->Eval(8) - base->Eval(8), 3 * step, 1e-12);
+  // p = 9: ceil(log2 9) = 4 steps.
+  EXPECT_NEAR(reduce->Eval(9) - base->Eval(9), 4 * step, 1e-12);
+}
+
+TEST(TreeReduceExecCostTest, ReductionEventuallyDominates) {
+  const MachineConfig m = TestMachine();
+  auto cost = TreeReduceExecCost(m, 2.5e6, 100, 2e6, 0.0);
+  // Big reduce volume: wide groups are slower than narrow ones.
+  EXPECT_GT(cost->Eval(64), cost->Eval(4));
+}
+
+TEST(CommKernelsTest, InvalidArgumentsThrow) {
+  const MachineConfig m = TestMachine();
+  EXPECT_THROW(RemapECost(m, -1.0), InvalidArgument);
+  EXPECT_THROW(RemapICost(m, -1.0), InvalidArgument);
+  EXPECT_THROW(BlockExecCost(m, -1.0, 10), InvalidArgument);
+  EXPECT_THROW(BlockExecCost(m, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(TreeReduceExecCost(m, 1.0, 10, -5.0), InvalidArgument);
+}
+
+TEST(CommKernelsTest, ClonesEvaluateIdentically) {
+  const MachineConfig m = TestMachine();
+  auto ecost = RemapECost(m, 3e5);
+  auto eclone = ecost->Clone();
+  EXPECT_DOUBLE_EQ(eclone->Eval(3, 9), ecost->Eval(3, 9));
+  auto xcost = TreeReduceExecCost(m, 1e6, 10, 1e4);
+  auto xclone = xcost->Clone();
+  EXPECT_DOUBLE_EQ(xclone->Eval(6), xcost->Eval(6));
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,252 @@
+#include "profiling/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_mapper.h"
+#include "workloads/fft_hist.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap {
+namespace {
+
+TEST(ProfilerTest, TrainingMappingsAreValidAndDiverse) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const std::vector<Mapping> mappings = profiler.TrainingMappings();
+  // The paper computes its model from eight executions.
+  EXPECT_GE(mappings.size(), 6u);
+  EXPECT_LE(mappings.size(), 8u);
+  bool has_merged = false;
+  bool has_singletons = false;
+  for (const Mapping& m : mappings) {
+    EXPECT_TRUE(m.IsValidFor(w.chain.size()));
+    EXPECT_LE(m.TotalProcs(), 64);
+    if (m.num_modules() == 1) has_merged = true;
+    if (m.num_modules() == w.chain.size()) has_singletons = true;
+  }
+  // Merged runs sample icom; split runs sample ecom.
+  EXPECT_TRUE(has_merged);
+  EXPECT_TRUE(has_singletons);
+}
+
+TEST(ProfilerTest, FitRecoversPolynomialGroundTruthExactly) {
+  // When the ground truth is itself a Section-5 polynomial and the
+  // simulator adds no noise, the fit must reproduce it (near) exactly.
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = 3;
+  spec.machine_procs = 16;
+  spec.comm_comp_ratio = 0.5;
+  spec.memory_tightness = 0.0;
+  const Workload w = workloads::MakeSynthetic(spec, 42);
+  Profiler profiler(w.chain, 16, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+  const FitQuality q = CompareChainModels(w.chain, model.chain, 16);
+  EXPECT_LT(q.mean_relative_error, 1e-3);
+  EXPECT_LT(q.max_relative_error, 0.05);
+  EXPECT_LT(model.report.mean_relative_error, 1e-6);
+}
+
+TEST(ProfilerTest, FitOnRealisticWorkloadWithinPaperAccuracy) {
+  // Section 6.3: "the difference averaged less than 10%". Ground truth has
+  // non-polynomial structure (max, ceil, log), so the fit is approximate.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.sim.noise.systematic_stddev = 0.03;
+  options.sim.noise.jitter_stddev = 0.01;
+  const FittedModel model = profiler.Fit(options);
+  const FitQuality q = CompareChainModels(w.chain, model.chain, 64);
+  EXPECT_LT(q.mean_relative_error, 0.25);
+}
+
+TEST(ProfilerTest, FittedModelKeepsTasksAndMemory) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+  ASSERT_EQ(model.chain.size(), w.chain.size());
+  for (int t = 0; t < w.chain.size(); ++t) {
+    EXPECT_EQ(model.chain.task(t).name, w.chain.task(t).name);
+    EXPECT_DOUBLE_EQ(model.chain.costs().Memory(t).distributed_bytes,
+                     w.chain.costs().Memory(t).distributed_bytes);
+  }
+}
+
+TEST(ProfilerTest, ProfileContainsSamplesForEveryFunction) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_FALSE(model.profile.exec_samples[t].empty());
+  }
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_FALSE(model.profile.icom_samples[e].empty());
+    EXPECT_FALSE(model.profile.ecom_samples[e].empty());
+  }
+}
+
+TEST(ProfilerTest, MappingOnFittedModelIsNearOptimalOnGroundTruth) {
+  // The whole point of the methodology: optimizing against the fitted
+  // model should find a mapping whose *true* throughput is close to the
+  // true optimum.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+
+  const Evaluator truth_eval(w.chain, 64, w.machine.node_memory_bytes);
+  const Evaluator fitted_eval(model.chain, 64, w.machine.node_memory_bytes);
+
+  const MapResult true_opt = DpMapper().Map(truth_eval, 64);
+  const MapResult fitted_opt = DpMapper().Map(fitted_eval, 64);
+
+  const double achieved = truth_eval.Throughput(fitted_opt.mapping);
+  EXPECT_GT(achieved, 0.8 * true_opt.throughput);
+}
+
+TEST(ProfilerTest, TabulatedFormReproducesTrainingSamplesExactly) {
+  // Without noise, the tabulated model is exact at every profiled
+  // configuration (sample averaging is the identity on identical values).
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.form = ModelForm::kTabulated;
+  const FittedModel model = profiler.Fit(options);
+  EXPECT_LT(model.report.mean_relative_error, 1e-9);
+  EXPECT_LT(model.report.max_relative_error, 1e-9);
+}
+
+TEST(ProfilerTest, TabulatedFormMapsNearOptimum) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.form = ModelForm::kTabulated;
+  const FittedModel model = profiler.Fit(options);
+
+  const Evaluator truth(w.chain, 64, w.machine.node_memory_bytes);
+  const Evaluator fitted(model.chain, 64, w.machine.node_memory_bytes);
+  const MapResult chosen = DpMapper().Map(fitted, 64);
+  const MapResult optimum = DpMapper().Map(truth, 64);
+  EXPECT_GT(truth.Throughput(chosen.mapping), 0.8 * optimum.throughput);
+}
+
+TEST(ProfilerTest, NoDataDependenceWarningForStaticCosts) {
+  // Deterministic costs: repeated observations agree exactly.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+  EXPECT_FALSE(model.report.data_dependence_warning);
+  EXPECT_LT(model.report.max_repeat_variation, 1e-9);
+}
+
+TEST(ProfilerTest, DataDependenceWarningUnderStrongJitter) {
+  // Heavy per-event jitter mimics a data-dependent program: the same
+  // configuration produces wildly different timings, and the tool must
+  // flag that the Section-2.1 static-cost assumption is violated.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.sim.noise.jitter_stddev = 0.4;
+  const FittedModel model = profiler.Fit(options);
+  EXPECT_TRUE(model.report.data_dependence_warning);
+  EXPECT_GT(model.report.max_repeat_variation,
+            FitReport::kDataDependenceThreshold);
+}
+
+TEST(ProfilerTest, MildJitterDoesNotTriggerWarning) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.sim.noise.jitter_stddev = 0.02;
+  const FittedModel model = profiler.Fit(options);
+  EXPECT_FALSE(model.report.data_dependence_warning);
+  EXPECT_GT(model.report.max_repeat_variation, 0.0);
+}
+
+TEST(ProfilerTest, PolynomialIsDefaultForm) {
+  ProfilerOptions options;
+  EXPECT_EQ(options.form, ModelForm::kPolynomial);
+}
+
+TEST(ProfilerTest, RefineAnchorsTabulatedModelAtTheMapping) {
+  // Feedback loop with the tabulated form: after refinement the model has
+  // exact samples at the chosen mapping's configurations, so its predicted
+  // throughput for that mapping matches the simulator closely.
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.form = ModelForm::kTabulated;
+  options.sim.noise.systematic_stddev = 0.0;
+  const FittedModel initial = profiler.Fit(options);
+
+  const Evaluator initial_eval(initial.chain, 64,
+                               w.machine.node_memory_bytes);
+  const MapResult chosen = DpMapper().Map(initial_eval, 64);
+
+  const FittedModel refined =
+      profiler.Refine(initial, chosen.mapping, options);
+  const Evaluator refined_eval(refined.chain, 64,
+                               w.machine.node_memory_bytes);
+
+  PipelineSimulator sim(w.chain);
+  SimOptions soptions;
+  soptions.num_datasets = 300;
+  soptions.warmup = 100;
+  const double measured = sim.Run(chosen.mapping, soptions).throughput;
+  const double refined_pred = refined_eval.Throughput(chosen.mapping);
+  EXPECT_NEAR(refined_pred, measured, 0.02 * measured);
+}
+
+TEST(ProfilerTest, RefineGrowsTheProfile) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel initial = profiler.Fit(ProfilerOptions{});
+  const Evaluator eval(initial.chain, 64, w.machine.node_memory_bytes);
+  const MapResult chosen = DpMapper().Map(eval, 64);
+  const FittedModel refined =
+      profiler.Refine(initial, chosen.mapping, ProfilerOptions{});
+  EXPECT_GT(refined.profile.TotalSamples(), initial.profile.TotalSamples());
+}
+
+TEST(ProfilerTest, RefineDoesNotDegradePolynomialPrediction) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kMessage);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  ProfilerOptions options;
+  options.sim.noise.systematic_stddev = 0.03;
+  options.sim.noise.jitter_stddev = 0.01;
+  const FittedModel initial = profiler.Fit(options);
+  const Evaluator initial_eval(initial.chain, 64,
+                               w.machine.node_memory_bytes);
+  const MapResult chosen = DpMapper().Map(initial_eval, 64);
+
+  PipelineSimulator sim(w.chain);
+  SimOptions soptions;
+  soptions.num_datasets = 300;
+  soptions.warmup = 100;
+  soptions.noise = options.sim.noise;
+  const double measured = sim.Run(chosen.mapping, soptions).throughput;
+
+  const FittedModel refined = profiler.Refine(initial, chosen.mapping,
+                                              options);
+  const Evaluator refined_eval(refined.chain, 64,
+                               w.machine.node_memory_bytes);
+  const double before =
+      std::abs(initial_eval.Throughput(chosen.mapping) - measured);
+  const double after =
+      std::abs(refined_eval.Throughput(chosen.mapping) - measured);
+  // The least-squares refit weighs the new on-mapping samples heavily (one
+  // per data set); allow a little slack for the global fit trade-off.
+  EXPECT_LE(after, before + 0.05 * measured);
+}
+
+TEST(ProfilerTest, ReportShapesMatchChain) {
+  const Workload w = workloads::MakeFftHist(256, CommMode::kSystolic);
+  Profiler profiler(w.chain, 64, w.machine.node_memory_bytes);
+  const FittedModel model = profiler.Fit(ProfilerOptions{});
+  EXPECT_EQ(model.report.exec.size(), 3u);
+  EXPECT_EQ(model.report.icom.size(), 2u);
+  EXPECT_EQ(model.report.ecom.size(), 2u);
+  EXPECT_GE(model.report.max_relative_error,
+            model.report.mean_relative_error);
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,339 @@
+#include "tools/cli_lib.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "core/diagnostics.h"
+#include "core/dp_mapper.h"
+#include "core/explain.h"
+#include "core/evaluator.h"
+#include "core/greedy_mapper.h"
+#include "core/latency_mapper.h"
+#include "core/sensitivity.h"
+#include "io/serialize.h"
+#include "machine/feasible.h"
+#include "sim/pipeline_sim.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "workloads/radar.h"
+#include "workloads/stereo.h"
+
+namespace pipemap::cli {
+namespace {
+
+constexpr const char* kUsage = R"(usage: pipemap_cli <command> [options]
+
+commands:
+  export-workload <fft256|fft512|radar|stereo> <message|systolic>
+                  --chain-out FILE --machine-out FILE
+  map       --chain FILE --machine FILE [--procs N] [--algorithm dp|greedy]
+            [--objective throughput|latency] [--floor X]
+            [--replication maximal|none|search] [--no-clustering]
+            [--unconstrained] [--out FILE]
+  simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
+            [--noise X] [--seed N]
+  explain   --chain FILE --machine FILE --mapping FILE
+  frontier  --chain FILE --machine FILE [--points N]
+  diagnose  --chain FILE --machine FILE
+  sensitivity --chain FILE --machine FILE --mapping FILE
+  size      --chain FILE --machine FILE --target X
+)";
+
+/// Minimal flag parser: --key value pairs plus standalone switches.
+class Flags {
+ public:
+  Flags(const std::vector<std::string>& args, std::size_t start) {
+    for (std::size_t i = start; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.rfind("--", 0) != 0) {
+        throw InvalidArgument("unexpected argument: " + a);
+      }
+      const std::string key = a.substr(2);
+      if (key == "no-clustering" || key == "unconstrained") {
+        switches_.insert(key);
+      } else {
+        if (i + 1 >= args.size()) {
+          throw InvalidArgument("missing value for --" + key);
+        }
+        values_[key] = args[++i];
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto v = Get(key);
+    if (!v) throw InvalidArgument("missing required flag --" + key);
+    return *v;
+  }
+
+  bool Has(const std::string& key) const { return switches_.count(key) > 0; }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto v = Get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    const auto v = Get(key);
+    return v ? std::stoi(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> switches_;
+};
+
+struct LoadedProblem {
+  TaskChain chain;
+  MachineConfig machine;
+};
+
+LoadedProblem Load(const Flags& flags) {
+  // Validate all required flags before touching the filesystem so that a
+  // usage mistake is reported as such.
+  const std::string chain_path = flags.Require("chain");
+  const std::string machine_path = flags.Require("machine");
+  return LoadedProblem{ParseChain(ReadTextFile(chain_path)),
+                       ParseMachine(ReadTextFile(machine_path))};
+}
+
+int ExportWorkload(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 3) {
+    throw InvalidArgument("export-workload needs <name> <comm-mode>");
+  }
+  const std::string& name = args[1];
+  const std::string& mode_name = args[2];
+  if (mode_name != "message" && mode_name != "systolic") {
+    throw InvalidArgument("unknown comm mode: " + mode_name);
+  }
+  const CommMode mode =
+      mode_name == "systolic" ? CommMode::kSystolic : CommMode::kMessage;
+  std::optional<Workload> workload;
+  if (name == "fft256") workload = workloads::MakeFftHist(256, mode);
+  if (name == "fft512") workload = workloads::MakeFftHist(512, mode);
+  if (name == "radar") workload = workloads::MakeRadar(mode);
+  if (name == "stereo") workload = workloads::MakeStereo(mode);
+  if (!workload) throw InvalidArgument("unknown workload: " + name);
+
+  const Flags flags(args, 3);
+  const std::string chain_path = flags.Require("chain-out");
+  const std::string machine_path = flags.Require("machine-out");
+  WriteTextFile(chain_path,
+                SerializeChain(workload->chain,
+                               workload->machine.total_procs()));
+  WriteTextFile(machine_path, SerializeMachine(workload->machine));
+  out << "wrote " << chain_path << " and " << machine_path << " ("
+      << workload->name << ", " << ToString(mode) << ")\n";
+  return 0;
+}
+
+int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const int procs =
+      flags.GetInt("procs", problem.machine.total_procs());
+  const Evaluator eval(problem.chain, procs,
+                       problem.machine.node_memory_bytes);
+
+  MapperOptions options;
+  const std::string replication = flags.Get("replication").value_or("maximal");
+  if (replication == "none") {
+    options.replication = ReplicationPolicy::kNone;
+  } else if (replication == "search") {
+    options.replication = ReplicationPolicy::kSearch;
+  } else if (replication != "maximal") {
+    throw InvalidArgument("unknown replication policy: " + replication);
+  }
+  options.allow_clustering = !flags.Has("no-clustering");
+  const FeasibilityChecker checker(problem.machine);
+  if (!flags.Has("unconstrained")) {
+    options.proc_feasible = checker.ProcCountPredicate();
+  }
+
+  Mapping mapping;
+  const std::string objective =
+      flags.Get("objective").value_or("throughput");
+  const std::string algorithm = flags.Get("algorithm").value_or("dp");
+  if (objective == "latency") {
+    const LatencyMapper mapper(options);
+    const auto floor = flags.Get("floor");
+    const LatencyResult r =
+        floor ? mapper.MinLatencyWithThroughput(eval, procs,
+                                                std::stod(*floor))
+              : mapper.MinLatency(eval, procs);
+    mapping = r.mapping;
+    out << "objective: minimum latency";
+    if (floor) out << " with throughput >= " << *floor;
+    out << "\n";
+  } else if (objective == "throughput") {
+    if (algorithm == "greedy") {
+      GreedyOptions goptions;
+      goptions.base = options;
+      mapping = GreedyMapper(goptions).Map(eval, procs).mapping;
+    } else if (algorithm == "dp") {
+      mapping = DpMapper(options).Map(eval, procs).mapping;
+    } else {
+      throw InvalidArgument("unknown algorithm: " + algorithm);
+    }
+    out << "objective: maximum throughput (" << algorithm << ")\n";
+  } else {
+    throw InvalidArgument("unknown objective: " + objective);
+  }
+
+  if (!flags.Has("unconstrained")) {
+    mapping = checker.MakeFeasible(mapping, eval);
+  }
+
+  out << "mapping: " << mapping.ToString(problem.chain) << "\n";
+  out << ExplainMapping(eval, mapping).Render(problem.chain);
+  if (const auto path = flags.Get("out")) {
+    WriteTextFile(*path, SerializeMapping(mapping));
+    out << "wrote " << *path << "\n";
+  }
+  return 0;
+}
+
+int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const Mapping mapping =
+      ParseMapping(ReadTextFile(flags.Require("mapping")));
+
+  SimOptions options;
+  options.num_datasets = flags.GetInt("datasets", 400);
+  options.warmup = options.num_datasets / 4;
+  const double noise = flags.GetDouble("noise", 0.0);
+  options.noise.systematic_stddev = noise;
+  options.noise.jitter_stddev = noise / 3.0;
+  options.noise.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  PipelineSimulator sim(problem.chain);
+  const SimResult result = sim.Run(mapping, options);
+  out << "simulated " << options.num_datasets << " data sets\n";
+  out << "throughput:  " << result.throughput << " data sets/s\n";
+  out << "mean latency: " << result.mean_latency << " s\n";
+  out << "makespan:    " << result.makespan << " s\n";
+  out << "module utilization:";
+  for (double u : result.module_utilization) out << " " << u;
+  out << "\n";
+  return 0;
+}
+
+int ExplainCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const Mapping mapping =
+      ParseMapping(ReadTextFile(flags.Require("mapping")));
+  const Evaluator eval(problem.chain, problem.machine.total_procs(),
+                       problem.machine.node_memory_bytes);
+  out << ExplainMapping(eval, mapping).Render(problem.chain);
+  return 0;
+}
+
+int FrontierCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const int P = problem.machine.total_procs();
+  const Evaluator eval(problem.chain, P, problem.machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible =
+      FeasibilityChecker(problem.machine).ProcCountPredicate();
+  const int points = flags.GetInt("points", 6);
+  out << "latency/throughput Pareto frontier (" << P << " processors):\n";
+  for (const FrontierPoint& p :
+       LatencyThroughputFrontier(eval, P, points, options)) {
+    out << "  " << p.throughput << " data sets/s @ " << p.latency * 1000.0
+        << " ms   " << p.mapping.ToString(problem.chain) << "\n";
+  }
+  return 0;
+}
+
+int DiagnoseCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const Evaluator eval(problem.chain, problem.machine.total_procs(),
+                       problem.machine.node_memory_bytes);
+  const ChainDiagnostics d = DiagnoseChain(eval);
+  out << "theorem preconditions for this chain:\n" << d.Summary();
+  out << "guarantees:\n";
+  out << "  Theorem 1 (bottleneck-only greedy optimal): "
+      << (d.Theorem1Applies() ? "applies" : "does not apply") << "\n";
+  out << "  Theorem 2 (greedy within 2 procs/task):      "
+      << (d.Theorem2Applies() ? "applies" : "does not apply") << "\n";
+  out << "  Maximal replication provably optimal:       "
+      << (d.MaximalReplicationSafe() ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int SensitivityCommand(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const Mapping mapping =
+      ParseMapping(ReadTextFile(flags.Require("mapping")));
+  const Evaluator eval(problem.chain, problem.machine.total_procs(),
+                       problem.machine.node_memory_bytes);
+  const SensitivityReport report = AnalyzeSensitivity(eval, mapping);
+  out << "mapping: " << mapping.ToString(problem.chain) << "\n";
+  out << "predicted throughput: " << report.base_throughput
+      << " data sets/s\n";
+  out << report.Summary(problem.chain, 12);
+  return 0;
+}
+
+int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  const double target = std::stod(flags.Require("target"));
+  const int max_procs = problem.machine.total_procs();
+  const Evaluator eval(problem.chain, max_procs,
+                       problem.machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible =
+      FeasibilityChecker(problem.machine).ProcCountPredicate();
+  const ProcCountResult r =
+      MinProcessorsForThroughput(eval, max_procs, target, options);
+  out << "target throughput: " << target << " data sets/s\n";
+  out << "minimum processors: " << r.procs << " (of " << max_procs << ")\n";
+  out << "achieved: " << r.throughput << " data sets/s with "
+      << r.mapping.ToString(problem.chain) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const std::string& command = args[0];
+    if (command == "export-workload") return ExportWorkload(args, out);
+    if (command == "map") return MapCommand(args, out);
+    if (command == "simulate") return SimulateCommand(args, out);
+    if (command == "explain") return ExplainCommand(args, out);
+    if (command == "frontier") return FrontierCommand(args, out);
+    if (command == "diagnose") return DiagnoseCommand(args, out);
+    if (command == "sensitivity") return SensitivityCommand(args, out);
+    if (command == "size") return SizeCommand(args, out);
+    out << "unknown command: " << command << "\n" << kUsage;
+    return 1;
+  } catch (const InvalidArgument& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    out << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace pipemap::cli

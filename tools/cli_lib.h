@@ -1,0 +1,33 @@
+// Command-line front end for the pipemap library (logic only; main() is in
+// pipemap_cli.cpp so tests can drive the same code paths).
+//
+// Commands:
+//   export-workload <fft256|fft512|radar|stereo> <message|systolic>
+//                   --chain-out F --machine-out F
+//       Writes a built-in workload's (tabulated) cost model and machine.
+//   map       --chain F --machine F [--procs N] [--algorithm dp|greedy]
+//             [--objective throughput|latency] [--floor X]
+//             [--replication maximal|none|search] [--no-clustering]
+//             [--unconstrained] [--out F]
+//       Computes a mapping and prints prediction details.
+//   simulate  --chain F --machine F --mapping F [--datasets N]
+//             [--noise X] [--seed N]
+//       Executes a mapping in the pipeline simulator.
+//   diagnose  --chain F --machine F
+//       Reports which of the paper's theorem preconditions hold.
+//   size      --chain F --machine F --target X
+//       Minimum processors needed to reach a target throughput.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipemap::cli {
+
+/// Runs one CLI invocation; `args` excludes the program name. Writes
+/// human-readable output to `out` and returns a process exit code
+/// (0 success, 1 usage error, 2 runtime failure).
+int RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace pipemap::cli

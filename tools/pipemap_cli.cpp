@@ -1,0 +1,11 @@
+// pipemap command-line tool; see tools/cli_lib.h for the command set.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pipemap::cli::RunCli(args, std::cout);
+}
