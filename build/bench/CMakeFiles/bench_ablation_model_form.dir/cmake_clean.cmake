@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_form.dir/bench_ablation_model_form.cpp.o"
+  "CMakeFiles/bench_ablation_model_form.dir/bench_ablation_model_form.cpp.o.d"
+  "bench_ablation_model_form"
+  "bench_ablation_model_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm_scaling.dir/bench_algorithm_scaling.cpp.o"
+  "CMakeFiles/bench_algorithm_scaling.dir/bench_algorithm_scaling.cpp.o.d"
+  "bench_algorithm_scaling"
+  "bench_algorithm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_refinement.dir/bench_feedback_refinement.cpp.o"
+  "CMakeFiles/bench_feedback_refinement.dir/bench_feedback_refinement.cpp.o.d"
+  "bench_feedback_refinement"
+  "bench_feedback_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mapping_styles.dir/bench_fig1_mapping_styles.cpp.o"
+  "CMakeFiles/bench_fig1_mapping_styles.dir/bench_fig1_mapping_styles.cpp.o.d"
+  "bench_fig1_mapping_styles"
+  "bench_fig1_mapping_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mapping_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_frontier.dir/bench_latency_frontier.cpp.o"
+  "CMakeFiles/bench_latency_frontier.dir/bench_latency_frontier.cpp.o.d"
+  "bench_latency_frontier"
+  "bench_latency_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_location_effects.dir/bench_location_effects.cpp.o"
+  "CMakeFiles/bench_location_effects.dir/bench_location_effects.cpp.o.d"
+  "bench_location_effects"
+  "bench_location_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_location_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fft_hist.dir/bench_table1_fft_hist.cpp.o"
+  "CMakeFiles/bench_table1_fft_hist.dir/bench_table1_fft_hist.cpp.o.d"
+  "bench_table1_fft_hist"
+  "bench_table1_fft_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fft_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/feedback_loop.cpp" "examples/CMakeFiles/feedback_loop.dir/feedback_loop.cpp.o" "gcc" "examples/CMakeFiles/feedback_loop.dir/feedback_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pipemap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pipemap_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipemap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pipemap_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

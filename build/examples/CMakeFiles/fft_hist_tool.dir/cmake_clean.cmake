@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_hist_tool.dir/fft_hist_tool.cpp.o"
+  "CMakeFiles/fft_hist_tool.dir/fft_hist_tool.cpp.o.d"
+  "fft_hist_tool"
+  "fft_hist_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_hist_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_pipeline.dir/radar_pipeline.cpp.o"
+  "CMakeFiles/radar_pipeline.dir/radar_pipeline.cpp.o.d"
+  "radar_pipeline"
+  "radar_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/pipemap_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/pipemap_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/chain_ops.cpp" "src/core/CMakeFiles/pipemap_core.dir/chain_ops.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/chain_ops.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/pipemap_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/dp_engine.cpp" "src/core/CMakeFiles/pipemap_core.dir/dp_engine.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/dp_engine.cpp.o.d"
+  "/root/repo/src/core/dp_mapper.cpp" "src/core/CMakeFiles/pipemap_core.dir/dp_mapper.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/dp_mapper.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/pipemap_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/pipemap_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/greedy_mapper.cpp" "src/core/CMakeFiles/pipemap_core.dir/greedy_mapper.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/greedy_mapper.cpp.o.d"
+  "/root/repo/src/core/latency_mapper.cpp" "src/core/CMakeFiles/pipemap_core.dir/latency_mapper.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/latency_mapper.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "src/core/CMakeFiles/pipemap_core.dir/mapper.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/pipemap_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/pipemap_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/pipemap_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/pipemap_core.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

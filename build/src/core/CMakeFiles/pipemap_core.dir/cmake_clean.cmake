@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_core.dir/baseline.cpp.o"
+  "CMakeFiles/pipemap_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/brute_force.cpp.o"
+  "CMakeFiles/pipemap_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/chain_ops.cpp.o"
+  "CMakeFiles/pipemap_core.dir/chain_ops.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/pipemap_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/dp_engine.cpp.o"
+  "CMakeFiles/pipemap_core.dir/dp_engine.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/dp_mapper.cpp.o"
+  "CMakeFiles/pipemap_core.dir/dp_mapper.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/evaluator.cpp.o"
+  "CMakeFiles/pipemap_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/explain.cpp.o"
+  "CMakeFiles/pipemap_core.dir/explain.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/greedy_mapper.cpp.o"
+  "CMakeFiles/pipemap_core.dir/greedy_mapper.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/latency_mapper.cpp.o"
+  "CMakeFiles/pipemap_core.dir/latency_mapper.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/mapper.cpp.o"
+  "CMakeFiles/pipemap_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/mapping.cpp.o"
+  "CMakeFiles/pipemap_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/pipemap_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/pipemap_core.dir/task.cpp.o"
+  "CMakeFiles/pipemap_core.dir/task.cpp.o.d"
+  "libpipemap_core.a"
+  "libpipemap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/chain_costs.cpp" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/chain_costs.cpp.o" "gcc" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/chain_costs.cpp.o.d"
+  "/root/repo/src/costmodel/fit.cpp" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/fit.cpp.o" "gcc" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/fit.cpp.o.d"
+  "/root/repo/src/costmodel/memory.cpp" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/memory.cpp.o" "gcc" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/memory.cpp.o.d"
+  "/root/repo/src/costmodel/piecewise.cpp" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/piecewise.cpp.o" "gcc" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/piecewise.cpp.o.d"
+  "/root/repo/src/costmodel/poly.cpp" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/poly.cpp.o" "gcc" "src/costmodel/CMakeFiles/pipemap_costmodel.dir/poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_costmodel.dir/chain_costs.cpp.o"
+  "CMakeFiles/pipemap_costmodel.dir/chain_costs.cpp.o.d"
+  "CMakeFiles/pipemap_costmodel.dir/fit.cpp.o"
+  "CMakeFiles/pipemap_costmodel.dir/fit.cpp.o.d"
+  "CMakeFiles/pipemap_costmodel.dir/memory.cpp.o"
+  "CMakeFiles/pipemap_costmodel.dir/memory.cpp.o.d"
+  "CMakeFiles/pipemap_costmodel.dir/piecewise.cpp.o"
+  "CMakeFiles/pipemap_costmodel.dir/piecewise.cpp.o.d"
+  "CMakeFiles/pipemap_costmodel.dir/poly.cpp.o"
+  "CMakeFiles/pipemap_costmodel.dir/poly.cpp.o.d"
+  "libpipemap_costmodel.a"
+  "libpipemap_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

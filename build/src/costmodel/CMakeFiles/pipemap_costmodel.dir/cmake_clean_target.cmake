@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpipemap_costmodel.a"
+)

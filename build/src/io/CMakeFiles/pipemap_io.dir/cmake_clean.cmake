@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_io.dir/serialize.cpp.o"
+  "CMakeFiles/pipemap_io.dir/serialize.cpp.o.d"
+  "libpipemap_io.a"
+  "libpipemap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/feasible.cpp" "src/machine/CMakeFiles/pipemap_machine.dir/feasible.cpp.o" "gcc" "src/machine/CMakeFiles/pipemap_machine.dir/feasible.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/pipemap_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/pipemap_machine.dir/machine.cpp.o.d"
+  "/root/repo/src/machine/packing.cpp" "src/machine/CMakeFiles/pipemap_machine.dir/packing.cpp.o" "gcc" "src/machine/CMakeFiles/pipemap_machine.dir/packing.cpp.o.d"
+  "/root/repo/src/machine/pathways.cpp" "src/machine/CMakeFiles/pipemap_machine.dir/pathways.cpp.o" "gcc" "src/machine/CMakeFiles/pipemap_machine.dir/pathways.cpp.o.d"
+  "/root/repo/src/machine/rect.cpp" "src/machine/CMakeFiles/pipemap_machine.dir/rect.cpp.o" "gcc" "src/machine/CMakeFiles/pipemap_machine.dir/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_machine.dir/feasible.cpp.o"
+  "CMakeFiles/pipemap_machine.dir/feasible.cpp.o.d"
+  "CMakeFiles/pipemap_machine.dir/machine.cpp.o"
+  "CMakeFiles/pipemap_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/pipemap_machine.dir/packing.cpp.o"
+  "CMakeFiles/pipemap_machine.dir/packing.cpp.o.d"
+  "CMakeFiles/pipemap_machine.dir/pathways.cpp.o"
+  "CMakeFiles/pipemap_machine.dir/pathways.cpp.o.d"
+  "CMakeFiles/pipemap_machine.dir/rect.cpp.o"
+  "CMakeFiles/pipemap_machine.dir/rect.cpp.o.d"
+  "libpipemap_machine.a"
+  "libpipemap_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_profiling.dir/profiler.cpp.o"
+  "CMakeFiles/pipemap_profiling.dir/profiler.cpp.o.d"
+  "libpipemap_profiling.a"
+  "libpipemap_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/placed_sim.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/placed_sim.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/placed_sim.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/pipemap_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/pipemap_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

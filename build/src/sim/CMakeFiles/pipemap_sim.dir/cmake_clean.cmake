@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/noise.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/placed_sim.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/placed_sim.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/profile.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/pipemap_sim.dir/trace.cpp.o"
+  "CMakeFiles/pipemap_sim.dir/trace.cpp.o.d"
+  "libpipemap_sim.a"
+  "libpipemap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

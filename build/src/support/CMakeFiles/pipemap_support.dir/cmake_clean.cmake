@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_support.dir/error.cpp.o"
+  "CMakeFiles/pipemap_support.dir/error.cpp.o.d"
+  "CMakeFiles/pipemap_support.dir/linalg.cpp.o"
+  "CMakeFiles/pipemap_support.dir/linalg.cpp.o.d"
+  "CMakeFiles/pipemap_support.dir/rng.cpp.o"
+  "CMakeFiles/pipemap_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pipemap_support.dir/table.cpp.o"
+  "CMakeFiles/pipemap_support.dir/table.cpp.o.d"
+  "libpipemap_support.a"
+  "libpipemap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/comm_kernels.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/comm_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/comm_kernels.cpp.o.d"
+  "/root/repo/src/workloads/fft_hist.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/fft_hist.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/fft_hist.cpp.o.d"
+  "/root/repo/src/workloads/radar.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/radar.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/radar.cpp.o.d"
+  "/root/repo/src/workloads/stereo.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/stereo.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/stereo.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/vision.cpp" "src/workloads/CMakeFiles/pipemap_workloads.dir/vision.cpp.o" "gcc" "src/workloads/CMakeFiles/pipemap_workloads.dir/vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pipemap_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_workloads.dir/comm_kernels.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/comm_kernels.cpp.o.d"
+  "CMakeFiles/pipemap_workloads.dir/fft_hist.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/fft_hist.cpp.o.d"
+  "CMakeFiles/pipemap_workloads.dir/radar.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/radar.cpp.o.d"
+  "CMakeFiles/pipemap_workloads.dir/stereo.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/stereo.cpp.o.d"
+  "CMakeFiles/pipemap_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pipemap_workloads.dir/vision.cpp.o"
+  "CMakeFiles/pipemap_workloads.dir/vision.cpp.o.d"
+  "libpipemap_workloads.a"
+  "libpipemap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baseline_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/chain_ops_test.cpp" "tests/CMakeFiles/core_tests.dir/core/chain_ops_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/chain_ops_test.cpp.o.d"
+  "/root/repo/tests/core/diagnostics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/diagnostics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/core/dp_engine_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dp_engine_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dp_engine_test.cpp.o.d"
+  "/root/repo/tests/core/dp_mapper_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dp_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dp_mapper_test.cpp.o.d"
+  "/root/repo/tests/core/edge_cases_test.cpp" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/core/evaluator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/evaluator_test.cpp.o.d"
+  "/root/repo/tests/core/explain_test.cpp" "tests/CMakeFiles/core_tests.dir/core/explain_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/explain_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_mapper_test.cpp" "tests/CMakeFiles/core_tests.dir/core/greedy_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/greedy_mapper_test.cpp.o.d"
+  "/root/repo/tests/core/invariants_test.cpp" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o.d"
+  "/root/repo/tests/core/latency_mapper_test.cpp" "tests/CMakeFiles/core_tests.dir/core/latency_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/latency_mapper_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mapping_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/task_chain_test.cpp" "tests/CMakeFiles/core_tests.dir/core/task_chain_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/task_chain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pipemap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pipemap_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipemap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pipemap_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pipemap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

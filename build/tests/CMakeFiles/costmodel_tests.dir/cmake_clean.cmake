@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_tests.dir/costmodel/chain_costs_test.cpp.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/chain_costs_test.cpp.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/fit_test.cpp.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/fit_test.cpp.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/memory_test.cpp.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/memory_test.cpp.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/piecewise_test.cpp.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/piecewise_test.cpp.o.d"
+  "CMakeFiles/costmodel_tests.dir/costmodel/poly_test.cpp.o"
+  "CMakeFiles/costmodel_tests.dir/costmodel/poly_test.cpp.o.d"
+  "costmodel_tests"
+  "costmodel_tests.pdb"
+  "costmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_tests.dir/machine/feasible_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine/feasible_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/machine/machine_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine/machine_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/machine/packing_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine/packing_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/machine/pathways_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine/pathways_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/machine/rect_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine/rect_test.cpp.o.d"
+  "machine_tests"
+  "machine_tests.pdb"
+  "machine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/noise_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/noise_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/noise_test.cpp.o.d"
+  "/root/repo/tests/sim/pipeline_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/pipeline_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/pipeline_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/placed_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/placed_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/placed_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/profile_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/profile_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/profile_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pipemap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/pipemap_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipemap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pipemap_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pipemap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pipemap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pipemap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pipemap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_cli.dir/pipemap_cli.cpp.o"
+  "CMakeFiles/pipemap_cli.dir/pipemap_cli.cpp.o.d"
+  "pipemap_cli"
+  "pipemap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipemap_cli_lib.dir/cli_lib.cpp.o"
+  "CMakeFiles/pipemap_cli_lib.dir/cli_lib.cpp.o.d"
+  "libpipemap_cli_lib.a"
+  "libpipemap_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipemap_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
