@@ -1,0 +1,134 @@
+// Parallel-scaling regression harness for the DP mapping engine.
+//
+// Runs the throughput DP on a P >= 128, k >= 16 synthetic chain at 1, 2, 4
+// and 8 threads, verifies every run returns the identical mapping and
+// objective (the engine's determinism contract), and writes the wall
+// times, speedups and work counters to a machine-readable JSON file so the
+// perf trajectory is tracked PR over PR. Exit status is nonzero when any
+// thread count changes the mapping — never when the speedup is small,
+// because the measured speedup is a property of the host (a single-core CI
+// box cannot show one); the JSON records `hardware_threads` so downstream
+// tooling can judge the numbers in context.
+//
+// Usage: bench_dp_parallel_scaling [output.json] [P] [k]
+//        defaults: BENCH_dp_parallel.json 128 16
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dp_mapper.h"
+#include "core/evaluator.h"
+#include "support/thread_pool.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap::bench {
+namespace {
+
+struct ThreadSample {
+  int threads = 0;
+  double wall_s = 0.0;
+  double speedup = 1.0;
+  std::uint64_t work = 0;
+  std::uint64_t pruned_cells = 0;
+  double throughput = 0.0;
+  std::string mapping;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Run(const std::string& out_path, int procs, int num_tasks) {
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.machine_procs = procs;
+  spec.comm_comp_ratio = 0.35;
+  spec.memory_tightness = 0.2;
+  spec.replicable_fraction = 0.8;
+  const Workload w = workloads::MakeSynthetic(spec, 20260805);
+
+  std::printf("DP parallel scaling: P=%d, k=%d (host has %d hardware"
+              " threads)\n\n",
+              procs, num_tasks, ThreadPool::HardwareConcurrency());
+
+  // The big table pays for itself here; clustering is off so the stage
+  // grid stays k blocks of (P+1)^3 states. Warm the evaluator once (its
+  // tabulation is timed separately from the DP proper).
+  const Evaluator eval(w.chain, procs, w.machine.node_memory_bytes,
+                       /*num_threads=*/0);
+
+  std::vector<ThreadSample> samples;
+  for (const int threads : {1, 2, 4, 8}) {
+    MapperOptions options;
+    options.allow_clustering = false;
+    options.num_threads = threads;
+    const DpMapper mapper(options);
+    const double start = Now();
+    const MapResult r = mapper.Map(eval, procs);
+    const double wall = Now() - start;
+    ThreadSample s;
+    s.threads = threads;
+    s.wall_s = wall;
+    s.work = r.work;
+    s.pruned_cells = r.pruned_cells;
+    s.throughput = r.throughput;
+    s.mapping = r.mapping.ToString(w.chain);
+    samples.push_back(s);
+    std::printf("  %d thread%s: %8.3f s   work=%llu  pruned=%llu\n", threads,
+                threads == 1 ? " " : "s", wall,
+                static_cast<unsigned long long>(r.work),
+                static_cast<unsigned long long>(r.pruned_cells));
+  }
+
+  bool identical = true;
+  for (ThreadSample& s : samples) {
+    s.speedup = samples.front().wall_s / s.wall_s;
+    identical = identical && s.mapping == samples.front().mapping &&
+                s.throughput == samples.front().throughput;
+  }
+  std::printf("\n  speedup at 8 threads: %.2fx\n", samples.back().speedup);
+  std::printf("  identical mappings across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism contract violated");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"bench_dp_parallel_scaling\",\n"
+      << "  \"procs\": " << procs << ",\n"
+      << "  \"num_tasks\": " << num_tasks << ",\n"
+      << "  \"hardware_threads\": " << ThreadPool::HardwareConcurrency()
+      << ",\n"
+      << "  \"identical_mappings\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"mapping\": \"" << samples.front().mapping << "\",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ThreadSample& s = samples[i];
+    out << "    {\"threads\": " << s.threads << ", \"wall_s\": " << s.wall_s
+        << ", \"speedup\": " << s.speedup << ", \"work\": " << s.work
+        << ", \"pruned_cells\": " << s.pruned_cells
+        << ", \"throughput\": " << s.throughput << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("  wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_dp_parallel.json";
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 128;
+  const int num_tasks = argc > 3 ? std::atoi(argv[3]) : 16;
+  return pipemap::bench::Run(out, procs, num_tasks);
+}

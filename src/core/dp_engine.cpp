@@ -1,11 +1,16 @@
 #include "core/dp_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace pipemap::detail {
 namespace {
@@ -14,7 +19,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Backpointer layout: L_prev (6 bits) | b_prev (13 bits) | pp_prev (13 bits).
 // L_prev == 0 marks a first-module state.
-constexpr std::uint32_t PackBp(int l_prev, int b_prev, int pp_prev) {
+std::uint32_t PackBp(int l_prev, int b_prev, int pp_prev) {
+  assert(l_prev >= 0 && l_prev <= 63);
+  assert(b_prev >= 0 && b_prev <= 8191);
+  assert(pp_prev >= 0 && pp_prev <= 8191);
   return (static_cast<std::uint32_t>(l_prev) << 26) |
          (static_cast<std::uint32_t>(b_prev) << 13) |
          static_cast<std::uint32_t>(pp_prev);
@@ -32,6 +40,10 @@ constexpr int BpPrevProcs(std::uint32_t bp) {
 struct Stage {
   std::vector<double> value;  // kInf = unreachable
   std::vector<std::uint32_t> bp;
+  /// row_live[pu] != 0 iff some (pu, b, pp) cell holds a finite value.
+  /// Written with relaxed atomics: concurrent writers only ever store 1,
+  /// and readers consume the flags after the writing sweep has joined.
+  std::vector<std::atomic<char>> row_live;
   bool allocated = false;
 };
 
@@ -40,6 +52,23 @@ struct StageGrid {
   std::vector<Stage> stages;  // indexed j * k + (L - 1)
 
   Stage& At(int j, int len) { return stages[j * k + (len - 1)]; }
+};
+
+/// Best terminal state, totally ordered by (total, pu, b, pp) so parallel
+/// row sweeps can merge per-worker candidates into exactly the state the
+/// serial sweep would keep (the first one reaching the minimum in
+/// (stage, pu, b, pp) order), independent of arrival order.
+struct BestTerminal {
+  double total = kInf;
+  int j = -1, len = -1, pu = -1, b = -1, pp = -1;
+
+  /// True when `other` (from the same stage) must replace this candidate.
+  bool WorseThan(const BestTerminal& other) const {
+    if (other.total != total) return other.total < total;
+    if (other.pu != pu) return other.pu < pu;
+    if (other.b != b) return other.b < b;
+    return other.pp < pp;
+  }
 };
 
 }  // namespace
@@ -84,6 +113,127 @@ ModuleConfig LatencyConfig(const Evaluator& eval, int first, int last,
   return best;
 }
 
+namespace {
+
+/// Everything RunChainDp shares between its serial scaffolding and the
+/// parallel row sweeps.
+struct DpContext {
+  const Evaluator* eval;
+  int k;
+  int cap;
+  int max_len;
+  bool path_sum;
+  double response_cap;
+  std::vector<std::vector<ModuleConfig>> cfg_cache;
+  std::vector<int> min_budget;
+  std::vector<long long> suffix_min;
+
+  std::size_t RangeIndex(int first, int last) const {
+    return static_cast<std::size_t>(first) * k + last;
+  }
+  std::size_t StateIndex(int p_used, int budget, int prev_procs) const {
+    return (static_cast<std::size_t>(p_used) * (cap + 1) + budget) *
+               (cap + 1) +
+           prev_procs;
+  }
+};
+
+/// Objective value of a fully specified clustering under the DP's exact
+/// aggregation and response-cap rules; kInf when any module violates the
+/// cap or lacks a valid configuration. Used to seed the dominance-pruning
+/// threshold with a feasible incumbent, so the optimistic bounds have
+/// something to beat from the first stage onward (the DP itself reaches
+/// terminal states only at the end of the sweep).
+double EvaluateClustering(const DpContext& ctx,
+                          const std::vector<std::pair<int, int>>& modules,
+                          const std::vector<int>& budgets) {
+  const Evaluator& eval = *ctx.eval;
+  const int l = static_cast<int>(modules.size());
+  double total = 0.0;
+  for (int i = 0; i < l; ++i) {
+    const auto [first, last] = modules[i];
+    const ModuleConfig& cfg =
+        ctx.cfg_cache[ctx.RangeIndex(first, last)][budgets[i]];
+    if (!cfg.valid) return kInf;
+    const double body = eval.Body(first, last, cfg.procs);
+    double in_com = 0.0;
+    if (i > 0) {
+      const ModuleConfig& prev =
+          ctx.cfg_cache[ctx.RangeIndex(modules[i - 1].first,
+                                       modules[i - 1].second)][budgets[i - 1]];
+      in_com = eval.ECom(first - 1, prev.procs, cfg.procs);
+    }
+    double out_com = 0.0;
+    if (i + 1 < l) {
+      const ModuleConfig& next =
+          ctx.cfg_cache[ctx.RangeIndex(modules[i + 1].first,
+                                       modules[i + 1].second)][budgets[i + 1]];
+      out_com = eval.ECom(last, cfg.procs, next.procs);
+    }
+    // Mirror the DP's per-module cap test exactly: the terminal module is
+    // charged in + body, interior modules in + body + out.
+    const double resp = (in_com + body + out_com) / cfg.replicas;
+    if (resp > ctx.response_cap) return kInf;
+    if (ctx.path_sum) {
+      total += body + out_com;
+    } else {
+      total = std::max(total, resp);
+    }
+  }
+  return total;
+}
+
+/// Cheap feasible incumbent for dominance pruning: the whole chain as one
+/// module (when clustering is allowed) and a singleton clustering whose
+/// leftover processors are dealt greedily to the module with the worst
+/// effective body time. Any feasible value is a valid upper bound on the
+/// optimum; quality only affects how much gets pruned.
+double IncumbentBound(const DpContext& ctx) {
+  const Evaluator& eval = *ctx.eval;
+  double best = kInf;
+
+  if (ctx.max_len >= ctx.k) {
+    best = std::min(
+        best, EvaluateClustering(ctx, {{0, ctx.k - 1}}, {ctx.cap}));
+  }
+
+  std::vector<std::pair<int, int>> singles;
+  std::vector<int> budgets;
+  long long used = 0;
+  for (int t = 0; t < ctx.k; ++t) {
+    const int mb = ctx.min_budget[ctx.RangeIndex(t, t)];
+    if (mb >= kInfeasibleProcs) return best;
+    singles.emplace_back(t, t);
+    budgets.push_back(mb);
+    used += mb;
+  }
+  if (used > ctx.cap) return best;
+  for (long long leftover = ctx.cap - used; leftover > 0; --leftover) {
+    // Give the next processor to the module whose effective body improves
+    // the bottleneck the most; ties go to the earliest module so the
+    // incumbent stays deterministic.
+    int target = -1;
+    double worst = -kInf;
+    for (int t = 0; t < ctx.k; ++t) {
+      if (!ctx.cfg_cache[ctx.RangeIndex(t, t)][budgets[t] + 1].valid) {
+        continue;
+      }
+      const ModuleConfig& cfg =
+          ctx.cfg_cache[ctx.RangeIndex(t, t)][budgets[t]];
+      const double score = eval.Body(t, t, cfg.procs) / cfg.replicas;
+      if (score > worst) {
+        worst = score;
+        target = t;
+      }
+    }
+    if (target < 0) break;
+    ++budgets[target];
+  }
+  return std::min(best, EvaluateClustering(ctx, singles, budgets));
+}
+
+}  // namespace
+
 DpSolution RunChainDp(const DpProblem& problem) {
   PIPEMAP_CHECK(problem.eval != nullptr, "RunChainDp: evaluator required");
   const Evaluator& eval = *problem.eval;
@@ -98,53 +248,77 @@ DpSolution RunChainDp(const DpProblem& problem) {
   PIPEMAP_CHECK(problem.max_effective_response > 0.0,
                 "RunChainDp: response cap must be positive");
   const ReplicationPolicy policy = options.replication;
-  const int max_len = options.allow_clustering ? k : 1;
-  const bool path_sum = problem.objective == DpObjective::kPathSum;
-  const double response_cap = problem.max_effective_response;
+  const int num_threads = ThreadPool::ResolveThreads(options.num_threads);
+
+  DpContext ctx;
+  ctx.eval = &eval;
+  ctx.k = k;
+  ctx.cap = cap;
+  ctx.max_len = options.allow_clustering ? k : 1;
+  ctx.path_sum = problem.objective == DpObjective::kPathSum;
+  ctx.response_cap = problem.max_effective_response;
+  const int max_len = ctx.max_len;
+  const bool path_sum = ctx.path_sum;
+  const double response_cap = ctx.response_cap;
 
   // Per-module-range configuration cache: cfg[(first,last)][budget].
   // Also the smallest usable budget per range, and infinity if none.
-  std::vector<std::vector<ModuleConfig>> cfg_cache(
-      static_cast<std::size_t>(k) * k);
-  std::vector<int> min_budget(static_cast<std::size_t>(k) * k,
-                              kInfeasibleProcs);
-  auto range_index = [k](int first, int last) {
-    return static_cast<std::size_t>(first) * k + last;
-  };
+  // Ranges are independent, so they tabulate in parallel; each worker
+  // writes only its own ranges' cfg and min_budget slots.
+  ctx.cfg_cache.resize(static_cast<std::size_t>(k) * k);
+  ctx.min_budget.assign(static_cast<std::size_t>(k) * k, kInfeasibleProcs);
+  std::vector<std::pair<int, int>> ranges;
   for (int first = 0; first < k; ++first) {
     for (int last = first; last < std::min(k, first + max_len); ++last) {
-      auto& cfgs = cfg_cache[range_index(first, last)];
-      cfgs.assign(cap + 1, ModuleConfig{});
-      for (int b = 1; b <= cap; ++b) {
-        cfgs[b] = problem.config_rule == DpConfigRule::kLatencyBody
-                      ? LatencyConfig(eval, first, last, b, response_cap,
-                                      options.proc_feasible)
-                      : ConfigureConstrained(eval, first, last, b, policy,
-                                             options.proc_feasible);
-        if (cfgs[b].valid && min_budget[range_index(first, last)] > b) {
-          min_budget[range_index(first, last)] = b;
-        }
-      }
+      ranges.emplace_back(first, last);
     }
   }
+  ParallelFor(
+      num_threads, static_cast<std::int64_t>(ranges.size()),
+      ParallelSchedule::kDynamic, 1,
+      [&](int, std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto [first, last] = ranges[i];
+          auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, last)];
+          cfgs.assign(cap + 1, ModuleConfig{});
+          for (int b = 1; b <= cap; ++b) {
+            cfgs[b] =
+                problem.config_rule == DpConfigRule::kLatencyBody
+                    ? LatencyConfig(eval, first, last, b, response_cap,
+                                    options.proc_feasible)
+                    : ConfigureConstrained(eval, first, last, b, policy,
+                                           options.proc_feasible);
+            if (cfgs[b].valid &&
+                ctx.min_budget[ctx.RangeIndex(first, last)] > b) {
+              ctx.min_budget[ctx.RangeIndex(first, last)] = b;
+            }
+          }
+        }
+      });
 
   // Minimal total budget needed to map tasks t..k-1 (for pruning) and to
   // detect infeasibility early.
-  std::vector<long long> suffix_min(k + 1, 0);
+  ctx.suffix_min.assign(k + 1, 0);
   for (int t = k - 1; t >= 0; --t) {
     long long best = std::numeric_limits<long long>::max() / 4;
     for (int last = t; last < std::min(k, t + max_len); ++last) {
-      const int mb = min_budget[range_index(t, last)];
+      const int mb = ctx.min_budget[ctx.RangeIndex(t, last)];
       if (mb >= kInfeasibleProcs) continue;
-      best =
-          std::min(best, static_cast<long long>(mb) + suffix_min[last + 1]);
+      best = std::min(best,
+                      static_cast<long long>(mb) + ctx.suffix_min[last + 1]);
     }
-    suffix_min[t] = best;
+    ctx.suffix_min[t] = best;
   }
-  if (suffix_min[0] > cap) {
+  if (ctx.suffix_min[0] > cap) {
     throw Infeasible(
         "RunChainDp: not enough processors to satisfy module memory minima");
   }
+
+  // Upper bound on the optimum from cheap heuristic mappings. Dominance
+  // pruning skips cells whose optimistic bound strictly exceeds the
+  // threshold, so a state that ties or beats the incumbent is never lost
+  // and the returned mapping is identical with pruning off.
+  const double incumbent = IncumbentBound(ctx);
 
   StageGrid grid;
   grid.k = k;
@@ -165,23 +339,20 @@ DpSolution RunChainDp(const DpProblem& problem) {
       }
       s.value.assign(block_states, kInf);
       s.bp.assign(block_states, 0);
+      s.row_live = std::vector<std::atomic<char>>(cap + 1);
       s.allocated = true;
     }
     return s;
   };
-  auto state_index = [&](int p_used, int budget, int prev_procs) {
-    return (static_cast<std::size_t>(p_used) * (cap + 1) + budget) *
-               (cap + 1) +
-           prev_procs;
+  auto state_index = [&ctx](int p_used, int budget, int prev_procs) {
+    return ctx.StateIndex(p_used, budget, prev_procs);
   };
-
-  std::uint64_t work = 0;
 
   // Seed: first module [0 .. len-1] with budget b.
   for (int len = 1; len <= std::min(max_len, k); ++len) {
     const int last = len - 1;
-    const auto& cfgs = cfg_cache[range_index(0, last)];
-    const long long suffix_needed = suffix_min[last + 1];
+    const auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(0, last)];
+    const long long suffix_needed = ctx.suffix_min[last + 1];
     for (int b = 1; b <= cap; ++b) {
       if (!cfgs[b].valid) continue;
       if (b + suffix_needed > cap) break;
@@ -190,12 +361,19 @@ DpSolution RunChainDp(const DpProblem& problem) {
       if (s.value[idx] > 0.0) {
         s.value[idx] = 0.0;
         s.bp[idx] = PackBp(0, 0, 0);
+        s.row_live[b].store(1, std::memory_order_relaxed);
       }
     }
   }
 
-  double best_total = kInf;
-  int best_j = -1, best_len = -1, best_pu = -1, best_b = -1, best_pp = -1;
+  BestTerminal best;
+  std::uint64_t work = 0;
+  std::uint64_t pruned_cells = 0;
+
+  // Per-worker reduction slots for the parallel row sweeps.
+  std::vector<BestTerminal> worker_best(num_threads);
+  std::vector<std::uint64_t> worker_work(num_threads, 0);
+  std::vector<std::uint64_t> worker_pruned(num_threads, 0);
 
   // Process stages in increasing end-task order so transitions always move
   // forward.
@@ -204,87 +382,186 @@ DpSolution RunChainDp(const DpProblem& problem) {
       Stage& s = grid.At(j, len);
       if (!s.allocated) continue;
       const int first = j - len + 1;
-      const auto& cfgs = cfg_cache[range_index(first, j)];
+      const auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, j)];
       const bool is_last_stage = (j == k - 1);
 
+      // Row-level suffix prune: a state using pu processors still needs
+      // suffix_min[j+1] more, whatever module comes next. Collect the rows
+      // that can both complete and hold at least one reachable state.
+      const long long row_suffix = is_last_stage ? 0 : ctx.suffix_min[j + 1];
+      std::vector<int> live_rows;
       for (int pu = 1; pu <= cap; ++pu) {
-        for (int b = 1; b <= pu; ++b) {
-          const ModuleConfig& cfg = cfgs[b];
-          if (!cfg.valid) continue;
-          const std::size_t base = state_index(pu, b, 0);
-          for (int pp = 0; pp <= cap; ++pp) {
-            const double v = s.value[base + pp];
-            if (v == kInf) continue;
-            const double in_com =
-                pp > 0 ? eval.ECom(first - 1, pp, cfg.procs) : 0.0;
-            const double body = eval.Body(first, j, cfg.procs);
+        if (pu + row_suffix > cap) break;
+        if (s.row_live[pu].load(std::memory_order_relaxed)) {
+          live_rows.push_back(pu);
+        }
+      }
+      if (live_rows.empty()) continue;
 
-            if (is_last_stage) {
-              ++work;
-              const double resp = (in_com + body) / cfg.replicas;
-              if (resp > response_cap) continue;
-              // Path-sum counts the body only: the incoming transfer was
-              // charged when the previous module completed.
-              const double total =
-                  path_sum ? v + body : std::max(v, resp);
-              if (total < best_total) {
-                best_total = total;
-                best_j = j;
-                best_len = len;
-                best_pu = pu;
-                best_b = b;
-                best_pp = pp;
-              }
+      // Pre-allocate every stage this sweep can write, so the parallel
+      // rows never mutate the grid. Reachability matches the per-row
+      // budget test at the smallest live row (the easiest to extend).
+      struct Target {
+        Stage* stage = nullptr;
+        const std::vector<ModuleConfig>* cfgs = nullptr;
+        long long tail_needed = 0;
+        int next_min = kInfeasibleProcs;
+        int next_last = 0;
+      };
+      std::vector<Target> targets;
+      if (!is_last_stage) {
+        const int min_live_pu = live_rows.front();
+        for (int len2 = 1; len2 <= std::min(max_len, k - 1 - j); ++len2) {
+          const int next_last = j + len2;
+          Target t;
+          t.next_last = next_last;
+          t.next_min = ctx.min_budget[ctx.RangeIndex(j + 1, next_last)];
+          t.tail_needed = ctx.suffix_min[next_last + 1];
+          if (t.next_min < kInfeasibleProcs &&
+              min_live_pu + t.next_min + t.tail_needed <= cap) {
+            t.stage = &ensure_stage(next_last, len2);
+            t.cfgs = &ctx.cfg_cache[ctx.RangeIndex(j + 1, next_last)];
+          }
+          targets.push_back(t);
+        }
+      }
+
+      // The dominance threshold stays frozen for the whole stage: `best`
+      // only advances on terminal stages, which have no outgoing
+      // transitions, so every thread count sees the same table contents.
+      // Terminal rows additionally prune against their worker-local best.
+      const double frozen_threshold = std::min(incumbent, best.total);
+
+      for (int w = 0; w < num_threads; ++w) {
+        worker_best[w] = BestTerminal{};
+      }
+
+      auto sweep_rows = [&](int worker, std::int64_t row_begin,
+                            std::int64_t row_end) {
+        BestTerminal& local_best = worker_best[worker];
+        std::uint64_t local_work = 0;
+        std::uint64_t local_pruned = 0;
+        for (std::int64_t row = row_begin; row < row_end; ++row) {
+          const int pu = live_rows[static_cast<std::size_t>(row)];
+          for (int b = 1; b <= pu; ++b) {
+            const ModuleConfig& cfg = cfgs[b];
+            if (!cfg.valid) continue;
+            const std::size_t base = state_index(pu, b, 0);
+
+            // Dominance prune: the best completion through (pu, b, *) is at
+            // least the cheapest incoming value combined with this module's
+            // body at zero boundary communication. Strictly worse than the
+            // threshold means no completion can beat or tie the optimum.
+            double v_min = kInf;
+            for (int pp = 0; pp <= cap; ++pp) {
+              v_min = std::min(v_min, s.value[base + pp]);
+            }
+            if (v_min == kInf) continue;
+            const double body = eval.Body(first, j, cfg.procs);
+            const double cell_bound =
+                path_sum ? v_min + body
+                         : std::max(v_min, body / cfg.replicas);
+            if (cell_bound > std::min(frozen_threshold, local_best.total)) {
+              ++local_pruned;
               continue;
             }
 
-            // Extend with the next module [j+1 .. j+len2] and budget b2.
-            for (int len2 = 1; len2 <= std::min(max_len, k - 1 - j);
-                 ++len2) {
-              const int next_last = j + len2;
-              const auto& next_cfgs = cfg_cache[range_index(j + 1, next_last)];
-              const long long tail_needed = suffix_min[next_last + 1];
-              const int next_min = min_budget[range_index(j + 1, next_last)];
-              if (next_min >= kInfeasibleProcs ||
-                  pu + next_min + tail_needed > cap) {
+            for (int pp = 0; pp <= cap; ++pp) {
+              const double v = s.value[base + pp];
+              if (v == kInf) continue;
+              const double in_com =
+                  pp > 0 ? eval.ECom(first - 1, pp, cfg.procs) : 0.0;
+
+              if (is_last_stage) {
+                ++local_work;
+                const double resp = (in_com + body) / cfg.replicas;
+                if (resp > response_cap) continue;
+                // Path-sum counts the body only: the incoming transfer was
+                // charged when the previous module completed.
+                const double total =
+                    path_sum ? v + body : std::max(v, resp);
+                if (total < local_best.total) {
+                  local_best = BestTerminal{total, j, len, pu, b, pp};
+                }
                 continue;
               }
-              Stage& ns = ensure_stage(next_last, len2);
-              for (int b2 = 1; pu + b2 <= cap; ++b2) {
-                const ModuleConfig& cfg2 = next_cfgs[b2];
-                if (!cfg2.valid) continue;
-                if (pu + b2 + tail_needed > cap) break;
-                ++work;
-                const double out_com = eval.ECom(j, cfg.procs, cfg2.procs);
-                const double resp =
-                    (in_com + body + out_com) / cfg.replicas;
-                if (resp > response_cap) continue;
-                const double nv =
-                    path_sum ? v + body + out_com : std::max(v, resp);
-                const std::size_t nidx = state_index(pu + b2, b2, cfg.procs);
-                if (nv < ns.value[nidx]) {
-                  ns.value[nidx] = nv;
-                  ns.bp[nidx] = PackBp(len, b, pp);
+
+              // Extend with the next module [j+1 .. j+len2] and budget b2.
+              for (const Target& t : targets) {
+                if (t.stage == nullptr ||
+                    pu + t.next_min + t.tail_needed > cap) {
+                  continue;
+                }
+                Stage& ns = *t.stage;
+                for (int b2 = 1; pu + b2 <= cap; ++b2) {
+                  const ModuleConfig& cfg2 = (*t.cfgs)[b2];
+                  if (!cfg2.valid) continue;
+                  if (pu + b2 + t.tail_needed > cap) break;
+                  ++local_work;
+                  const double out_com = eval.ECom(j, cfg.procs, cfg2.procs);
+                  const double resp =
+                      (in_com + body + out_com) / cfg.replicas;
+                  if (resp > response_cap) continue;
+                  const double nv =
+                      path_sum ? v + body + out_com : std::max(v, resp);
+                  // Rows of the destination stage are owned exclusively:
+                  // the source row of a write to (pu + b2, b2, *) is
+                  // recoverable as pu = (pu + b2) - b2, so no two source
+                  // rows ever touch the same destination cell.
+                  const std::size_t nidx =
+                      state_index(pu + b2, b2, cfg.procs);
+                  if (nv < ns.value[nidx]) {
+                    ns.value[nidx] = nv;
+                    ns.bp[nidx] = PackBp(len, b, pp);
+                    ns.row_live[pu + b2].store(1, std::memory_order_relaxed);
+                  }
                 }
               }
             }
           }
         }
+        worker_work[worker] += local_work;
+        worker_pruned[worker] += local_pruned;
+      };
+
+      // Static partitioning keeps each worker's row set — and therefore the
+      // terminal-stage pruning decisions and work counters — reproducible
+      // for a given thread count. The reduction below is order-independent,
+      // so dynamic scheduling would still yield identical mappings; static
+      // costs little here because live rows have similar weight.
+      ParallelFor(num_threads,
+                  static_cast<std::int64_t>(live_rows.size()),
+                  ParallelSchedule::kStatic, 1, sweep_rows);
+
+      for (int w = 0; w < num_threads; ++w) {
+        if (worker_best[w].total == kInf) continue;
+        // Candidates from this stage beat the incumbent only strictly, and
+        // among themselves the smallest (pu, b, pp) wins ties — exactly the
+        // state the serial sweep reaches first.
+        if (worker_best[w].total < best.total ||
+            (worker_best[w].total == best.total && best.j == j &&
+             best.len == len && best.WorseThan(worker_best[w]))) {
+          best = worker_best[w];
+        }
       }
     }
   }
+  for (int w = 0; w < num_threads; ++w) {
+    work += worker_work[w];
+    pruned_cells += worker_pruned[w];
+  }
 
-  if (best_j < 0) {
+  if (best.j < 0) {
     throw Infeasible("RunChainDp: no valid mapping found");
   }
 
   // Reconstruct module list by walking backpointers from the best terminal
   // state.
   std::vector<ModuleAssignment> reversed;
-  int j = best_j, len = best_len, pu = best_pu, b = best_b, pp = best_pp;
+  int j = best.j, len = best.len, pu = best.pu, b = best.b, pp = best.pp;
   while (true) {
     const int first = j - len + 1;
-    const ModuleConfig& cfg = cfg_cache[range_index(first, j)][b];
+    const ModuleConfig& cfg = ctx.cfg_cache[ctx.RangeIndex(first, j)][b];
     reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
     const Stage& s = grid.At(j, len);
     const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
@@ -302,8 +579,9 @@ DpSolution RunChainDp(const DpProblem& problem) {
 
   DpSolution solution;
   solution.mapping.modules = std::move(reversed);
-  solution.objective_value = best_total;
+  solution.objective_value = best.total;
   solution.work = work;
+  solution.pruned_cells = pruned_cells;
   return solution;
 }
 

@@ -67,6 +67,11 @@ struct DpSolution {
   /// The aggregated objective value (bottleneck response or path sum).
   double objective_value = 0.0;
   std::uint64_t work = 0;
+  /// (pu, budget) cells skipped by dominance pruning: their optimistic
+  /// bound could not beat the best known mapping. Deterministic for a
+  /// given thread count; may differ between thread counts (the mapping
+  /// and objective never do).
+  std::uint64_t pruned_cells = 0;
 };
 
 /// Runs the DP. Throws pipemap::Infeasible when no mapping satisfies the

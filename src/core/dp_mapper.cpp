@@ -18,6 +18,7 @@ MapResult DpMapper::Map(const Evaluator& eval, int total_procs) const {
   result.mapping = std::move(solution.mapping);
   result.throughput = eval.Throughput(result.mapping);
   result.work = solution.work;
+  result.pruned_cells = solution.pruned_cells;
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "costmodel/memory.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace pipemap {
 namespace {
@@ -16,7 +17,7 @@ constexpr int kTabulationLimit = 512;
 }  // namespace
 
 Evaluator::Evaluator(const TaskChain& chain, int max_procs,
-                     double node_memory_bytes)
+                     double node_memory_bytes, int num_threads)
     : chain_(&chain),
       k_(chain.size()),
       max_procs_(max_procs),
@@ -27,6 +28,7 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
                 "Evaluator: node memory must be positive");
   const ChainCostModel& costs = chain.costs();
   const int pp = max_procs_ + 1;
+  num_threads = ThreadPool::ResolveThreads(num_threads);
 
   if (tabulated_) {
     exec_table_.assign(static_cast<std::size_t>(k_) * pp, 0.0);
@@ -44,13 +46,24 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
       for (int p = 1; p <= max_procs_; ++p) {
         icom_table_[static_cast<std::size_t>(e) * pp + p] = costs.ICom(e, p);
       }
-      for (int ps = 1; ps <= max_procs_; ++ps) {
-        for (int pr = 1; pr <= max_procs_; ++pr) {
-          ecom_table_[(static_cast<std::size_t>(e) * pp + ps) * pp + pr] =
-              costs.ECom(e, ps, pr);
-        }
-      }
     }
+    // The external-communication table is the expensive part —
+    // (k-1)·(P+1)² cost-function calls. Each (edge, sender) pair owns a
+    // disjoint row of the table, so the fill is embarrassingly parallel.
+    ParallelFor(
+        num_threads, static_cast<std::int64_t>(std::max(0, k_ - 1)) * max_procs_,
+        ParallelSchedule::kDynamic, std::max(1, max_procs_ / 4),
+        [&](int, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const int e = static_cast<int>(i / max_procs_);
+            const int ps = static_cast<int>(i % max_procs_) + 1;
+            double* row =
+                &ecom_table_[(static_cast<std::size_t>(e) * pp + ps) * pp];
+            for (int pr = 1; pr <= max_procs_; ++pr) {
+              row[pr] = costs.ECom(e, ps, pr);
+            }
+          }
+        });
     for (int p = 1; p <= max_procs_; ++p) {
       double acc = 0.0;
       body_prefix_[p] = 0.0;

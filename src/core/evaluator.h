@@ -49,7 +49,12 @@ class Evaluator {
  public:
   /// `max_procs` is the machine size P; `node_memory_bytes` the usable
   /// memory per processor (drives minimum processor counts).
-  Evaluator(const TaskChain& chain, int max_procs, double node_memory_bytes);
+  /// `num_threads` parallelizes the cost-table pre-tabulation — dominated
+  /// by the (k-1)·(P+1)² external-communication table — over the shared
+  /// thread pool; <= 0 means hardware concurrency. The tables are
+  /// identical for every thread count (disjoint writes, no reductions).
+  Evaluator(const TaskChain& chain, int max_procs, double node_memory_bytes,
+            int num_threads = 1);
 
   int max_procs() const { return max_procs_; }
   int num_tasks() const { return k_; }

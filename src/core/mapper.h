@@ -27,6 +27,11 @@ struct MapperOptions {
   /// Upper bound on dynamic-programming table memory; exceeding it throws
   /// pipemap::ResourceLimit instead of silently thrashing.
   std::size_t max_table_bytes = std::size_t{3} << 30;
+  /// Worker threads for the parallel mappers: <= 0 means hardware
+  /// concurrency, 1 forces the bit-exact serial path. Every thread count
+  /// produces identical mappings and objective values; `proc_feasible`
+  /// must be safe to call concurrently when this is not 1.
+  int num_threads = 0;
 };
 
 /// Result of a mapping run.
@@ -37,6 +42,10 @@ struct MapResult {
   /// Inner-loop iterations performed; exposes the O(P^4 k^2) vs O(P k)
   /// complexity contrast empirically.
   std::uint64_t work = 0;
+  /// DP cells skipped by dominance pruning (0 for non-DP mappers). Like
+  /// `work`, deterministic for a fixed thread count but may vary between
+  /// thread counts; the mapping and throughput never do.
+  std::uint64_t pruned_cells = 0;
 };
 
 /// A clustering: contiguous task ranges [first, last], in chain order.

@@ -1,0 +1,158 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pipemap {
+
+struct ThreadPool::Impl {
+  std::mutex run_mutex;  // serializes parallel regions
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> helpers;
+  bool stop = false;
+
+  // Current region, guarded by `mutex` (except the atomics).
+  std::uint64_t generation = 0;
+  const Body* body = nullptr;
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  ParallelSchedule schedule = ParallelSchedule::kStatic;
+  int num_workers = 1;
+  int pending = 0;  // participating helpers not yet finished
+  std::atomic<std::int64_t> next{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void RunWorker(int worker) {
+    try {
+      if (schedule == ParallelSchedule::kStatic) {
+        const std::int64_t begin = n * worker / num_workers;
+        const std::int64_t end = n * (worker + 1) / num_workers;
+        if (begin < end) (*body)(worker, begin, end);
+        return;
+      }
+      for (;;) {
+        const std::int64_t begin = next.fetch_add(grain);
+        if (begin >= n) break;
+        (*body)(worker, begin, std::min(begin + grain, n));
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      // Short-circuit the remaining dynamic chunks; static ranges finish.
+      next.store(n);
+    }
+  }
+
+  void HelperMain(int helper_index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      int worker = -1;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        if (helper_index + 1 < num_workers) worker = helper_index + 1;
+      }
+      if (worker < 0) continue;
+      RunWorker(worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--pending == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->helpers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::ParallelFor(int num_workers, std::int64_t n,
+                             ParallelSchedule schedule, std::int64_t grain,
+                             const Body& body) {
+  PIPEMAP_CHECK(grain >= 1, "ParallelFor: grain must be >= 1");
+  num_workers = std::clamp(num_workers, 1, kMaxWorkers);
+  if (n <= 0) return;
+  num_workers = static_cast<int>(
+      std::min<std::int64_t>(num_workers, n));
+  if (num_workers == 1) {
+    body(0, 0, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    while (static_cast<int>(impl_->helpers.size()) < num_workers - 1) {
+      const int helper_index = static_cast<int>(impl_->helpers.size());
+      impl_->helpers.emplace_back(
+          [this, helper_index] { impl_->HelperMain(helper_index); });
+    }
+    impl_->body = &body;
+    impl_->n = n;
+    impl_->grain = grain;
+    impl_->schedule = schedule;
+    impl_->num_workers = num_workers;
+    impl_->pending = num_workers - 1;
+    impl_->next.store(0);
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  impl_->RunWorker(0);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+    impl_->body = nullptr;
+  }
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested <= 0) return HardwareConcurrency();
+  return std::min(requested, kMaxWorkers);
+}
+
+void ParallelFor(int num_threads, std::int64_t n, ParallelSchedule schedule,
+                 std::int64_t grain, const ThreadPool::Body& body) {
+  if (num_threads <= 1) {
+    if (n > 0) body(0, 0, n);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(num_threads, n, schedule, grain, body);
+}
+
+}  // namespace pipemap

@@ -1,0 +1,131 @@
+// The parallel mapping engine's determinism contract: every thread count
+// produces byte-identical mappings and objective values. Randomized over
+// synthetic chains, both DP objectives, and clustering on/off; also checks
+// the parallel brute-force reference. This test is additionally built and
+// run under ThreadSanitizer (see tests/CMakeLists.txt) to certify the row
+// sweeps are race-free, so keep the instances small.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/dp_engine.h"
+#include "core/evaluator.h"
+#include "support/error.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap {
+namespace {
+
+constexpr int kNumChains = 24;
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+workloads::SyntheticSpec SpecFor(int seed) {
+  workloads::SyntheticSpec spec;
+  spec.num_tasks = 3 + seed % 4;        // 3..6 tasks
+  spec.machine_procs = 12 + (seed % 3) * 6;  // 12, 18, 24 processors
+  spec.comm_comp_ratio = 0.15 + 0.1 * (seed % 5);
+  spec.replicable_fraction = (seed % 2 == 0) ? 1.0 : 0.6;
+  spec.memory_tightness = 0.1 + 0.05 * (seed % 3);
+  return spec;
+}
+
+struct DpRun {
+  Mapping mapping;
+  double objective = 0.0;
+};
+
+/// Runs the DP at `num_threads`; nullopt when the instance is infeasible
+/// (which must then hold for every thread count).
+std::optional<DpRun> RunAt(const Evaluator& eval, int procs,
+                           detail::DpObjective objective,
+                           bool allow_clustering, int num_threads) {
+  detail::DpProblem problem;
+  problem.eval = &eval;
+  problem.total_procs = procs;
+  problem.objective = objective;
+  if (objective == detail::DpObjective::kPathSum) {
+    problem.config_rule = detail::DpConfigRule::kLatencyBody;
+  }
+  problem.options.allow_clustering = allow_clustering;
+  problem.options.num_threads = num_threads;
+  try {
+    detail::DpSolution s = detail::RunChainDp(problem);
+    return DpRun{std::move(s.mapping), s.objective_value};
+  } catch (const Infeasible&) {
+    return std::nullopt;
+  }
+}
+
+TEST(DeterminismTest, ThreadCountNeverChangesDpResult) {
+  for (int seed = 0; seed < kNumChains; ++seed) {
+    const workloads::SyntheticSpec spec = SpecFor(seed);
+    const Workload w = workloads::MakeSynthetic(spec, 9000 + seed);
+    const Evaluator eval(w.chain, spec.machine_procs,
+                         w.machine.node_memory_bytes);
+    for (const auto objective :
+         {detail::DpObjective::kBottleneck, detail::DpObjective::kPathSum}) {
+      for (const bool clustering : {true, false}) {
+        const std::optional<DpRun> reference =
+            RunAt(eval, spec.machine_procs, objective, clustering, 1);
+        for (const int threads : kThreadCounts) {
+          SCOPED_TRACE("seed=" + std::to_string(seed) +
+                       " objective=" + (objective ==
+                                        detail::DpObjective::kPathSum
+                                            ? "pathsum"
+                                            : "bottleneck") +
+                       " clustering=" + (clustering ? "on" : "off") +
+                       " threads=" + std::to_string(threads));
+          const std::optional<DpRun> run =
+              RunAt(eval, spec.machine_procs, objective, clustering, threads);
+          ASSERT_EQ(run.has_value(), reference.has_value());
+          if (!run) continue;
+          EXPECT_EQ(run->mapping, reference->mapping);
+          // Byte-identical objective, not approximately equal: the engine
+          // promises the same floating-point value for every thread count.
+          EXPECT_EQ(run->objective, reference->objective);
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ThreadCountNeverChangesEvaluatorTables) {
+  const workloads::SyntheticSpec spec = SpecFor(3);
+  const Workload w = workloads::MakeSynthetic(spec, 9107);
+  const Evaluator serial(w.chain, spec.machine_procs,
+                         w.machine.node_memory_bytes, 1);
+  const Evaluator parallel(w.chain, spec.machine_procs,
+                           w.machine.node_memory_bytes, 8);
+  for (int e = 0; e < spec.num_tasks - 1; ++e) {
+    for (int ps = 1; ps <= spec.machine_procs; ++ps) {
+      for (int pr = 1; pr <= spec.machine_procs; ++pr) {
+        ASSERT_EQ(serial.ECom(e, ps, pr), parallel.ECom(e, ps, pr));
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ThreadCountNeverChangesBruteForceResult) {
+  const workloads::SyntheticSpec spec = SpecFor(1);
+  const Workload w = workloads::MakeSynthetic(spec, 9001);
+  const int procs = 8;  // small budget keeps the enumeration tractable
+  const Evaluator eval(w.chain, procs, w.machine.node_memory_bytes);
+  std::optional<MapResult> reference;
+  for (const int threads : kThreadCounts) {
+    BruteForceOptions options;
+    options.base.num_threads = threads;
+    const MapResult r = BruteForceMapper(options).Map(eval, procs);
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.mapping, reference->mapping) << "threads=" << threads;
+    EXPECT_EQ(r.throughput, reference->throughput) << "threads=" << threads;
+    EXPECT_EQ(r.work, reference->work) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace pipemap

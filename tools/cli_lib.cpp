@@ -31,14 +31,18 @@ commands:
   map       --chain FILE --machine FILE [--procs N] [--algorithm dp|greedy]
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
-            [--unconstrained] [--out FILE]
+            [--unconstrained] [--threads N] [--out FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
             [--noise X] [--seed N]
   explain   --chain FILE --machine FILE --mapping FILE
-  frontier  --chain FILE --machine FILE [--points N]
+  frontier  --chain FILE --machine FILE [--points N] [--threads N]
   diagnose  --chain FILE --machine FILE
   sensitivity --chain FILE --machine FILE --mapping FILE
-  size      --chain FILE --machine FILE --target X
+  size      --chain FILE --machine FILE --target X [--threads N]
+
+--threads 0 (the default) uses every hardware thread for the mapping
+algorithms; --threads 1 forces the serial path. Mappings are identical for
+every thread count.
 )";
 
 /// Minimal flag parser: --key value pairs plus standalone switches.
@@ -140,10 +144,12 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
   const LoadedProblem problem = Load(flags);
   const int procs =
       flags.GetInt("procs", problem.machine.total_procs());
+  const int threads = flags.GetInt("threads", 0);
   const Evaluator eval(problem.chain, procs,
-                       problem.machine.node_memory_bytes);
+                       problem.machine.node_memory_bytes, threads);
 
   MapperOptions options;
+  options.num_threads = threads;
   const std::string replication = flags.Get("replication").value_or("maximal");
   if (replication == "none") {
     options.replication = ReplicationPolicy::kNone;
@@ -242,8 +248,11 @@ int FrontierCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(args, 1);
   const LoadedProblem problem = Load(flags);
   const int P = problem.machine.total_procs();
-  const Evaluator eval(problem.chain, P, problem.machine.node_memory_bytes);
+  const int threads = flags.GetInt("threads", 0);
+  const Evaluator eval(problem.chain, P, problem.machine.node_memory_bytes,
+                       threads);
   MapperOptions options;
+  options.num_threads = threads;
   options.proc_feasible =
       FeasibilityChecker(problem.machine).ProcCountPredicate();
   const int points = flags.GetInt("points", 6);
@@ -294,9 +303,11 @@ int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
   const LoadedProblem problem = Load(flags);
   const double target = std::stod(flags.Require("target"));
   const int max_procs = problem.machine.total_procs();
+  const int threads = flags.GetInt("threads", 0);
   const Evaluator eval(problem.chain, max_procs,
-                       problem.machine.node_memory_bytes);
+                       problem.machine.node_memory_bytes, threads);
   MapperOptions options;
+  options.num_threads = threads;
   options.proc_feasible =
       FeasibilityChecker(problem.machine).ProcCountPredicate();
   const ProcCountResult r =

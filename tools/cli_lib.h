@@ -8,8 +8,9 @@
 //   map       --chain F --machine F [--procs N] [--algorithm dp|greedy]
 //             [--objective throughput|latency] [--floor X]
 //             [--replication maximal|none|search] [--no-clustering]
-//             [--unconstrained] [--out F]
-//       Computes a mapping and prints prediction details.
+//             [--unconstrained] [--threads N] [--out F]
+//       Computes a mapping and prints prediction details. --threads 0
+//       (default) uses all hardware threads; 1 forces the serial path.
 //   simulate  --chain F --machine F --mapping F [--datasets N]
 //             [--noise X] [--seed N]
 //       Executes a mapping in the pipeline simulator.
