@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
@@ -72,6 +74,8 @@ BruteForceMapper::BruteForceMapper(BruteForceOptions options)
 
 MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
   const int k = eval.num_tasks();
+  const ScopedMetricsEnable observe(options_.base.observe);
+  PIPEMAP_TRACE_SPAN("brute.map", "brute", k);
   const ReplicationPolicy policy = options_.base.replication;
   const ProcPredicate& feasible = options_.base.proc_feasible;
   const bool clustering_allowed = options_.base.allow_clustering;
@@ -125,6 +129,7 @@ MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
   result.mapping = *winner.mapping;
   result.throughput = winner.objective;
   result.work = work.load();
+  PIPEMAP_COUNTER_ADD("brute.evaluations", result.work);
   return result;
 }
 
@@ -133,6 +138,8 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
                                         double min_throughput,
                                         const BruteForceOptions& options) {
   const int k = eval.num_tasks();
+  const ScopedMetricsEnable observe(options.base.observe);
+  PIPEMAP_TRACE_SPAN("brute.min_latency", "brute", k);
   const ProcPredicate& feasible = options.base.proc_feasible;
   const bool clustering_allowed = options.base.allow_clustering;
   const int num_threads = ThreadPool::ResolveThreads(options.base.num_threads);
@@ -201,6 +208,7 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
   result.throughput = eval.Throughput(*winner.mapping);
   result.mapping = std::move(*winner.mapping);
   result.work = work.load();
+  PIPEMAP_COUNTER_ADD("brute.evaluations", result.work);
   return result;
 }
 

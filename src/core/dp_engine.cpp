@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
+#include "support/tracer.h"
 
 namespace pipemap::detail {
 namespace {
@@ -250,6 +252,10 @@ DpSolution RunChainDp(const DpProblem& problem) {
   const ReplicationPolicy policy = options.replication;
   const int num_threads = ThreadPool::ResolveThreads(options.num_threads);
 
+  const ScopedMetricsEnable observe(options.observe);
+  PIPEMAP_TRACE_SPAN("dp.run", "dp", k);
+  PIPEMAP_COUNTER_ADD("dp.runs", 1);
+
   DpContext ctx;
   ctx.eval = &eval;
   ctx.k = k;
@@ -273,28 +279,34 @@ DpSolution RunChainDp(const DpProblem& problem) {
       ranges.emplace_back(first, last);
     }
   }
-  ParallelFor(
-      num_threads, static_cast<std::int64_t>(ranges.size()),
-      ParallelSchedule::kDynamic, 1,
-      [&](int, std::int64_t begin, std::int64_t end) {
-        for (std::int64_t i = begin; i < end; ++i) {
-          const auto [first, last] = ranges[i];
-          auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, last)];
-          cfgs.assign(cap + 1, ModuleConfig{});
-          for (int b = 1; b <= cap; ++b) {
-            cfgs[b] =
-                problem.config_rule == DpConfigRule::kLatencyBody
-                    ? LatencyConfig(eval, first, last, b, response_cap,
-                                    options.proc_feasible)
-                    : ConfigureConstrained(eval, first, last, b, policy,
-                                           options.proc_feasible);
-            if (cfgs[b].valid &&
-                ctx.min_budget[ctx.RangeIndex(first, last)] > b) {
-              ctx.min_budget[ctx.RangeIndex(first, last)] = b;
+  {
+    PIPEMAP_TRACE_SPAN("dp.cfg_cache", "dp",
+                       static_cast<std::int64_t>(ranges.size()));
+    PIPEMAP_COUNTER_ADD("dp.cfg_ranges",
+                        static_cast<std::uint64_t>(ranges.size()));
+    ParallelFor(
+        num_threads, static_cast<std::int64_t>(ranges.size()),
+        ParallelSchedule::kDynamic, 1,
+        [&](int, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const auto [first, last] = ranges[i];
+            auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, last)];
+            cfgs.assign(cap + 1, ModuleConfig{});
+            for (int b = 1; b <= cap; ++b) {
+              cfgs[b] =
+                  problem.config_rule == DpConfigRule::kLatencyBody
+                      ? LatencyConfig(eval, first, last, b, response_cap,
+                                      options.proc_feasible)
+                      : ConfigureConstrained(eval, first, last, b, policy,
+                                             options.proc_feasible);
+              if (cfgs[b].valid &&
+                  ctx.min_budget[ctx.RangeIndex(first, last)] > b) {
+                ctx.min_budget[ctx.RangeIndex(first, last)] = b;
+              }
             }
           }
-        }
-      });
+        });
+  }
 
   // Minimal total budget needed to map tasks t..k-1 (for pruning) and to
   // detect infeasibility early.
@@ -397,6 +409,11 @@ DpSolution RunChainDp(const DpProblem& problem) {
         }
       }
       if (live_rows.empty()) continue;
+
+      PIPEMAP_TRACE_SPAN("dp.stage", "dp", j);
+      PIPEMAP_COUNTER_ADD("dp.stages_swept", 1);
+      PIPEMAP_HISTOGRAM_RECORD("dp.stage_live_rows",
+                               static_cast<double>(live_rows.size()));
 
       // Pre-allocate every stage this sweep can write, so the parallel
       // rows never mutate the grid. Reachability matches the per-row
@@ -550,6 +567,9 @@ DpSolution RunChainDp(const DpProblem& problem) {
     work += worker_work[w];
     pruned_cells += worker_pruned[w];
   }
+  PIPEMAP_COUNTER_ADD("dp.cells_evaluated", work);
+  PIPEMAP_COUNTER_ADD("dp.cells_pruned", pruned_cells);
+  PIPEMAP_GAUGE_MAX("dp.table_bytes", static_cast<double>(allocated_bytes));
 
   if (best.j < 0) {
     throw Infeasible("RunChainDp: no valid mapping found");

@@ -5,7 +5,9 @@
 
 #include "costmodel/memory.h"
 #include "support/error.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
@@ -30,6 +32,8 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
   const int pp = max_procs_ + 1;
   num_threads = ThreadPool::ResolveThreads(num_threads);
 
+  PIPEMAP_TRACE_SPAN("evaluator.tabulate", "evaluator", max_procs_);
+
   if (tabulated_) {
     exec_table_.assign(static_cast<std::size_t>(k_) * pp, 0.0);
     icom_table_.assign(static_cast<std::size_t>(std::max(0, k_ - 1)) * pp,
@@ -42,11 +46,16 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
         exec_table_[static_cast<std::size_t>(t) * pp + p] = costs.Exec(t, p);
       }
     }
+    PIPEMAP_COUNTER_ADD("evaluator.exec_evals",
+                        static_cast<std::uint64_t>(k_) * max_procs_);
     for (int e = 0; e < k_ - 1; ++e) {
       for (int p = 1; p <= max_procs_; ++p) {
         icom_table_[static_cast<std::size_t>(e) * pp + p] = costs.ICom(e, p);
       }
     }
+    PIPEMAP_COUNTER_ADD(
+        "evaluator.icom_evals",
+        static_cast<std::uint64_t>(std::max(0, k_ - 1)) * max_procs_);
     // The external-communication table is the expensive part —
     // (k-1)·(P+1)² cost-function calls. Each (edge, sender) pair owns a
     // disjoint row of the table, so the fill is embarrassingly parallel.
@@ -63,6 +72,10 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
               row[pr] = costs.ECom(e, ps, pr);
             }
           }
+          // One bulk add per chunk keeps the counter out of the fill loop.
+          PIPEMAP_COUNTER_ADD(
+              "evaluator.ecom_evals",
+              static_cast<std::uint64_t>(end - begin) * max_procs_);
         });
     for (int p = 1; p <= max_procs_; ++p) {
       double acc = 0.0;

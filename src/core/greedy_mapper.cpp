@@ -5,23 +5,46 @@
 #include <optional>
 
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
 
 /// Smallest budget at or above the memory minimum for which a valid
 /// (feasibility-respecting) configuration exists; nullopt if none up to cap.
+///
+/// Validity is monotone in the budget: raising `b` only enlarges the set of
+/// candidate (replicas, instance size) pairs ConfigureConstrained may pick
+/// from (every instance size in [min_p, b/r] stays available at b+1), so a
+/// budget that configures validly never becomes invalid with more
+/// processors. That makes the smallest usable budget binary-searchable —
+/// O(log P) ConfigureConstrained probes instead of the O(P) linear scan
+/// that used to make greedy setup quadratic in P per module.
 std::optional<int> MinUsableBudget(const Evaluator& eval, int first, int last,
                                    int cap, ReplicationPolicy policy,
                                    const ProcPredicate& feasible) {
   const int min_p = eval.MinProcs(first, last);
-  if (min_p >= kInfeasibleProcs) return std::nullopt;
-  for (int b = min_p; b <= cap; ++b) {
-    if (ConfigureConstrained(eval, first, last, b, policy, feasible).valid) {
-      return b;
+  if (min_p >= kInfeasibleProcs || min_p > cap) return std::nullopt;
+  std::uint64_t probes = 0;
+  auto usable = [&](int b) {
+    ++probes;
+    return ConfigureConstrained(eval, first, last, b, policy, feasible).valid;
+  };
+  std::optional<int> result;
+  if (usable(min_p)) {
+    result = min_p;
+  } else if (usable(cap)) {
+    // Invariant: lo is unusable, hi is usable.
+    int lo = min_p, hi = cap;
+    while (hi - lo > 1) {
+      const int mid = lo + (hi - lo) / 2;
+      (usable(mid) ? hi : lo) = mid;
     }
+    result = hi;
   }
-  return std::nullopt;
+  PIPEMAP_COUNTER_ADD("greedy.min_budget_probes", probes);
+  return result;
 }
 
 /// Throughput of (clustering, budgets) or nullopt if unconfigurable.
@@ -55,7 +78,13 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
   const int l = static_cast<int>(clustering.size());
   PIPEMAP_CHECK(l >= 1, "GreedyMapper: clustering must be non-empty");
 
+  const ScopedMetricsEnable observe(options_.base.observe);
+  PIPEMAP_TRACE_SPAN("greedy.cluster", "greedy", l);
+
   std::uint64_t work = 0;
+  std::uint64_t step_probes = 0;
+  std::uint64_t backtrack_evals = 0;
+  std::uint64_t refinement_iters = 0;
 
   // Step 1: minimum viable budgets.
   std::vector<int> budgets(l);
@@ -88,6 +117,7 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
 
   // Steps 2-3: hand out remaining processors one at a time.
   for (int free = total_procs - used; free > 0; --free) {
+    ++refinement_iters;
     // Identify the bottleneck module under the current assignment.
     const auto mapping =
         BuildMapping(eval, clustering, budgets, policy, feasible);
@@ -135,6 +165,7 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
       for (int step : steps) {
         if (step - budgets[c] > free) continue;  // cannot afford this step
         ++work;
+        ++step_probes;
         const int saved = budgets[c];
         budgets[c] = step;
         const auto t = throughput_of(budgets);
@@ -184,6 +215,7 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
         if (used_so_far > total_procs) return;
         if (idx == l) {
           ++work;
+          ++backtrack_evals;
           const auto t = throughput_of(trial);
           if (t && *t > best.throughput) {
             best.budgets = trial;
@@ -210,6 +242,9 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
       BuildMapping(eval, clustering, best.budgets, policy, feasible);
   PIPEMAP_CHECK(final_mapping.has_value(),
                 "GreedyMapper: best assignment unconfigurable");
+  PIPEMAP_COUNTER_ADD("greedy.refinement_iters", refinement_iters);
+  PIPEMAP_COUNTER_ADD("greedy.budget_probes", step_probes);
+  PIPEMAP_COUNTER_ADD("greedy.backtrack_evals", backtrack_evals);
   MapResult result;
   result.mapping = *final_mapping;
   result.throughput = eval.Throughput(result.mapping);
@@ -219,6 +254,8 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
 
 MapResult GreedyMapper::Map(const Evaluator& eval, int total_procs) const {
   const int k = eval.num_tasks();
+  const ScopedMetricsEnable observe(options_.base.observe);
+  PIPEMAP_TRACE_SPAN("greedy.map", "greedy", k);
 
   Clustering clustering = SingletonClustering(k);
   MapResult best;
@@ -246,6 +283,7 @@ MapResult GreedyMapper::Map(const Evaluator& eval, int total_procs) const {
   // (the budget freed by eliminating a transfer flows to the bottleneck).
   auto try_clustering = [&](const Clustering& candidate)
       -> std::optional<MapResult> {
+    PIPEMAP_COUNTER_ADD("greedy.clusterings_tried", 1);
     try {
       MapResult r = MapWithClustering(eval, total_procs, candidate);
       work += r.work;

@@ -32,6 +32,12 @@ struct MapperOptions {
   /// produces identical mappings and objective values; `proc_feasible`
   /// must be safe to call concurrently when this is not 1.
   int num_threads = 0;
+  /// Forces metrics collection (support/metrics.h) on for the duration of
+  /// the mapping run, restoring the previous process-wide setting after.
+  /// With this false (the default) collection follows the process-wide
+  /// switch, which the CLI's --metrics/--trace flags control. Collection
+  /// never changes the returned mapping or objective.
+  bool observe = false;
 };
 
 /// Result of a mapping run.

@@ -42,12 +42,17 @@ TabulatedScalarCost::TabulatedScalarCost(
 
 double TabulatedScalarCost::Eval(int procs) const {
   PIPEMAP_CHECK(procs >= 1, "TabulatedScalarCost: procs must be >= 1");
-  std::vector<int> axis;
-  axis.reserve(samples_.size());
-  for (const auto& [p, _] : samples_) axis.push_back(p);
-  const auto [lo, t] = Bracket(axis, procs);
-  if (t == 0.0) return samples_[lo].second;
-  return (1.0 - t) * samples_[lo].second + t * samples_[lo + 1].second;
+  // `samples_` is sorted by processor count (built from an ordered map), so
+  // bracket it in place; this is a mapper hot path and must not allocate.
+  if (procs <= samples_.front().first) return samples_.front().second;
+  if (procs >= samples_.back().first) return samples_.back().second;
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), procs,
+      [](int x, const std::pair<int, double>& s) { return x < s.first; });
+  const auto lo = it - 1;
+  const double t = static_cast<double>(procs - lo->first) /
+                   static_cast<double>(it->first - lo->first);
+  return (1.0 - t) * lo->second + t * it->second;
 }
 
 std::unique_ptr<ScalarCost> TabulatedScalarCost::Clone() const {

@@ -5,6 +5,8 @@
 #include "sim/event_queue.h"
 #include "sim/noise.h"
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
@@ -192,6 +194,9 @@ SimResult EventDrivenSimulator::Run(const Mapping& mapping,
                 " and not supported by this engine");
   PIPEMAP_CHECK(!options.collect_profile && !options.collect_trace,
                 "EventDrivenSimulator: profile/trace collection unsupported");
+  PIPEMAP_TRACE_SPAN("sim.event.run", "sim", options.num_datasets);
+  PIPEMAP_COUNTER_ADD("sim.event.datasets",
+                      static_cast<std::uint64_t>(options.num_datasets));
   Engine engine(*chain_, mapping, options);
   return engine.Run();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 
@@ -18,6 +20,12 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
   const int n = options.num_datasets;
   const int l = mapping.num_modules();
   const ChainCostModel& costs = chain.costs();
+
+  PIPEMAP_TRACE_SPAN("sim.pipeline.run", "sim", n);
+  PIPEMAP_COUNTER_ADD("sim.pipeline.datasets", static_cast<std::uint64_t>(n));
+  PIPEMAP_COUNTER_ADD(
+      "sim.pipeline.transfers",
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(l - 1));
 
   NoiseModel noise(options.noise, chain.size());
 

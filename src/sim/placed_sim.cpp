@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
@@ -134,6 +136,8 @@ SimResult PlacedSimulator::Run(const Mapping& mapping,
   PIPEMAP_CHECK(!options.transfer_adjustment,
                 "PlacedSimulator: transfer_adjustment is provided by this"
                 " class");
+  PIPEMAP_TRACE_SPAN("sim.placed.run", "sim", options.num_datasets);
+  PIPEMAP_COUNTER_ADD("sim.placed.routes", 1);
   auto table = std::make_shared<RouteTable>(
       BuildRouteTable(mapping, placements_, machine_));
   const LocationModel location = location_;

@@ -1,0 +1,288 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pipemap {
+namespace {
+
+/// Stable per-thread shard index: threads are dealt shards round-robin on
+/// first use, so up to kShards concurrent writers never share a line.
+int ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int index = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      MetricsRegistry::kShards);
+  return index;
+}
+
+void AtomicDoubleAdd(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonDouble(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  out << tmp.str();
+}
+
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+void MetricsRegistry::Counter::Add(std::uint64_t n) {
+  shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::Counter::Total() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricsRegistry::Gauge::Set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Gauge::Max(double v) {
+  AtomicDoubleMax(value_, v);
+}
+
+double MetricsRegistry::Gauge::Value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+int MetricsRegistry::Histogram::BucketOf(double v) {
+  if (!(v > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp - kMinExp, 0, kBuckets - 1);
+}
+
+double MetricsRegistry::Histogram::BucketRepresentative(int bucket) {
+  // Midpoint-ish value of [2^(e-1), 2^e): 0.75 * 2^e.
+  return 0.75 * std::ldexp(1.0, bucket + kMinExp);
+}
+
+void MetricsRegistry::Histogram::Record(double v) {
+  Shard& s = shards_[ShardIndex()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleAdd(s.sum, v);
+  if (!s.seeded.load(std::memory_order_relaxed)) {
+    // First sample on this shard seeds min/max away from the 0.0 default.
+    // Benign race: a concurrent seeder only makes the min/max update below
+    // redundant, never wrong.
+    s.min.store(v, std::memory_order_relaxed);
+    s.max.store(v, std::memory_order_relaxed);
+    s.seeded.store(true, std::memory_order_relaxed);
+  } else {
+    AtomicDoubleMin(s.min, v);
+    AtomicDoubleMax(s.max, v);
+  }
+  s.buckets[static_cast<std::size_t>(BucketOf(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramStats MetricsRegistry::Histogram::Stats() const {
+  HistogramStats stats;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  bool seeded = false;
+  for (const Shard& s : shards_) {
+    const std::uint64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    stats.count += c;
+    stats.sum += s.sum.load(std::memory_order_relaxed);
+    const double lo = s.min.load(std::memory_order_relaxed);
+    const double hi = s.max.load(std::memory_order_relaxed);
+    if (!seeded) {
+      stats.min = lo;
+      stats.max = hi;
+      seeded = true;
+    } else {
+      stats.min = std::min(stats.min, lo);
+      stats.max = std::max(stats.max, hi);
+    }
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  if (stats.count == 0) return stats;
+  stats.mean = stats.sum / static_cast<double>(stats.count);
+
+  auto percentile = [&](double q) {
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(stats.count - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[static_cast<std::size_t>(b)];
+      if (seen > rank) {
+        return std::clamp(BucketRepresentative(b), stats.min, stats.max);
+      }
+    }
+    return stats.max;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry;
+  return *registry;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Histogram* MetricsRegistry::GetHistogram(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Total();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Stats();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    for (auto& s : counter->shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Set(0.0);
+  }
+  for (auto& [name, hist] : histograms_) {
+    for (auto& s : hist->shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0.0, std::memory_order_relaxed);
+      s.min.store(0.0, std::memory_order_relaxed);
+      s.max.store(0.0, std::memory_order_relaxed);
+      s.seeded.store(false, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": ";
+    AppendJsonDouble(out, value);
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    AppendJsonDouble(out, h.sum);
+    out << ", \"min\": ";
+    AppendJsonDouble(out, h.min);
+    out << ", \"max\": ";
+    AppendJsonDouble(out, h.max);
+    out << ", \"mean\": ";
+    AppendJsonDouble(out, h.mean);
+    out << ", \"p50\": ";
+    AppendJsonDouble(out, h.p50);
+    out << ", \"p90\": ";
+    AppendJsonDouble(out, h.p90);
+    out << ", \"p99\": ";
+    AppendJsonDouble(out, h.p99);
+    out << "}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace pipemap

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 
@@ -35,6 +37,7 @@ struct ThreadPool::Impl {
   std::exception_ptr error;
 
   void RunWorker(int worker) {
+    PIPEMAP_TRACE_SPAN("pool.worker", "pool", worker);
     try {
       if (schedule == ParallelSchedule::kStatic) {
         const std::int64_t begin = n * worker / num_workers;
@@ -42,11 +45,14 @@ struct ThreadPool::Impl {
         if (begin < end) (*body)(worker, begin, end);
         return;
       }
+      std::uint64_t chunks = 0;
       for (;;) {
         const std::int64_t begin = next.fetch_add(grain);
         if (begin >= n) break;
+        ++chunks;
         (*body)(worker, begin, std::min(begin + grain, n));
       }
+      PIPEMAP_COUNTER_ADD("pool.chunks", chunks);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -62,9 +68,19 @@ struct ThreadPool::Impl {
     for (;;) {
       int worker = -1;
       {
+        // Helper idle time (blocked between regions). The clock is read
+        // only while metrics are on, so the disabled path stays a plain
+        // condition-variable wait.
+        const bool measure = MetricsRegistry::Enabled();
+        const std::uint64_t wait_begin = measure ? Tracer::NowNs() : 0;
         std::unique_lock<std::mutex> lock(mutex);
         work_cv.wait(lock, [&] { return stop || generation != seen; });
         if (stop) return;
+        if (measure) {
+          PIPEMAP_HISTOGRAM_RECORD(
+              "pool.dispatch_wait_us",
+              static_cast<double>(Tracer::NowNs() - wait_begin) / 1000.0);
+        }
         seen = generation;
         if (helper_index + 1 < num_workers) worker = helper_index + 1;
       }
@@ -98,6 +114,10 @@ void ThreadPool::ParallelFor(int num_workers, std::int64_t n,
   if (n <= 0) return;
   num_workers = static_cast<int>(
       std::min<std::int64_t>(num_workers, n));
+  PIPEMAP_COUNTER_ADD("pool.regions", 1);
+  PIPEMAP_HISTOGRAM_RECORD("pool.region_items", static_cast<double>(n));
+  PIPEMAP_GAUGE_MAX("pool.max_workers", num_workers);
+  PIPEMAP_TRACE_SPAN("pool.region", "pool", n);
   if (num_workers == 1) {
     body(0, 0, n);
     return;
@@ -111,6 +131,8 @@ void ThreadPool::ParallelFor(int num_workers, std::int64_t n,
       impl_->helpers.emplace_back(
           [this, helper_index] { impl_->HelperMain(helper_index); });
     }
+    PIPEMAP_GAUGE_SET("pool.helper_threads",
+                      static_cast<double>(impl_->helpers.size()));
     impl_->body = &body;
     impl_->n = n;
     impl_->grain = grain;

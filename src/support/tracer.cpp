@@ -1,0 +1,127 @@
+#include "support/tracer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace pipemap {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+}  // namespace
+
+struct Tracer::Impl {
+  /// One buffer per recording thread. Owned by the (leaked) tracer, so a
+  /// thread's cached pointer can never dangle.
+  struct Buffer {
+    int tid = 0;
+    /// Uncontended in steady state: only the owning thread appends; the
+    /// export path locks each buffer briefly while copying.
+    std::mutex mutex;
+    std::vector<Event> events;
+  };
+
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<Buffer>> buffers;
+
+  Buffer* BufferForThisThread() {
+    thread_local Buffer* cached = nullptr;
+    if (cached == nullptr) {
+      std::lock_guard<std::mutex> lock(registry_mutex);
+      buffers.push_back(std::make_unique<Buffer>());
+      buffers.back()->tid = static_cast<int>(buffers.size()) - 1;
+      cached = buffers.back().get();
+    }
+    return cached;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer;
+  return *tracer;
+}
+
+bool Tracer::Enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::Enable(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void Tracer::Record(const char* name, const char* category,
+                    std::uint64_t begin_ns, std::uint64_t dur_ns,
+                    std::int64_t arg) {
+  Impl::Buffer* buffer = impl_->BufferForThisThread();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.arg = arg;
+  event.begin_ns = begin_ns;
+  event.dur_ns = dur_ns;
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(event);
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> registry_lock(impl_->registry_mutex);
+    for (const auto& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    return a.tid < b.tid;
+  });
+  return all;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<Event> events = Events();
+  std::ostringstream out;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  out.precision(3);
+  out << std::fixed;
+  for (const Event& e : events) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << static_cast<double>(e.begin_ns) / 1000.0
+        << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0;
+    if (e.arg >= 0) out << ", \"args\": {\"v\": " << e.arg << "}";
+    out << "}";
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> registry_lock(impl_->registry_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace pipemap

@@ -5,6 +5,7 @@
 #include "core/baseline.h"
 #include "core/dp_mapper.h"
 #include "support/error.h"
+#include "support/metrics.h"
 #include "workloads/synthetic.h"
 #include "../test_util.h"
 
@@ -50,6 +51,59 @@ TEST(GreedyMapperTest, InfeasibleWhenMinimaExceedMachine) {
   EXPECT_THROW(
       GreedyMapper().MapWithClustering(eval, 6, SingletonClustering(2)),
       Infeasible);
+}
+
+TEST(GreedyMapperTest, MapThrowsWhenSingleModuleCannotFit) {
+  // One task whose memory minimum exceeds the whole machine: every
+  // clustering (there is only one) is unconfigurable, so the full Map()
+  // path — including the merged-chain fallback — must surface Infeasible.
+  const TaskChain chain = BuildChain({TaskSpec{0, 1, 0, 5}}, {});
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  EXPECT_THROW(GreedyMapper().Map(eval, 4), Infeasible);
+}
+
+TEST(GreedyMapperTest, MapThrowsWhenMinimaExceedMachineEvenMerged) {
+  // Two tasks of minimum 5 on a 6-processor machine: singletons need 10,
+  // and the merged module's summed memory distribution still needs more
+  // than 6, so the clustering fallback inside Map() cannot rescue it.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 5}, TaskSpec{0, 1, 0, 5}}, {EdgeSpec{}});
+  const Evaluator eval(chain, 6, kTestNodeMemory);
+  EXPECT_THROW(GreedyMapper().Map(eval, 6), Infeasible);
+}
+
+TEST(GreedyMapperTest, MergedFallbackRescuesTightSingletons) {
+  // Singleton minima sum past the machine, but the merged chain fits: the
+  // Map() fallback must return a mapping instead of rethrowing.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0, 1, 0, 3}, TaskSpec{0, 1, 0, 3}}, {EdgeSpec{}});
+  const Evaluator eval(chain, 5, kTestNodeMemory);
+  ASSERT_LT(eval.MinProcs(0, 1), 6) << "merged module must fit for this test";
+  const MapResult result = GreedyMapper().Map(eval, 5);
+  EXPECT_GT(result.throughput, 0.0);
+}
+
+TEST(GreedyMapperTest, MinBudgetSearchIsLogarithmicInProcessors) {
+  // A feasibility predicate that rejects instance sizes below 37 forces
+  // MinUsableBudget off its first probe, so it must binary-search the
+  // smallest usable budget. The probe counter (via support/metrics.h)
+  // certifies the O(log P) bound — the pre-fix linear scan would pay ~37
+  // probes for the first module alone.
+  const TaskChain chain = BuildChain({TaskSpec{0.0, 1.0, 0.0, 1, false}}, {});
+  const Evaluator eval(chain, 256, kTestNodeMemory);
+
+  MetricsRegistry::Global().Reset();
+  GreedyOptions options;
+  options.base.proc_feasible = [](int p) { return p >= 37; };
+  options.base.observe = true;
+  const MapResult result = GreedyMapper(options).Map(eval, 256);
+  EXPECT_GE(result.mapping.modules[0].procs_per_instance, 37);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.counters.count("greedy.min_budget_probes"), 1u);
+  // One MinUsableBudget call: 2 endpoint probes + ceil(log2(256)) splits.
+  EXPECT_LE(snap.counters.at("greedy.min_budget_probes"), 12u);
+  MetricsRegistry::Global().Reset();
 }
 
 TEST(GreedyMapperTest, WorkIsLinearInProcessors) {

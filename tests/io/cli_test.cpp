@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "../json_util.h"
 
 namespace pipemap::cli {
 namespace {
@@ -234,6 +237,96 @@ TEST_F(CliWorkflow, UnconstrainedSkipsFeasibility) {
             0)
       << output;
   EXPECT_NE(output.find("mapping:"), std::string::npos);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Portion of the map command's output that describes the result (the
+/// mapping line onward), ignoring the trailing "wrote ..." file notes.
+std::string MappingReport(const std::string& output) {
+  const auto begin = output.find("mapping:");
+  const auto end = output.find("wrote ");
+  return output.substr(begin, end == std::string::npos ? end : end - begin);
+}
+
+TEST_F(CliWorkflow, MetricsAndTraceFlagsWriteValidJson) {
+  const std::string metrics_path = TempPath("metrics.json");
+  const std::string trace_path = TempPath("trace.json");
+  std::string output;
+  // --threads 2 so the shared thread pool engages even on 1-core CI hosts
+  // and its workers show up in the trace.
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--threads", "2", "--metrics",
+                        metrics_path, "--trace", trace_path},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("wrote " + metrics_path), std::string::npos);
+  EXPECT_NE(output.find("wrote " + trace_path), std::string::npos);
+
+  const std::string metrics = Slurp(metrics_path);
+  EXPECT_TRUE(testing::IsValidJson(metrics)) << metrics;
+  EXPECT_NE(metrics.find("\"dp.cells_pruned\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"dp.cells_evaluated\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"evaluator.ecom_evals\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"pool.regions\""), std::string::npos);
+
+  const std::string trace = Slurp(trace_path);
+  EXPECT_TRUE(testing::IsValidJson(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dp.stage\""), std::string::npos);
+  EXPECT_NE(trace.find("\"evaluator.tabulate\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pool.worker\""), std::string::npos);
+
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliWorkflow, ObservationFlagsDoNotChangeTheMapping) {
+  const std::string metrics_path = TempPath("metrics2.json");
+  std::string plain, observed;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_},
+                       &plain),
+            0)
+      << plain;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--metrics", metrics_path},
+                       &observed),
+            0)
+      << observed;
+  EXPECT_EQ(MappingReport(plain), MappingReport(observed));
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(CliWorkflow, FrontierAndSizeAcceptMetricsFlag) {
+  const std::string metrics_path = TempPath("metrics3.json");
+  std::string output;
+  ASSERT_EQ(RunCommand({"frontier", "--chain", chain_path_, "--machine",
+                        machine_path_, "--points", "3", "--metrics",
+                        metrics_path},
+                       &output),
+            0)
+      << output;
+  std::string metrics = Slurp(metrics_path);
+  EXPECT_TRUE(testing::IsValidJson(metrics)) << metrics;
+  EXPECT_NE(metrics.find("\"dp.runs\""), std::string::npos);
+
+  ASSERT_EQ(RunCommand({"size", "--chain", chain_path_, "--machine",
+                        machine_path_, "--target", "30", "--metrics",
+                        metrics_path},
+                       &output),
+            0)
+      << output;
+  metrics = Slurp(metrics_path);
+  EXPECT_TRUE(testing::IsValidJson(metrics)) << metrics;
+  EXPECT_NE(metrics.find("\"dp.runs\""), std::string::npos);
+  std::remove(metrics_path.c_str());
 }
 
 TEST_F(CliWorkflow, ReplicationPolicyNone) {

@@ -1,0 +1,23 @@
+// Compiled with PIPEMAP_NO_OBSERVABILITY defined before the observability
+// headers are included, the way a latency-critical embedder would build
+// the library. The instrumentation macros must expand to nothing: the
+// function below records through every macro, and the test calls it with
+// collection fully enabled, then asserts the registry and tracer saw
+// nothing. Must stay a separate translation unit — the rest of the test
+// binary includes the same headers with the macros live.
+#define PIPEMAP_NO_OBSERVABILITY
+
+#include "support/metrics.h"
+#include "support/tracer.h"
+
+namespace pipemap::testing {
+
+void RunNoopInstrumentation() {
+  PIPEMAP_TRACE_SPAN("noop.span", "noop", 1);
+  PIPEMAP_COUNTER_ADD("noop.counter", 7);
+  PIPEMAP_GAUGE_SET("noop.gauge", 1.0);
+  PIPEMAP_GAUGE_MAX("noop.gauge", 2.0);
+  PIPEMAP_HISTOGRAM_RECORD("noop.histogram", 3.0);
+}
+
+}  // namespace pipemap::testing

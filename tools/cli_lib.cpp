@@ -16,6 +16,8 @@
 #include "machine/feasible.h"
 #include "sim/pipeline_sim.h"
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 #include "workloads/fft_hist.h"
 #include "workloads/radar.h"
 #include "workloads/stereo.h"
@@ -32,17 +34,25 @@ commands:
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
             [--unconstrained] [--threads N] [--out FILE]
+            [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
             [--noise X] [--seed N]
   explain   --chain FILE --machine FILE --mapping FILE
   frontier  --chain FILE --machine FILE [--points N] [--threads N]
+            [--metrics FILE] [--trace FILE]
   diagnose  --chain FILE --machine FILE
   sensitivity --chain FILE --machine FILE --mapping FILE
   size      --chain FILE --machine FILE --target X [--threads N]
+            [--metrics FILE] [--trace FILE]
 
 --threads 0 (the default) uses every hardware thread for the mapping
 algorithms; --threads 1 forces the serial path. Mappings are identical for
 every thread count.
+
+--metrics FILE writes a JSON snapshot of the engine's internal counters,
+gauges, and histograms; --trace FILE writes Chrome trace-event JSON
+(load in chrome://tracing or https://ui.perfetto.dev). Neither flag
+changes the computed mapping.
 )";
 
 /// Minimal flag parser: --key value pairs plus standalone switches.
@@ -100,6 +110,50 @@ struct LoadedProblem {
   MachineConfig machine;
 };
 
+/// Arms the process-wide metrics registry and tracer for one CLI command
+/// when --metrics/--trace name output files. Construct before the command
+/// does any work (the Evaluator's tabulation pass is worth observing);
+/// call Write() after it succeeds. The destructor restores the collectors
+/// to their disabled default even when the command throws.
+class ObservationSession {
+ public:
+  explicit ObservationSession(const Flags& flags)
+      : metrics_path_(flags.Get("metrics")), trace_path_(flags.Get("trace")) {
+    if (metrics_path_) {
+      MetricsRegistry::Global().Reset();
+      MetricsRegistry::Global().Enable(true);
+    }
+    if (trace_path_) {
+      Tracer::Global().Clear();
+      Tracer::Global().Enable(true);
+    }
+  }
+
+  ~ObservationSession() {
+    if (metrics_path_) MetricsRegistry::Global().Enable(false);
+    if (trace_path_) Tracer::Global().Enable(false);
+  }
+
+  ObservationSession(const ObservationSession&) = delete;
+  ObservationSession& operator=(const ObservationSession&) = delete;
+
+  void Write(std::ostream& out) const {
+    if (metrics_path_) {
+      WriteTextFile(*metrics_path_,
+                    MetricsRegistry::Global().Snapshot().ToJson());
+      out << "wrote " << *metrics_path_ << "\n";
+    }
+    if (trace_path_) {
+      WriteTextFile(*trace_path_, Tracer::Global().ToChromeJson());
+      out << "wrote " << *trace_path_ << "\n";
+    }
+  }
+
+ private:
+  std::optional<std::string> metrics_path_;
+  std::optional<std::string> trace_path_;
+};
+
 LoadedProblem Load(const Flags& flags) {
   // Validate all required flags before touching the filesystem so that a
   // usage mistake is reported as such.
@@ -142,6 +196,7 @@ int ExportWorkload(const std::vector<std::string>& args, std::ostream& out) {
 int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(args, 1);
   const LoadedProblem problem = Load(flags);
+  const ObservationSession observation(flags);
   const int procs =
       flags.GetInt("procs", problem.machine.total_procs());
   const int threads = flags.GetInt("threads", 0);
@@ -204,6 +259,7 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
     WriteTextFile(*path, SerializeMapping(mapping));
     out << "wrote " << *path << "\n";
   }
+  observation.Write(out);
   return 0;
 }
 
@@ -247,6 +303,7 @@ int ExplainCommand(const std::vector<std::string>& args, std::ostream& out) {
 int FrontierCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(args, 1);
   const LoadedProblem problem = Load(flags);
+  const ObservationSession observation(flags);
   const int P = problem.machine.total_procs();
   const int threads = flags.GetInt("threads", 0);
   const Evaluator eval(problem.chain, P, problem.machine.node_memory_bytes,
@@ -262,6 +319,7 @@ int FrontierCommand(const std::vector<std::string>& args, std::ostream& out) {
     out << "  " << p.throughput << " data sets/s @ " << p.latency * 1000.0
         << " ms   " << p.mapping.ToString(problem.chain) << "\n";
   }
+  observation.Write(out);
   return 0;
 }
 
@@ -301,6 +359,7 @@ int SensitivityCommand(const std::vector<std::string>& args,
 int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(args, 1);
   const LoadedProblem problem = Load(flags);
+  const ObservationSession observation(flags);
   const double target = std::stod(flags.Require("target"));
   const int max_procs = problem.machine.total_procs();
   const int threads = flags.GetInt("threads", 0);
@@ -316,6 +375,7 @@ int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
   out << "minimum processors: " << r.procs << " (of " << max_procs << ")\n";
   out << "achieved: " << r.throughput << " data sets/s with "
       << r.mapping.ToString(problem.chain) << "\n";
+  observation.Write(out);
   return 0;
 }
 
