@@ -7,7 +7,19 @@
 // (1) compare the fitted cost functions against ground truth over the
 // processor range, and (2) compare predicted vs simulated throughput over a
 // set of probe mappings none of which were in the training set.
+//
+// Besides the text table, the run writes a machine-readable JSON file
+// (default BENCH_model_accuracy.json) with the per-application
+// predicted-vs-simulated divergence of every probe mapping, so the model's
+// accuracy trajectory is tracked PR over PR alongside the perf benches.
+//
+// Usage: bench_model_accuracy [output.json]
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/baseline.h"
 #include "core/dp_mapper.h"
@@ -20,11 +32,31 @@
 namespace pipemap::bench {
 namespace {
 
-int Run() {
+struct ProbeRecord {
+  std::string name;
+  std::string mapping;
+  double predicted = 0.0;
+  double measured = 0.0;
+  double error = 0.0;  // |measured - predicted| / measured
+};
+
+struct AppRecord {
+  std::string label;
+  std::string size;
+  std::string comm;
+  double fn_mean_err = 0.0;
+  double fn_max_err = 0.0;
+  double probe_mean_err = 0.0;
+  double probe_max_err = 0.0;
+  std::vector<ProbeRecord> probes;
+};
+
+int Run(const std::string& out_path) {
   std::printf("Section 6.3: accuracy of the profile-fitted cost model\n\n");
 
   TextTable table({"Program", "Size", "Comm", "Fn mean err %", "Fn max err %",
                    "Probe mean err %", "Probe max err %"});
+  std::vector<AppRecord> apps;
   for (const NamedWorkload& c : Table2Configs()) {
     const int P = c.workload.machine.total_procs();
     const double node_mem = c.workload.machine.node_memory_bytes;
@@ -38,11 +70,13 @@ int Run() {
 
     // Probe mappings: DP optimum, greedy, data parallel, task parallel.
     const Evaluator fitted_eval(model.chain, P, node_mem);
-    std::vector<Mapping> probes;
-    probes.push_back(DpMapper().Map(fitted_eval, P).mapping);
-    probes.push_back(GreedyMapper().Map(fitted_eval, P).mapping);
-    probes.push_back(DataParallelMapping(fitted_eval, P).mapping);
-    probes.push_back(TaskParallelMapping(fitted_eval, P).mapping);
+    std::vector<std::pair<const char*, Mapping>> probes;
+    probes.emplace_back("dp", DpMapper().Map(fitted_eval, P).mapping);
+    probes.emplace_back("greedy", GreedyMapper().Map(fitted_eval, P).mapping);
+    probes.emplace_back("data_parallel",
+                        DataParallelMapping(fitted_eval, P).mapping);
+    probes.emplace_back("task_parallel",
+                        TaskParallelMapping(fitted_eval, P).mapping);
 
     PipelineSimulator sim(c.workload.chain);
     SimOptions soptions;
@@ -50,19 +84,33 @@ int Run() {
     soptions.warmup = 150;
     soptions.noise.systematic_stddev = 0.03;
     soptions.noise.jitter_stddev = 0.01;
+
+    AppRecord app;
+    app.label = c.label;
+    app.size = c.size;
+    app.comm = ToString(c.workload.machine.comm_mode);
+    app.fn_mean_err = fn_quality.mean_relative_error;
+    app.fn_max_err = fn_quality.max_relative_error;
     double sum = 0.0, worst = 0.0;
-    for (const Mapping& probe : probes) {
-      const double predicted = fitted_eval.Throughput(probe);
-      const double measured = sim.Run(probe, soptions).throughput;
-      const double err = std::abs(measured - predicted) / measured;
-      sum += err;
-      worst = std::max(worst, err);
+    for (const auto& [name, probe] : probes) {
+      ProbeRecord rec;
+      rec.name = name;
+      rec.mapping = probe.ToString(c.workload.chain);
+      rec.predicted = fitted_eval.Throughput(probe);
+      rec.measured = sim.Run(probe, soptions).throughput;
+      rec.error = std::abs(rec.measured - rec.predicted) / rec.measured;
+      sum += rec.error;
+      worst = std::max(worst, rec.error);
+      app.probes.push_back(std::move(rec));
     }
-    table.AddRow({c.label, c.size, ToString(c.workload.machine.comm_mode),
-                  TextTable::Num(100 * fn_quality.mean_relative_error, 1),
-                  TextTable::Num(100 * fn_quality.max_relative_error, 1),
-                  TextTable::Num(100 * sum / probes.size(), 1),
-                  TextTable::Num(100 * worst, 1)});
+    app.probe_mean_err = sum / probes.size();
+    app.probe_max_err = worst;
+    table.AddRow({c.label, c.size, app.comm,
+                  TextTable::Num(100 * app.fn_mean_err, 1),
+                  TextTable::Num(100 * app.fn_max_err, 1),
+                  TextTable::Num(100 * app.probe_mean_err, 1),
+                  TextTable::Num(100 * app.probe_max_err, 1)});
+    apps.push_back(std::move(app));
   }
   std::fputs(table.Render().c_str(), stdout);
   std::printf(
@@ -70,10 +118,43 @@ int Run() {
       "around 10%% or less (the paper's figure); pointwise cost-function\n"
       "error is larger at extrapolated corners, as expected from an\n"
       "8-run training budget.\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.precision(12);
+  out << "{\n  \"bench\": \"bench_model_accuracy\",\n  \"applications\": [\n";
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const AppRecord& app = apps[a];
+    out << "    {\"program\": \"" << app.label << "\", \"size\": \""
+        << app.size << "\", \"comm\": \"" << app.comm
+        << "\", \"fn_mean_err\": " << app.fn_mean_err
+        << ", \"fn_max_err\": " << app.fn_max_err
+        << ", \"probe_mean_err\": " << app.probe_mean_err
+        << ", \"probe_max_err\": " << app.probe_max_err
+        << ", \"probes\": [\n";
+    for (std::size_t p = 0; p < app.probes.size(); ++p) {
+      const ProbeRecord& rec = app.probes[p];
+      out << "      {\"name\": \"" << rec.name << "\", \"mapping\": \""
+          << rec.mapping << "\", \"predicted_throughput\": " << rec.predicted
+          << ", \"simulated_throughput\": " << rec.measured
+          << ", \"divergence\": " << rec.error << "}"
+          << (p + 1 < app.probes.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (a + 1 < apps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }
 
 }  // namespace
 }  // namespace pipemap::bench
 
-int main() { return pipemap::bench::Run(); }
+int main(int argc, char** argv) {
+  const std::string out =
+      argc > 1 ? argv[1] : "BENCH_model_accuracy.json";
+  return pipemap::bench::Run(out);
+}

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "support/error.h"
+#include "support/metrics.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 namespace {
@@ -241,6 +243,31 @@ FittedModel FitModelFromProfile(const TaskChain& chain, Profile merged,
   report.data_dependence_warning =
       report.max_repeat_variation > FitReport::kDataDependenceThreshold;
 
+  // Fit quality routes through the shared observability stack; the Profile
+  // sample store itself intentionally does not (see profiler.h).
+  PIPEMAP_COUNTER_ADD("profiler.fits", 1);
+  PIPEMAP_GAUGE_SET("profiler.fit.mean_relative_error",
+                    report.mean_relative_error);
+  PIPEMAP_GAUGE_SET("profiler.fit.max_relative_error",
+                    report.max_relative_error);
+  PIPEMAP_GAUGE_SET("profiler.fit.max_repeat_variation",
+                    report.max_repeat_variation);
+  if (MetricsRegistry::Enabled()) {
+    for (int t = 0; t < k; ++t) {
+      for (const auto& [procs, seconds] : merged.exec_samples[t]) {
+        PIPEMAP_HISTOGRAM_RECORD("profiler.exec_sample_s", seconds);
+      }
+    }
+    for (int e = 0; e < k - 1; ++e) {
+      for (const auto& [procs, seconds] : merged.icom_samples[e]) {
+        PIPEMAP_HISTOGRAM_RECORD("profiler.icom_sample_s", seconds);
+      }
+      for (const auto& s : merged.ecom_samples[e]) {
+        PIPEMAP_HISTOGRAM_RECORD("profiler.ecom_sample_s", s.seconds);
+      }
+    }
+  }
+
   FittedModel model{chain.WithCosts(std::move(fitted)), std::move(report),
                     std::move(merged)};
   return model;
@@ -249,6 +276,7 @@ FittedModel FitModelFromProfile(const TaskChain& chain, Profile merged,
 }  // namespace
 
 FittedModel Profiler::Fit(const ProfilerOptions& options) const {
+  PIPEMAP_TRACE_SPAN("profiler.fit", "profiling", chain_->size());
   PipelineSimulator sim(*chain_);
   SimOptions sim_options = options.sim;
   sim_options.collect_profile = true;
@@ -256,6 +284,9 @@ FittedModel Profiler::Fit(const ProfilerOptions& options) const {
   Profile merged(chain_->size());
   std::uint64_t run_index = 0;
   for (const Mapping& mapping : TrainingMappings()) {
+    PIPEMAP_TRACE_SPAN("profiler.training_run", "profiling",
+                       static_cast<std::int64_t>(run_index));
+    PIPEMAP_COUNTER_ADD("profiler.training_runs", 1);
     // Decorrelate jitter across training runs while keeping determinism.
     SimOptions per_run = sim_options;
     per_run.noise.seed = sim_options.noise.seed + 1000 * run_index++;
@@ -268,6 +299,8 @@ FittedModel Profiler::Fit(const ProfilerOptions& options) const {
 
 FittedModel Profiler::Refine(const FittedModel& model, const Mapping& mapping,
                              const ProfilerOptions& options) const {
+  PIPEMAP_TRACE_SPAN("profiler.refine", "profiling", chain_->size());
+  PIPEMAP_COUNTER_ADD("profiler.refinements", 1);
   PipelineSimulator sim(*chain_);
   SimOptions sim_options = options.sim;
   sim_options.collect_profile = true;

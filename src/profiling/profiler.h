@@ -10,6 +10,18 @@
 // mapping algorithms then optimize against the *fitted* model while the
 // simulator measures against *ground truth* — reproducing the paper's
 // predicted-vs-measured methodology end to end.
+//
+// Observability: training runs and fits report through the shared stack
+// (support/metrics.h, support/tracer.h) — counters profiler.training_runs
+// / profiler.fits / profiler.refinements, fit-quality gauges
+// (profiler.fit.*), sample-duration histograms (profiler.*_sample_s), and
+// trace spans per fit and training run. The Profile sample store itself
+// deliberately stays OUTSIDE MetricsRegistry: it is the fit's *input
+// data* — exact (procs, seconds) pairs consumed by least squares, keyed
+// by configuration — whereas registry histograms aggregate into
+// power-of-two buckets and would destroy exactly the per-configuration
+// resolution the fit depends on. Data and telemetry derived from it are
+// different artifacts; the registry carries the latter only.
 #pragma once
 
 #include <vector>

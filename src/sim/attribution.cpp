@@ -1,0 +1,94 @@
+#include "sim/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/metrics.h"
+
+namespace pipemap {
+
+BottleneckAttribution AttributeBottleneck(const Evaluator& evaluator,
+                                          const Mapping& mapping,
+                                          const SimResult& result,
+                                          int num_datasets) {
+  const int l = mapping.num_modules();
+  PIPEMAP_CHECK(num_datasets >= 1,
+                "AttributeBottleneck: need at least one data set");
+  PIPEMAP_CHECK(static_cast<int>(result.module_activity.size()) == l,
+                "AttributeBottleneck: result lacks module_activity for this"
+                " mapping");
+
+  BottleneckAttribution out;
+  out.predicted_throughput = evaluator.Throughput(mapping);
+  out.observed_throughput = result.throughput;
+  out.modules.reserve(l);
+
+  double best_predicted = -1.0;
+  double best_observed = -1.0;
+  for (int m = 0; m < l; ++m) {
+    ModuleAttribution a;
+    a.module = m;
+    a.replicas = mapping.modules[m].replicas;
+    a.predicted_effective_s = evaluator.EffectiveResponse(mapping, m);
+    a.predicted_response_s = a.predicted_effective_s * a.replicas;
+    a.observed_response_s =
+        result.module_activity[m].busy_s() / num_datasets;
+    a.observed_effective_s = a.observed_response_s / a.replicas;
+    a.utilization = m < static_cast<int>(result.module_utilization.size())
+                        ? result.module_utilization[m]
+                        : 0.0;
+    a.divergence =
+        a.predicted_effective_s > 0.0
+            ? (a.observed_effective_s - a.predicted_effective_s) /
+                  a.predicted_effective_s
+            : 0.0;
+    if (a.predicted_effective_s > best_predicted) {
+      best_predicted = a.predicted_effective_s;
+      out.predicted_bottleneck = m;
+    }
+    if (a.observed_effective_s > best_observed) {
+      best_observed = a.observed_effective_s;
+      out.observed_bottleneck = m;
+    }
+    out.modules.push_back(a);
+  }
+
+  std::stable_sort(out.modules.begin(), out.modules.end(),
+                   [](const ModuleAttribution& a,
+                      const ModuleAttribution& b) {
+                     return std::abs(a.divergence) > std::abs(b.divergence);
+                   });
+
+  PIPEMAP_COUNTER_ADD("sim.attribution.runs", 1);
+  if (!out.modules.empty()) {
+    PIPEMAP_GAUGE_SET("sim.attribution.worst_divergence",
+                      std::abs(out.modules.front().divergence));
+  }
+  PIPEMAP_GAUGE_SET("sim.attribution.bottleneck_agrees",
+                    out.Agrees() ? 1.0 : 0.0);
+  return out;
+}
+
+std::string RenderAttribution(const BottleneckAttribution& attribution) {
+  std::ostringstream out;
+  out << "bottleneck: predicted=m" << attribution.predicted_bottleneck
+      << " observed=m" << attribution.observed_bottleneck
+      << (attribution.Agrees() ? " (agree)" : " (DISAGREE)") << "\n";
+  out << std::fixed << std::setprecision(6);
+  out << "throughput: predicted=" << attribution.predicted_throughput
+      << " observed=" << attribution.observed_throughput << "\n";
+  for (const ModuleAttribution& a : attribution.modules) {
+    out << "  m" << a.module << " (r=" << a.replicas
+        << "): f/r predicted=" << a.predicted_effective_s
+        << " observed=" << a.observed_effective_s << " divergence="
+        << std::setprecision(2) << 100.0 * a.divergence << "%"
+        << std::setprecision(6) << " util=" << std::setprecision(3)
+        << a.utilization << std::setprecision(6) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pipemap

@@ -1,0 +1,73 @@
+// Bottleneck attribution: which module limits the pipeline, and does the
+// analytic model agree with the executed run?
+//
+// The paper's model predicts throughput 1 / max_i(f_i / r_i), so the
+// bottleneck claim is only as good as the per-module response estimates
+// f_i. The simulators now report exact per-module busy time
+// (SimResult::module_activity); because rendezvous busy accounting
+// excludes waiting, a module's busy seconds divided by the number of data
+// sets is its *observed* mean service time — directly comparable to the
+// model's f_i. AttributeBottleneck lines the two up per module, computes
+// the relative divergence, and ranks modules by how far the model is off,
+// which is exactly the list a user debugging a mis-predicted mapping
+// wants to read first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapping.h"
+#include "sim/pipeline_sim.h"
+
+namespace pipemap {
+
+/// Model-vs-simulation comparison for one module.
+struct ModuleAttribution {
+  int module = 0;
+  int replicas = 1;
+  /// Model f_i: per-data-set response of one instance (receive + body +
+  /// send, per the paper's response definition).
+  double predicted_response_s = 0.0;
+  /// Simulated busy seconds per data set (module_activity.busy_s() / n).
+  double observed_response_s = 0.0;
+  /// f_i / r_i, the quantity the bottleneck rule maximizes.
+  double predicted_effective_s = 0.0;
+  double observed_effective_s = 0.0;
+  /// Simulated busy fraction over the run.
+  double utilization = 0.0;
+  /// (observed - predicted) / predicted effective response; 0 when the
+  /// prediction is exact, positive when the module ran slower than
+  /// modeled. 0 when predicted is 0.
+  double divergence = 0.0;
+};
+
+struct BottleneckAttribution {
+  /// argmax of predicted / observed effective response.
+  int predicted_bottleneck = -1;
+  int observed_bottleneck = -1;
+  double predicted_throughput = 0.0;
+  double observed_throughput = 0.0;
+  /// One entry per module, ranked by |divergence| descending — the
+  /// modules the model explains worst come first.
+  std::vector<ModuleAttribution> modules;
+
+  /// True when model and simulation blame the same module.
+  bool Agrees() const {
+    return predicted_bottleneck == observed_bottleneck;
+  }
+};
+
+/// Compares `result` (a finished simulation of `mapping` over
+/// `num_datasets` data sets) against `evaluator`'s predictions.
+/// `result.module_activity` must be populated (both engines always do).
+BottleneckAttribution AttributeBottleneck(const Evaluator& evaluator,
+                                          const Mapping& mapping,
+                                          const SimResult& result,
+                                          int num_datasets);
+
+/// Human-readable table of an attribution, one line per module in rank
+/// order, for CLI output and logs.
+std::string RenderAttribution(const BottleneckAttribution& attribution);
+
+}  // namespace pipemap

@@ -4,6 +4,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/noise.h"
+#include "sim/telemetry.h"
 #include "support/error.h"
 #include "support/metrics.h"
 #include "support/tracer.h"
@@ -31,8 +32,10 @@ class Engine {
         options_(options),
         noise_(options.noise, chain.size()),
         l_(mapping.num_modules()),
+        telemetry_(mapping, options.num_datasets),
         instances_(l_),
         busy_time_(l_),
+        activity_(l_),
         done_(options.num_datasets, 0.0),
         enter_(options.num_datasets, 0.0) {
     for (int m = 0; m < l_; ++m) {
@@ -67,6 +70,8 @@ class Engine {
       result.module_utilization[m] =
           total / (busy_time_[m].size() * result.makespan);
     }
+    result.module_activity = activity_;
+    telemetry_.Finish(result);
     return result;
   }
 
@@ -95,6 +100,9 @@ class Engine {
     const double body =
         BodyTime(m, mapping_.modules[m].procs_per_instance);
     busy_time_[m][i] += body;
+    activity_[m].compute_s += body;
+    telemetry_.RecordPhase(m, i, TraceEvent::Phase::kCompute, d,
+                           queue_.now(), queue_.now() + body);
     queue_.Schedule(queue_.now() + body,
                     [this, m, i, d] { ComputeDone(m, i, d); });
   }
@@ -104,6 +112,7 @@ class Engine {
     inst.busy = false;
     if (m == l_ - 1) {
       done_[d] = queue_.now();
+      telemetry_.RecordDataset(d, enter_[d], done_[d]);
       // Last module writes external output for free; the instance is free
       // for its next input.
       if (l_ == 1) {
@@ -114,6 +123,7 @@ class Engine {
       return;
     }
     inst.pending_send = d;
+    telemetry_.RecordQueuePush(m + 1, queue_.now());
     TryStartTransfer(m + 1, d % mapping_.modules[m + 1].replicas);
   }
 
@@ -142,6 +152,13 @@ class Engine {
     }
     busy_time_[m - 1][sender_index] += dur;
     busy_time_[m][i] += dur;
+    activity_[m - 1].send_s += dur;
+    activity_[m].receive_s += dur;
+    telemetry_.RecordQueuePop(m, queue_.now());
+    telemetry_.RecordPhase(m - 1, sender_index, TraceEvent::Phase::kSend, d,
+                           queue_.now(), queue_.now() + dur);
+    telemetry_.RecordPhase(m, i, TraceEvent::Phase::kReceive, d,
+                           queue_.now(), queue_.now() + dur);
     queue_.Schedule(queue_.now() + dur, [this, m, i, sender_index, d] {
       TransferDone(m, i, sender_index, d);
     });
@@ -162,6 +179,9 @@ class Engine {
     const double body =
         BodyTime(m, mapping_.modules[m].procs_per_instance);
     busy_time_[m][i] += body;
+    activity_[m].compute_s += body;
+    telemetry_.RecordPhase(m, i, TraceEvent::Phase::kCompute, d,
+                           queue_.now(), queue_.now() + body);
     queue_.Schedule(queue_.now() + body,
                     [this, m, i, d] { ComputeDone(m, i, d); });
   }
@@ -171,9 +191,11 @@ class Engine {
   const SimOptions& options_;
   NoiseModel noise_;
   int l_;
+  SimTelemetry telemetry_;
   EventQueue queue_;
   std::vector<std::vector<Instance>> instances_;
   std::vector<std::vector<double>> busy_time_;
+  std::vector<ModuleActivity> activity_;
   std::vector<double> done_;
   std::vector<double> enter_;
 };

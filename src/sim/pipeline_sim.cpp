@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/telemetry.h"
 #include "support/error.h"
 #include "support/metrics.h"
 #include "support/tracer.h"
@@ -28,6 +29,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(l - 1));
 
   NoiseModel noise(options.noise, chain.size());
+  SimTelemetry telemetry(mapping, n);
 
   // Per-instance availability and busy-time accounting.
   std::vector<std::vector<double>> free_at(l);
@@ -36,6 +38,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
     free_at[m].assign(mapping.modules[m].replicas, 0.0);
     busy[m].assign(mapping.modules[m].replicas, 0.0);
   }
+  std::vector<ModuleActivity> activity(l);
 
   // Transfer intervals already started, for contention counting.
   std::vector<std::pair<double, double>> transfers;
@@ -71,9 +74,13 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
         const ModuleAssignment& prev = mapping.modules[m - 1];
         const int sender = d % prev.replicas;
         const int edge = mod.first_task - 1;
+        // The data set is "queued" at m's input from the moment the
+        // upstream compute produced it until the rendezvous starts.
+        telemetry.RecordQueuePush(m, upstream_done);
         const double t_start =
             std::max({upstream_done, free_at[m - 1][sender],
                       free_at[m][inst]});
+        telemetry.RecordQueuePop(m, t_start);
         double dur = costs.ECom(edge, prev.procs_per_instance, p) *
                      noise.EComBias(edge) * noise.Jitter() *
                      noise.ContentionFactor(concurrency_at(t_start));
@@ -93,6 +100,12 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
         busy[m - 1][sender] += t_end - t_start;
         free_at[m - 1][sender] = t_end;
         busy[m][inst] += t_end - t_start;
+        activity[m - 1].send_s += t_end - t_start;
+        activity[m].receive_s += t_end - t_start;
+        telemetry.RecordPhase(m - 1, sender, TraceEvent::Phase::kSend, d,
+                              t_start, t_end);
+        telemetry.RecordPhase(m, inst, TraceEvent::Phase::kReceive, d,
+                              t_start, t_end);
         if (options.collect_trace) {
           trace.events.push_back(TraceEvent{m - 1, sender, d,
                                             TraceEvent::Phase::kSend,
@@ -126,6 +139,9 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
       const double end = start + body;
       busy[m][inst] += end - start;
       free_at[m][inst] = end;
+      activity[m].compute_s += end - start;
+      telemetry.RecordPhase(m, inst, TraceEvent::Phase::kCompute, d, start,
+                            end);
       if (options.collect_trace) {
         trace.events.push_back(TraceEvent{
             m, inst, d, TraceEvent::Phase::kCompute, start, end});
@@ -133,6 +149,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
       upstream_done = end;
     }
     done[d] = upstream_done;
+    telemetry.RecordDataset(d, enter[d], done[d]);
   }
 
   SimResult result;
@@ -154,11 +171,13 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
     result.module_utilization[m] =
         total / (busy[m].size() * result.makespan);
   }
+  result.module_activity = std::move(activity);
   if (options.collect_profile) result.profile = std::move(profile);
   if (options.collect_trace) {
     trace.makespan = result.makespan;
     result.trace = std::move(trace);
   }
+  telemetry.Finish(result);
   return result;
 }
 

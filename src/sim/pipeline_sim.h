@@ -55,6 +55,18 @@ struct SimOptions {
   std::function<double(int, int, int, double)> transfer_adjustment;
 };
 
+/// Per-module activity totals: seconds spent in each phase, summed over
+/// the module's instances and all data sets. Always populated by both
+/// simulation engines (independent of any observability switch); the
+/// basis for bottleneck attribution (sim/attribution.h).
+struct ModuleActivity {
+  double receive_s = 0.0;
+  double compute_s = 0.0;
+  double send_s = 0.0;
+
+  double busy_s() const { return receive_s + compute_s + send_s; }
+};
+
 struct SimResult {
   /// Steady-state throughput, data sets per second.
   double throughput = 0.0;
@@ -65,6 +77,8 @@ struct SimResult {
   /// Busy fraction per module (averaged over its instances) during the
   /// measured window.
   std::vector<double> module_utilization;
+  /// Per-phase busy-time totals per module.
+  std::vector<ModuleActivity> module_activity;
   /// Present when SimOptions::collect_profile is set.
   std::optional<Profile> profile;
   /// Present when SimOptions::collect_trace is set.

@@ -1,0 +1,130 @@
+#include "sim/run_report.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pipemap {
+namespace {
+
+void AppendDouble(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  out << tmp.str();
+}
+
+void AppendString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+/// Re-indents an embedded JSON document (the metrics snapshot arrives
+/// pretty-printed at top level) so the report stays readable.
+void AppendEmbedded(std::ostringstream& out, const std::string& json,
+                    const std::string& indent) {
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '\n') {
+      if (i + 1 < json.size()) out << '\n' << indent;
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string BuildRunReportJson(const Evaluator& evaluator,
+                               const Mapping& mapping,
+                               const SimResult& result,
+                               const BottleneckAttribution& attribution,
+                               const RunReportOptions& options) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+
+  out << "  \"workload\": {\"tasks\": " << evaluator.num_tasks()
+      << ", \"procs\": " << mapping.TotalProcs()
+      << ", \"datasets\": " << options.num_datasets << "},\n";
+
+  out << "  \"mapping\": {\"modules\": [";
+  for (int m = 0; m < mapping.num_modules(); ++m) {
+    const ModuleAssignment& mod = mapping.modules[m];
+    out << (m == 0 ? "\n    " : ",\n    ");
+    out << "{\"module\": " << m << ", \"first_task\": " << mod.first_task
+        << ", \"last_task\": " << mod.last_task
+        << ", \"procs_per_instance\": " << mod.procs_per_instance
+        << ", \"replicas\": " << mod.replicas << "}";
+  }
+  out << "\n  ]},\n";
+
+  out << "  \"predicted\": {\"throughput\": ";
+  AppendDouble(out, attribution.predicted_throughput);
+  out << ", \"latency_s\": ";
+  AppendDouble(out, evaluator.Latency(mapping));
+  out << ", \"bottleneck_module\": " << attribution.predicted_bottleneck
+      << "},\n";
+
+  out << "  \"simulated\": {\"throughput\": ";
+  AppendDouble(out, result.throughput);
+  out << ", \"mean_latency_s\": ";
+  AppendDouble(out, result.mean_latency);
+  out << ", \"makespan_s\": ";
+  AppendDouble(out, result.makespan);
+  out << ", \"bottleneck_module\": " << attribution.observed_bottleneck
+      << ", \"module_utilization\": [";
+  for (std::size_t m = 0; m < result.module_utilization.size(); ++m) {
+    if (m > 0) out << ", ";
+    AppendDouble(out, result.module_utilization[m]);
+  }
+  out << "]},\n";
+
+  out << "  \"attribution\": [";
+  for (std::size_t i = 0; i < attribution.modules.size(); ++i) {
+    const ModuleAttribution& a = attribution.modules[i];
+    out << (i == 0 ? "\n    " : ",\n    ");
+    out << "{\"module\": " << a.module << ", \"replicas\": " << a.replicas
+        << ", \"predicted_effective_s\": ";
+    AppendDouble(out, a.predicted_effective_s);
+    out << ", \"observed_effective_s\": ";
+    AppendDouble(out, a.observed_effective_s);
+    out << ", \"divergence\": ";
+    AppendDouble(out, a.divergence);
+    out << ", \"utilization\": ";
+    AppendDouble(out, a.utilization);
+    out << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"metrics\": ";
+  if (options.metrics) {
+    AppendEmbedded(out, options.metrics->ToJson(), "  ");
+  } else {
+    out << "null";
+  }
+  out << ",\n";
+
+  out << "  \"trace_path\": ";
+  if (options.trace_path.empty()) {
+    out << "null";
+  } else {
+    AppendString(out, options.trace_path);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace pipemap

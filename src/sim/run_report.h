@@ -1,0 +1,59 @@
+// Unified machine-readable run report: one JSON document per
+// map-and-simulate run, joining what the model promised with what the
+// executed pipeline delivered.
+//
+// The report is the integration point of the observability stack: it
+// embeds the mapping, the model's predictions (throughput, latency,
+// bottleneck), the simulated measurements, the per-module attribution
+// ranking (sim/attribution.h), and optionally a full metrics snapshot
+// and the path of an exported Chrome trace. Schema (see DESIGN.md §5d):
+//
+//   {
+//     "schema_version": 1,
+//     "workload": {"tasks": K, "procs": P, "datasets": N},
+//     "mapping": {"modules": [{"module", "first_task", "last_task",
+//                              "procs_per_instance", "replicas"}, ...]},
+//     "predicted": {"throughput", "latency_s", "bottleneck_module"},
+//     "simulated": {"throughput", "mean_latency_s", "makespan_s",
+//                   "bottleneck_module",
+//                   "module_utilization": [...]},
+//     "attribution": [{"module", "replicas", "predicted_effective_s",
+//                      "observed_effective_s", "divergence",
+//                      "utilization"}, ...],     // ranked, worst first
+//     "metrics": {...} | null,                   // MetricsSnapshot::ToJson
+//     "trace_path": "..." | null
+//   }
+//
+// All doubles are emitted with AppendJsonDouble-style finite checks
+// (non-finite values become null), so the document always parses.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/mapping.h"
+#include "sim/attribution.h"
+#include "sim/pipeline_sim.h"
+#include "support/metrics.h"
+
+namespace pipemap {
+
+struct RunReportOptions {
+  /// Number of data sets the simulation pushed through (recorded in the
+  /// workload section).
+  int num_datasets = 0;
+  /// When set, the report embeds this snapshot under "metrics".
+  const MetricsSnapshot* metrics = nullptr;
+  /// When non-empty, recorded verbatim under "trace_path".
+  std::string trace_path;
+};
+
+/// Assembles the run-report JSON document. `attribution` must come from
+/// AttributeBottleneck over the same (mapping, result) pair.
+std::string BuildRunReportJson(const Evaluator& evaluator,
+                               const Mapping& mapping,
+                               const SimResult& result,
+                               const BottleneckAttribution& attribution,
+                               const RunReportOptions& options);
+
+}  // namespace pipemap

@@ -122,9 +122,26 @@ void MetricsRegistry::Histogram::Record(double v) {
       1, std::memory_order_relaxed);
 }
 
+double HistogramStats::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      return std::clamp(MetricsRegistry::Histogram::BucketRepresentative(
+                            static_cast<int>(b)),
+                        min, max);
+    }
+  }
+  return max;
+}
+
 HistogramStats MetricsRegistry::Histogram::Stats() const {
   HistogramStats stats;
-  std::array<std::uint64_t, kBuckets> buckets{};
+  stats.buckets.assign(kBuckets, 0);
   bool seeded = false;
   for (const Shard& s : shards_) {
     const std::uint64_t c = s.count.load(std::memory_order_relaxed);
@@ -142,29 +159,17 @@ HistogramStats MetricsRegistry::Histogram::Stats() const {
       stats.max = std::max(stats.max, hi);
     }
     for (int b = 0; b < kBuckets; ++b) {
-      buckets[static_cast<std::size_t>(b)] +=
+      stats.buckets[static_cast<std::size_t>(b)] +=
           s.buckets[static_cast<std::size_t>(b)].load(
               std::memory_order_relaxed);
     }
   }
   if (stats.count == 0) return stats;
   stats.mean = stats.sum / static_cast<double>(stats.count);
-
-  auto percentile = [&](double q) {
-    const auto rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(stats.count - 1));
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets[static_cast<std::size_t>(b)];
-      if (seen > rank) {
-        return std::clamp(BucketRepresentative(b), stats.min, stats.max);
-      }
-    }
-    return stats.max;
-  };
-  stats.p50 = percentile(0.50);
-  stats.p90 = percentile(0.90);
-  stats.p99 = percentile(0.99);
+  stats.p50 = stats.Quantile(0.50);
+  stats.p90 = stats.Quantile(0.90);
+  stats.p95 = stats.Quantile(0.95);
+  stats.p99 = stats.Quantile(0.99);
   return stats;
 }
 
@@ -277,6 +282,8 @@ std::string MetricsSnapshot::ToJson() const {
     AppendJsonDouble(out, h.p50);
     out << ", \"p90\": ";
     AppendJsonDouble(out, h.p90);
+    out << ", \"p95\": ";
+    AppendJsonDouble(out, h.p95);
     out << ", \"p99\": ";
     AppendJsonDouble(out, h.p99);
     out << "}";

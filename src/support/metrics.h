@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pipemap {
 
@@ -45,7 +46,17 @@ struct HistogramStats {
   double mean = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
+
+  /// Bucket-estimated quantile for any q in [0, 1] (the pXX fields above
+  /// are precomputed calls of this). 0 when the histogram is empty.
+  double Quantile(double q) const;
+
+  /// Aggregated power-of-two bucket counts, retained at snapshot time so
+  /// Quantile can answer arbitrary q. Internal representation — consumers
+  /// should use Quantile / the pXX fields.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Point-in-time aggregation of every registered metric.
@@ -99,6 +110,7 @@ class MetricsRegistry {
 
    private:
     friend class MetricsRegistry;
+    friend struct pipemap::HistogramStats;
     /// Bucket b holds samples in [2^(b + kMinExp - 1), 2^(b + kMinExp));
     /// bucket 0 additionally absorbs everything smaller (incl. <= 0).
     static constexpr int kBuckets = 96;

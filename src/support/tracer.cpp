@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -27,6 +28,8 @@ struct Tracer::Impl {
 
   std::mutex registry_mutex;
   std::vector<std::unique_ptr<Buffer>> buffers;
+  /// Virtual-lane display names for the export (NameLane).
+  std::map<int, std::string> lane_names;
 
   Buffer* BufferForThisThread() {
     thread_local Buffer* cached = nullptr;
@@ -79,6 +82,42 @@ void Tracer::Record(const char* name, const char* category,
   buffer->events.push_back(event);
 }
 
+void Tracer::RecordLaneSpan(const char* name, const char* category, int lane,
+                            std::uint64_t begin_ns, std::uint64_t dur_ns,
+                            std::int64_t arg) {
+  Impl::Buffer* buffer = impl_->BufferForThisThread();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.arg = arg;
+  event.begin_ns = begin_ns;
+  event.dur_ns = dur_ns;
+  event.tid = buffer->tid;
+  event.lane = lane;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(event);
+}
+
+void Tracer::RecordCounter(const char* name, const char* category, int lane,
+                           std::uint64_t ts_ns, double value) {
+  Impl::Buffer* buffer = impl_->BufferForThisThread();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.begin_ns = ts_ns;
+  event.tid = buffer->tid;
+  event.kind = Event::Kind::kCounter;
+  event.lane = lane;
+  event.value = value;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(event);
+}
+
+void Tracer::NameLane(int lane, const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  impl_->lane_names[lane] = name;
+}
+
 std::vector<Tracer::Event> Tracer::Events() const {
   std::vector<Event> all;
   {
@@ -97,16 +136,42 @@ std::vector<Tracer::Event> Tracer::Events() const {
 
 std::string Tracer::ToChromeJson() const {
   const std::vector<Event> events = Events();
+  std::map<int, std::string> lane_names;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+    lane_names = impl_->lane_names;
+  }
   std::ostringstream out;
   out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   bool first = true;
   out.precision(3);
   out << std::fixed;
-  for (const Event& e : events) {
+  auto begin_event = [&] {
     out << (first ? "\n    " : ",\n    ");
     first = false;
+  };
+  for (const auto& [lane, name] : lane_names) {
+    begin_event();
+    out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, "
+        << "\"tid\": " << lane << ", \"args\": {\"name\": \"" << name
+        << "\"}}";
+  }
+  for (const Event& e : events) {
+    begin_event();
+    // Wall-clock spans live in pid 1 on real-thread rows; lane events live
+    // in pid 2 on their virtual rows (simulated timebase).
+    const int pid = e.lane >= 0 ? 2 : 1;
+    const int tid = e.lane >= 0 ? e.lane : e.tid;
+    if (e.kind == Event::Kind::kCounter) {
+      out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+          << "\", \"ph\": \"C\", \"pid\": " << pid << ", \"tid\": " << tid
+          << ", \"ts\": " << static_cast<double>(e.begin_ns) / 1000.0
+          << ", \"args\": {\"lane" << (e.lane >= 0 ? e.lane : e.tid)
+          << "\": " << e.value << "}}";
+      continue;
+    }
     out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
-        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << tid
         << ", \"ts\": " << static_cast<double>(e.begin_ns) / 1000.0
         << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0;
     if (e.arg >= 0) out << ", \"args\": {\"v\": " << e.arg << "}";
@@ -122,6 +187,7 @@ void Tracer::Clear() {
     std::lock_guard<std::mutex> lock(buffer->mutex);
     buffer->events.clear();
   }
+  impl_->lane_names.clear();
 }
 
 }  // namespace pipemap

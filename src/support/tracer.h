@@ -26,16 +26,27 @@ namespace pipemap {
 
 class Tracer {
  public:
-  /// One completed span. Timestamps are nanoseconds since the process
-  /// epoch (first clock use), so every event in one export shares a
-  /// timebase.
+  /// One recorded event. Wall-clock spans carry timestamps in nanoseconds
+  /// since the process epoch (first clock use), so every such event in one
+  /// export shares a timebase. Events recorded on an explicit *lane*
+  /// (RecordLaneSpan / RecordCounter) instead carry a caller-chosen
+  /// timebase — the simulators use simulated nanoseconds — and are
+  /// exported under a separate Chrome process so the two timelines never
+  /// visually interleave.
   struct Event {
+    enum class Kind : std::uint8_t {
+      kSpan,     // "ph":"X" complete event
+      kCounter,  // "ph":"C" counter sample
+    };
     const char* name = nullptr;      // string literal
     const char* category = nullptr;  // string literal
     std::int64_t arg = -1;           // free-form payload; -1 = none
     std::uint64_t begin_ns = 0;
     std::uint64_t dur_ns = 0;
-    int tid = 0;  // dense tracer-assigned thread index
+    int tid = 0;        // dense tracer-assigned thread index
+    Kind kind = Kind::kSpan;
+    int lane = -1;      // >= 0: explicit virtual lane (e.g. sim instance)
+    double value = 0.0; // counter sample value (kCounter only)
   };
 
   /// The process-wide tracer the PIPEMAP_TRACE_SPAN macro records into.
@@ -51,13 +62,32 @@ class Tracer {
   void Record(const char* name, const char* category, std::uint64_t begin_ns,
               std::uint64_t dur_ns, std::int64_t arg = -1);
 
+  /// Appends a completed span on an explicit virtual lane instead of the
+  /// calling thread's row — e.g. one lane per simulated module instance.
+  /// Timestamps are whatever timebase the caller keeps (the simulators
+  /// pass simulated nanoseconds). Thread-safe.
+  void RecordLaneSpan(const char* name, const char* category, int lane,
+                      std::uint64_t begin_ns, std::uint64_t dur_ns,
+                      std::int64_t arg = -1);
+
+  /// Appends a Chrome counter sample ("ph":"C") on a virtual lane —
+  /// e.g. a module's input-queue depth over simulated time. Thread-safe.
+  void RecordCounter(const char* name, const char* category, int lane,
+                     std::uint64_t ts_ns, double value);
+
+  /// Names a virtual lane for the export (emitted as thread_name
+  /// metadata), e.g. "m1/i0". Thread-safe; last writer wins.
+  void NameLane(int lane, const std::string& name);
+
   /// All completed spans, sorted by (begin_ns, tid). Safe to call while
   /// other threads record.
   std::vector<Event> Events() const;
 
   /// Chrome trace-event JSON: {"displayTimeUnit": "ms", "traceEvents":
-  /// [...]} with one "ph":"X" (complete) event per span, timestamps in
-  /// microseconds, sorted by begin time.
+  /// [...]} with one "ph":"X" (complete) event per span and one "ph":"C"
+  /// event per counter sample, timestamps in microseconds, sorted by
+  /// begin time. Wall-clock threads export as pid 1; virtual lanes as
+  /// pid 2 with thread_name metadata from NameLane.
   std::string ToChromeJson() const;
 
   /// Drops all recorded events (buffers stay registered).

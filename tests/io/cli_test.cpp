@@ -329,6 +329,56 @@ TEST_F(CliWorkflow, FrontierAndSizeAcceptMetricsFlag) {
   std::remove(metrics_path.c_str());
 }
 
+TEST_F(CliWorkflow, ReportWritesUnifiedRunReport) {
+  const std::string report_path = TempPath("report.json");
+  const std::string trace_path = TempPath("report_trace.json");
+  std::string output;
+  ASSERT_EQ(RunCommand({"report", "--chain", chain_path_, "--machine",
+                        machine_path_, "--datasets", "100", "--out",
+                        report_path, "--trace", trace_path},
+                       &output),
+            0)
+      << output;
+  // Console companion: the wrote note, the mapping, the attribution table.
+  EXPECT_NE(output.find("wrote " + report_path), std::string::npos);
+  EXPECT_NE(output.find("mapping:"), std::string::npos);
+  EXPECT_NE(output.find("bottleneck:"), std::string::npos);
+
+  const std::string report = Slurp(report_path);
+  EXPECT_TRUE(testing::IsValidJson(report)) << report;
+  EXPECT_NE(report.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(report.find("\"predicted\""), std::string::npos);
+  EXPECT_NE(report.find("\"simulated\""), std::string::npos);
+  EXPECT_NE(report.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(report.find("\"module_utilization\""), std::string::npos);
+  EXPECT_NE(report.find("\"datasets\": 100"), std::string::npos);
+  // The report command always embeds its metrics snapshot, which includes
+  // the pipeline-runtime series.
+  EXPECT_NE(report.find("\"sim.run.throughput\""), std::string::npos);
+  EXPECT_NE(report.find("\"sim.dataset.latency_s\""), std::string::npos);
+  // The trace path is recorded and the trace itself is valid Chrome JSON
+  // with simulated lanes.
+  EXPECT_NE(report.find(trace_path), std::string::npos);
+  const std::string trace = Slurp(trace_path);
+  EXPECT_TRUE(testing::IsValidJson(trace)) << trace;
+  EXPECT_NE(trace.find("\"sim.compute\""), std::string::npos);
+
+  std::remove(report_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliWorkflow, ReportToStdoutIsValidJson) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"report", "--chain", chain_path_, "--machine",
+                        machine_path_, "--datasets", "50"},
+                       &output),
+            0)
+      << output;
+  EXPECT_TRUE(testing::IsValidJson(output)) << output;
+  EXPECT_NE(output.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(output.find("\"trace_path\": null"), std::string::npos);
+}
+
 TEST_F(CliWorkflow, ReplicationPolicyNone) {
   std::string output;
   ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine", machine_path_,

@@ -1,0 +1,114 @@
+// Bottleneck attribution (sim/attribution.h): model-vs-simulation
+// per-module comparison, divergence ranking, and the rendered table.
+#include "sim/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/evaluator.h"
+#include "sim/pipeline_sim.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+/// f_0 = 1.5, f_1 = 2.5 under singleton modules; module 1 is the
+/// bottleneck and throughput is 1 / 2.5 = 0.4.
+TaskChain TwoTaskChain() {
+  return BuildChain(
+      {TaskSpec{1.0, 0.0, 0.0, 1}, TaskSpec{2.0, 0.0, 0.0, 1}},
+      {EdgeSpec{0, 0, 0, /*e_fixed=*/0.5, 0, 0, 0, 0}});
+}
+
+Mapping TwoSingletons() {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 0, 1, 1});
+  m.modules.push_back(ModuleAssignment{1, 1, 1, 1});
+  return m;
+}
+
+TEST(AttributionTest, NoiselessRunMatchesModelExactly) {
+  const TaskChain chain = TwoTaskChain();
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  const Mapping mapping = TwoSingletons();
+
+  SimOptions options;
+  options.num_datasets = 20;
+  options.warmup = 0;
+  const SimResult result = PipelineSimulator(chain).Run(mapping, options);
+
+  const BottleneckAttribution attribution =
+      AttributeBottleneck(eval, mapping, result, options.num_datasets);
+
+  // The model is the ground truth in a noiseless run: rendezvous busy
+  // accounting excludes waiting, so observed busy/n equals f_i up to FP
+  // rounding and every divergence is ~0.
+  ASSERT_EQ(attribution.modules.size(), 2u);
+  EXPECT_EQ(attribution.predicted_bottleneck, 1);
+  EXPECT_EQ(attribution.observed_bottleneck, 1);
+  EXPECT_TRUE(attribution.Agrees());
+  EXPECT_DOUBLE_EQ(attribution.predicted_throughput, 0.4);
+  for (const ModuleAttribution& m : attribution.modules) {
+    EXPECT_NEAR(m.divergence, 0.0, 1e-9) << "module " << m.module;
+    EXPECT_NEAR(m.observed_response_s, m.predicted_response_s, 1e-9);
+    EXPECT_EQ(m.replicas, 1);
+  }
+  // Hand values, independent of rank order.
+  for (const ModuleAttribution& m : attribution.modules) {
+    EXPECT_NEAR(m.predicted_response_s, m.module == 0 ? 1.5 : 2.5, 1e-12);
+    EXPECT_NEAR(m.predicted_effective_s, m.module == 0 ? 1.5 : 2.5, 1e-12);
+  }
+}
+
+TEST(AttributionTest, RanksModulesByAbsoluteDivergenceDescending) {
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 8, kTestNodeMemory);
+  Mapping mapping;
+  mapping.modules.push_back(ModuleAssignment{0, 0, 1, 2});
+  mapping.modules.push_back(ModuleAssignment{1, 1, 1, 2});
+  mapping.modules.push_back(ModuleAssignment{2, 2, 1, 1});
+
+  SimOptions options;
+  options.num_datasets = 60;
+  options.warmup = 10;
+  options.noise.systematic_stddev = 0.1;
+  options.noise.jitter_stddev = 0.05;
+  options.noise.seed = 7;
+  const SimResult result = PipelineSimulator(chain).Run(mapping, options);
+
+  const BottleneckAttribution attribution =
+      AttributeBottleneck(eval, mapping, result, options.num_datasets);
+  ASSERT_EQ(attribution.modules.size(), 3u);
+  for (std::size_t i = 1; i < attribution.modules.size(); ++i) {
+    EXPECT_GE(std::abs(attribution.modules[i - 1].divergence),
+              std::abs(attribution.modules[i].divergence));
+  }
+  EXPECT_GT(attribution.observed_throughput, 0.0);
+}
+
+TEST(AttributionTest, RenderedTableNamesTheBottleneck) {
+  const TaskChain chain = TwoTaskChain();
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+  const Mapping mapping = TwoSingletons();
+  SimOptions options;
+  options.num_datasets = 10;
+  options.warmup = 0;
+  const SimResult result = PipelineSimulator(chain).Run(mapping, options);
+  const BottleneckAttribution attribution =
+      AttributeBottleneck(eval, mapping, result, options.num_datasets);
+
+  const std::string table = RenderAttribution(attribution);
+  EXPECT_NE(table.find("bottleneck:"), std::string::npos) << table;
+  EXPECT_NE(table.find("m1"), std::string::npos) << table;
+  EXPECT_NE(table.find("agree"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace pipemap

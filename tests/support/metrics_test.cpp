@@ -97,6 +97,43 @@ TEST_F(MetricsTest, HistogramStatsAreExactWherePromised) {
   EXPECT_LE(stats.p99, stats.max);
 }
 
+TEST_F(MetricsTest, QuantileIsMonotoneAndBracketed) {
+  auto* hist = MetricsRegistry::Global().GetHistogram("test.quantile");
+  for (int i = 1; i <= 1000; ++i) hist->Record(static_cast<double>(i));
+  const HistogramStats stats = hist->Stats();
+  double prev = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = stats.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_LE(v, 2.0 * stats.max) << "q=" << q;  // bucket estimate bound
+    prev = v;
+  }
+  // The precomputed fields are exactly Quantile at their q.
+  EXPECT_DOUBLE_EQ(stats.p50, stats.Quantile(0.50));
+  EXPECT_DOUBLE_EQ(stats.p90, stats.Quantile(0.90));
+  EXPECT_DOUBLE_EQ(stats.p95, stats.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(stats.p99, stats.Quantile(0.99));
+  EXPECT_GE(stats.p95, stats.p90);
+  EXPECT_GE(stats.p99, stats.p95);
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantilesAreZero) {
+  auto* hist = MetricsRegistry::Global().GetHistogram("test.empty_quantile");
+  const HistogramStats stats = hist->Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotJsonCarriesPercentiles) {
+  MetricsRegistry::Global().GetHistogram("test.pjson")->Record(4.0);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
 TEST_F(MetricsTest, DisabledRegistryRecordsNothing) {
   MetricsRegistry::Global().Enable(false);
   PIPEMAP_COUNTER_ADD("test.disabled", 100);

@@ -14,7 +14,9 @@
 #include "core/sensitivity.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
+#include "sim/attribution.h"
 #include "sim/pipeline_sim.h"
+#include "sim/run_report.h"
 #include "support/error.h"
 #include "support/metrics.h"
 #include "support/tracer.h"
@@ -37,6 +39,9 @@ commands:
             [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
             [--noise X] [--seed N]
+  report    --chain FILE --machine FILE [--procs N] [--algorithm dp|greedy]
+            [--datasets N] [--noise X] [--seed N] [--threads N]
+            [--out FILE] [--trace FILE] [--metrics FILE] [--unconstrained]
   explain   --chain FILE --machine FILE --mapping FILE
   frontier  --chain FILE --machine FILE [--points N] [--threads N]
             [--metrics FILE] [--trace FILE]
@@ -53,6 +58,14 @@ every thread count.
 gauges, and histograms; --trace FILE writes Chrome trace-event JSON
 (load in chrome://tracing or https://ui.perfetto.dev). Neither flag
 changes the computed mapping.
+
+report maps the chain, executes the mapping in the pipeline simulator,
+and emits one machine-readable JSON run report (schema in DESIGN.md):
+the mapping, predicted vs simulated throughput/latency, per-module
+utilization, a ranked bottleneck-divergence list, an embedded metrics
+snapshot, and the trace path when --trace is given. --out FILE writes
+the report to a file (a rank summary goes to stdout); without --out the
+report itself goes to stdout.
 )";
 
 /// Minimal flag parser: --key value pairs plus standalone switches.
@@ -289,6 +302,77 @@ int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(args, 1);
+  const LoadedProblem problem = Load(flags);
+  // The report always embeds a metrics snapshot of its own run, so the
+  // registry is armed regardless of --metrics (which additionally writes
+  // the snapshot to its own file, like every other command).
+  const ObservationSession observation(flags);
+  MetricsRegistry::Global().Reset();
+  const ScopedMetricsEnable metrics_on(true);
+  const auto trace_path = flags.Get("trace");
+
+  const int procs = flags.GetInt("procs", problem.machine.total_procs());
+  const int threads = flags.GetInt("threads", 0);
+  const Evaluator eval(problem.chain, procs,
+                       problem.machine.node_memory_bytes, threads);
+
+  MapperOptions options;
+  options.num_threads = threads;
+  const FeasibilityChecker checker(problem.machine);
+  if (!flags.Has("unconstrained")) {
+    options.proc_feasible = checker.ProcCountPredicate();
+  }
+  Mapping mapping;
+  const std::string algorithm = flags.Get("algorithm").value_or("dp");
+  if (algorithm == "greedy") {
+    GreedyOptions goptions;
+    goptions.base = options;
+    mapping = GreedyMapper(goptions).Map(eval, procs).mapping;
+  } else if (algorithm == "dp") {
+    mapping = DpMapper(options).Map(eval, procs).mapping;
+  } else {
+    throw InvalidArgument("unknown algorithm: " + algorithm);
+  }
+  if (!flags.Has("unconstrained")) {
+    mapping = checker.MakeFeasible(mapping, eval);
+  }
+
+  SimOptions sim_options;
+  sim_options.num_datasets = flags.GetInt("datasets", 400);
+  sim_options.warmup = sim_options.num_datasets / 4;
+  const double noise = flags.GetDouble("noise", 0.0);
+  sim_options.noise.systematic_stddev = noise;
+  sim_options.noise.jitter_stddev = noise / 3.0;
+  sim_options.noise.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  const SimResult result =
+      PipelineSimulator(problem.chain).Run(mapping, sim_options);
+  const BottleneckAttribution attribution =
+      AttributeBottleneck(eval, mapping, result, sim_options.num_datasets);
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  RunReportOptions report_options;
+  report_options.num_datasets = sim_options.num_datasets;
+  report_options.metrics = &snapshot;
+  if (trace_path) report_options.trace_path = *trace_path;
+  const std::string report =
+      BuildRunReportJson(eval, mapping, result, attribution, report_options);
+
+  if (const auto path = flags.Get("out")) {
+    WriteTextFile(*path, report);
+    out << "wrote " << *path << "\n";
+    out << "mapping: " << mapping.ToString(problem.chain) << "\n";
+    out << RenderAttribution(attribution);
+  } else {
+    out << report;
+  }
+  observation.Write(out);
+  return 0;
+}
+
 int ExplainCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(args, 1);
   const LoadedProblem problem = Load(flags);
@@ -391,6 +475,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "export-workload") return ExportWorkload(args, out);
     if (command == "map") return MapCommand(args, out);
     if (command == "simulate") return SimulateCommand(args, out);
+    if (command == "report") return ReportCommand(args, out);
     if (command == "explain") return ExplainCommand(args, out);
     if (command == "frontier") return FrontierCommand(args, out);
     if (command == "diagnose") return DiagnoseCommand(args, out);

@@ -14,6 +14,11 @@
 //   simulate  --chain F --machine F --mapping F [--datasets N]
 //             [--noise X] [--seed N]
 //       Executes a mapping in the pipeline simulator.
+//   report    --chain F --machine F [--procs N] [--algorithm dp|greedy]
+//             [--datasets N] [--noise X] [--seed N] [--out F] [--trace F]
+//       Maps, simulates, and emits one machine-readable JSON run report
+//       (predicted vs simulated performance, per-module utilization, a
+//       ranked bottleneck-divergence list, embedded metrics snapshot).
 //   diagnose  --chain F --machine F
 //       Reports which of the paper's theorem preconditions hold.
 //   size      --chain F --machine F --target X
