@@ -23,6 +23,7 @@
 
 #include "core/dp_mapper.h"
 #include "core/evaluator.h"
+#include "support/json_writer.h"
 #include "support/metrics.h"
 #include "support/thread_pool.h"
 #include "workloads/synthetic.h"
@@ -116,28 +117,29 @@ int Run(const std::string& out_path, int procs, int num_tasks) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  out << "{\n"
-      << "  \"bench\": \"bench_dp_parallel_scaling\",\n"
-      << "  \"procs\": " << procs << ",\n"
-      << "  \"num_tasks\": " << num_tasks << ",\n"
-      << "  \"hardware_threads\": " << ThreadPool::HardwareConcurrency()
-      << ",\n"
-      << "  \"identical_mappings\": " << (identical ? "true" : "false")
-      << ",\n"
-      << "  \"mapping\": \"" << samples.front().mapping << "\",\n"
-      << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const ThreadSample& s = samples[i];
-    out << "    {\"threads\": " << s.threads << ", \"wall_s\": " << s.wall_s
-        << ", \"speedup\": " << s.speedup << ", \"work\": " << s.work
-        << ", \"pruned_cells\": " << s.pruned_cells
-        << ", \"throughput\": " << s.throughput << "}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
+  JsonWriter jw;
+  jw.BeginObject();
+  jw.Key("bench").String("bench_dp_parallel_scaling");
+  jw.Key("procs").Int(procs);
+  jw.Key("num_tasks").Int(num_tasks);
+  jw.Key("hardware_threads").Int(ThreadPool::HardwareConcurrency());
+  jw.Key("identical_mappings").Bool(identical);
+  jw.Key("mapping").String(samples.front().mapping);
+  jw.Key("runs").BeginArray();
+  for (const ThreadSample& s : samples) {
+    jw.BeginObject();
+    jw.Key("threads").Int(s.threads);
+    jw.Key("wall_s").Double(s.wall_s);
+    jw.Key("speedup").Double(s.speedup);
+    jw.Key("work").UInt(s.work);
+    jw.Key("pruned_cells").UInt(s.pruned_cells);
+    jw.Key("throughput").Double(s.throughput);
+    jw.EndObject();
   }
-  out << "  ],\n"
-      << "  \"metrics\": "
-      << MetricsRegistry::Global().Snapshot().ToJson() << "\n"
-      << "}\n";
+  jw.EndArray();
+  jw.Key("metrics").Raw(MetricsRegistry::Global().Snapshot().ToJson());
+  jw.EndObject();
+  out << jw.str();
   std::printf("  wrote %s\n", out_path.c_str());
   return identical ? 0 : 2;
 }

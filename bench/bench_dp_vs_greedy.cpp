@@ -4,15 +4,25 @@
 // closely the O(Pk) greedy heuristic matches the O(P^4 k^2) optimum.
 #include <cstdio>
 
-#include "core/dp_mapper.h"
-#include "core/evaluator.h"
-#include "core/greedy_mapper.h"
+#include "engine/mapping_engine.h"
 #include "support/table.h"
 #include "workloads/synthetic.h"
 #include "bench_util.h"
 
 namespace pipemap::bench {
 namespace {
+
+/// Both algorithms through the engine facade, on the unconstrained
+/// processor budget the paper's comparison uses.
+MapResponse Solve(const Workload& w, int procs, SolverPolicy solver) {
+  MapRequest request;
+  request.chain = &w.chain;
+  request.machine = w.machine;
+  request.total_procs = procs;
+  request.solver = solver;
+  request.machine_feasibility = false;
+  return MappingEngine::Shared().Map(request);
+}
 
 int Run() {
   std::printf("Section 6.3: dynamic programming vs greedy heuristic\n\n");
@@ -22,10 +32,8 @@ int Run() {
   int exact = 0, total = 0;
   for (const NamedWorkload& c : Table2Configs()) {
     const int P = c.workload.machine.total_procs();
-    const Evaluator eval(c.workload.chain, P,
-                         c.workload.machine.node_memory_bytes);
-    const MapResult dp = DpMapper().Map(eval, P);
-    const MapResult greedy = GreedyMapper().Map(eval, P);
+    const MapResponse dp = Solve(c.workload, P, SolverPolicy::kDp);
+    const MapResponse greedy = Solve(c.workload, P, SolverPolicy::kGreedy);
     const bool same = dp.mapping == greedy.mapping;
     exact += same ? 1 : 0;
     ++total;
@@ -51,9 +59,8 @@ int Run() {
     spec.memory_tightness = 0.25;
     spec.replicable_fraction = 0.8;
     const Workload w = workloads::MakeSynthetic(spec, 7000 + seed);
-    const Evaluator eval(w.chain, 32, w.machine.node_memory_bytes);
-    const MapResult dp = DpMapper().Map(eval, 32);
-    const MapResult greedy = GreedyMapper().Map(eval, 32);
+    const MapResponse dp = Solve(w, 32, SolverPolicy::kDp);
+    const MapResponse greedy = Solve(w, 32, SolverPolicy::kGreedy);
     const double ratio = greedy.throughput / dp.throughput;
     ratio_sum += ratio;
     worst_ratio = std::min(worst_ratio, ratio);

@@ -1,0 +1,325 @@
+// Engine cache / warm-start harness (writes BENCH_engine_cache.json).
+//
+// Quantifies the two reuse layers the MappingEngine adds on top of the
+// mappers, on the Table-2 applications:
+//
+//   1. Warm-started frontier sweeps: MappingEngine::Frontier threads one
+//      WarmStartState through every DP solve of a latency/throughput
+//      sweep, so range tables built for the first floor are reused by
+//      later floors. The bench times the identical sweep cold (each solve
+//      builds its own tables) and warm, verifies the frontiers match
+//      point for point, and records the speedup. A repeated identical
+//      sweep is answered whole from the engine's sweep cache with zero
+//      DP solves, which is where the decisive speedup comes from.
+//
+//   2. Warm-started machine sizing: MinProcs binary-searches processor
+//      budgets below P, and tables built at cap P answer every smaller
+//      cap (the prefix property), so only the first probe tabulates.
+//
+//   3. The solution cache: repeating an identical MapRequest is answered
+//      from the sharded LRU without running any solver. The bench times
+//      the cold solve vs the cache hit and checks the mappings are
+//      byte-identical (same serialized form).
+//
+// Exit status is nonzero when warm and cold disagree — never on small
+// speedups, which are host-dependent; the JSON records the wall times so
+// the trajectory is tracked PR over PR.
+//
+// Usage: bench_engine_cache [output.json] [points] [reps]
+//        defaults: BENCH_engine_cache.json 6 3
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/latency_mapper.h"
+#include "engine/mapping_engine.h"
+#include "io/serialize.h"
+#include "machine/feasible.h"
+#include "support/json_writer.h"
+#include "bench_util.h"
+
+namespace pipemap::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct FrontierSample {
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double cached_s = 0.0;
+  std::uint64_t solves = 0;
+  std::uint64_t tables_built = 0;
+  std::uint64_t tables_reused = 0;
+  bool identical = true;
+};
+
+struct SizingSample {
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double cached_s = 0.0;
+  std::uint64_t solves = 0;
+  std::uint64_t tables_reused = 0;
+  bool identical = true;
+};
+
+struct CacheSample {
+  double miss_s = 0.0;
+  double hit_s = 0.0;
+  bool byte_identical = true;
+};
+
+struct AppSample {
+  std::string label;
+  std::string size;
+  std::string comm;
+  FrontierSample frontier;
+  SizingSample sizing;
+  CacheSample cache;
+};
+
+bool SameFrontier(const std::vector<FrontierPoint>& a,
+                  const std::vector<FrontierPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].mapping == b[i].mapping) ||
+        a[i].throughput != b[i].throughput || a[i].latency != b[i].latency) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const std::string& out_path, int points, int reps) {
+  std::printf("Engine cache and warm-start reuse (Table-2 applications,"
+              " %d-point frontiers, best of %d)\n\n",
+              points, reps);
+
+  MappingEngine engine;
+  std::vector<AppSample> apps;
+  bool all_identical = true;
+  for (const NamedWorkload& c : Table2Configs()) {
+    const int P = c.workload.machine.total_procs();
+    AppSample app;
+    app.label = c.label;
+    app.size = c.size;
+    app.comm = ToString(c.workload.machine.comm_mode);
+
+    // Warm-started sweep through the engine vs. the same sweep with every
+    // solve building its own range tables. Both sides construct their own
+    // evaluator so the comparison isolates the table reuse.
+    MapRequest request;
+    request.chain = &c.workload.chain;
+    request.machine = c.workload.machine;
+    request.use_cache = false;  // measure the warm solves, not the cache
+    std::vector<FrontierPoint> cold_frontier, warm_frontier;
+    app.frontier.cold_s = std::numeric_limits<double>::infinity();
+    app.frontier.warm_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = Now();
+      const Evaluator eval(c.workload.chain, P,
+                           c.workload.machine.node_memory_bytes);
+      MapperOptions options;
+      options.proc_feasible =
+          FeasibilityChecker(c.workload.machine).ProcCountPredicate();
+      cold_frontier = LatencyThroughputFrontier(eval, P, points, options);
+      app.frontier.cold_s = std::min(app.frontier.cold_s, Now() - start);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      SweepStats stats;
+      const double start = Now();
+      warm_frontier = engine.Frontier(request, points, &stats);
+      app.frontier.warm_s = std::min(app.frontier.warm_s, Now() - start);
+      app.frontier.solves = stats.solves;
+      app.frontier.tables_built = stats.warm_tables_built;
+      app.frontier.tables_reused = stats.warm_tables_reused;
+    }
+    app.frontier.identical = SameFrontier(cold_frontier, warm_frontier);
+    all_identical = all_identical && app.frontier.identical;
+
+    // Repeat sweep through the sweep cache: the first call fills it, the
+    // repeats are answered whole.
+    request.use_cache = true;
+    engine.Frontier(request, points);
+    app.frontier.cached_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = Now();
+      const std::vector<FrontierPoint> cached =
+          engine.Frontier(request, points);
+      app.frontier.cached_s = std::min(app.frontier.cached_s, Now() - start);
+      app.frontier.identical =
+          app.frontier.identical && SameFrontier(cold_frontier, cached);
+    }
+    all_identical = all_identical && app.frontier.identical;
+
+    // Machine sizing: the binary search probes many processor budgets
+    // below P, and range tables built at cap P answer every smaller cap
+    // (the prefix property), so the warm-started search re-tabulates
+    // nothing after the first solve. This is the sweep shape where table
+    // reuse dominates.
+    request.solver = SolverPolicy::kDp;
+    request.use_cache = false;  // keep the cache cold for the miss timing
+    const double peak = engine.Map(request).throughput;
+    const double target = 0.5 * peak;
+    ProcCountResult cold_size, warm_size;
+    app.sizing.cold_s = std::numeric_limits<double>::infinity();
+    app.sizing.warm_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = Now();
+      const Evaluator eval(c.workload.chain, P,
+                           c.workload.machine.node_memory_bytes);
+      MapperOptions options;
+      options.proc_feasible =
+          FeasibilityChecker(c.workload.machine).ProcCountPredicate();
+      cold_size = MinProcessorsForThroughput(eval, P, target, options);
+      app.sizing.cold_s = std::min(app.sizing.cold_s, Now() - start);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      SweepStats stats;
+      const double start = Now();
+      warm_size = engine.MinProcs(request, target, &stats);
+      app.sizing.warm_s = std::min(app.sizing.warm_s, Now() - start);
+      app.sizing.solves = stats.solves;
+      app.sizing.tables_reused = stats.warm_tables_reused;
+    }
+    app.sizing.identical = cold_size.procs == warm_size.procs &&
+                           cold_size.mapping == warm_size.mapping;
+    all_identical = all_identical && app.sizing.identical;
+
+    // Repeat sizing through the sweep cache.
+    request.use_cache = true;
+    engine.MinProcs(request, target);
+    app.sizing.cached_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = Now();
+      const ProcCountResult cached = engine.MinProcs(request, target);
+      app.sizing.cached_s = std::min(app.sizing.cached_s, Now() - start);
+      app.sizing.identical = app.sizing.identical &&
+                             cached.procs == cold_size.procs &&
+                             cached.mapping == cold_size.mapping;
+    }
+    all_identical = all_identical && app.sizing.identical;
+
+    // Solution cache: identical request answered without solving.
+    request.use_cache = true;
+    const double miss_start = Now();
+    const MapResponse cold = engine.Map(request);
+    app.cache.miss_s = Now() - miss_start;
+    app.cache.hit_s = std::numeric_limits<double>::infinity();
+    std::string hit_text;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double start = Now();
+      const MapResponse hit = engine.Map(request);
+      app.cache.hit_s = std::min(app.cache.hit_s, Now() - start);
+      app.cache.byte_identical =
+          app.cache.byte_identical && hit.cache_hit &&
+          SerializeMapping(hit.mapping) == SerializeMapping(cold.mapping);
+    }
+    all_identical = all_identical && app.cache.byte_identical;
+
+    std::printf("%-10s %-9s %-9s frontier %8.2f ms cold (warm %4.2fx,"
+                " %llu/%llu reused, repeat %7.1fx)  sizing %8.2f ms cold"
+                " (warm %4.2fx, repeat %7.1fx)  map hit %5.2fx%s%s%s\n",
+                app.label.c_str(), app.size.c_str(), app.comm.c_str(),
+                1e3 * app.frontier.cold_s,
+                app.frontier.cold_s / app.frontier.warm_s,
+                static_cast<unsigned long long>(app.frontier.tables_reused),
+                static_cast<unsigned long long>(app.frontier.solves),
+                app.frontier.cold_s / app.frontier.cached_s,
+                1e3 * app.sizing.cold_s,
+                app.sizing.cold_s / app.sizing.warm_s,
+                app.sizing.cold_s / app.sizing.cached_s,
+                app.cache.miss_s / app.cache.hit_s,
+                app.frontier.identical ? "" : "  FRONTIER MISMATCH",
+                app.sizing.identical ? "" : "  SIZING MISMATCH",
+                app.cache.byte_identical ? "" : "  CACHE MISMATCH");
+    apps.push_back(std::move(app));
+  }
+
+  const SolutionCacheStats cache_stats = engine.cache().stats();
+  std::printf("\ncache: %llu hits, %llu misses, %llu entries\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              static_cast<unsigned long long>(cache_stats.entries));
+  std::printf("warm == cold everywhere: %s\n",
+              all_identical ? "yes" : "NO — reuse changed a result");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("bench_engine_cache");
+  w.Key("frontier_points").Int(points);
+  w.Key("reps").Int(reps);
+  w.Key("all_identical").Bool(all_identical);
+  w.Key("applications").BeginArray();
+  for (const AppSample& app : apps) {
+    w.BeginObject();
+    w.Key("program").String(app.label);
+    w.Key("size").String(app.size);
+    w.Key("comm").String(app.comm);
+    w.Key("frontier").BeginObject();
+    w.Key("cold_s").Double(app.frontier.cold_s);
+    w.Key("warm_s").Double(app.frontier.warm_s);
+    w.Key("speedup").Double(app.frontier.cold_s / app.frontier.warm_s);
+    w.Key("cached_s").Double(app.frontier.cached_s);
+    w.Key("cached_speedup")
+        .Double(app.frontier.cold_s / app.frontier.cached_s);
+    w.Key("solves").UInt(app.frontier.solves);
+    w.Key("tables_built").UInt(app.frontier.tables_built);
+    w.Key("tables_reused").UInt(app.frontier.tables_reused);
+    w.Key("identical").Bool(app.frontier.identical);
+    w.EndObject();
+    w.Key("sizing").BeginObject();
+    w.Key("cold_s").Double(app.sizing.cold_s);
+    w.Key("warm_s").Double(app.sizing.warm_s);
+    w.Key("speedup").Double(app.sizing.cold_s / app.sizing.warm_s);
+    w.Key("cached_s").Double(app.sizing.cached_s);
+    w.Key("cached_speedup").Double(app.sizing.cold_s / app.sizing.cached_s);
+    w.Key("solves").UInt(app.sizing.solves);
+    w.Key("tables_reused").UInt(app.sizing.tables_reused);
+    w.Key("identical").Bool(app.sizing.identical);
+    w.EndObject();
+    w.Key("cache").BeginObject();
+    w.Key("miss_s").Double(app.cache.miss_s);
+    w.Key("hit_s").Double(app.cache.hit_s);
+    w.Key("speedup").Double(app.cache.miss_s / app.cache.hit_s);
+    w.Key("byte_identical").Bool(app.cache.byte_identical);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("cache_stats").BeginObject();
+  w.Key("hits").UInt(cache_stats.hits);
+  w.Key("misses").UInt(cache_stats.misses);
+  w.Key("inserts").UInt(cache_stats.inserts);
+  w.Key("evictions").UInt(cache_stats.evictions);
+  w.Key("entries").UInt(cache_stats.entries);
+  w.EndObject();
+  w.EndObject();
+  out << w.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_engine_cache.json";
+  const int points = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  return pipemap::bench::Run(out, points, reps);
+}

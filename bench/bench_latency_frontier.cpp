@@ -8,9 +8,7 @@
 // throughput.
 #include <cstdio>
 
-#include "core/dp_mapper.h"
-#include "core/evaluator.h"
-#include "core/latency_mapper.h"
+#include "engine/mapping_engine.h"
 #include "sim/pipeline_sim.h"
 #include "support/table.h"
 #include "bench_util.h"
@@ -25,17 +23,22 @@ int Run() {
     const Workload w = which[0] == 'f'
                            ? workloads::MakeFftHist(256, CommMode::kMessage)
                            : workloads::MakeRadar(CommMode::kSystolic);
-    const int P = w.machine.total_procs();
-    const Evaluator eval(w.chain, P, w.machine.node_memory_bytes);
     PipelineSimulator sim(w.chain);
     SimOptions soptions;
     soptions.num_datasets = 400;
     soptions.warmup = 150;
 
+    MappingEngine& engine = MappingEngine::Shared();
+    MapRequest request;
+    request.chain = &w.chain;
+    request.machine = w.machine;
+    request.machine_feasibility = false;
+
     std::printf("-- %s --\n", w.name.c_str());
     TextTable table({"Design point", "Mapping", "Thr pred", "Lat pred (ms)",
                      "Thr sim", "Lat sim (ms)"});
-    const auto frontier = LatencyThroughputFrontier(eval, P, 6);
+    SweepStats stats;
+    const auto frontier = engine.Frontier(request, 6, &stats);
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       const FrontierPoint& p = frontier[i];
       const SimResult r = sim.Run(p.mapping, soptions);
@@ -49,13 +52,17 @@ int Run() {
                     TextTable::Num(1000 * r.mean_latency, 2)});
     }
     std::fputs(table.Render().c_str(), stdout);
+    std::printf("frontier warm start: %llu of %llu DP solves reused range"
+                " tables\n",
+                static_cast<unsigned long long>(stats.warm_tables_reused),
+                static_cast<unsigned long long>(stats.solves));
 
     TextTable sizing({"Target (ds/s)", "Min processors", "Achieved"});
-    const MapResult peak = DpMapper().Map(eval, P);
+    request.solver = SolverPolicy::kDp;
+    const MapResponse peak = engine.Map(request);
     for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
       const double target = fraction * peak.throughput;
-      const ProcCountResult r =
-          MinProcessorsForThroughput(eval, P, target);
+      const ProcCountResult r = engine.MinProcs(request, target);
       sizing.AddRow({TextTable::Num(target, 1), TextTable::Num(r.procs),
                      TextTable::Num(r.throughput, 1)});
     }

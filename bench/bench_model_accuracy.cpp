@@ -26,6 +26,7 @@
 #include "core/evaluator.h"
 #include "core/greedy_mapper.h"
 #include "profiling/profiler.h"
+#include "support/json_writer.h"
 #include "support/table.h"
 #include "bench_util.h"
 
@@ -124,28 +125,35 @@ int Run(const std::string& out_path) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  out.precision(12);
-  out << "{\n  \"bench\": \"bench_model_accuracy\",\n  \"applications\": [\n";
-  for (std::size_t a = 0; a < apps.size(); ++a) {
-    const AppRecord& app = apps[a];
-    out << "    {\"program\": \"" << app.label << "\", \"size\": \""
-        << app.size << "\", \"comm\": \"" << app.comm
-        << "\", \"fn_mean_err\": " << app.fn_mean_err
-        << ", \"fn_max_err\": " << app.fn_max_err
-        << ", \"probe_mean_err\": " << app.probe_mean_err
-        << ", \"probe_max_err\": " << app.probe_max_err
-        << ", \"probes\": [\n";
-    for (std::size_t p = 0; p < app.probes.size(); ++p) {
-      const ProbeRecord& rec = app.probes[p];
-      out << "      {\"name\": \"" << rec.name << "\", \"mapping\": \""
-          << rec.mapping << "\", \"predicted_throughput\": " << rec.predicted
-          << ", \"simulated_throughput\": " << rec.measured
-          << ", \"divergence\": " << rec.error << "}"
-          << (p + 1 < app.probes.size() ? "," : "") << "\n";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("bench_model_accuracy");
+  w.Key("applications").BeginArray();
+  for (const AppRecord& app : apps) {
+    w.BeginObject();
+    w.Key("program").String(app.label);
+    w.Key("size").String(app.size);
+    w.Key("comm").String(app.comm);
+    w.Key("fn_mean_err").Double(app.fn_mean_err);
+    w.Key("fn_max_err").Double(app.fn_max_err);
+    w.Key("probe_mean_err").Double(app.probe_mean_err);
+    w.Key("probe_max_err").Double(app.probe_max_err);
+    w.Key("probes").BeginArray();
+    for (const ProbeRecord& rec : app.probes) {
+      w.BeginObject();
+      w.Key("name").String(rec.name);
+      w.Key("mapping").String(rec.mapping);
+      w.Key("predicted_throughput").Double(rec.predicted);
+      w.Key("simulated_throughput").Double(rec.measured);
+      w.Key("divergence").Double(rec.error);
+      w.EndObject();
     }
-    out << "    ]}" << (a + 1 < apps.size() ? "," : "") << "\n";
+    w.EndArray();
+    w.EndObject();
   }
-  out << "  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
+  out << w.str();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -6,8 +6,8 @@
 // pathway constraints.
 #include <cstdio>
 
-#include "core/dp_mapper.h"
 #include "core/evaluator.h"
+#include "engine/mapping_engine.h"
 #include "machine/feasible.h"
 #include "support/table.h"
 #include "bench_util.h"
@@ -43,16 +43,21 @@ int Run() {
   TextTable table({"Data set", "Comm", "Module 1", "Module 2", "Module 3",
                    "Thr (ds/s)", "Feas M1", "Feas M2", "Feas M3",
                    "Feas thr"});
+  MappingEngine& engine = MappingEngine::Shared();
   for (const NamedWorkload& c : FftHistConfigs()) {
     const int P = c.workload.machine.total_procs();
     const Evaluator eval(c.workload.chain, P,
                          c.workload.machine.node_memory_bytes);
-    const MapResult optimal = DpMapper().Map(eval, P);
+    MapRequest request;
+    request.chain = &c.workload.chain;
+    request.machine = c.workload.machine;
+    request.solver = SolverPolicy::kDp;
+    request.machine_feasibility = false;
+    const MapResponse optimal = engine.Map(request);
 
     const FeasibilityChecker checker(c.workload.machine);
-    MapperOptions constrained;
-    constrained.proc_feasible = checker.ProcCountPredicate();
-    const MapResult rect = DpMapper(constrained).Map(eval, P);
+    request.machine_feasibility = true;
+    const MapResponse rect = engine.Map(request);
     const Mapping feasible = checker.MakeFeasible(rect.mapping, eval);
 
     table.AddRow({c.size, ToString(c.workload.machine.comm_mode),

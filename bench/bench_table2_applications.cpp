@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "core/baseline.h"
-#include "core/dp_mapper.h"
 #include "core/evaluator.h"
+#include "engine/mapping_engine.h"
 #include "machine/feasible.h"
 #include "profiling/profiler.h"
 #include "support/table.h"
@@ -41,9 +41,11 @@ int Run() {
     // machine-feasible configurations.
     const FeasibilityChecker checker(c.workload.machine);
     const Evaluator fitted_eval(model.chain, P, node_mem);
-    MapperOptions options;
-    options.proc_feasible = checker.ProcCountPredicate();
-    const MapResult predicted = DpMapper(options).Map(fitted_eval, P);
+    MapRequest request;
+    request.chain = &model.chain;
+    request.machine = c.workload.machine;
+    request.solver = SolverPolicy::kDp;
+    const MapResponse predicted = MappingEngine::Shared().Map(request);
     const Mapping mapping =
         checker.MakeFeasible(predicted.mapping, fitted_eval);
     const double predicted_throughput = fitted_eval.Throughput(mapping);

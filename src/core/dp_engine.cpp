@@ -118,7 +118,8 @@ ModuleConfig LatencyConfig(const Evaluator& eval, int first, int last,
 namespace {
 
 /// Everything RunChainDp shares between its serial scaffolding and the
-/// parallel row sweeps.
+/// parallel row sweeps. The range tables live behind a shared_ptr so a
+/// warm start can hand them to the next solve.
 struct DpContext {
   const Evaluator* eval;
   int k;
@@ -126,9 +127,7 @@ struct DpContext {
   int max_len;
   bool path_sum;
   double response_cap;
-  std::vector<std::vector<ModuleConfig>> cfg_cache;
-  std::vector<int> min_budget;
-  std::vector<long long> suffix_min;
+  std::shared_ptr<DpRangeTables> tables;
 
   std::size_t RangeIndex(int first, int last) const {
     return static_cast<std::size_t>(first) * k + last;
@@ -137,6 +136,12 @@ struct DpContext {
     return (static_cast<std::size_t>(p_used) * (cap + 1) + budget) *
                (cap + 1) +
            prev_procs;
+  }
+  const std::vector<ModuleConfig>& Cfgs(int first, int last) const {
+    return tables->cfg[RangeIndex(first, last)];
+  }
+  int MinBudget(int first, int last) const {
+    return tables->min_budget[RangeIndex(first, last)];
   }
 };
 
@@ -151,25 +156,32 @@ double EvaluateClustering(const DpContext& ctx,
                           const std::vector<int>& budgets) {
   const Evaluator& eval = *ctx.eval;
   const int l = static_cast<int>(modules.size());
+  // Every module's configuration must be valid before any is used: the
+  // communication terms below read the NEIGHBOR configs, so a trailing
+  // invalid module (procs = 0) would otherwise reach ECom before its own
+  // iteration rejects it. A warm-start incumbent carried across frontier
+  // floors can legitimately land here with some modules invalid under the
+  // tighter floor's tables.
+  for (int i = 0; i < l; ++i) {
+    if (!ctx.Cfgs(modules[i].first, modules[i].second)[budgets[i]].valid) {
+      return kInf;
+    }
+  }
   double total = 0.0;
   for (int i = 0; i < l; ++i) {
     const auto [first, last] = modules[i];
-    const ModuleConfig& cfg =
-        ctx.cfg_cache[ctx.RangeIndex(first, last)][budgets[i]];
-    if (!cfg.valid) return kInf;
+    const ModuleConfig& cfg = ctx.Cfgs(first, last)[budgets[i]];
     const double body = eval.Body(first, last, cfg.procs);
     double in_com = 0.0;
     if (i > 0) {
       const ModuleConfig& prev =
-          ctx.cfg_cache[ctx.RangeIndex(modules[i - 1].first,
-                                       modules[i - 1].second)][budgets[i - 1]];
+          ctx.Cfgs(modules[i - 1].first, modules[i - 1].second)[budgets[i - 1]];
       in_com = eval.ECom(first - 1, prev.procs, cfg.procs);
     }
     double out_com = 0.0;
     if (i + 1 < l) {
       const ModuleConfig& next =
-          ctx.cfg_cache[ctx.RangeIndex(modules[i + 1].first,
-                                       modules[i + 1].second)][budgets[i + 1]];
+          ctx.Cfgs(modules[i + 1].first, modules[i + 1].second)[budgets[i + 1]];
       out_com = eval.ECom(last, cfg.procs, next.procs);
     }
     // Mirror the DP's per-module cap test exactly: the terminal module is
@@ -203,8 +215,8 @@ double IncumbentBound(const DpContext& ctx) {
   std::vector<int> budgets;
   long long used = 0;
   for (int t = 0; t < ctx.k; ++t) {
-    const int mb = ctx.min_budget[ctx.RangeIndex(t, t)];
-    if (mb >= kInfeasibleProcs) return best;
+    const int mb = ctx.MinBudget(t, t);
+    if (mb >= kInfeasibleProcs || mb > ctx.cap) return best;
     singles.emplace_back(t, t);
     budgets.push_back(mb);
     used += mb;
@@ -217,11 +229,11 @@ double IncumbentBound(const DpContext& ctx) {
     int target = -1;
     double worst = -kInf;
     for (int t = 0; t < ctx.k; ++t) {
-      if (!ctx.cfg_cache[ctx.RangeIndex(t, t)][budgets[t] + 1].valid) {
+      if (budgets[t] + 1 > ctx.cap ||
+          !ctx.Cfgs(t, t)[budgets[t] + 1].valid) {
         continue;
       }
-      const ModuleConfig& cfg =
-          ctx.cfg_cache[ctx.RangeIndex(t, t)][budgets[t]];
+      const ModuleConfig& cfg = ctx.Cfgs(t, t)[budgets[t]];
       const double score = eval.Body(t, t, cfg.procs) / cfg.replicas;
       if (score > worst) {
         worst = score;
@@ -232,6 +244,53 @@ double IncumbentBound(const DpContext& ctx) {
     ++budgets[target];
   }
   return std::min(best, EvaluateClustering(ctx, singles, budgets));
+}
+
+/// Bound from a caller-supplied incumbent mapping (warm start): the value
+/// of the incumbent's clustering and budget split under the CURRENT
+/// problem's configuration rules. Using the current tables (rather than
+/// the incumbent's recorded objective) keeps the bound safe when the
+/// problem moved — an adjacent floor or budget — since the re-evaluated
+/// value is achievable here or kInf. kInf when the incumbent does not fit
+/// the current constraints at all.
+double IncumbentFromMapping(const DpContext& ctx, const Mapping& mapping) {
+  if (!mapping.IsValidFor(ctx.k)) return kInf;
+  std::vector<std::pair<int, int>> modules;
+  std::vector<int> budgets;
+  long long used = 0;
+  for (const ModuleAssignment& m : mapping.modules) {
+    const int len = m.num_tasks();
+    const int budget = m.total_procs();
+    if (len > ctx.max_len || budget < 1 || budget > ctx.cap) return kInf;
+    modules.emplace_back(m.first_task, m.last_task);
+    budgets.push_back(budget);
+    used += budget;
+  }
+  if (used > ctx.cap) return kInf;
+  return EvaluateClustering(ctx, modules, budgets);
+}
+
+/// Warm-start table-pool size. Three distinct table keys are live during a
+/// frontier sweep (policy/bottleneck shares a key with policy/path-sum;
+/// latency-body at the current floor plus the unconstrained latency-body
+/// tables make three); one spare absorbs an interleaved odd solve.
+constexpr std::size_t kMaxWarmTables = 4;
+
+/// True when previously built range tables answer the current problem:
+/// same evaluator and configuration rules, budgets tabulated at least as
+/// far as this solve needs. A larger `tables->cap` is fine — the DP only
+/// reads budgets up to its own cap, and per-budget configurations do not
+/// depend on the cap they were tabulated under.
+bool TablesUsable(const DpRangeTables& tables, const Evaluator* eval,
+                  int cap, int max_len, ReplicationPolicy policy,
+                  DpConfigRule rule, double response_cap,
+                  bool has_predicate) {
+  if (tables.eval != eval || tables.cap < cap || tables.max_len != max_len ||
+      tables.rule != rule || tables.has_predicate != has_predicate) {
+    return false;
+  }
+  if (rule == DpConfigRule::kPolicy) return tables.policy == policy;
+  return tables.policy == policy && tables.response_cap == response_cap;
 }
 
 }  // namespace
@@ -267,70 +326,125 @@ DpSolution RunChainDp(const DpProblem& problem) {
   const bool path_sum = ctx.path_sum;
   const double response_cap = ctx.response_cap;
 
-  // Per-module-range configuration cache: cfg[(first,last)][budget].
-  // Also the smallest usable budget per range, and infinity if none.
-  // Ranges are independent, so they tabulate in parallel; each worker
-  // writes only its own ranges' cfg and min_budget slots.
-  ctx.cfg_cache.resize(static_cast<std::size_t>(k) * k);
-  ctx.min_budget.assign(static_cast<std::size_t>(k) * k, kInfeasibleProcs);
-  std::vector<std::pair<int, int>> ranges;
-  for (int first = 0; first < k; ++first) {
-    for (int last = first; last < std::min(k, first + max_len); ++last) {
-      ranges.emplace_back(first, last);
+  // Per-module-range configuration tables: cfg[(first,last)][budget], the
+  // smallest usable budget per range, and the minimal suffix budgets. A
+  // warm start whose tables match this problem skips the whole
+  // tabulation; otherwise the tables are built here (ranges are
+  // independent, so they tabulate in parallel; each worker writes only
+  // its own ranges' cfg and min_budget slots) and handed to the warm
+  // state for the next solve.
+  const std::shared_ptr<WarmStartState> warm = options.warm;
+  bool reused_tables = false;
+  if (warm) {
+    for (std::size_t i = 0; i < warm->tables.size(); ++i) {
+      if (warm->tables[i] &&
+          TablesUsable(*warm->tables[i], &eval, cap, max_len, policy,
+                       problem.config_rule, response_cap,
+                       static_cast<bool>(options.proc_feasible))) {
+        ctx.tables = warm->tables[i];
+        // Move to front: most recently used survives pool eviction.
+        warm->tables.erase(warm->tables.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        warm->tables.insert(warm->tables.begin(), ctx.tables);
+        reused_tables = true;
+        ++warm->tables_reused;
+        PIPEMAP_COUNTER_ADD("dp.warm_tables_reused", 1);
+        break;
+      }
     }
   }
-  {
-    PIPEMAP_TRACE_SPAN("dp.cfg_cache", "dp",
-                       static_cast<std::int64_t>(ranges.size()));
-    PIPEMAP_COUNTER_ADD("dp.cfg_ranges",
-                        static_cast<std::uint64_t>(ranges.size()));
-    ParallelFor(
-        num_threads, static_cast<std::int64_t>(ranges.size()),
-        ParallelSchedule::kDynamic, 1,
-        [&](int, std::int64_t begin, std::int64_t end) {
-          for (std::int64_t i = begin; i < end; ++i) {
-            const auto [first, last] = ranges[i];
-            auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, last)];
-            cfgs.assign(cap + 1, ModuleConfig{});
-            for (int b = 1; b <= cap; ++b) {
-              cfgs[b] =
-                  problem.config_rule == DpConfigRule::kLatencyBody
-                      ? LatencyConfig(eval, first, last, b, response_cap,
-                                      options.proc_feasible)
-                      : ConfigureConstrained(eval, first, last, b, policy,
-                                             options.proc_feasible);
-              if (cfgs[b].valid &&
-                  ctx.min_budget[ctx.RangeIndex(first, last)] > b) {
-                ctx.min_budget[ctx.RangeIndex(first, last)] = b;
+  if (!reused_tables) {
+    ctx.tables = std::make_shared<DpRangeTables>();
+    DpRangeTables& tables = *ctx.tables;
+    tables.eval = &eval;
+    tables.cap = cap;
+    tables.max_len = max_len;
+    tables.policy = policy;
+    tables.rule = problem.config_rule;
+    tables.response_cap = response_cap;
+    tables.has_predicate = static_cast<bool>(options.proc_feasible);
+    tables.cfg.resize(static_cast<std::size_t>(k) * k);
+    tables.min_budget.assign(static_cast<std::size_t>(k) * k,
+                             kInfeasibleProcs);
+    std::vector<std::pair<int, int>> ranges;
+    for (int first = 0; first < k; ++first) {
+      for (int last = first; last < std::min(k, first + max_len); ++last) {
+        ranges.emplace_back(first, last);
+      }
+    }
+    {
+      PIPEMAP_TRACE_SPAN("dp.cfg_cache", "dp",
+                         static_cast<std::int64_t>(ranges.size()));
+      PIPEMAP_COUNTER_ADD("dp.cfg_ranges",
+                          static_cast<std::uint64_t>(ranges.size()));
+      ParallelFor(
+          num_threads, static_cast<std::int64_t>(ranges.size()),
+          ParallelSchedule::kDynamic, 1,
+          [&](int, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i) {
+              const auto [first, last] = ranges[i];
+              auto& cfgs = tables.cfg[ctx.RangeIndex(first, last)];
+              cfgs.assign(cap + 1, ModuleConfig{});
+              for (int b = 1; b <= cap; ++b) {
+                cfgs[b] =
+                    problem.config_rule == DpConfigRule::kLatencyBody
+                        ? LatencyConfig(eval, first, last, b, response_cap,
+                                        options.proc_feasible)
+                        : ConfigureConstrained(eval, first, last, b, policy,
+                                               options.proc_feasible);
+                if (cfgs[b].valid &&
+                    tables.min_budget[ctx.RangeIndex(first, last)] > b) {
+                  tables.min_budget[ctx.RangeIndex(first, last)] = b;
+                }
               }
             }
-          }
-        });
-  }
-
-  // Minimal total budget needed to map tasks t..k-1 (for pruning) and to
-  // detect infeasibility early.
-  ctx.suffix_min.assign(k + 1, 0);
-  for (int t = k - 1; t >= 0; --t) {
-    long long best = std::numeric_limits<long long>::max() / 4;
-    for (int last = t; last < std::min(k, t + max_len); ++last) {
-      const int mb = ctx.min_budget[ctx.RangeIndex(t, last)];
-      if (mb >= kInfeasibleProcs) continue;
-      best = std::min(best,
-                      static_cast<long long>(mb) + ctx.suffix_min[last + 1]);
+          });
     }
-    ctx.suffix_min[t] = best;
+
+    // Minimal total budget needed to map tasks t..k-1 (for pruning and to
+    // detect infeasibility early).
+    tables.suffix_min.assign(k + 1, 0);
+    for (int t = k - 1; t >= 0; --t) {
+      long long best = std::numeric_limits<long long>::max() / 4;
+      for (int last = t; last < std::min(k, t + max_len); ++last) {
+        const int mb = tables.min_budget[ctx.RangeIndex(t, last)];
+        if (mb >= kInfeasibleProcs) continue;
+        best = std::min(
+            best, static_cast<long long>(mb) + tables.suffix_min[last + 1]);
+      }
+      tables.suffix_min[t] = best;
+    }
+    if (warm) {
+      warm->tables.insert(warm->tables.begin(), ctx.tables);
+      if (warm->tables.size() > kMaxWarmTables) {
+        warm->tables.resize(kMaxWarmTables);
+      }
+      ++warm->tables_built;
+    }
   }
-  if (ctx.suffix_min[0] > cap) {
+  const std::vector<long long>& suffix_min = ctx.tables->suffix_min;
+  if (suffix_min[0] > cap) {
     throw Infeasible(
         "RunChainDp: not enough processors to satisfy module memory minima");
   }
 
-  // Upper bound on the optimum from cheap heuristic mappings. Dominance
-  // pruning skips cells whose optimistic bound strictly exceeds the
-  // threshold, so a state that ties or beats the incumbent is never lost
-  // and the returned mapping is identical with pruning off.
-  const double incumbent = IncumbentBound(ctx);
+  // Upper bound on the optimum from cheap heuristic mappings, tightened
+  // by the warm start's incumbent when one fits the current constraints.
+  // Dominance pruning skips cells whose optimistic bound strictly exceeds
+  // the threshold, so a state that ties or beats the incumbent is never
+  // lost and the returned mapping is identical with pruning off — and
+  // therefore identical warm or cold.
+  double incumbent = IncumbentBound(ctx);
+  bool seeded_incumbent = false;
+  if (warm && warm->incumbent) {
+    const double seeded = IncumbentFromMapping(ctx, *warm->incumbent);
+    if (seeded < incumbent) {
+      incumbent = seeded;
+      seeded_incumbent = true;
+      ++warm->incumbents_seeded;
+      PIPEMAP_COUNTER_ADD("dp.warm_incumbents_seeded", 1);
+    }
+  }
 
   StageGrid grid;
   grid.k = k;
@@ -363,8 +477,8 @@ DpSolution RunChainDp(const DpProblem& problem) {
   // Seed: first module [0 .. len-1] with budget b.
   for (int len = 1; len <= std::min(max_len, k); ++len) {
     const int last = len - 1;
-    const auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(0, last)];
-    const long long suffix_needed = ctx.suffix_min[last + 1];
+    const auto& cfgs = ctx.Cfgs(0, last);
+    const long long suffix_needed = suffix_min[last + 1];
     for (int b = 1; b <= cap; ++b) {
       if (!cfgs[b].valid) continue;
       if (b + suffix_needed > cap) break;
@@ -394,13 +508,13 @@ DpSolution RunChainDp(const DpProblem& problem) {
       Stage& s = grid.At(j, len);
       if (!s.allocated) continue;
       const int first = j - len + 1;
-      const auto& cfgs = ctx.cfg_cache[ctx.RangeIndex(first, j)];
+      const auto& cfgs = ctx.Cfgs(first, j);
       const bool is_last_stage = (j == k - 1);
 
       // Row-level suffix prune: a state using pu processors still needs
       // suffix_min[j+1] more, whatever module comes next. Collect the rows
       // that can both complete and hold at least one reachable state.
-      const long long row_suffix = is_last_stage ? 0 : ctx.suffix_min[j + 1];
+      const long long row_suffix = is_last_stage ? 0 : suffix_min[j + 1];
       std::vector<int> live_rows;
       for (int pu = 1; pu <= cap; ++pu) {
         if (pu + row_suffix > cap) break;
@@ -432,12 +546,12 @@ DpSolution RunChainDp(const DpProblem& problem) {
           const int next_last = j + len2;
           Target t;
           t.next_last = next_last;
-          t.next_min = ctx.min_budget[ctx.RangeIndex(j + 1, next_last)];
-          t.tail_needed = ctx.suffix_min[next_last + 1];
+          t.next_min = ctx.MinBudget(j + 1, next_last);
+          t.tail_needed = suffix_min[next_last + 1];
           if (t.next_min < kInfeasibleProcs &&
               min_live_pu + t.next_min + t.tail_needed <= cap) {
             t.stage = &ensure_stage(next_last, len2);
-            t.cfgs = &ctx.cfg_cache[ctx.RangeIndex(j + 1, next_last)];
+            t.cfgs = &ctx.Cfgs(j + 1, next_last);
           }
           targets.push_back(t);
         }
@@ -581,7 +695,7 @@ DpSolution RunChainDp(const DpProblem& problem) {
   int j = best.j, len = best.len, pu = best.pu, b = best.b, pp = best.pp;
   while (true) {
     const int first = j - len + 1;
-    const ModuleConfig& cfg = ctx.cfg_cache[ctx.RangeIndex(first, j)][b];
+    const ModuleConfig& cfg = ctx.Cfgs(first, j)[b];
     reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
     const Stage& s = grid.At(j, len);
     const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
@@ -602,6 +716,9 @@ DpSolution RunChainDp(const DpProblem& problem) {
   solution.objective_value = best.total;
   solution.work = work;
   solution.pruned_cells = pruned_cells;
+  solution.reused_tables = reused_tables;
+  solution.seeded_incumbent = seeded_incumbent;
+  if (warm) warm->incumbent = solution.mapping;
   return solution;
 }
 

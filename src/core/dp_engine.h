@@ -19,6 +19,7 @@
 #pragma once
 
 #include <limits>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "core/mapper.h"
@@ -62,6 +63,37 @@ ModuleConfig LatencyConfig(const Evaluator& eval, int first, int last,
                            int budget, double response_cap,
                            const ProcPredicate& feasible);
 
+/// Pre-tabulated per-module-range data the DP computes before its sweep:
+/// the configuration for every (first, last) range and budget, the
+/// smallest usable budget per range, and the minimum total budget needed
+/// for every chain suffix. The tables depend only on the key fields below
+/// — notably not on the processor budget of an individual solve (budgets
+/// are tabulated up to `cap`, and any solve with total_procs <= cap reads
+/// a prefix) — which makes them the reusable half of a warm start.
+struct DpRangeTables {
+  // Key: everything the table contents depend on. `response_cap` only
+  // shapes configurations under DpConfigRule::kLatencyBody; it is stored
+  // unconditionally and compared only for that rule. The feasibility
+  // predicate cannot be keyed (std::function); the WarmStartState sharing
+  // contract covers it, and `has_predicate` at least catches the
+  // with/without mismatch.
+  const Evaluator* eval = nullptr;
+  int cap = 0;
+  int max_len = 0;
+  ReplicationPolicy policy = ReplicationPolicy::kMaximal;
+  DpConfigRule rule = DpConfigRule::kPolicy;
+  double response_cap = std::numeric_limits<double>::infinity();
+  bool has_predicate = false;
+
+  /// cfg[first * k + last][budget]; ranges longer than max_len are empty.
+  std::vector<std::vector<ModuleConfig>> cfg;
+  /// Smallest budget with a valid configuration per range
+  /// (kInfeasibleProcs when none exists within cap).
+  std::vector<int> min_budget;
+  /// Minimum total budget to map tasks t..k-1 (index k holds 0).
+  std::vector<long long> suffix_min;
+};
+
 struct DpSolution {
   Mapping mapping;
   /// The aggregated objective value (bottleneck response or path sum).
@@ -72,6 +104,11 @@ struct DpSolution {
   /// given thread count; may differ between thread counts (the mapping
   /// and objective never do).
   std::uint64_t pruned_cells = 0;
+  /// Warm-start provenance: whether the solve reused the range tables
+  /// and whether the caller's incumbent tightened the pruning threshold.
+  /// Neither affects the returned mapping or objective.
+  bool reused_tables = false;
+  bool seeded_incumbent = false;
 };
 
 /// Runs the DP. Throws pipemap::Infeasible when no mapping satisfies the

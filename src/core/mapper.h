@@ -5,12 +5,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
 #include "core/mapping.h"
+#include "core/warm_start.h"
 
 namespace pipemap {
 
@@ -38,6 +40,11 @@ struct MapperOptions {
   /// switch, which the CLI's --metrics/--trace flags control. Collection
   /// never changes the returned mapping or objective.
   bool observe = false;
+  /// Optional warm-start state shared across adjacent solves (frontier
+  /// and budget sweeps). Null runs cold. Purely an accelerator: the DP
+  /// returns identical mappings warm or cold (see core/warm_start.h for
+  /// the sharing contract). Never part of the cache fingerprint.
+  std::shared_ptr<WarmStartState> warm;
 };
 
 /// Result of a mapping run.

@@ -1,0 +1,29 @@
+#include "engine/fingerprint.h"
+
+#include <cstring>
+#include <string>
+
+namespace pipemap {
+
+FingerprintBuilder& FingerprintBuilder::Append(double v) {
+  // Raw IEEE-754 bytes: exact, and canonical as long as no NaN payloads
+  // reach a fingerprinted field (the engine fingerprints user-provided
+  // scalars like throughput floors, never computed results).
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  hash_ = Fnv1a64("d", hash_);
+  return Append(bits);
+}
+
+std::string FingerprintHex(std::uint64_t fingerprint) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fingerprint & 0xf];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+}  // namespace pipemap

@@ -1,0 +1,77 @@
+// Stable 64-bit fingerprints for engine cache keys.
+//
+// The solution cache must key on everything that can change the returned
+// mapping and nothing else. Rather than hashing in-memory structs (fragile
+// under padding, field reordering, or pointer members), the fingerprint is
+// computed over the canonical text serializations from src/io/ — the same
+// bytes that round-trip through files — chained through 64-bit FNV-1a.
+// Identical problems therefore fingerprint identically across processes
+// and runs, which is what makes the cache testable ("map twice, diff").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pipemap {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// FNV-1a over `data`, continuing from `seed` so fragments chain.
+constexpr std::uint64_t Fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnv1aOffset) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Incremental fingerprint accumulator. Every Append mixes a one-byte
+/// type tag before the payload so adjacent fields cannot alias (e.g. the
+/// strings "ab" + "c" vs "a" + "bc" hash differently).
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& Append(std::string_view s) {
+    hash_ = Fnv1a64("s", hash_);
+    hash_ = Fnv1a64(s, hash_);
+    return *this;
+  }
+  /// Without this overload a string literal would convert to bool
+  /// (pointer-to-bool is a standard conversion and outranks the
+  /// user-defined one to string_view) and silently hash as `true`.
+  FingerprintBuilder& Append(const char* s) {
+    return Append(std::string_view(s));
+  }
+  FingerprintBuilder& Append(std::uint64_t v) {
+    hash_ = Fnv1a64("u", hash_);
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    hash_ = Fnv1a64(std::string_view(bytes, 8), hash_);
+    return *this;
+  }
+  FingerprintBuilder& Append(std::int64_t v) {
+    return Append(static_cast<std::uint64_t>(v));
+  }
+  FingerprintBuilder& Append(int v) {
+    return Append(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  FingerprintBuilder& Append(bool v) {
+    return Append(static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  FingerprintBuilder& Append(double v);
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv1aOffset;
+};
+
+/// Fingerprint rendered as fixed-width lowercase hex (16 characters), the
+/// form used in provenance JSON and logs.
+std::string FingerprintHex(std::uint64_t fingerprint);
+
+}  // namespace pipemap

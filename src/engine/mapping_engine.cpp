@@ -1,0 +1,396 @@
+#include "engine/mapping_engine.h"
+
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "engine/fingerprint.h"
+#include "io/serialize.h"
+#include "machine/feasible.h"
+#include "support/error.h"
+#include "support/json_writer.h"
+#include "support/metrics.h"
+
+namespace pipemap {
+
+const char* ToString(SolverPolicy policy) {
+  switch (policy) {
+    case SolverPolicy::kAuto:
+      return "auto";
+    case SolverPolicy::kDp:
+      return "dp";
+    case SolverPolicy::kGreedy:
+      return "greedy";
+    case SolverPolicy::kBrute:
+      return "brute";
+    case SolverPolicy::kLatency:
+      return "latency";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const Solver& NamedSolver(std::string_view name) {
+  const Solver* solver = SolverRegistry::Global().Find(name);
+  PIPEMAP_CHECK(solver != nullptr,
+                "MappingEngine: solver not registered: " + std::string(name));
+  return *solver;
+}
+
+int ResolveProcs(const MapRequest& request) {
+  const int procs = request.total_procs > 0 ? request.total_procs
+                                            : request.machine.total_procs();
+  PIPEMAP_CHECK(procs >= 1, "MapRequest: processor budget must be positive");
+  return procs;
+}
+
+void ValidateRequest(const MapRequest& request) {
+  PIPEMAP_CHECK(request.chain != nullptr, "MapRequest: chain is required");
+  PIPEMAP_CHECK(request.objective != MapObjective::kLatencyWithFloor ||
+                    request.min_throughput > 0.0,
+                "MapRequest: latency_with_floor needs min_throughput > 0");
+}
+
+/// Resolved MapperOptions: the machine-derived feasibility predicate is
+/// installed here, after fingerprinting, so it never leaks into the cache
+/// key (the machine serialization already covers it).
+MapperOptions ResolveOptions(const MapRequest& request) {
+  MapperOptions options = request.options;
+  if (request.machine_feasibility && !options.proc_feasible) {
+    options.proc_feasible =
+        FeasibilityChecker(request.machine).ProcCountPredicate();
+  }
+  return options;
+}
+
+}  // namespace
+
+std::string MapResponse::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("solver").String(solver);
+  w.Key("objective_value").Double(objective_value);
+  w.Key("throughput").Double(throughput);
+  w.Key("latency_s").Double(latency);
+  w.Key("exact").Bool(exact);
+  w.Key("cache_hit").Bool(cache_hit);
+  w.Key("cacheable").Bool(cacheable);
+  w.Key("fingerprint").String(FingerprintHex(fingerprint));
+  w.Key("warm").BeginObject();
+  w.Key("tables_built").UInt(warm_tables_built);
+  w.Key("tables_reused").UInt(warm_tables_reused);
+  w.Key("incumbents_seeded").UInt(warm_incumbents_seeded);
+  w.EndObject();
+  w.Key("budget_exhausted").Bool(budget_exhausted);
+  w.Key("solve_seconds").Double(solve_seconds);
+  w.Key("work").UInt(work);
+  w.Key("pruned_cells").UInt(pruned_cells);
+  w.EndObject();
+  return w.str();
+}
+
+MappingEngine::MappingEngine(EngineConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {}
+
+MappingEngine& MappingEngine::Shared() {
+  static MappingEngine engine;
+  return engine;
+}
+
+std::uint64_t MappingEngine::Fingerprint(const MapRequest& request) const {
+  ValidateRequest(request);
+  if (request.options.proc_feasible) return 0;
+  const int procs = ResolveProcs(request);
+  FingerprintBuilder fb;
+  fb.Append("pipemap-map-request v1");
+  fb.Append(SerializeChain(*request.chain, procs));
+  fb.Append(SerializeMachine(request.machine));
+  fb.Append(SerializeMapperOptions(request.options));
+  fb.Append(static_cast<int>(request.objective));
+  fb.Append(static_cast<int>(request.solver));
+  fb.Append(procs);
+  fb.Append(request.min_throughput);
+  fb.Append(request.machine_feasibility);
+  return fb.value();
+}
+
+MapResponse MappingEngine::Map(const MapRequest& request) {
+  ValidateRequest(request);
+  const auto start = std::chrono::steady_clock::now();
+  PIPEMAP_COUNTER_ADD("engine.map.calls", 1);
+  const int procs = ResolveProcs(request);
+
+  MapResponse response;
+  response.cacheable = request.use_cache && !request.options.proc_feasible;
+  if (response.cacheable) {
+    response.fingerprint = Fingerprint(request);
+    if (std::optional<CachedSolution> hit =
+            cache_.Lookup(response.fingerprint)) {
+      response.mapping = ParseMapping(hit->mapping_text);
+      response.objective_value = hit->objective_value;
+      response.throughput = hit->throughput;
+      response.latency = hit->latency;
+      response.solver = hit->solver;
+      response.exact = hit->exact;
+      response.cache_hit = true;
+      response.solve_seconds = SecondsSince(start);
+      return response;
+    }
+  }
+
+  // Cold path: resolve options, build the evaluator, run the portfolio.
+  SolveRequest solve;
+  solve.total_procs = procs;
+  solve.objective = request.objective;
+  solve.min_throughput = request.min_throughput;
+  solve.options = ResolveOptions(request);
+  const Evaluator eval(*request.chain, procs,
+                       request.machine.node_memory_bytes,
+                       solve.options.num_threads);
+  solve.eval = &eval;
+
+  // One warm-start state threads greedy's incumbent into the DP (and any
+  // caller-provided state carries across engine calls on the same chain).
+  std::shared_ptr<WarmStartState> warm = solve.options.warm;
+  if (!warm) {
+    warm = std::make_shared<WarmStartState>();
+    solve.options.warm = warm;
+  }
+  const std::uint64_t built0 = warm->tables_built;
+  const std::uint64_t reused0 = warm->tables_reused;
+  const std::uint64_t seeded0 = warm->incumbents_seeded;
+
+  // Portfolio stage list.
+  std::vector<const Solver*> stages;
+  switch (request.solver) {
+    case SolverPolicy::kDp:
+      stages.push_back(&NamedSolver("dp"));
+      break;
+    case SolverPolicy::kGreedy:
+      stages.push_back(&NamedSolver("greedy"));
+      break;
+    case SolverPolicy::kBrute:
+      stages.push_back(&NamedSolver("brute"));
+      break;
+    case SolverPolicy::kLatency:
+      stages.push_back(&NamedSolver("latency"));
+      break;
+    case SolverPolicy::kAuto:
+      if (request.objective == MapObjective::kThroughput) {
+        stages.push_back(&NamedSolver("greedy"));
+        stages.push_back(&NamedSolver("dp"));
+        if (request.chain->size() <= config_.brute_max_tasks &&
+            procs <= config_.brute_max_procs) {
+          stages.push_back(&NamedSolver("brute"));
+        }
+      } else {
+        stages.push_back(&NamedSolver("latency"));
+      }
+      break;
+  }
+
+  std::optional<SolveResult> best;
+  std::string ran;
+  std::exception_ptr last_error;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const Solver& stage = *stages[i];
+    PIPEMAP_CHECK(stage.Supports(request.objective),
+                  "MappingEngine: solver '" + std::string(stage.name()) +
+                      "' does not support objective " +
+                      ToString(request.objective));
+    if (i > 0 && SecondsSince(start) > request.time_budget_s) {
+      response.budget_exhausted = true;
+      break;
+    }
+    try {
+      SolveResult result = stage.Solve(solve);
+      if (!ran.empty()) ran += "+";
+      ran += stage.name();
+      // Keep the better objective; an exact solver's result wins ties so
+      // the response can claim optimality.
+      const bool keep =
+          !best || result.objective_value < best->objective_value ||
+          (stage.exact() &&
+           result.objective_value <= best->objective_value);
+      if (keep) {
+        response.exact = stage.exact();
+        best = std::move(result);
+        // Feed the incumbent forward for the next stage's pruning bound.
+        warm->incumbent = best->mapping;
+      }
+    } catch (const Infeasible&) {
+      last_error = std::current_exception();
+    } catch (const ResourceLimit&) {
+      last_error = std::current_exception();
+    }
+  }
+  if (!best) {
+    if (last_error) std::rethrow_exception(last_error);
+    throw Infeasible("MappingEngine: no solver produced a mapping");
+  }
+
+  response.mapping = std::move(best->mapping);
+  response.objective_value = best->objective_value;
+  response.throughput = best->throughput;
+  response.latency = best->latency;
+  response.work = best->work;
+  response.pruned_cells = best->pruned_cells;
+  response.solver = ran;
+  response.warm_tables_built = warm->tables_built - built0;
+  response.warm_tables_reused = warm->tables_reused - reused0;
+  response.warm_incumbents_seeded = warm->incumbents_seeded - seeded0;
+  response.solve_seconds = SecondsSince(start);
+
+  // Budget-truncated portfolios are not cached: the same request with a
+  // looser budget must be able to produce the exact answer later.
+  if (response.cacheable && !response.budget_exhausted) {
+    CachedSolution entry;
+    entry.mapping_text = SerializeMapping(response.mapping);
+    entry.objective_value = response.objective_value;
+    entry.throughput = response.throughput;
+    entry.latency = response.latency;
+    entry.solver = response.solver;
+    entry.exact = response.exact;
+    cache_.Insert(response.fingerprint, std::move(entry));
+  }
+  return response;
+}
+
+std::vector<FrontierPoint> MappingEngine::Frontier(const MapRequest& request,
+                                                   int num_points,
+                                                   SweepStats* stats) {
+  ValidateRequest(request);
+  PIPEMAP_COUNTER_ADD("engine.frontier.calls", 1);
+  const int procs = ResolveProcs(request);
+
+  // Whole-sweep memoization: a repeated sweep on an unchanged problem is
+  // answered without a single DP solve. The key extends the request
+  // fingerprint with the sweep parameter, under the same cacheability
+  // rule as Map (a custom predicate cannot be fingerprinted).
+  const bool cacheable = request.use_cache && !request.options.proc_feasible;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    FingerprintBuilder fb;
+    fb.Append("pipemap-frontier-sweep v1");
+    fb.Append(Fingerprint(request));
+    fb.Append(num_points);
+    key = fb.value();
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    const auto it = frontier_cache_.find(key);
+    if (it != frontier_cache_.end()) {
+      PIPEMAP_COUNTER_ADD("engine.frontier.cache_hits", 1);
+      if (stats != nullptr) ++stats->cache_hits;
+      return it->second;
+    }
+    PIPEMAP_COUNTER_ADD("engine.frontier.cache_misses", 1);
+  }
+
+  MapperOptions options = ResolveOptions(request);
+  std::shared_ptr<WarmStartState> warm = options.warm;
+  if (!warm) {
+    warm = std::make_shared<WarmStartState>();
+    options.warm = warm;
+  }
+  const std::uint64_t built0 = warm->tables_built;
+  const std::uint64_t reused0 = warm->tables_reused;
+  const std::uint64_t seeded0 = warm->incumbents_seeded;
+
+  const Evaluator eval(*request.chain, procs,
+                       request.machine.node_memory_bytes,
+                       options.num_threads);
+  std::vector<FrontierPoint> frontier =
+      LatencyThroughputFrontier(eval, procs, num_points, options);
+  if (stats != nullptr) {
+    stats->warm_tables_built += warm->tables_built - built0;
+    stats->warm_tables_reused += warm->tables_reused - reused0;
+    stats->warm_incumbents_seeded += warm->incumbents_seeded - seeded0;
+    // Every DP run either builds or reuses the range tables exactly once.
+    stats->solves += (warm->tables_built - built0) +
+                     (warm->tables_reused - reused0);
+  }
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    if (frontier_cache_.size() >= config_.cache_capacity &&
+        !frontier_order_.empty()) {
+      frontier_cache_.erase(frontier_order_.front());
+      frontier_order_.pop_front();
+    }
+    if (frontier_cache_.emplace(key, frontier).second) {
+      frontier_order_.push_back(key);
+    }
+  }
+  return frontier;
+}
+
+ProcCountResult MappingEngine::MinProcs(const MapRequest& request,
+                                        double target_throughput,
+                                        SweepStats* stats) {
+  ValidateRequest(request);
+  PIPEMAP_COUNTER_ADD("engine.min_procs.calls", 1);
+  const int procs = ResolveProcs(request);
+
+  const bool cacheable = request.use_cache && !request.options.proc_feasible;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    FingerprintBuilder fb;
+    fb.Append("pipemap-sizing-sweep v1");
+    fb.Append(Fingerprint(request));
+    fb.Append(target_throughput);
+    key = fb.value();
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    const auto it = sizing_cache_.find(key);
+    if (it != sizing_cache_.end()) {
+      PIPEMAP_COUNTER_ADD("engine.min_procs.cache_hits", 1);
+      if (stats != nullptr) ++stats->cache_hits;
+      return it->second;
+    }
+    PIPEMAP_COUNTER_ADD("engine.min_procs.cache_misses", 1);
+  }
+
+  MapperOptions options = ResolveOptions(request);
+  std::shared_ptr<WarmStartState> warm = options.warm;
+  if (!warm) {
+    warm = std::make_shared<WarmStartState>();
+    options.warm = warm;
+  }
+  const std::uint64_t built0 = warm->tables_built;
+  const std::uint64_t reused0 = warm->tables_reused;
+  const std::uint64_t seeded0 = warm->incumbents_seeded;
+
+  const Evaluator eval(*request.chain, procs,
+                       request.machine.node_memory_bytes,
+                       options.num_threads);
+  ProcCountResult result =
+      MinProcessorsForThroughput(eval, procs, target_throughput, options);
+  if (stats != nullptr) {
+    stats->warm_tables_built += warm->tables_built - built0;
+    stats->warm_tables_reused += warm->tables_reused - reused0;
+    stats->warm_incumbents_seeded += warm->incumbents_seeded - seeded0;
+    stats->solves += (warm->tables_built - built0) +
+                     (warm->tables_reused - reused0);
+  }
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    if (sizing_cache_.size() >= config_.cache_capacity &&
+        !sizing_order_.empty()) {
+      sizing_cache_.erase(sizing_order_.front());
+      sizing_order_.pop_front();
+    }
+    if (sizing_cache_.emplace(key, result).second) {
+      sizing_order_.push_back(key);
+    }
+  }
+  return result;
+}
+
+}  // namespace pipemap

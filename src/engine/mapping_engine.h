@@ -1,0 +1,204 @@
+// MappingEngine: the one front door to the mapping algorithms.
+//
+// Callers describe *what* they want mapped — a chain, a machine, an
+// objective, a solver policy — as a MapRequest; the engine decides *how*:
+// which solver(s) to run, whether a cached solution already answers the
+// request, and how to thread warm-start state through sweep-shaped
+// workloads (latency/throughput frontiers, machine sizing). The response
+// carries the mapping plus full provenance: which solver produced it,
+// whether it is exact, the request fingerprint, cache and warm-start
+// behavior, and wall-clock cost.
+//
+// Solver policy:
+//   * kAuto (throughput): run greedy for a fast incumbent, then escalate
+//     to the exact DP seeded with that incumbent (warm start). On
+//     instances small enough for the exhaustive reference (see
+//     EngineConfig thresholds) brute force additionally certifies the
+//     result. Escalation stops when the request's time budget is spent,
+//     in which case the response is marked inexact.
+//   * kAuto (latency objectives): the latency DP directly.
+//   * kDp / kGreedy / kBrute / kLatency: exactly that registry solver.
+//
+// Caching: requests without a custom feasibility predicate are
+// fingerprinted over the canonical serializations of the chain, machine,
+// and options (engine/fingerprint.h) and answered from a sharded LRU
+// cache (engine/solution_cache.h) when possible. A cache hit returns a
+// mapping byte-identical to what a fresh solve would produce — the cache
+// stores serialized mappings, and the tests pin the equality. A custom
+// proc_feasible closure cannot be fingerprinted, so such requests bypass
+// the cache entirely rather than risk a false hit.
+//
+// Sweeps (Frontier, MinProcs) are cached whole under the same
+// fingerprinting rules: a repeated sweep on an unchanged problem returns
+// the memoized points without running a single DP solve. Within a first
+// (uncached) sweep, the warm-start state still carries range tables and
+// incumbents across the sweep's solves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/latency_mapper.h"
+#include "core/mapper.h"
+#include "core/task.h"
+#include "engine/solution_cache.h"
+#include "engine/solver.h"
+#include "machine/machine.h"
+
+namespace pipemap {
+
+/// Which solver(s) the engine may use for a request.
+enum class SolverPolicy {
+  kAuto,
+  kDp,
+  kGreedy,
+  kBrute,
+  kLatency,
+};
+
+const char* ToString(SolverPolicy policy);
+
+/// A mapping problem, fully described. The chain is borrowed (callers own
+/// it for the duration of the call); everything else is by value.
+struct MapRequest {
+  const TaskChain* chain = nullptr;
+  MachineConfig machine;
+  /// Processor budget; <= 0 means the whole machine.
+  int total_procs = 0;
+  MapObjective objective = MapObjective::kThroughput;
+  /// Throughput floor for MapObjective::kLatencyWithFloor.
+  double min_throughput = 0.0;
+  SolverPolicy solver = SolverPolicy::kAuto;
+  /// Algorithm options. A custom proc_feasible makes the request
+  /// uncacheable; leave it null and keep machine_feasibility true to get
+  /// the machine-derived predicate, which fingerprints via the machine.
+  MapperOptions options;
+  /// Installs FeasibilityChecker(machine)'s processor-count predicate
+  /// when options.proc_feasible is null (matches the CLI's default).
+  bool machine_feasibility = true;
+  /// Consult/populate the engine's solution cache.
+  bool use_cache = true;
+  /// Wall-clock budget for portfolio escalation under kAuto: once spent,
+  /// no further solver is launched (the current best answer is returned
+  /// and marked inexact if only the heuristic completed).
+  double time_budget_s = std::numeric_limits<double>::infinity();
+};
+
+/// A solved mapping plus provenance.
+struct MapResponse {
+  Mapping mapping;
+  /// Minimized quantity: bottleneck effective response (s) for
+  /// throughput, path latency (s) for the latency objectives.
+  double objective_value = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  std::uint64_t work = 0;
+  std::uint64_t pruned_cells = 0;
+
+  /// "+"-joined names of the solvers that ran (e.g. "greedy+dp"); for a
+  /// cache hit, the recorded chain from the original solve.
+  std::string solver;
+  /// The kept result is provably optimal (within the replication policy).
+  bool exact = false;
+  bool cache_hit = false;
+  /// The request could be fingerprinted and was eligible for the cache.
+  bool cacheable = false;
+  std::uint64_t fingerprint = 0;
+  /// Warm-start activity during this solve (0 on cache hits).
+  std::uint64_t warm_tables_built = 0;
+  std::uint64_t warm_tables_reused = 0;
+  std::uint64_t warm_incumbents_seeded = 0;
+  /// kAuto stopped escalating because time_budget_s was spent.
+  bool budget_exhausted = false;
+  double solve_seconds = 0.0;
+
+  /// Provenance as JSON (support/json_writer.h); mapping excluded — pair
+  /// with SerializeMapping or the run report for the mapping itself.
+  std::string ToJson() const;
+};
+
+/// Warm-start activity across an engine-driven sweep (Frontier/MinProcs).
+struct SweepStats {
+  std::uint64_t solves = 0;
+  std::uint64_t warm_tables_built = 0;
+  std::uint64_t warm_tables_reused = 0;
+  std::uint64_t warm_incumbents_seeded = 0;
+  /// Sweeps answered whole from the engine's sweep cache; such calls run
+  /// zero solves, so the other counters stay untouched.
+  std::uint64_t cache_hits = 0;
+};
+
+struct EngineConfig {
+  std::size_t cache_capacity = 256;
+  std::size_t cache_shards = 8;
+  /// Instance-size ceiling for the brute-force certification stage of
+  /// SolverPolicy::kAuto (exhaustive search is exponential).
+  int brute_max_tasks = 5;
+  int brute_max_procs = 10;
+};
+
+class MappingEngine {
+ public:
+  explicit MappingEngine(EngineConfig config = {});
+
+  MappingEngine(const MappingEngine&) = delete;
+  MappingEngine& operator=(const MappingEngine&) = delete;
+
+  /// Solves one request (cache → portfolio → cache fill). Throws
+  /// pipemap::InvalidArgument on malformed requests and propagates the
+  /// solvers' Infeasible/ResourceLimit.
+  MapResponse Map(const MapRequest& request);
+
+  /// The latency/throughput Pareto frontier on the request's machine and
+  /// budget. All solves in the sweep share one warm-start state (range
+  /// tables and incumbents carry across floors); `stats`, when non-null,
+  /// receives the reuse counts. The request's objective field is ignored.
+  /// When the request is cacheable (use_cache set, no custom predicate)
+  /// the whole sweep is memoized under (fingerprint, num_points) and a
+  /// repeat returns the identical points without solving.
+  std::vector<FrontierPoint> Frontier(const MapRequest& request,
+                                      int num_points,
+                                      SweepStats* stats = nullptr);
+
+  /// Smallest processor count reaching `target_throughput`, warm-starting
+  /// the binary search's solves like Frontier. The request's total_procs
+  /// (or the machine size) bounds the search. Memoized whole under
+  /// (fingerprint, target) exactly like Frontier.
+  ProcCountResult MinProcs(const MapRequest& request,
+                           double target_throughput,
+                           SweepStats* stats = nullptr);
+
+  /// Fingerprint of `request` (also computed by Map); 0 when the request
+  /// is not fingerprintable (custom predicate).
+  std::uint64_t Fingerprint(const MapRequest& request) const;
+
+  SolutionCache& cache() { return cache_; }
+  const SolutionCache& cache() const { return cache_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Process-wide engine used by the CLI and tools, so repeated commands
+  /// in one process share the cache.
+  static MappingEngine& Shared();
+
+ private:
+  EngineConfig config_;
+  SolutionCache cache_;
+
+  /// Whole-sweep memoization (Frontier / MinProcs), FIFO-bounded at
+  /// config_.cache_capacity entries each. Sweep results are small (a
+  /// handful of mappings), so value storage is cheaper than re-deriving
+  /// them from the per-solve cache would be.
+  std::mutex sweep_mu_;
+  std::unordered_map<std::uint64_t, std::vector<FrontierPoint>>
+      frontier_cache_;
+  std::deque<std::uint64_t> frontier_order_;
+  std::unordered_map<std::uint64_t, ProcCountResult> sizing_cache_;
+  std::deque<std::uint64_t> sizing_order_;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,96 @@
+#include "engine/solution_cache.h"
+
+#include <algorithm>
+
+#include "support/metrics.h"
+
+namespace pipemap {
+
+SolutionCache::SolutionCache(std::size_t capacity, std::size_t shards) {
+  shards = std::max<std::size_t>(1, shards);
+  capacity = std::max<std::size_t>(shards, capacity);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  stats_.capacity = per_shard_capacity_ * shards;
+}
+
+std::optional<CachedSolution> SolutionCache::Lookup(std::uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::optional<CachedSolution> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      result = it->second->second;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (result) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (result) {
+    PIPEMAP_COUNTER_ADD("engine.cache.hits", 1);
+  } else {
+    PIPEMAP_COUNTER_ADD("engine.cache.misses", 1);
+  }
+  return result;
+}
+
+void SolutionCache::Insert(std::uint64_t key, CachedSolution value) {
+  Shard& shard = ShardFor(key);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      if (shard.lru.size() >= per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evicted = true;
+      }
+      shard.lru.emplace_front(key, std::move(value));
+      shard.index.emplace(key, shard.lru.begin());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.inserts;
+    if (evicted) ++stats_.evictions;
+  }
+  PIPEMAP_COUNTER_ADD("engine.cache.inserts", 1);
+  if (evicted) PIPEMAP_COUNTER_ADD("engine.cache.evictions", 1);
+}
+
+SolutionCacheStats SolutionCache::stats() const {
+  SolutionCacheStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void SolutionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace pipemap

@@ -1,0 +1,90 @@
+// Sharded LRU cache of mapping solutions, keyed by request fingerprint.
+//
+// The engine sees the same problem repeatedly: a frontier sweep rerun with
+// one flag changed, a simulator mapping the workload it just mapped, a
+// benchmark iterating. Solves cost seconds; a lookup costs a hash and a
+// mutex. Values store the *serialized* mapping text (io/serialize.h)
+// rather than the Mapping struct, so the cache-correctness contract —
+// a cached solution is byte-identical to a recomputed one — is directly
+// testable by string comparison, and a hit replays exactly the bytes a
+// cold solve would have produced.
+//
+// Sharding: the key's low bits pick a shard, each with its own mutex and
+// LRU list, so concurrent engine users do not serialize on one lock.
+// Counters are exported both through MetricsRegistry (engine.cache.*) and
+// as stats() for provenance when metrics are disabled.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pipemap {
+
+/// A cached solution: everything needed to answer a MapRequest without
+/// re-solving, plus the provenance of the original solve.
+struct CachedSolution {
+  /// SerializeMapping output of the solved mapping.
+  std::string mapping_text;
+  double objective_value = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  /// Registry name of the solver that produced the entry (e.g. "dp",
+  /// "greedy+dp").
+  std::string solver;
+  bool exact = false;
+};
+
+struct SolutionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class SolutionCache {
+ public:
+  /// `capacity` entries total, split evenly over `shards` independent LRU
+  /// lists (each rounded up to hold at least one entry).
+  explicit SolutionCache(std::size_t capacity = 256, std::size_t shards = 8);
+
+  SolutionCache(const SolutionCache&) = delete;
+  SolutionCache& operator=(const SolutionCache&) = delete;
+
+  /// Returns the cached solution and refreshes its LRU position, or
+  /// nullopt. Counts a hit or miss either way.
+  std::optional<CachedSolution> Lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) `value` under `key`, evicting the shard's
+  /// least recently used entry when full.
+  void Insert(std::uint64_t key, CachedSolution value);
+
+  SolutionCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most recently used at the front.
+    std::list<std::pair<std::uint64_t, CachedSolution>> lru;
+    std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+  };
+
+  Shard& ShardFor(std::uint64_t key) {
+    return *shards_[static_cast<std::size_t>(key) % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex stats_mu_;
+  SolutionCacheStats stats_;
+};
+
+}  // namespace pipemap

@@ -1,0 +1,99 @@
+// The engine's solver abstraction.
+//
+// The repo grew four mapping algorithms with four ad-hoc call signatures:
+// DpMapper / GreedyMapper (throughput), LatencyMapper (latency, optionally
+// under a throughput floor), and the brute-force references. Every caller
+// — CLI, simulators, benches — had to know which class answers which
+// objective and how to translate the result structs. The Solver interface
+// normalizes them: one request shape, one result shape, a name, and
+// capability predicates the portfolio policy can interrogate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/mapper.h"
+
+namespace pipemap {
+
+/// What the caller wants optimized.
+enum class MapObjective {
+  /// Maximize throughput (minimize the bottleneck effective response).
+  kThroughput,
+  /// Minimize one data set's traversal latency.
+  kLatency,
+  /// Minimize latency subject to throughput >= min_throughput.
+  kLatencyWithFloor,
+};
+
+const char* ToString(MapObjective objective);
+
+/// A solver invocation: the evaluator (chain + machine costs), the budget,
+/// the objective, and the shared MapperOptions (including any warm-start
+/// state the engine threads through adjacent solves).
+struct SolveRequest {
+  const Evaluator* eval = nullptr;
+  int total_procs = 0;
+  MapObjective objective = MapObjective::kThroughput;
+  double min_throughput = 0.0;
+  MapperOptions options;
+};
+
+/// Normalized solver result. `objective_value` is the quantity the solver
+/// minimized (bottleneck effective response in seconds for throughput,
+/// path latency in seconds otherwise); throughput and latency are always
+/// both reported so callers need not re-derive them.
+struct SolveResult {
+  Mapping mapping;
+  double objective_value = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  std::uint64_t work = 0;
+  std::uint64_t pruned_cells = 0;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name ("dp", "greedy", "brute", "latency").
+  virtual std::string_view name() const = 0;
+
+  /// Whether this solver can answer `objective` at all.
+  virtual bool Supports(MapObjective objective) const = 0;
+
+  /// Whether the result is provably optimal (within the configured
+  /// replication policy) for the supported objectives.
+  virtual bool exact() const = 0;
+
+  /// Solves or throws (pipemap::Infeasible, pipemap::ResourceLimit — the
+  /// same contract as the underlying mappers).
+  virtual SolveResult Solve(const SolveRequest& request) const = 0;
+};
+
+/// Process-wide solver registry. The four built-in solvers register on
+/// first access; custom solvers may be added (names must be unique).
+class SolverRegistry {
+ public:
+  static SolverRegistry& Global();
+
+  /// Registers a solver; throws pipemap::InvalidArgument on a duplicate
+  /// name.
+  void Register(std::unique_ptr<Solver> solver);
+
+  /// Looks a solver up by name; nullptr when absent.
+  const Solver* Find(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string_view> Names() const;
+
+ private:
+  SolverRegistry();
+
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace pipemap

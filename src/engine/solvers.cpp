@@ -1,0 +1,179 @@
+// Built-in Solver adapters over the four mapping algorithms, plus the
+// registry. Each adapter is a thin translation layer: the algorithms stay
+// in src/core/ with their documented contracts, and the adapters only
+// normalize call shapes and result structs.
+#include <mutex>
+#include <utility>
+
+#include "core/brute_force.h"
+#include "core/dp_mapper.h"
+#include "core/greedy_mapper.h"
+#include "core/latency_mapper.h"
+#include "engine/solver.h"
+#include "support/error.h"
+#include "support/metrics.h"
+
+namespace pipemap {
+
+const char* ToString(MapObjective objective) {
+  switch (objective) {
+    case MapObjective::kThroughput:
+      return "throughput";
+    case MapObjective::kLatency:
+      return "latency";
+    case MapObjective::kLatencyWithFloor:
+      return "latency_with_floor";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+SolveResult FromMapping(const Evaluator& eval, Mapping mapping,
+                        MapObjective objective, std::uint64_t work,
+                        std::uint64_t pruned_cells) {
+  SolveResult result;
+  result.throughput = eval.Throughput(mapping);
+  result.latency = eval.Latency(mapping);
+  result.objective_value = objective == MapObjective::kThroughput
+                               ? eval.BottleneckResponse(mapping)
+                               : result.latency;
+  result.work = work;
+  result.pruned_cells = pruned_cells;
+  result.mapping = std::move(mapping);
+  return result;
+}
+
+/// Exact throughput optimization (paper Section 3).
+class DpSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "dp"; }
+  bool Supports(MapObjective objective) const override {
+    return objective == MapObjective::kThroughput;
+  }
+  bool exact() const override { return true; }
+  SolveResult Solve(const SolveRequest& request) const override {
+    PIPEMAP_COUNTER_ADD("engine.solver.dp", 1);
+    const DpMapper mapper(request.options);
+    MapResult r = mapper.Map(*request.eval, request.total_procs);
+    return FromMapping(*request.eval, std::move(r.mapping),
+                       request.objective, r.work, r.pruned_cells);
+  }
+};
+
+/// Heuristic throughput optimization (paper Section 4).
+class GreedySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "greedy"; }
+  bool Supports(MapObjective objective) const override {
+    return objective == MapObjective::kThroughput;
+  }
+  bool exact() const override { return false; }
+  SolveResult Solve(const SolveRequest& request) const override {
+    PIPEMAP_COUNTER_ADD("engine.solver.greedy", 1);
+    GreedyOptions options;
+    options.base = request.options;
+    const GreedyMapper mapper(options);
+    MapResult r = mapper.Map(*request.eval, request.total_procs);
+    return FromMapping(*request.eval, std::move(r.mapping),
+                       request.objective, r.work, r.pruned_cells);
+  }
+};
+
+/// Exhaustive reference for small instances; supports every objective.
+class BruteForceSolver final : public Solver {
+ public:
+  std::string_view name() const override { return "brute"; }
+  bool Supports(MapObjective) const override { return true; }
+  bool exact() const override { return true; }
+  SolveResult Solve(const SolveRequest& request) const override {
+    PIPEMAP_COUNTER_ADD("engine.solver.brute", 1);
+    BruteForceOptions options;
+    options.base = request.options;
+    if (request.objective == MapObjective::kThroughput) {
+      const BruteForceMapper mapper(options);
+      MapResult r = mapper.Map(*request.eval, request.total_procs);
+      return FromMapping(*request.eval, std::move(r.mapping),
+                         request.objective, r.work, r.pruned_cells);
+    }
+    const double floor = request.objective == MapObjective::kLatencyWithFloor
+                             ? request.min_throughput
+                             : 0.0;
+    LatencyBruteResult r = BruteForceMinLatency(
+        *request.eval, request.total_procs, floor, options);
+    return FromMapping(*request.eval, std::move(r.mapping),
+                       request.objective, r.work, 0);
+  }
+};
+
+/// Exact latency optimization (path-sum DP, optionally under a throughput
+/// floor). Exact within the two configuration families it searches — see
+/// LatencyMapper::MinLatencyWithThroughput.
+class LatencySolver final : public Solver {
+ public:
+  std::string_view name() const override { return "latency"; }
+  bool Supports(MapObjective objective) const override {
+    return objective == MapObjective::kLatency ||
+           objective == MapObjective::kLatencyWithFloor;
+  }
+  bool exact() const override { return true; }
+  SolveResult Solve(const SolveRequest& request) const override {
+    PIPEMAP_COUNTER_ADD("engine.solver.latency", 1);
+    const LatencyMapper mapper(request.options);
+    LatencyResult r =
+        request.objective == MapObjective::kLatencyWithFloor
+            ? mapper.MinLatencyWithThroughput(*request.eval,
+                                              request.total_procs,
+                                              request.min_throughput)
+            : mapper.MinLatency(*request.eval, request.total_procs);
+    return FromMapping(*request.eval, std::move(r.mapping),
+                       request.objective, r.work, 0);
+  }
+};
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  solvers_.push_back(std::make_unique<DpSolver>());
+  solvers_.push_back(std::make_unique<GreedySolver>());
+  solvers_.push_back(std::make_unique<BruteForceSolver>());
+  solvers_.push_back(std::make_unique<LatencySolver>());
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+void SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  PIPEMAP_CHECK(solver != nullptr, "SolverRegistry: null solver");
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const auto& existing : solvers_) {
+    PIPEMAP_CHECK(existing->name() != solver->name(),
+                  "SolverRegistry: duplicate solver name");
+  }
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* SolverRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string_view> names;
+  names.reserve(solvers_.size());
+  for (const auto& solver : solvers_) names.push_back(solver->name());
+  return names;
+}
+
+}  // namespace pipemap

@@ -1,130 +1,83 @@
 #include "sim/run_report.h"
 
-#include <cmath>
-#include <sstream>
+#include "support/json_writer.h"
 
 namespace pipemap {
-namespace {
-
-void AppendDouble(std::ostringstream& out, double v) {
-  if (!std::isfinite(v)) {
-    out << "null";
-    return;
-  }
-  std::ostringstream tmp;
-  tmp.precision(12);
-  tmp << v;
-  out << tmp.str();
-}
-
-void AppendString(std::ostringstream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out << ' ';
-    } else {
-      out << c;
-    }
-  }
-  out << '"';
-}
-
-/// Re-indents an embedded JSON document (the metrics snapshot arrives
-/// pretty-printed at top level) so the report stays readable.
-void AppendEmbedded(std::ostringstream& out, const std::string& json,
-                    const std::string& indent) {
-  for (std::size_t i = 0; i < json.size(); ++i) {
-    const char c = json[i];
-    if (c == '\n') {
-      if (i + 1 < json.size()) out << '\n' << indent;
-    } else {
-      out << c;
-    }
-  }
-}
-
-}  // namespace
 
 std::string BuildRunReportJson(const Evaluator& evaluator,
                                const Mapping& mapping,
                                const SimResult& result,
                                const BottleneckAttribution& attribution,
                                const RunReportOptions& options) {
-  std::ostringstream out;
-  out << "{\n";
-  out << "  \"schema_version\": 1,\n";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
 
-  out << "  \"workload\": {\"tasks\": " << evaluator.num_tasks()
-      << ", \"procs\": " << mapping.TotalProcs()
-      << ", \"datasets\": " << options.num_datasets << "},\n";
+  w.Key("workload").BeginObject();
+  w.Key("tasks").Int(evaluator.num_tasks());
+  w.Key("procs").Int(mapping.TotalProcs());
+  w.Key("datasets").Int(options.num_datasets);
+  w.EndObject();
 
-  out << "  \"mapping\": {\"modules\": [";
+  w.Key("mapping").BeginObject();
+  w.Key("modules").BeginArray();
   for (int m = 0; m < mapping.num_modules(); ++m) {
     const ModuleAssignment& mod = mapping.modules[m];
-    out << (m == 0 ? "\n    " : ",\n    ");
-    out << "{\"module\": " << m << ", \"first_task\": " << mod.first_task
-        << ", \"last_task\": " << mod.last_task
-        << ", \"procs_per_instance\": " << mod.procs_per_instance
-        << ", \"replicas\": " << mod.replicas << "}";
+    w.BeginObject();
+    w.Key("module").Int(m);
+    w.Key("first_task").Int(mod.first_task);
+    w.Key("last_task").Int(mod.last_task);
+    w.Key("procs_per_instance").Int(mod.procs_per_instance);
+    w.Key("replicas").Int(mod.replicas);
+    w.EndObject();
   }
-  out << "\n  ]},\n";
+  w.EndArray();
+  w.EndObject();
 
-  out << "  \"predicted\": {\"throughput\": ";
-  AppendDouble(out, attribution.predicted_throughput);
-  out << ", \"latency_s\": ";
-  AppendDouble(out, evaluator.Latency(mapping));
-  out << ", \"bottleneck_module\": " << attribution.predicted_bottleneck
-      << "},\n";
+  w.Key("predicted").BeginObject();
+  w.Key("throughput").Double(attribution.predicted_throughput);
+  w.Key("latency_s").Double(evaluator.Latency(mapping));
+  w.Key("bottleneck_module").Int(attribution.predicted_bottleneck);
+  w.EndObject();
 
-  out << "  \"simulated\": {\"throughput\": ";
-  AppendDouble(out, result.throughput);
-  out << ", \"mean_latency_s\": ";
-  AppendDouble(out, result.mean_latency);
-  out << ", \"makespan_s\": ";
-  AppendDouble(out, result.makespan);
-  out << ", \"bottleneck_module\": " << attribution.observed_bottleneck
-      << ", \"module_utilization\": [";
-  for (std::size_t m = 0; m < result.module_utilization.size(); ++m) {
-    if (m > 0) out << ", ";
-    AppendDouble(out, result.module_utilization[m]);
+  w.Key("simulated").BeginObject();
+  w.Key("throughput").Double(result.throughput);
+  w.Key("mean_latency_s").Double(result.mean_latency);
+  w.Key("makespan_s").Double(result.makespan);
+  w.Key("bottleneck_module").Int(attribution.observed_bottleneck);
+  w.Key("module_utilization").BeginArray();
+  for (const double u : result.module_utilization) w.Double(u);
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("attribution").BeginArray();
+  for (const ModuleAttribution& a : attribution.modules) {
+    w.BeginObject();
+    w.Key("module").Int(a.module);
+    w.Key("replicas").Int(a.replicas);
+    w.Key("predicted_effective_s").Double(a.predicted_effective_s);
+    w.Key("observed_effective_s").Double(a.observed_effective_s);
+    w.Key("divergence").Double(a.divergence);
+    w.Key("utilization").Double(a.utilization);
+    w.EndObject();
   }
-  out << "]},\n";
+  w.EndArray();
 
-  out << "  \"attribution\": [";
-  for (std::size_t i = 0; i < attribution.modules.size(); ++i) {
-    const ModuleAttribution& a = attribution.modules[i];
-    out << (i == 0 ? "\n    " : ",\n    ");
-    out << "{\"module\": " << a.module << ", \"replicas\": " << a.replicas
-        << ", \"predicted_effective_s\": ";
-    AppendDouble(out, a.predicted_effective_s);
-    out << ", \"observed_effective_s\": ";
-    AppendDouble(out, a.observed_effective_s);
-    out << ", \"divergence\": ";
-    AppendDouble(out, a.divergence);
-    out << ", \"utilization\": ";
-    AppendDouble(out, a.utilization);
-    out << "}";
-  }
-  out << "\n  ],\n";
-
-  out << "  \"metrics\": ";
+  w.Key("metrics");
   if (options.metrics) {
-    AppendEmbedded(out, options.metrics->ToJson(), "  ");
+    w.Raw(options.metrics->ToJson());
   } else {
-    out << "null";
+    w.Null();
   }
-  out << ",\n";
 
-  out << "  \"trace_path\": ";
+  w.Key("trace_path");
   if (options.trace_path.empty()) {
-    out << "null";
+    w.Null();
   } else {
-    AppendString(out, options.trace_path);
+    w.String(options.trace_path);
   }
-  out << "\n}\n";
-  return out.str();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace pipemap

@@ -1,0 +1,161 @@
+#include "support/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pipemap {
+
+void JsonWriter::AppendEscaped(std::string& out, std::string_view v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void JsonWriter::NewlineIndent() {
+  out_ += '\n';
+  out_.append(scopes_.size() * 2, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Key() already positioned the cursor after "name": — nothing to do.
+    pending_key_ = false;
+    return;
+  }
+  if (scopes_.empty()) return;  // root value
+  if (need_comma_) out_ += ',';
+  NewlineIndent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool empty = !need_comma_;
+  scopes_.pop_back();
+  if (!empty) NewlineIndent();
+  out_ += '}';
+  need_comma_ = true;
+  if (scopes_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool empty = !need_comma_;
+  scopes_.pop_back();
+  if (!empty) NewlineIndent();
+  out_ += ']';
+  need_comma_ = true;
+  if (scopes_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  if (need_comma_) out_ += ',';
+  NewlineIndent();
+  AppendEscaped(out_, name);
+  out_ += ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  AppendEscaped(out_, v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(std::uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  AppendDouble(out_, v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  while (!json.empty() &&
+         (json.back() == '\n' || json.back() == ' ' || json.back() == '\t')) {
+    json.remove_suffix(1);
+  }
+  BeforeValue();
+  const std::string indent(scopes_.size() * 2, ' ');
+  for (const char c : json) {
+    out_ += c;
+    if (c == '\n') out_ += indent;
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_; }
+
+}  // namespace pipemap

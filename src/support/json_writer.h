@@ -1,0 +1,71 @@
+// Shared streaming JSON writer.
+//
+// Every machine-readable artifact this project emits — metrics snapshots,
+// run reports, bench result files, engine provenance — is JSON, and each
+// emitter used to hand-roll its own escaping and number formatting. This
+// writer centralizes the three rules they must agree on:
+//   * strings are escaped (quote, backslash, control characters);
+//   * doubles print with 12 significant digits, and non-finite values
+//     become null (JSON has no NaN/Inf);
+//   * output is pretty-printed with two-space indentation, one key or
+//     array element per line, so artifacts stay human-diffable.
+//
+// The writer is a push API: Begin/End pairs open containers, Key names the
+// next value inside an object, and the scalar calls emit values. Commas
+// and indentation are inserted automatically. Raw() splices a pre-rendered
+// JSON document (e.g. an embedded metrics snapshot) re-indented to the
+// current depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipemap {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Names the next value; only valid directly inside an object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(std::int64_t v);
+  JsonWriter& UInt(std::uint64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// Splices `json` (a complete pre-rendered JSON value) as the next
+  /// value, re-indenting its lines to the current depth. Trailing
+  /// whitespace is trimmed so the splice composes like any scalar.
+  JsonWriter& Raw(std::string_view json);
+
+  /// The document so far, with a trailing newline once the root container
+  /// has closed. Call after the final End*().
+  std::string str() const;
+
+  /// Appends an escaped JSON string literal (quotes included) to `out`.
+  /// Exposed for emitters that format fragments outside the writer.
+  static void AppendEscaped(std::string& out, std::string_view v);
+
+  /// Appends `v` with 12 significant digits, or `null` when non-finite.
+  static void AppendDouble(std::string& out, double v);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool need_comma_ = false;
+  bool pending_key_ = false;
+};
+
+}  // namespace pipemap

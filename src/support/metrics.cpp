@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+
+#include "support/json_writer.h"
 
 namespace pipemap {
 namespace {
@@ -36,31 +37,6 @@ void AtomicDoubleMax(std::atomic<double>& target, double v) {
   while (v > cur && !target.compare_exchange_weak(
                         cur, v, std::memory_order_relaxed)) {
   }
-}
-
-void AppendJsonString(std::ostringstream& out, std::string_view s) {
-  out << '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out << ' ';
-    } else {
-      out << c;
-    }
-  }
-  out << '"';
-}
-
-void AppendJsonDouble(std::ostringstream& out, double v) {
-  if (!std::isfinite(v)) {
-    out << "null";
-    return;
-  }
-  std::ostringstream tmp;
-  tmp.precision(12);
-  tmp << v;
-  out << tmp.str();
 }
 
 }  // namespace
@@ -246,50 +222,35 @@ void MetricsRegistry::Reset() {
 }
 
 std::string MetricsSnapshot::ToJson() const {
-  std::ostringstream out;
-  out << "{\n  \"counters\": {";
-  bool first = true;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
   for (const auto& [name, value] : counters) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": " << value;
+    w.Key(name).UInt(value);
   }
-  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
-  first = true;
+  w.EndObject();
+  w.Key("gauges").BeginObject();
   for (const auto& [name, value] : gauges) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": ";
-    AppendJsonDouble(out, value);
+    w.Key(name).Double(value);
   }
-  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
-  first = true;
+  w.EndObject();
+  w.Key("histograms").BeginObject();
   for (const auto& [name, h] : histograms) {
-    out << (first ? "\n    " : ",\n    ");
-    first = false;
-    AppendJsonString(out, name);
-    out << ": {\"count\": " << h.count << ", \"sum\": ";
-    AppendJsonDouble(out, h.sum);
-    out << ", \"min\": ";
-    AppendJsonDouble(out, h.min);
-    out << ", \"max\": ";
-    AppendJsonDouble(out, h.max);
-    out << ", \"mean\": ";
-    AppendJsonDouble(out, h.mean);
-    out << ", \"p50\": ";
-    AppendJsonDouble(out, h.p50);
-    out << ", \"p90\": ";
-    AppendJsonDouble(out, h.p90);
-    out << ", \"p95\": ";
-    AppendJsonDouble(out, h.p95);
-    out << ", \"p99\": ";
-    AppendJsonDouble(out, h.p99);
-    out << "}";
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(h.count);
+    w.Key("sum").Double(h.sum);
+    w.Key("min").Double(h.min);
+    w.Key("max").Double(h.max);
+    w.Key("mean").Double(h.mean);
+    w.Key("p50").Double(h.p50);
+    w.Key("p90").Double(h.p90);
+    w.Key("p95").Double(h.p95);
+    w.Key("p99").Double(h.p99);
+    w.EndObject();
   }
-  out << (first ? "" : "\n  ") << "}\n}\n";
-  return out.str();
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace pipemap

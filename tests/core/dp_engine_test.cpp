@@ -142,5 +142,183 @@ TEST(DpEngineTest, WorkCounterGrowsWithProcessors) {
   }
 }
 
+TEST(DpEngineTest, WarmStartMatchesColdAcrossBudgetSweep) {
+  // A budget sweep sharing one WarmStartState must return exactly the
+  // mappings and objectives the cold solves do, while reusing the range
+  // tables built at the largest budget for every smaller one.
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 16, kTestNodeMemory);
+
+  auto warm = std::make_shared<WarmStartState>();
+  const std::vector<int> budgets = {16, 12, 8, 5};
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    DpProblem cold;
+    cold.eval = &eval;
+    cold.total_procs = budgets[i];
+    const DpSolution cold_sol = RunChainDp(cold);
+
+    DpProblem warmed = cold;
+    warmed.options.warm = warm;
+    const DpSolution warm_sol = RunChainDp(warmed);
+
+    EXPECT_EQ(warm_sol.mapping, cold_sol.mapping) << "budget " << budgets[i];
+    EXPECT_EQ(warm_sol.objective_value, cold_sol.objective_value);
+    // Tables are built on the first (largest-budget) solve and reused for
+    // every smaller budget thanks to the prefix property.
+    EXPECT_EQ(warm_sol.reused_tables, i > 0) << "budget " << budgets[i];
+  }
+  EXPECT_EQ(warm->tables_built, 1u);
+  EXPECT_EQ(warm->tables_reused, budgets.size() - 1);
+  ASSERT_TRUE(warm->incumbent.has_value());
+}
+
+TEST(DpEngineTest, WarmStartIncumbentSeedsPruning) {
+  // A chain where both internal incumbent heuristics are provably weak:
+  // merging everything pays a 3s internal redistribution on edge 1-2, and
+  // the singleton clustering pays a 5s external transfer on edge 0-1. The
+  // optimum ({0,1} merged, {2} alone, 2+2 procs) scores ~1.1. A second
+  // solve seeded with that mapping must tighten the pruning bound.
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.0, 1.0, 0.0, 1, false}, TaskSpec{0.0, 1.0, 0.0, 1, false},
+       TaskSpec{0.0, 2.0, 0.0, 1, false}},
+      {EdgeSpec{0.0, 0.0, 0.0, /*e_fixed=*/5.0, 0, 0, 0, 0},
+       EdgeSpec{/*i_fixed=*/3.0, 0.0, 0.0, /*e_fixed=*/0.1, 0, 0, 0, 0}});
+  const Evaluator eval(chain, 4, kTestNodeMemory);
+
+  auto warm = std::make_shared<WarmStartState>();
+  DpProblem problem;
+  problem.eval = &eval;
+  problem.total_procs = 4;
+  problem.options.warm = warm;
+
+  const DpSolution first = RunChainDp(problem);
+  EXPECT_FALSE(first.seeded_incumbent);
+  EXPECT_EQ(warm->incumbents_seeded, 0u);
+
+  const DpSolution second = RunChainDp(problem);
+  EXPECT_TRUE(second.seeded_incumbent);
+  EXPECT_EQ(warm->incumbents_seeded, 1u);
+  EXPECT_TRUE(second.reused_tables);
+  EXPECT_EQ(second.mapping, first.mapping);
+  EXPECT_EQ(second.objective_value, first.objective_value);
+  // Cold reference: seeding never changes the answer.
+  DpProblem cold = problem;
+  cold.options.warm = nullptr;
+  const DpSolution cold_sol = RunChainDp(cold);
+  EXPECT_EQ(cold_sol.mapping, second.mapping);
+  EXPECT_EQ(cold_sol.objective_value, second.objective_value);
+}
+
+TEST(DpEngineTest, WarmStartMatchesColdAcrossResponseCapSweep) {
+  // Frontier-style sweep: tighten the response cap step by step. Under
+  // DpConfigRule::kPolicy the tables do not depend on the cap, so one
+  // build serves the whole sweep; mappings must still match cold solves.
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 12, kTestNodeMemory);
+
+  // Establish the unconstrained optimum to pick meaningful caps.
+  DpProblem base;
+  base.eval = &eval;
+  base.total_procs = 12;
+  const double best = RunChainDp(base).objective_value;
+
+  auto warm = std::make_shared<WarmStartState>();
+  for (const double slack : {8.0, 4.0, 2.0, 1.25}) {
+    DpProblem cold = base;
+    cold.max_effective_response = best * slack;
+    const DpSolution cold_sol = RunChainDp(cold);
+
+    DpProblem warmed = cold;
+    warmed.options.warm = warm;
+    const DpSolution warm_sol = RunChainDp(warmed);
+
+    EXPECT_EQ(warm_sol.mapping, cold_sol.mapping) << "slack " << slack;
+    EXPECT_EQ(warm_sol.objective_value, cold_sol.objective_value);
+  }
+  EXPECT_EQ(warm->tables_built, 1u);
+  EXPECT_EQ(warm->tables_reused, 3u);
+}
+
+TEST(DpEngineTest, WarmStartLatencyRuleRebuildsWhenCapMoves) {
+  // Under DpConfigRule::kLatencyBody the configuration tables depend on
+  // the response cap, so moving the cap must rebuild them — and the
+  // results must still match cold solves exactly.
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 12, kTestNodeMemory);
+
+  DpProblem base;
+  base.eval = &eval;
+  base.total_procs = 12;
+  const double best = RunChainDp(base).objective_value;
+
+  auto warm = std::make_shared<WarmStartState>();
+  int solves = 0;
+  for (const double slack : {4.0, 4.0, 2.0}) {
+    DpProblem cold = base;
+    cold.objective = DpObjective::kPathSum;
+    cold.config_rule = DpConfigRule::kLatencyBody;
+    cold.max_effective_response = best * slack;
+    const DpSolution cold_sol = RunChainDp(cold);
+
+    DpProblem warmed = cold;
+    warmed.options.warm = warm;
+    const DpSolution warm_sol = RunChainDp(warmed);
+    ++solves;
+
+    EXPECT_EQ(warm_sol.mapping, cold_sol.mapping) << "slack " << slack;
+    EXPECT_EQ(warm_sol.objective_value, cold_sol.objective_value);
+    // Repeating the same cap reuses; changing it rebuilds.
+    EXPECT_EQ(warm_sol.reused_tables, solves == 2);
+  }
+  EXPECT_EQ(warm->tables_built, 2u);
+  EXPECT_EQ(warm->tables_reused, 1u);
+}
+
+TEST(DpEngineTest, WarmStartInfeasibleIncumbentIsIgnored) {
+  // An incumbent that no longer fits the current budget must not poison
+  // the pruning threshold: the solve still returns the cold optimum.
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval(chain, 16, kTestNodeMemory);
+
+  DpProblem big;
+  big.eval = &eval;
+  big.total_procs = 16;
+  const DpSolution big_sol = RunChainDp(big);
+
+  auto warm = std::make_shared<WarmStartState>();
+  warm->incumbent = big_sol.mapping;  // Uses up to 16 procs.
+
+  DpProblem small;
+  small.eval = &eval;
+  small.total_procs = 4;  // The 16-proc incumbent cannot fit.
+  small.options.warm = warm;
+  const DpSolution warm_sol = RunChainDp(small);
+
+  DpProblem cold = small;
+  cold.options.warm = nullptr;
+  const DpSolution cold_sol = RunChainDp(cold);
+  EXPECT_EQ(warm_sol.mapping, cold_sol.mapping);
+  EXPECT_EQ(warm_sol.objective_value, cold_sol.objective_value);
+}
+
+TEST(DpEngineTest, WarmStartRebuildsWhenEvaluatorChanges) {
+  // Tables are keyed on the evaluator: pointing the same state at a
+  // different machine must rebuild rather than reuse.
+  const TaskChain chain = testing::SmallChain();
+  const Evaluator eval_a(chain, 8, kTestNodeMemory);
+  const Evaluator eval_b(chain, 8, kTestNodeMemory);
+
+  auto warm = std::make_shared<WarmStartState>();
+  DpProblem problem;
+  problem.total_procs = 8;
+  problem.options.warm = warm;
+
+  problem.eval = &eval_a;
+  EXPECT_FALSE(RunChainDp(problem).reused_tables);
+  problem.eval = &eval_b;
+  EXPECT_FALSE(RunChainDp(problem).reused_tables);
+  EXPECT_EQ(warm->tables_built, 2u);
+}
+
 }  // namespace
 }  // namespace pipemap::detail

@@ -1,0 +1,481 @@
+// MappingEngine facade tests: solver portfolio, cache identity, warm-start
+// sweeps, and provenance.
+#include "engine/mapping_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "core/latency_mapper.h"
+#include "io/serialize.h"
+#include "machine/feasible.h"
+#include "support/error.h"
+#include "workloads/fft_hist.h"
+#include "workloads/radar.h"
+#include "../json_util.h"
+#include "../test_util.h"
+
+namespace pipemap {
+namespace {
+
+using testing::BuildChain;
+using testing::EdgeSpec;
+using testing::IsValidJson;
+using testing::kTestNodeMemory;
+using testing::TaskSpec;
+
+/// A small machine whose node memory matches the BuildChain convention, so
+/// memory minima in TaskSpec::min_procs behave as written.
+MachineConfig SmallMachine() {
+  MachineConfig machine;
+  machine.name = "test4x4";
+  machine.grid_rows = 4;
+  machine.grid_cols = 4;
+  machine.node_memory_bytes = kTestNodeMemory;
+  return machine;
+}
+
+TaskChain ThreeTaskChain() {
+  return BuildChain(
+      {TaskSpec{0.0, 1.0, 0.01, 1, true}, TaskSpec{0.0, 2.0, 0.01, 1, true},
+       TaskSpec{0.0, 1.0, 0.01, 1, true}},
+      {EdgeSpec{0.1, 0.0, 0.0, 0.2, 0, 0, 0, 0},
+       EdgeSpec{0.1, 0.0, 0.0, 0.2, 0, 0, 0, 0}});
+}
+
+MapRequest RequestFor(const TaskChain& chain, const MachineConfig& machine) {
+  MapRequest request;
+  request.chain = &chain;
+  request.machine = machine;
+  return request;
+}
+
+TEST(SolverRegistryTest, BuiltInSolversAreRegistered) {
+  for (const char* name : {"dp", "greedy", "brute", "latency"}) {
+    const Solver* solver = SolverRegistry::Global().Find(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+  }
+  EXPECT_EQ(SolverRegistry::Global().Find("nonsense"), nullptr);
+}
+
+TEST(SolverRegistryTest, CapabilitiesMatchTheAlgorithms) {
+  const SolverRegistry& registry = SolverRegistry::Global();
+  EXPECT_TRUE(registry.Find("dp")->Supports(MapObjective::kThroughput));
+  EXPECT_FALSE(registry.Find("dp")->Supports(MapObjective::kLatency));
+  EXPECT_FALSE(registry.Find("greedy")->Supports(MapObjective::kLatency));
+  EXPECT_TRUE(registry.Find("brute")->Supports(MapObjective::kLatency));
+  EXPECT_TRUE(
+      registry.Find("latency")->Supports(MapObjective::kLatencyWithFloor));
+  EXPECT_FALSE(registry.Find("latency")->Supports(MapObjective::kThroughput));
+  EXPECT_TRUE(registry.Find("dp")->exact());
+  EXPECT_FALSE(registry.Find("greedy")->exact());
+}
+
+TEST(MappingEngineTest, AllFourSolversReachable) {
+  const TaskChain chain = ThreeTaskChain();
+  const MachineConfig machine = SmallMachine();
+  MappingEngine engine;
+
+  for (const SolverPolicy policy :
+       {SolverPolicy::kDp, SolverPolicy::kGreedy, SolverPolicy::kBrute}) {
+    MapRequest request = RequestFor(chain, machine);
+    request.solver = policy;
+    const MapResponse response = engine.Map(request);
+    EXPECT_EQ(response.solver, ToString(policy));
+    EXPECT_GT(response.throughput, 0.0);
+    EXPECT_TRUE(response.mapping.IsValidFor(chain.size()));
+  }
+
+  MapRequest request = RequestFor(chain, machine);
+  request.solver = SolverPolicy::kLatency;
+  request.objective = MapObjective::kLatency;
+  const MapResponse response = engine.Map(request);
+  EXPECT_EQ(response.solver, "latency");
+  EXPECT_GT(response.latency, 0.0);
+}
+
+TEST(MappingEngineTest, ExactSolversAgreeThroughTheFacade) {
+  const TaskChain chain = ThreeTaskChain();
+  const MachineConfig machine = SmallMachine();
+  MappingEngine engine;
+
+  MapRequest dp = RequestFor(chain, machine);
+  dp.solver = SolverPolicy::kDp;
+  MapRequest brute = dp;
+  brute.solver = SolverPolicy::kBrute;
+  const MapResponse dp_response = engine.Map(dp);
+  const MapResponse brute_response = engine.Map(brute);
+  EXPECT_NEAR(dp_response.throughput, brute_response.throughput, 1e-12);
+  EXPECT_TRUE(dp_response.exact);
+  EXPECT_TRUE(brute_response.exact);
+}
+
+TEST(MappingEngineTest, AutoRunsGreedyThenDpAndIsExact) {
+  const TaskChain chain = ThreeTaskChain();
+  const MachineConfig machine = SmallMachine();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, machine);
+  request.solver = SolverPolicy::kAuto;
+  const MapResponse response = engine.Map(request);
+  // 3 tasks on 16 procs: above brute_max_procs, so greedy + dp only.
+  EXPECT_EQ(response.solver, "greedy+dp");
+  EXPECT_TRUE(response.exact);
+
+  MapRequest dp = request;
+  dp.solver = SolverPolicy::kDp;
+  const MapResponse dp_response = engine.Map(dp);
+  EXPECT_NEAR(response.throughput, dp_response.throughput, 1e-12);
+}
+
+TEST(MappingEngineTest, AutoCertifiesWithBruteOnTinyInstances) {
+  const TaskChain chain = BuildChain(
+      {TaskSpec{0.0, 1.0, 0.0, 1, true}, TaskSpec{0.0, 1.0, 0.0, 1, true}},
+      {EdgeSpec{}});
+  MachineConfig machine = SmallMachine();
+  machine.grid_rows = 2;
+  machine.grid_cols = 2;  // 4 procs <= brute_max_procs
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, machine);
+  request.solver = SolverPolicy::kAuto;
+  const MapResponse response = engine.Map(request);
+  EXPECT_EQ(response.solver, "greedy+dp+brute");
+  EXPECT_TRUE(response.exact);
+}
+
+TEST(MappingEngineTest, AutoLatencyUsesLatencySolver) {
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.objective = MapObjective::kLatency;
+  const MapResponse response = engine.Map(request);
+  EXPECT_EQ(response.solver, "latency");
+  EXPECT_TRUE(response.exact);
+  EXPECT_NEAR(response.objective_value, response.latency, 1e-12);
+}
+
+TEST(MappingEngineTest, CachedMappingIsByteIdenticalToRecomputed) {
+  const TaskChain chain = ThreeTaskChain();
+  const MachineConfig machine = SmallMachine();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, machine);
+  request.solver = SolverPolicy::kDp;
+  const MapResponse cold = engine.Map(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(cold.cacheable);
+
+  const MapResponse warm = engine.Map(request);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  // Byte identity: the serialized mappings match exactly.
+  EXPECT_EQ(SerializeMapping(warm.mapping), SerializeMapping(cold.mapping));
+  EXPECT_EQ(warm.throughput, cold.throughput);
+  EXPECT_EQ(warm.objective_value, cold.objective_value);
+  EXPECT_EQ(warm.solver, cold.solver);
+
+  // And against a fresh, cache-bypassing solve.
+  MapRequest fresh = request;
+  fresh.use_cache = false;
+  const MapResponse recomputed = engine.Map(fresh);
+  EXPECT_FALSE(recomputed.cache_hit);
+  EXPECT_EQ(SerializeMapping(recomputed.mapping),
+            SerializeMapping(warm.mapping));
+
+  const SolutionCacheStats stats = engine.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // use_cache=false never touches the cache
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(MappingEngineTest, FingerprintSeparatesProblems) {
+  const TaskChain chain = ThreeTaskChain();
+  const MachineConfig machine = SmallMachine();
+  MappingEngine engine;
+
+  MapRequest base = RequestFor(chain, machine);
+  const std::uint64_t fp = engine.Fingerprint(base);
+
+  MapRequest fewer_procs = base;
+  fewer_procs.total_procs = 8;
+  EXPECT_NE(engine.Fingerprint(fewer_procs), fp);
+
+  MapRequest latency = base;
+  latency.objective = MapObjective::kLatency;
+  EXPECT_NE(engine.Fingerprint(latency), fp);
+
+  MapRequest greedy = base;
+  greedy.solver = SolverPolicy::kGreedy;
+  EXPECT_NE(engine.Fingerprint(greedy), fp);
+
+  MapRequest no_clustering = base;
+  no_clustering.options.allow_clustering = false;
+  EXPECT_NE(engine.Fingerprint(no_clustering), fp);
+
+  MapRequest unconstrained = base;
+  unconstrained.machine_feasibility = false;
+  EXPECT_NE(engine.Fingerprint(unconstrained), fp);
+
+  MapRequest bigger_machine = base;
+  bigger_machine.machine.grid_rows = 8;
+  EXPECT_NE(engine.Fingerprint(bigger_machine), fp);
+
+  // Execution knobs must NOT move the fingerprint.
+  MapRequest threaded = base;
+  threaded.options.num_threads = 4;
+  threaded.options.observe = true;
+  EXPECT_EQ(engine.Fingerprint(threaded), fp);
+}
+
+TEST(MappingEngineTest, CustomPredicateBypassesCache) {
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.options.proc_feasible = [](int p) { return p <= 2; };
+  EXPECT_EQ(engine.Fingerprint(request), 0u);
+
+  const MapResponse first = engine.Map(request);
+  EXPECT_FALSE(first.cacheable);
+  const MapResponse second = engine.Map(request);
+  EXPECT_FALSE(second.cache_hit);
+  const SolutionCacheStats stats = engine.cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
+}
+
+TEST(MappingEngineTest, ZeroTimeBudgetStopsAfterGreedyAndIsNotCached) {
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kAuto;
+  request.time_budget_s = 0.0;
+  const MapResponse response = engine.Map(request);
+  EXPECT_EQ(response.solver, "greedy");
+  EXPECT_TRUE(response.budget_exhausted);
+  EXPECT_FALSE(response.exact);
+
+  // The truncated answer must not poison the cache: re-asking with an
+  // unlimited budget gets the exact portfolio, not a stale hit.
+  MapRequest full = request;
+  full.time_budget_s = std::numeric_limits<double>::infinity();
+  const MapResponse exact = engine.Map(full);
+  EXPECT_FALSE(exact.cache_hit);
+  EXPECT_TRUE(exact.exact);
+}
+
+TEST(MappingEngineTest, CacheEvictsUnderPressure) {
+  EngineConfig config;
+  config.cache_capacity = 2;
+  config.cache_shards = 1;
+  MappingEngine engine(config);
+  const TaskChain chain = ThreeTaskChain();
+
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kGreedy;
+  for (const int procs : {4, 6, 8, 10}) {
+    request.total_procs = procs;
+    engine.Map(request);
+  }
+  const SolutionCacheStats stats = engine.cache().stats();
+  EXPECT_EQ(stats.inserts, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(MappingEngineTest, FrontierMatchesDirectSweepAndReusesTables) {
+  const Workload radar = workloads::MakeRadar(CommMode::kMessage);
+  MappingEngine engine;
+
+  MapRequest request;
+  request.chain = &radar.chain;
+  request.machine = radar.machine;
+  SweepStats stats;
+  const std::vector<FrontierPoint> warm =
+      engine.Frontier(request, 6, &stats);
+  ASSERT_FALSE(warm.empty());
+  EXPECT_GT(stats.warm_tables_reused, 0u);
+  EXPECT_GT(stats.solves, stats.warm_tables_built);
+
+  // Cold reference: the engine sweep must trace the identical frontier.
+  const Evaluator eval(radar.chain, radar.machine.total_procs(),
+                       radar.machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible =
+      FeasibilityChecker(radar.machine).ProcCountPredicate();
+  const std::vector<FrontierPoint> cold =
+      LatencyThroughputFrontier(eval, radar.machine.total_procs(), 6,
+                                options);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i].mapping, cold[i].mapping) << "point " << i;
+    EXPECT_EQ(warm[i].throughput, cold[i].throughput);
+    EXPECT_EQ(warm[i].latency, cold[i].latency);
+  }
+}
+
+TEST(MappingEngineTest, FrontierRepeatAnsweredFromSweepCache) {
+  const Workload radar = workloads::MakeRadar(CommMode::kMessage);
+  MappingEngine engine;
+
+  MapRequest request;
+  request.chain = &radar.chain;
+  request.machine = radar.machine;
+  SweepStats first_stats;
+  const std::vector<FrontierPoint> first =
+      engine.Frontier(request, 5, &first_stats);
+  EXPECT_EQ(first_stats.cache_hits, 0u);
+  EXPECT_GT(first_stats.solves, 0u);
+
+  SweepStats repeat_stats;
+  const std::vector<FrontierPoint> repeat =
+      engine.Frontier(request, 5, &repeat_stats);
+  EXPECT_EQ(repeat_stats.cache_hits, 1u);
+  EXPECT_EQ(repeat_stats.solves, 0u);
+  ASSERT_EQ(repeat.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(repeat[i].mapping, first[i].mapping) << "point " << i;
+    EXPECT_EQ(repeat[i].throughput, first[i].throughput);
+    EXPECT_EQ(repeat[i].latency, first[i].latency);
+  }
+
+  // A different point count is a different sweep, and opting out of the
+  // cache always solves.
+  SweepStats other_stats;
+  engine.Frontier(request, 4, &other_stats);
+  EXPECT_EQ(other_stats.cache_hits, 0u);
+  request.use_cache = false;
+  SweepStats uncached_stats;
+  engine.Frontier(request, 5, &uncached_stats);
+  EXPECT_EQ(uncached_stats.cache_hits, 0u);
+  EXPECT_GT(uncached_stats.solves, 0u);
+}
+
+TEST(MappingEngineTest, MinProcsRepeatAnsweredFromSweepCache) {
+  const Workload radar = workloads::MakeRadar(CommMode::kMessage);
+  MappingEngine engine;
+
+  MapRequest request;
+  request.chain = &radar.chain;
+  request.machine = radar.machine;
+  const double target = engine.Map(request).throughput / 2.0;
+
+  SweepStats first_stats;
+  const ProcCountResult first = engine.MinProcs(request, target, &first_stats);
+  EXPECT_EQ(first_stats.cache_hits, 0u);
+  EXPECT_GT(first_stats.solves, 0u);
+
+  SweepStats repeat_stats;
+  const ProcCountResult repeat =
+      engine.MinProcs(request, target, &repeat_stats);
+  EXPECT_EQ(repeat_stats.cache_hits, 1u);
+  EXPECT_EQ(repeat_stats.solves, 0u);
+  EXPECT_EQ(repeat.procs, first.procs);
+  EXPECT_EQ(repeat.mapping, first.mapping);
+  EXPECT_EQ(repeat.throughput, first.throughput);
+
+  // A different target misses.
+  SweepStats other_stats;
+  engine.MinProcs(request, target * 1.5, &other_stats);
+  EXPECT_EQ(other_stats.cache_hits, 0u);
+}
+
+// Regression: FFT-Hist 512 has memory minima that make module configs
+// invalid under tight frontier floors, so the incumbent carried from an
+// earlier floor lands on tables where a LATER module's config is invalid.
+// Its evaluation must reject the clustering as infeasible (kInf), not
+// reach the evaluator with a zero processor count.
+TEST(MappingEngineTest, FrontierSurvivesInvalidWarmIncumbents) {
+  const Workload fft = workloads::MakeFftHist(512, CommMode::kMessage);
+  MappingEngine engine;
+
+  MapRequest request;
+  request.chain = &fft.chain;
+  request.machine = fft.machine;
+  SweepStats stats;
+  const std::vector<FrontierPoint> warm =
+      engine.Frontier(request, 6, &stats);
+  ASSERT_FALSE(warm.empty());
+
+  const Evaluator eval(fft.chain, fft.machine.total_procs(),
+                       fft.machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible =
+      FeasibilityChecker(fft.machine).ProcCountPredicate();
+  const std::vector<FrontierPoint> cold =
+      LatencyThroughputFrontier(eval, fft.machine.total_procs(), 6, options);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i].mapping, cold[i].mapping) << "point " << i;
+    EXPECT_EQ(warm[i].throughput, cold[i].throughput);
+    EXPECT_EQ(warm[i].latency, cold[i].latency);
+  }
+}
+
+TEST(MappingEngineTest, MinProcsMatchesDirectSearch) {
+  const Workload radar = workloads::MakeRadar(CommMode::kMessage);
+  MappingEngine engine;
+
+  MapRequest request;
+  request.chain = &radar.chain;
+  request.machine = radar.machine;
+
+  // Target half the machine's best throughput.
+  const MapResponse best = engine.Map(request);
+  const double target = best.throughput / 2.0;
+
+  SweepStats stats;
+  const ProcCountResult sized = engine.MinProcs(request, target, &stats);
+  EXPECT_GE(sized.throughput, target);
+  EXPECT_GT(stats.solves, 1u);
+  EXPECT_GT(stats.warm_tables_reused, 0u);
+
+  const Evaluator eval(radar.chain, radar.machine.total_procs(),
+                       radar.machine.node_memory_bytes);
+  MapperOptions options;
+  options.proc_feasible =
+      FeasibilityChecker(radar.machine).ProcCountPredicate();
+  const ProcCountResult cold = MinProcessorsForThroughput(
+      eval, radar.machine.total_procs(), target, options);
+  EXPECT_EQ(sized.procs, cold.procs);
+  EXPECT_EQ(sized.mapping, cold.mapping);
+}
+
+TEST(MappingEngineTest, ProvenanceJsonIsValidAndComplete) {
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kAuto;
+  const MapResponse response = engine.Map(request);
+  const std::string json = response.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  for (const char* key :
+       {"\"solver\"", "\"exact\"", "\"cache_hit\"", "\"cacheable\"",
+        "\"fingerprint\"", "\"tables_built\"", "\"tables_reused\"",
+        "\"incumbents_seeded\"", "\"budget_exhausted\"",
+        "\"solve_seconds\"", "\"work\"", "\"pruned_cells\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(MappingEngineTest, InvalidRequestsThrow) {
+  MappingEngine engine;
+  MapRequest no_chain;
+  EXPECT_THROW(engine.Map(no_chain), InvalidArgument);
+
+  const TaskChain chain = ThreeTaskChain();
+  MapRequest bad_floor = RequestFor(chain, SmallMachine());
+  bad_floor.objective = MapObjective::kLatencyWithFloor;
+  EXPECT_THROW(engine.Map(bad_floor), InvalidArgument);
+
+  MapRequest floor = RequestFor(chain, SmallMachine());
+  floor.objective = MapObjective::kLatencyWithFloor;
+  floor.min_throughput = 0.5;
+  EXPECT_NO_THROW(engine.Map(floor));
+}
+
+}  // namespace
+}  // namespace pipemap

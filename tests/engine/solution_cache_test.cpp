@@ -1,0 +1,116 @@
+// SolutionCache unit tests: LRU behavior per shard, stats, and the
+// fingerprint helpers backing the cache keys.
+#include "engine/solution_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/fingerprint.h"
+
+namespace pipemap {
+namespace {
+
+CachedSolution Entry(const std::string& text) {
+  CachedSolution entry;
+  entry.mapping_text = text;
+  entry.solver = "dp";
+  entry.exact = true;
+  return entry;
+}
+
+TEST(SolutionCacheTest, LookupMissThenHit) {
+  SolutionCache cache(8, 2);
+  EXPECT_FALSE(cache.Lookup(42).has_value());
+  cache.Insert(42, Entry("m42"));
+  const auto hit = cache.Lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mapping_text, "m42");
+  const SolutionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SolutionCacheTest, LruEvictsOldestAndLookupRefreshes) {
+  SolutionCache cache(2, 1);
+  cache.Insert(1, Entry("a"));
+  cache.Insert(2, Entry("b"));
+  // Touch 1 so 2 becomes least recently used.
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  cache.Insert(3, Entry("c"));
+  EXPECT_TRUE(cache.Lookup(1).has_value());
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SolutionCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  SolutionCache cache(2, 1);
+  cache.Insert(1, Entry("old"));
+  cache.Insert(1, Entry("new"));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Lookup(1)->mapping_text, "new");
+}
+
+TEST(SolutionCacheTest, ClearEmptiesEveryShard) {
+  SolutionCache cache(16, 4);
+  for (std::uint64_t k = 0; k < 8; ++k) cache.Insert(k, Entry("x"));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Lookup(3).has_value());
+}
+
+TEST(SolutionCacheTest, ConcurrentAccessIsSafe) {
+  SolutionCache cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        const std::uint64_t key = i * 4 + static_cast<std::uint64_t>(t);
+        cache.Insert(key, Entry("v"));
+        cache.Lookup(key);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const SolutionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 800u);
+  EXPECT_LE(stats.entries, stats.capacity);
+}
+
+TEST(FingerprintTest, KnownFnv1aVector) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(FingerprintTest, BuilderSeparatesFieldBoundaries) {
+  FingerprintBuilder ab_c;
+  ab_c.Append("ab").Append("c");
+  FingerprintBuilder a_bc;
+  a_bc.Append("a").Append("bc");
+  EXPECT_NE(ab_c.value(), a_bc.value());
+
+  FingerprintBuilder int_one;
+  int_one.Append(1);
+  FingerprintBuilder bool_one;
+  bool_one.Append(true);
+  // Same payload bytes, same tag family — documents that int and bool
+  // alias; callers must keep field order fixed, which the engine does.
+  EXPECT_EQ(int_one.value(), bool_one.value());
+
+  FingerprintBuilder d;
+  d.Append(1.0);
+  EXPECT_NE(d.value(), int_one.value());
+}
+
+TEST(FingerprintTest, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(FingerprintHex(0), "0000000000000000");
+  EXPECT_EQ(FingerprintHex(0xabcdef0123456789ull), "abcdef0123456789");
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -72,6 +72,27 @@ TEST(CliTest, UnknownWorkloadFails) {
   EXPECT_NE(output.find("unknown workload"), std::string::npos);
 }
 
+TEST(CliTest, UnknownFlagFailsWithUsage) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", "x", "--machine", "y", "--bogus",
+                        "z"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("unknown flag --bogus"), std::string::npos);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, SwitchOfAnotherCommandIsRejected) {
+  // --no-clustering belongs to map; frontier must not silently accept it.
+  std::string output;
+  EXPECT_EQ(RunCommand({"frontier", "--chain", "x", "--machine", "y",
+                        "--no-clustering"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("unknown flag --no-clustering"), std::string::npos);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
 TEST(CliTest, MissingFlagFails) {
   std::string output;
   EXPECT_EQ(RunCommand({"map", "--chain", "only"}, &output), 1);
@@ -389,6 +410,50 @@ TEST_F(CliWorkflow, ReplicationPolicyNone) {
   // Every module must be unreplicated: the rendering shows "x1" only.
   EXPECT_EQ(output.find("]x2"), std::string::npos);
   EXPECT_NE(output.find("]x1"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, AutoAlgorithmReportsPortfolioChain) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--algorithm", "auto"},
+                       &output),
+            0)
+      << output;
+  // The portfolio ran the greedy heuristic then escalated to the exact DP
+  // (the fft256 instance is too large for the brute-force stage).
+  EXPECT_NE(output.find("maximum throughput (greedy+dp)"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, UnknownAlgorithmFailsWithUsage) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--algorithm", "quantum"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("unknown algorithm: quantum"), std::string::npos);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, EngineCacheHitYieldsByteIdenticalMapping) {
+  const std::string first_path = TempPath("cached_a.txt");
+  const std::string second_path = TempPath("cached_b.txt");
+  std::string first, second;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--engine-cache", "--out", first_path},
+                       &first),
+            0)
+      << first;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--engine-cache", "--out", second_path},
+                       &second),
+            0)
+      << second;
+  EXPECT_NE(second.find("engine cache: hit"), std::string::npos);
+  // Same prediction report, and the serialized mappings are byte-identical.
+  EXPECT_EQ(MappingReport(first), MappingReport(second));
+  EXPECT_EQ(Slurp(first_path), Slurp(second_path));
+  std::remove(first_path.c_str());
+  std::remove(second_path.c_str());
 }
 
 }  // namespace

@@ -6,12 +6,11 @@
 #include <sstream>
 
 #include "core/diagnostics.h"
-#include "core/dp_mapper.h"
 #include "core/explain.h"
 #include "core/evaluator.h"
-#include "core/greedy_mapper.h"
-#include "core/latency_mapper.h"
 #include "core/sensitivity.h"
+#include "engine/fingerprint.h"
+#include "engine/mapping_engine.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
 #include "sim/attribution.h"
@@ -32,27 +31,36 @@ constexpr const char* kUsage = R"(usage: pipemap_cli <command> [options]
 commands:
   export-workload <fft256|fft512|radar|stereo> <message|systolic>
                   --chain-out FILE --machine-out FILE
-  map       --chain FILE --machine FILE [--procs N] [--algorithm dp|greedy]
+  map       --chain FILE --machine FILE [--procs N]
+            [--algorithm dp|greedy|auto|brute]
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
-            [--unconstrained] [--threads N] [--out FILE]
+            [--unconstrained] [--engine-cache] [--threads N] [--out FILE]
             [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
             [--noise X] [--seed N]
-  report    --chain FILE --machine FILE [--procs N] [--algorithm dp|greedy]
+  report    --chain FILE --machine FILE [--procs N]
+            [--algorithm dp|greedy|auto|brute]
             [--datasets N] [--noise X] [--seed N] [--threads N]
             [--out FILE] [--trace FILE] [--metrics FILE] [--unconstrained]
+            [--engine-cache]
   explain   --chain FILE --machine FILE --mapping FILE
   frontier  --chain FILE --machine FILE [--points N] [--threads N]
-            [--metrics FILE] [--trace FILE]
+            [--metrics FILE] [--trace FILE] [--engine-cache]
   diagnose  --chain FILE --machine FILE
   sensitivity --chain FILE --machine FILE --mapping FILE
   size      --chain FILE --machine FILE --target X [--threads N]
-            [--metrics FILE] [--trace FILE]
+            [--metrics FILE] [--trace FILE] [--engine-cache]
 
 --threads 0 (the default) uses every hardware thread for the mapping
 algorithms; --threads 1 forces the serial path. Mappings are identical for
 every thread count.
+
+--algorithm auto runs the solver portfolio: greedy for a fast incumbent,
+the exact DP warm-started from it, and (on tiny instances) a brute-force
+certification pass. --engine-cache answers repeated identical requests
+from the in-process solution cache; cached mappings are byte-identical
+to recomputed ones. Unknown commands and flags are rejected.
 
 --metrics FILE writes a JSON snapshot of the engine's internal counters,
 gauges, and histograms; --trace FILE writes Chrome trace-event JSON
@@ -68,23 +76,37 @@ the report to a file (a rank summary goes to stdout); without --out the
 report itself goes to stdout.
 )";
 
-/// Minimal flag parser: --key value pairs plus standalone switches.
+/// A command-line mistake (unknown command/flag, malformed invocation).
+/// RunCli reports these with the usage text appended, unlike runtime
+/// failures which get the one-line error only.
+class UsageError : public InvalidArgument {
+ public:
+  using InvalidArgument::InvalidArgument;
+};
+
+/// Strict flag parser: --key value pairs plus standalone switches, each
+/// validated against the owning command's allowlist so a typo fails with
+/// a usage error instead of being silently ignored.
 class Flags {
  public:
-  Flags(const std::vector<std::string>& args, std::size_t start) {
+  Flags(const std::string& command, const std::vector<std::string>& args,
+        std::size_t start, std::set<std::string> value_flags,
+        std::set<std::string> switch_flags = {}) {
     for (std::size_t i = start; i < args.size(); ++i) {
       const std::string& a = args[i];
       if (a.rfind("--", 0) != 0) {
-        throw InvalidArgument("unexpected argument: " + a);
+        throw UsageError("unexpected argument: " + a);
       }
       const std::string key = a.substr(2);
-      if (key == "no-clustering" || key == "unconstrained") {
+      if (switch_flags.count(key) > 0) {
         switches_.insert(key);
-      } else {
+      } else if (value_flags.count(key) > 0) {
         if (i + 1 >= args.size()) {
-          throw InvalidArgument("missing value for --" + key);
+          throw UsageError("missing value for --" + key);
         }
         values_[key] = args[++i];
+      } else {
+        throw UsageError("unknown flag --" + key + " for '" + command + "'");
       }
     }
   }
@@ -97,7 +119,7 @@ class Flags {
 
   std::string Require(const std::string& key) const {
     const auto v = Get(key);
-    if (!v) throw InvalidArgument("missing required flag --" + key);
+    if (!v) throw UsageError("missing required flag --" + key);
     return *v;
   }
 
@@ -194,7 +216,7 @@ int ExportWorkload(const std::vector<std::string>& args, std::ostream& out) {
   if (name == "stereo") workload = workloads::MakeStereo(mode);
   if (!workload) throw InvalidArgument("unknown workload: " + name);
 
-  const Flags flags(args, 3);
+  const Flags flags("export-workload", args, 3, {"chain-out", "machine-out"});
   const std::string chain_path = flags.Require("chain-out");
   const std::string machine_path = flags.Require("machine-out");
   WriteTextFile(chain_path,
@@ -206,64 +228,87 @@ int ExportWorkload(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
-int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
-  const LoadedProblem problem = Load(flags);
-  const ObservationSession observation(flags);
-  const int procs =
-      flags.GetInt("procs", problem.machine.total_procs());
-  const int threads = flags.GetInt("threads", 0);
-  const Evaluator eval(problem.chain, procs,
-                       problem.machine.node_memory_bytes, threads);
-
-  MapperOptions options;
-  options.num_threads = threads;
+/// Shared map/report request assembly: replication policy, clustering,
+/// threading, machine feasibility, cache opt-in, and the solver policy
+/// derived from --algorithm / --objective / --floor.
+MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
+  MapRequest request;
+  request.chain = &problem.chain;
+  request.machine = problem.machine;
+  request.total_procs = flags.GetInt("procs", problem.machine.total_procs());
+  request.options.num_threads = flags.GetInt("threads", 0);
   const std::string replication = flags.Get("replication").value_or("maximal");
   if (replication == "none") {
-    options.replication = ReplicationPolicy::kNone;
+    request.options.replication = ReplicationPolicy::kNone;
   } else if (replication == "search") {
-    options.replication = ReplicationPolicy::kSearch;
+    request.options.replication = ReplicationPolicy::kSearch;
   } else if (replication != "maximal") {
-    throw InvalidArgument("unknown replication policy: " + replication);
+    throw UsageError("unknown replication policy: " + replication);
   }
-  options.allow_clustering = !flags.Has("no-clustering");
-  const FeasibilityChecker checker(problem.machine);
-  if (!flags.Has("unconstrained")) {
-    options.proc_feasible = checker.ProcCountPredicate();
-  }
+  request.options.allow_clustering = !flags.Has("no-clustering");
+  request.machine_feasibility = !flags.Has("unconstrained");
+  request.use_cache = flags.Has("engine-cache");
 
-  Mapping mapping;
-  const std::string objective =
-      flags.Get("objective").value_or("throughput");
+  const std::string objective = flags.Get("objective").value_or("throughput");
   const std::string algorithm = flags.Get("algorithm").value_or("dp");
   if (objective == "latency") {
-    const LatencyMapper mapper(options);
-    const auto floor = flags.Get("floor");
-    const LatencyResult r =
-        floor ? mapper.MinLatencyWithThroughput(eval, procs,
-                                                std::stod(*floor))
-              : mapper.MinLatency(eval, procs);
-    mapping = r.mapping;
-    out << "objective: minimum latency";
-    if (floor) out << " with throughput >= " << *floor;
-    out << "\n";
-  } else if (objective == "throughput") {
-    if (algorithm == "greedy") {
-      GreedyOptions goptions;
-      goptions.base = options;
-      mapping = GreedyMapper(goptions).Map(eval, procs).mapping;
-    } else if (algorithm == "dp") {
-      mapping = DpMapper(options).Map(eval, procs).mapping;
+    request.solver = SolverPolicy::kLatency;
+    if (const auto floor = flags.Get("floor")) {
+      request.objective = MapObjective::kLatencyWithFloor;
+      request.min_throughput = std::stod(*floor);
     } else {
-      throw InvalidArgument("unknown algorithm: " + algorithm);
+      request.objective = MapObjective::kLatency;
     }
-    out << "objective: maximum throughput (" << algorithm << ")\n";
+  } else if (objective == "throughput") {
+    request.objective = MapObjective::kThroughput;
+    if (algorithm == "dp") {
+      request.solver = SolverPolicy::kDp;
+    } else if (algorithm == "greedy") {
+      request.solver = SolverPolicy::kGreedy;
+    } else if (algorithm == "auto") {
+      request.solver = SolverPolicy::kAuto;
+    } else if (algorithm == "brute") {
+      request.solver = SolverPolicy::kBrute;
+    } else {
+      throw UsageError("unknown algorithm: " + algorithm);
+    }
   } else {
-    throw InvalidArgument("unknown objective: " + objective);
+    throw UsageError("unknown objective: " + objective);
+  }
+  return request;
+}
+
+int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const Flags flags(
+      "map", args, 1,
+      {"chain", "machine", "procs", "threads", "algorithm", "objective",
+       "floor", "replication", "out", "metrics", "trace"},
+      {"no-clustering", "unconstrained", "engine-cache"});
+  const LoadedProblem problem = Load(flags);
+  const ObservationSession observation(flags);
+  const MapRequest request = BuildMapRequest(flags, problem);
+  const MapResponse response = MappingEngine::Shared().Map(request);
+  Mapping mapping = response.mapping;
+
+  if (request.objective == MapObjective::kThroughput) {
+    out << "objective: maximum throughput (" << response.solver << ")\n";
+  } else {
+    out << "objective: minimum latency";
+    if (request.objective == MapObjective::kLatencyWithFloor) {
+      out << " with throughput >= " << *flags.Get("floor");
+    }
+    out << "\n";
+  }
+  if (flags.Has("engine-cache")) {
+    out << "engine cache: " << (response.cache_hit ? "hit" : "miss")
+        << " (fingerprint " << FingerprintHex(response.fingerprint) << ")\n";
   }
 
+  const Evaluator eval(problem.chain, request.total_procs,
+                       problem.machine.node_memory_bytes,
+                       request.options.num_threads);
   if (!flags.Has("unconstrained")) {
-    mapping = checker.MakeFeasible(mapping, eval);
+    mapping = FeasibilityChecker(problem.machine).MakeFeasible(mapping, eval);
   }
 
   out << "mapping: " << mapping.ToString(problem.chain) << "\n";
@@ -277,7 +322,9 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("simulate", args, 1,
+                    {"chain", "machine", "mapping", "datasets", "noise",
+                     "seed"});
   const LoadedProblem problem = Load(flags);
   const Mapping mapping =
       ParseMapping(ReadTextFile(flags.Require("mapping")));
@@ -303,7 +350,10 @@ int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("report", args, 1,
+                    {"chain", "machine", "procs", "threads", "algorithm",
+                     "datasets", "noise", "seed", "out", "metrics", "trace"},
+                    {"unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   // The report always embeds a metrics snapshot of its own run, so the
   // registry is armed regardless of --metrics (which additionally writes
@@ -313,30 +363,14 @@ int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
   const ScopedMetricsEnable metrics_on(true);
   const auto trace_path = flags.Get("trace");
 
-  const int procs = flags.GetInt("procs", problem.machine.total_procs());
-  const int threads = flags.GetInt("threads", 0);
+  const MapRequest request = BuildMapRequest(flags, problem);
+  const int procs = request.total_procs;
   const Evaluator eval(problem.chain, procs,
-                       problem.machine.node_memory_bytes, threads);
-
-  MapperOptions options;
-  options.num_threads = threads;
-  const FeasibilityChecker checker(problem.machine);
+                       problem.machine.node_memory_bytes,
+                       request.options.num_threads);
+  Mapping mapping = MappingEngine::Shared().Map(request).mapping;
   if (!flags.Has("unconstrained")) {
-    options.proc_feasible = checker.ProcCountPredicate();
-  }
-  Mapping mapping;
-  const std::string algorithm = flags.Get("algorithm").value_or("dp");
-  if (algorithm == "greedy") {
-    GreedyOptions goptions;
-    goptions.base = options;
-    mapping = GreedyMapper(goptions).Map(eval, procs).mapping;
-  } else if (algorithm == "dp") {
-    mapping = DpMapper(options).Map(eval, procs).mapping;
-  } else {
-    throw InvalidArgument("unknown algorithm: " + algorithm);
-  }
-  if (!flags.Has("unconstrained")) {
-    mapping = checker.MakeFeasible(mapping, eval);
+    mapping = FeasibilityChecker(problem.machine).MakeFeasible(mapping, eval);
   }
 
   SimOptions sim_options;
@@ -374,7 +408,7 @@ int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int ExplainCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("explain", args, 1, {"chain", "machine", "mapping"});
   const LoadedProblem problem = Load(flags);
   const Mapping mapping =
       ParseMapping(ReadTextFile(flags.Require("mapping")));
@@ -385,30 +419,39 @@ int ExplainCommand(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int FrontierCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("frontier", args, 1,
+                    {"chain", "machine", "points", "threads", "metrics",
+                     "trace"},
+                    {"engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
   const int P = problem.machine.total_procs();
-  const int threads = flags.GetInt("threads", 0);
-  const Evaluator eval(problem.chain, P, problem.machine.node_memory_bytes,
-                       threads);
-  MapperOptions options;
-  options.num_threads = threads;
-  options.proc_feasible =
-      FeasibilityChecker(problem.machine).ProcCountPredicate();
+  MapRequest request;
+  request.chain = &problem.chain;
+  request.machine = problem.machine;
+  request.options.num_threads = flags.GetInt("threads", 0);
+  request.use_cache = flags.Has("engine-cache");
   const int points = flags.GetInt("points", 6);
+  SweepStats stats;
+  const std::vector<FrontierPoint> frontier =
+      MappingEngine::Shared().Frontier(request, points, &stats);
   out << "latency/throughput Pareto frontier (" << P << " processors):\n";
-  for (const FrontierPoint& p :
-       LatencyThroughputFrontier(eval, P, points, options)) {
+  for (const FrontierPoint& p : frontier) {
     out << "  " << p.throughput << " data sets/s @ " << p.latency * 1000.0
         << " ms   " << p.mapping.ToString(problem.chain) << "\n";
+  }
+  out << "warm start: " << stats.warm_tables_reused << " of " << stats.solves
+      << " DP solves reused range tables\n";
+  if (flags.Has("engine-cache")) {
+    out << "engine cache: " << (stats.cache_hits > 0 ? "hit" : "miss")
+        << "\n";
   }
   observation.Write(out);
   return 0;
 }
 
 int DiagnoseCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("diagnose", args, 1, {"chain", "machine"});
   const LoadedProblem problem = Load(flags);
   const Evaluator eval(problem.chain, problem.machine.total_procs(),
                        problem.machine.node_memory_bytes);
@@ -426,7 +469,7 @@ int DiagnoseCommand(const std::vector<std::string>& args, std::ostream& out) {
 
 int SensitivityCommand(const std::vector<std::string>& args,
                        std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("sensitivity", args, 1, {"chain", "machine", "mapping"});
   const LoadedProblem problem = Load(flags);
   const Mapping mapping =
       ParseMapping(ReadTextFile(flags.Require("mapping")));
@@ -441,20 +484,20 @@ int SensitivityCommand(const std::vector<std::string>& args,
 }
 
 int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
-  const Flags flags(args, 1);
+  const Flags flags("size", args, 1,
+                    {"chain", "machine", "target", "threads", "metrics",
+                     "trace"},
+                    {"engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
   const double target = std::stod(flags.Require("target"));
   const int max_procs = problem.machine.total_procs();
-  const int threads = flags.GetInt("threads", 0);
-  const Evaluator eval(problem.chain, max_procs,
-                       problem.machine.node_memory_bytes, threads);
-  MapperOptions options;
-  options.num_threads = threads;
-  options.proc_feasible =
-      FeasibilityChecker(problem.machine).ProcCountPredicate();
-  const ProcCountResult r =
-      MinProcessorsForThroughput(eval, max_procs, target, options);
+  MapRequest request;
+  request.chain = &problem.chain;
+  request.machine = problem.machine;
+  request.options.num_threads = flags.GetInt("threads", 0);
+  request.use_cache = flags.Has("engine-cache");
+  const ProcCountResult r = MappingEngine::Shared().MinProcs(request, target);
   out << "target throughput: " << target << " data sets/s\n";
   out << "minimum processors: " << r.procs << " (of " << max_procs << ")\n";
   out << "achieved: " << r.throughput << " data sets/s with "
@@ -482,6 +525,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "sensitivity") return SensitivityCommand(args, out);
     if (command == "size") return SizeCommand(args, out);
     out << "unknown command: " << command << "\n" << kUsage;
+    return 1;
+  } catch (const UsageError& e) {
+    out << "error: " << e.what() << "\n" << kUsage;
     return 1;
   } catch (const InvalidArgument& e) {
     out << "error: " << e.what() << "\n";

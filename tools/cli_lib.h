@@ -5,16 +5,21 @@
 //   export-workload <fft256|fft512|radar|stereo> <message|systolic>
 //                   --chain-out F --machine-out F
 //       Writes a built-in workload's (tabulated) cost model and machine.
-//   map       --chain F --machine F [--procs N] [--algorithm dp|greedy]
+//   map       --chain F --machine F [--procs N]
+//             [--algorithm dp|greedy|auto|brute]
 //             [--objective throughput|latency] [--floor X]
 //             [--replication maximal|none|search] [--no-clustering]
-//             [--unconstrained] [--threads N] [--out F]
-//       Computes a mapping and prints prediction details. --threads 0
-//       (default) uses all hardware threads; 1 forces the serial path.
+//             [--unconstrained] [--engine-cache] [--threads N] [--out F]
+//       Computes a mapping (through the MappingEngine facade) and prints
+//       prediction details. --algorithm auto runs the solver portfolio;
+//       --engine-cache serves repeated identical requests from the
+//       in-process solution cache. --threads 0 (default) uses all
+//       hardware threads; 1 forces the serial path.
 //   simulate  --chain F --machine F --mapping F [--datasets N]
 //             [--noise X] [--seed N]
 //       Executes a mapping in the pipeline simulator.
-//   report    --chain F --machine F [--procs N] [--algorithm dp|greedy]
+//   report    --chain F --machine F [--procs N]
+//             [--algorithm dp|greedy|auto|brute] [--engine-cache]
 //             [--datasets N] [--noise X] [--seed N] [--out F] [--trace F]
 //       Maps, simulates, and emits one machine-readable JSON run report
 //       (predicted vs simulated performance, per-module utilization, a
