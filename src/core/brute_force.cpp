@@ -86,6 +86,8 @@ MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
   using Slot = BestSlot<decltype(better)>;
   std::vector<Slot> best(num_threads);
   std::atomic<std::uint64_t> work{0};
+  const Deadline* deadline = options_.base.deadline.get();
+  std::atomic<bool> expired{false};
 
   ParallelFor(
       num_threads, static_cast<std::int64_t>(num_masks),
@@ -99,7 +101,12 @@ MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
           // Enumerate budget vectors recursively.
           std::vector<int> budgets(l, 0);
           auto recurse = [&](auto&& self, int idx, int used) -> void {
+            if (expired.load(std::memory_order_relaxed)) return;
             if (idx == l) {
+              if (deadline != nullptr && deadline->expired()) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
               if (work.fetch_add(1) + 1 > options_.max_evaluations) {
                 throw ResourceLimit(
                     "BruteForceMapper: evaluation cap exceeded");
@@ -120,15 +127,22 @@ MapResult BruteForceMapper::Map(const Evaluator& eval, int total_procs) const {
         });
       });
 
+  const bool timed_out = expired.load(std::memory_order_relaxed);
   Slot winner;
   for (const Slot& s : best) winner.Merge(s, better);
   if (!winner.mapping) {
+    if (timed_out) {
+      throw ResourceLimit(
+          "BruteForceMapper: deadline expired before any feasible mapping "
+          "was found");
+    }
     throw Infeasible("BruteForceMapper: no valid mapping exists");
   }
   MapResult result;
   result.mapping = *winner.mapping;
   result.throughput = winner.objective;
   result.work = work.load();
+  result.timed_out = timed_out;
   PIPEMAP_COUNTER_ADD("brute.evaluations", result.work);
   return result;
 }
@@ -149,6 +163,8 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
   using Slot = BestSlot<decltype(better)>;
   std::vector<Slot> best(num_threads);
   std::atomic<std::uint64_t> work{0};
+  const Deadline* deadline = options.base.deadline.get();
+  std::atomic<bool> expired{false};
 
   ParallelFor(
       num_threads, static_cast<std::int64_t>(num_masks),
@@ -163,7 +179,12 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
           mapping.modules.resize(l);
           // Enumerate per-module (instance size, replica count) pairs.
           auto recurse = [&](auto&& self, int idx, int used) -> void {
+            if (expired.load(std::memory_order_relaxed)) return;
             if (idx == l) {
+              if (deadline != nullptr && deadline->expired()) {
+                expired.store(true, std::memory_order_relaxed);
+                return;
+              }
               if (work.fetch_add(1) + 1 > options.max_evaluations) {
                 throw ResourceLimit("BruteForceMinLatency: evaluation cap"
                                     " exceeded");
@@ -198,9 +219,15 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
         });
       });
 
+  const bool timed_out = expired.load(std::memory_order_relaxed);
   Slot winner;
   for (const Slot& s : best) winner.Merge(s, better);
   if (!winner.mapping) {
+    if (timed_out) {
+      throw ResourceLimit(
+          "BruteForceMinLatency: deadline expired before any feasible "
+          "mapping was found");
+    }
     throw Infeasible("BruteForceMinLatency: no valid mapping exists");
   }
   LatencyBruteResult result;
@@ -208,6 +235,7 @@ LatencyBruteResult BruteForceMinLatency(const Evaluator& eval,
   result.throughput = eval.Throughput(*winner.mapping);
   result.mapping = std::move(*winner.mapping);
   result.work = work.load();
+  result.timed_out = timed_out;
   PIPEMAP_COUNTER_ADD("brute.evaluations", result.work);
   return result;
 }

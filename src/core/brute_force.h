@@ -35,6 +35,9 @@ struct LatencyBruteResult {
   double latency = 0.0;
   double throughput = 0.0;
   std::uint64_t work = 0;
+  /// True when MapperOptions::deadline cut the enumeration short; `mapping`
+  /// is the best candidate seen, not a certified optimum.
+  bool timed_out = false;
 };
 
 /// Exhaustive minimum-latency search: enumerates every clustering and

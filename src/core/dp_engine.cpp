@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/deadline.h"
 #include "support/error.h"
 #include "support/metrics.h"
 #include "support/thread_pool.h"
@@ -197,18 +198,50 @@ double EvaluateClustering(const DpContext& ctx,
   return total;
 }
 
+/// A feasible upper bound on the optimum together with the mapping that
+/// achieves it. The value tightens dominance pruning; the mapping is what a
+/// deadline-interrupted solve returns when the sweep has not yet reached a
+/// better terminal state (the incumbent-on-timeout guarantee).
+struct Incumbent {
+  double value = kInf;
+  Mapping mapping;
+};
+
+/// Materializes the Mapping a clustering + budget split induces under the
+/// current tables. Only meaningful when EvaluateClustering returned a
+/// finite value, which guarantees every configuration is valid.
+Mapping MappingFromClustering(const DpContext& ctx,
+                              const std::vector<std::pair<int, int>>& modules,
+                              const std::vector<int>& budgets) {
+  Mapping mapping;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const auto [first, last] = modules[i];
+    const ModuleConfig& cfg = ctx.Cfgs(first, last)[budgets[i]];
+    mapping.modules.push_back(
+        ModuleAssignment{first, last, cfg.replicas, cfg.procs});
+  }
+  return mapping;
+}
+
 /// Cheap feasible incumbent for dominance pruning: the whole chain as one
 /// module (when clustering is allowed) and a singleton clustering whose
 /// leftover processors are dealt greedily to the module with the worst
 /// effective body time. Any feasible value is a valid upper bound on the
 /// optimum; quality only affects how much gets pruned.
-double IncumbentBound(const DpContext& ctx) {
+Incumbent IncumbentBound(const DpContext& ctx) {
   const Evaluator& eval = *ctx.eval;
-  double best = kInf;
+  Incumbent best;
+  auto offer = [&](const std::vector<std::pair<int, int>>& modules,
+                   const std::vector<int>& budgets) {
+    const double value = EvaluateClustering(ctx, modules, budgets);
+    if (value < best.value) {
+      best.value = value;
+      best.mapping = MappingFromClustering(ctx, modules, budgets);
+    }
+  };
 
   if (ctx.max_len >= ctx.k) {
-    best = std::min(
-        best, EvaluateClustering(ctx, {{0, ctx.k - 1}}, {ctx.cap}));
+    offer({{0, ctx.k - 1}}, {ctx.cap});
   }
 
   std::vector<std::pair<int, int>> singles;
@@ -243,7 +276,8 @@ double IncumbentBound(const DpContext& ctx) {
     if (target < 0) break;
     ++budgets[target];
   }
-  return std::min(best, EvaluateClustering(ctx, singles, budgets));
+  offer(singles, budgets);
+  return best;
 }
 
 /// Bound from a caller-supplied incumbent mapping (warm start): the value
@@ -251,23 +285,28 @@ double IncumbentBound(const DpContext& ctx) {
 /// problem's configuration rules. Using the current tables (rather than
 /// the incumbent's recorded objective) keeps the bound safe when the
 /// problem moved — an adjacent floor or budget — since the re-evaluated
-/// value is achievable here or kInf. kInf when the incumbent does not fit
-/// the current constraints at all.
-double IncumbentFromMapping(const DpContext& ctx, const Mapping& mapping) {
-  if (!mapping.IsValidFor(ctx.k)) return kInf;
+/// value is achievable here or kInf. Empty (value kInf) when the incumbent
+/// does not fit the current constraints at all.
+Incumbent IncumbentFromMapping(const DpContext& ctx, const Mapping& mapping) {
+  Incumbent out;
+  if (!mapping.IsValidFor(ctx.k)) return out;
   std::vector<std::pair<int, int>> modules;
   std::vector<int> budgets;
   long long used = 0;
   for (const ModuleAssignment& m : mapping.modules) {
     const int len = m.num_tasks();
     const int budget = m.total_procs();
-    if (len > ctx.max_len || budget < 1 || budget > ctx.cap) return kInf;
+    if (len > ctx.max_len || budget < 1 || budget > ctx.cap) return out;
     modules.emplace_back(m.first_task, m.last_task);
     budgets.push_back(budget);
     used += budget;
   }
-  if (used > ctx.cap) return kInf;
-  return EvaluateClustering(ctx, modules, budgets);
+  if (used > ctx.cap) return out;
+  out.value = EvaluateClustering(ctx, modules, budgets);
+  if (out.value < kInf) {
+    out.mapping = MappingFromClustering(ctx, modules, budgets);
+  }
+  return out;
 }
 
 /// Warm-start table-pool size. Three distinct table keys are live during a
@@ -310,6 +349,7 @@ DpSolution RunChainDp(const DpProblem& problem) {
                 "RunChainDp: response cap must be positive");
   const ReplicationPolicy policy = options.replication;
   const int num_threads = ThreadPool::ResolveThreads(options.num_threads);
+  const Deadline* deadline = options.deadline.get();
 
   const ScopedMetricsEnable observe(options.observe);
   PIPEMAP_TRACE_SPAN("dp.run", "dp", k);
@@ -434,12 +474,12 @@ DpSolution RunChainDp(const DpProblem& problem) {
   // the threshold, so a state that ties or beats the incumbent is never
   // lost and the returned mapping is identical with pruning off — and
   // therefore identical warm or cold.
-  double incumbent = IncumbentBound(ctx);
+  Incumbent incumbent = IncumbentBound(ctx);
   bool seeded_incumbent = false;
   if (warm && warm->incumbent) {
-    const double seeded = IncumbentFromMapping(ctx, *warm->incumbent);
-    if (seeded < incumbent) {
-      incumbent = seeded;
+    Incumbent seeded = IncumbentFromMapping(ctx, *warm->incumbent);
+    if (seeded.value < incumbent.value) {
+      incumbent = std::move(seeded);
       seeded_incumbent = true;
       ++warm->incumbents_seeded;
       PIPEMAP_COUNTER_ADD("dp.warm_incumbents_seeded", 1);
@@ -501,10 +541,22 @@ DpSolution RunChainDp(const DpProblem& problem) {
   std::vector<std::uint64_t> worker_work(num_threads, 0);
   std::vector<std::uint64_t> worker_pruned(num_threads, 0);
 
+  // Cooperative deadline: any worker observing expiry raises the shared
+  // flag; the other workers bail at their next row boundary and the stage
+  // loop stops. The partially swept stage's candidates are discarded (a
+  // partial sweep is not reproducible), so `best` only ever reflects fully
+  // completed stages and its backpointer chain is intact.
+  std::atomic<bool> deadline_hit{false};
+  bool aborted = false;
+
   // Process stages in increasing end-task order so transitions always move
   // forward.
-  for (int j = 0; j < k; ++j) {
+  for (int j = 0; j < k && !aborted; ++j) {
     for (int len = 1; len <= std::min(max_len, j + 1); ++len) {
+      if (deadline != nullptr && deadline->ExpiredNow()) {
+        aborted = true;
+        break;
+      }
       Stage& s = grid.At(j, len);
       if (!s.allocated) continue;
       const int first = j - len + 1;
@@ -561,7 +613,7 @@ DpSolution RunChainDp(const DpProblem& problem) {
       // only advances on terminal stages, which have no outgoing
       // transitions, so every thread count sees the same table contents.
       // Terminal rows additionally prune against their worker-local best.
-      const double frozen_threshold = std::min(incumbent, best.total);
+      const double frozen_threshold = std::min(incumbent.value, best.total);
 
       for (int w = 0; w < num_threads; ++w) {
         worker_best[w] = BestTerminal{};
@@ -573,6 +625,12 @@ DpSolution RunChainDp(const DpProblem& problem) {
         std::uint64_t local_work = 0;
         std::uint64_t local_pruned = 0;
         for (std::int64_t row = row_begin; row < row_end; ++row) {
+          if (deadline != nullptr &&
+              (deadline_hit.load(std::memory_order_relaxed) ||
+               deadline->expired())) {
+            deadline_hit.store(true, std::memory_order_relaxed);
+            break;
+          }
           const int pu = live_rows[static_cast<std::size_t>(row)];
           for (int b = 1; b <= pu; ++b) {
             const ModuleConfig& cfg = cfgs[b];
@@ -664,6 +722,11 @@ DpSolution RunChainDp(const DpProblem& problem) {
                   static_cast<std::int64_t>(live_rows.size()),
                   ParallelSchedule::kStatic, 1, sweep_rows);
 
+      if (deadline_hit.load(std::memory_order_relaxed)) {
+        aborted = true;
+        break;
+      }
+
       for (int w = 0; w < num_threads; ++w) {
         if (worker_best[w].total == kInf) continue;
         // Candidates from this stage beat the incumbent only strictly, and
@@ -685,39 +748,56 @@ DpSolution RunChainDp(const DpProblem& problem) {
   PIPEMAP_COUNTER_ADD("dp.cells_pruned", pruned_cells);
   PIPEMAP_GAUGE_MAX("dp.table_bytes", static_cast<double>(allocated_bytes));
 
-  if (best.j < 0) {
+  const bool timed_out = aborted;
+  if (timed_out) PIPEMAP_COUNTER_ADD("dp.deadline_expirations", 1);
+  if (!timed_out && best.j < 0) {
     throw Infeasible("RunChainDp: no valid mapping found");
   }
-
-  // Reconstruct module list by walking backpointers from the best terminal
-  // state.
-  std::vector<ModuleAssignment> reversed;
-  int j = best.j, len = best.len, pu = best.pu, b = best.b, pp = best.pp;
-  while (true) {
-    const int first = j - len + 1;
-    const ModuleConfig& cfg = ctx.Cfgs(first, j)[b];
-    reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
-    const Stage& s = grid.At(j, len);
-    const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
-    const int l_prev = BpLen(bp);
-    if (l_prev == 0) break;
-    const int b_prev = BpBudget(bp);
-    const int pp_prev = BpPrevProcs(bp);
-    j = first - 1;
-    pu -= b;
-    len = l_prev;
-    b = b_prev;
-    pp = pp_prev;
+  // On timeout, return whichever is better: the best terminal of the
+  // completed stages or the heuristic/warm incumbent. The incumbent value
+  // was the pruning threshold, so a surviving terminal never exceeds it.
+  const bool use_terminal =
+      best.j >= 0 && !(timed_out && incumbent.value < best.total);
+  if (!use_terminal && incumbent.value == kInf) {
+    throw ResourceLimit(
+        "RunChainDp: deadline expired before any feasible incumbent was "
+        "found");
   }
-  std::reverse(reversed.begin(), reversed.end());
 
   DpSolution solution;
-  solution.mapping.modules = std::move(reversed);
-  solution.objective_value = best.total;
+  if (use_terminal) {
+    // Reconstruct module list by walking backpointers from the best
+    // terminal state.
+    std::vector<ModuleAssignment> reversed;
+    int j = best.j, len = best.len, pu = best.pu, b = best.b, pp = best.pp;
+    while (true) {
+      const int first = j - len + 1;
+      const ModuleConfig& cfg = ctx.Cfgs(first, j)[b];
+      reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
+      const Stage& s = grid.At(j, len);
+      const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
+      const int l_prev = BpLen(bp);
+      if (l_prev == 0) break;
+      const int b_prev = BpBudget(bp);
+      const int pp_prev = BpPrevProcs(bp);
+      j = first - 1;
+      pu -= b;
+      len = l_prev;
+      b = b_prev;
+      pp = pp_prev;
+    }
+    std::reverse(reversed.begin(), reversed.end());
+    solution.mapping.modules = std::move(reversed);
+    solution.objective_value = best.total;
+  } else {
+    solution.mapping = std::move(incumbent.mapping);
+    solution.objective_value = incumbent.value;
+  }
   solution.work = work;
   solution.pruned_cells = pruned_cells;
   solution.reused_tables = reused_tables;
   solution.seeded_incumbent = seeded_incumbent;
+  solution.timed_out = timed_out;
   if (warm) warm->incumbent = solution.mapping;
   return solution;
 }

@@ -109,11 +109,20 @@ struct DpSolution {
   /// Neither affects the returned mapping or objective.
   bool reused_tables = false;
   bool seeded_incumbent = false;
+  /// True when MapperOptions::deadline expired mid-sweep: `mapping` is the
+  /// best incumbent found up to that point (a heuristic seed, a warm-start
+  /// carry-over, or the best terminal of the completed stages), not a
+  /// certified optimum. Timed-out results are valid mappings but are not
+  /// deterministic across runs — where the clock fires is not.
+  bool timed_out = false;
 };
 
 /// Runs the DP. Throws pipemap::Infeasible when no mapping satisfies the
 /// constraints and pipemap::ResourceLimit when the table would exceed
-/// options.max_table_bytes.
+/// options.max_table_bytes — or when options.deadline expires before any
+/// feasible incumbent is known. Range-table tabulation always runs to
+/// completion (it is the cheap, reusable half of the solve); the deadline
+/// interrupts the stage sweeps, which dominate the O(P^4 k^2) cost.
 DpSolution RunChainDp(const DpProblem& problem);
 
 }  // namespace pipemap::detail

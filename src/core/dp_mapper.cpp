@@ -19,6 +19,7 @@ MapResult DpMapper::Map(const Evaluator& eval, int total_procs) const {
   result.throughput = eval.Throughput(result.mapping);
   result.work = solution.work;
   result.pruned_cells = solution.pruned_cells;
+  result.timed_out = solution.timed_out;
   return result;
 }
 

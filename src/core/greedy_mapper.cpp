@@ -115,8 +115,18 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
   GreedyState best{clustering, budgets, *initial};
   double current_throughput = *initial;
 
+  // Greedy is an anytime algorithm: every refinement iteration leaves a
+  // complete feasible assignment, so a deadline simply stops improving and
+  // returns the best state reached so far with timed_out set.
+  const Deadline* deadline = options_.base.deadline.get();
+  bool timed_out = false;
+
   // Steps 2-3: hand out remaining processors one at a time.
   for (int free = total_procs - used; free > 0; --free) {
+    if (deadline != nullptr && deadline->expired()) {
+      timed_out = true;
+      break;
+    }
     ++refinement_iters;
     // Identify the bottleneck module under the current assignment.
     const auto mapping =
@@ -189,7 +199,7 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
 
   // Optional Theorem-2 backtracking: exhaustive search in a +/-radius box
   // around the best greedy budgets.
-  if (options_.limited_backtracking) {
+  if (options_.limited_backtracking && !timed_out) {
     int radius = options_.backtrack_radius;
     auto combos_for = [&](int r) {
       std::uint64_t combos = 1;
@@ -212,8 +222,12 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
       }
       // Depth-first enumeration of budget deltas in [-radius, radius]^l.
       auto recurse = [&](auto&& self, int idx, int used_so_far) -> void {
-        if (used_so_far > total_procs) return;
+        if (timed_out || used_so_far > total_procs) return;
         if (idx == l) {
+          if (deadline != nullptr && deadline->expired()) {
+            timed_out = true;
+            return;
+          }
           ++work;
           ++backtrack_evals;
           const auto t = throughput_of(trial);
@@ -249,6 +263,7 @@ MapResult GreedyMapper::MapWithClustering(const Evaluator& eval,
   result.mapping = *final_mapping;
   result.throughput = eval.Throughput(result.mapping);
   result.work = work;
+  result.timed_out = timed_out;
   return result;
 }
 
@@ -271,6 +286,8 @@ MapResult GreedyMapper::Map(const Evaluator& eval, int total_procs) const {
     best = MapWithClustering(eval, total_procs, clustering);
   }
   std::uint64_t work = best.work;
+  const Deadline* deadline = options_.base.deadline.get();
+  bool timed_out = best.timed_out;
 
   if (!options_.base.allow_clustering || k == 1) {
     best.work = work;
@@ -283,17 +300,23 @@ MapResult GreedyMapper::Map(const Evaluator& eval, int total_procs) const {
   // (the budget freed by eliminating a transfer flows to the bottleneck).
   auto try_clustering = [&](const Clustering& candidate)
       -> std::optional<MapResult> {
+    if (deadline != nullptr && deadline->expired()) {
+      timed_out = true;
+      return std::nullopt;
+    }
     PIPEMAP_COUNTER_ADD("greedy.clusterings_tried", 1);
     try {
       MapResult r = MapWithClustering(eval, total_procs, candidate);
       work += r.work;
+      timed_out = timed_out || r.timed_out;
       return r;
     } catch (const Infeasible&) {
       return std::nullopt;
     }
   };
 
-  for (int pass = 0; pass < options_.clustering_passes; ++pass) {
+  for (int pass = 0; pass < options_.clustering_passes && !timed_out;
+       ++pass) {
     std::optional<Clustering> improved;
     MapResult improved_result;
 
@@ -331,6 +354,7 @@ MapResult GreedyMapper::Map(const Evaluator& eval, int total_procs) const {
   }
 
   best.work = work;
+  best.timed_out = timed_out;
   return best;
 }
 

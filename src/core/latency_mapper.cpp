@@ -19,6 +19,7 @@ LatencyResult ToResult(const Evaluator& eval, detail::DpSolution solution) {
   result.throughput = eval.Throughput(solution.mapping);
   result.mapping = std::move(solution.mapping);
   result.work = solution.work;
+  result.timed_out = solution.timed_out;
   return result;
 }
 
@@ -52,6 +53,7 @@ LatencyResult LatencyMapper::MinLatencyWithThroughput(
   // within its family; take the better feasible result.
   LatencyResult best;
   bool found = false;
+  bool any_timed_out = false;
   std::uint64_t total_work = 0;
   for (const detail::DpConfigRule rule :
        {detail::DpConfigRule::kLatencyBody, detail::DpConfigRule::kPolicy}) {
@@ -59,6 +61,7 @@ LatencyResult LatencyMapper::MinLatencyWithThroughput(
     try {
       LatencyResult candidate = ToResult(eval, detail::RunChainDp(problem));
       total_work += candidate.work;
+      any_timed_out = any_timed_out || candidate.timed_out;
       if (!found || candidate.latency < best.latency) {
         best = std::move(candidate);
       }
@@ -72,6 +75,9 @@ LatencyResult LatencyMapper::MinLatencyWithThroughput(
         "MinLatencyWithThroughput: throughput floor unreachable");
   }
   best.work = total_work;
+  // A timeout in either family means the combined answer is uncertified,
+  // whichever family produced the returned mapping.
+  best.timed_out = any_timed_out;
   return best;
 }
 

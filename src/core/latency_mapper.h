@@ -33,6 +33,9 @@ struct LatencyResult {
   /// Predicted throughput of the same mapping (data sets per second).
   double throughput = 0.0;
   std::uint64_t work = 0;
+  /// True when MapperOptions::deadline expired mid-solve; `mapping` is the
+  /// best incumbent found, not a certified optimum.
+  bool timed_out = false;
 };
 
 class LatencyMapper {

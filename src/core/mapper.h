@@ -13,6 +13,7 @@
 #include "core/evaluator.h"
 #include "core/mapping.h"
 #include "core/warm_start.h"
+#include "support/deadline.h"
 
 namespace pipemap {
 
@@ -45,6 +46,14 @@ struct MapperOptions {
   /// returns identical mappings warm or cold (see core/warm_start.h for
   /// the sharing contract). Never part of the cache fingerprint.
   std::shared_ptr<WarmStartState> warm;
+  /// Optional cooperative deadline polled by solver inner loops. When it
+  /// expires mid-solve the mapper stops refining and returns its best
+  /// incumbent with MapResult::timed_out set (or throws ResourceLimit if no
+  /// feasible incumbent exists yet). Null means solve to completion. Like
+  /// `warm`, never part of the cache fingerprint: the engine refuses to
+  /// cache timed-out results, so a deadline cannot change what a cacheable
+  /// complete answer looks like.
+  std::shared_ptr<const Deadline> deadline;
 };
 
 /// Result of a mapping run.
@@ -59,6 +68,9 @@ struct MapResult {
   /// `work`, deterministic for a fixed thread count but may vary between
   /// thread counts; the mapping and throughput never do.
   std::uint64_t pruned_cells = 0;
+  /// True when MapperOptions::deadline expired mid-solve and `mapping` is
+  /// the best incumbent rather than a certified optimum.
+  bool timed_out = false;
 };
 
 /// A clustering: contiguous task ranges [first, last], in chain order.

@@ -1,6 +1,7 @@
 #include "engine/mapping_engine.h"
 
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "engine/fingerprint.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
+#include "support/deadline.h"
 #include "support/error.h"
 #include "support/json_writer.h"
 #include "support/metrics.h"
@@ -91,6 +93,7 @@ std::string MapResponse::ToJson() const {
   w.Key("incumbents_seeded").UInt(warm_incumbents_seeded);
   w.EndObject();
   w.Key("budget_exhausted").Bool(budget_exhausted);
+  w.Key("timed_out").Bool(timed_out);
   w.Key("solve_seconds").Double(solve_seconds);
   w.Key("work").UInt(work);
   w.Key("pruned_cells").UInt(pruned_cells);
@@ -154,6 +157,14 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   solve.objective = request.objective;
   solve.min_throughput = request.min_throughput;
   solve.options = ResolveOptions(request);
+  // A finite budget becomes a cooperative deadline threaded into the solver
+  // inner loops, anchored at this request's start so the in-solver checks
+  // and the between-stage check below agree. An explicitly supplied
+  // options.deadline wins (the caller measured its own anchor).
+  if (!solve.options.deadline && std::isfinite(request.time_budget_s)) {
+    solve.options.deadline =
+        Deadline::AfterAnchor(start, request.time_budget_s);
+  }
   const Evaluator eval(*request.chain, procs,
                        request.machine.node_memory_bytes,
                        solve.options.num_threads);
@@ -216,14 +227,18 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
       SolveResult result = stage.Solve(solve);
       if (!ran.empty()) ran += "+";
       ran += stage.name();
+      // A stage the deadline interrupted returned an incumbent, not a
+      // certified optimum: it cannot claim exactness or win ties.
+      const bool stage_exact = stage.exact() && !result.timed_out;
+      response.timed_out = response.timed_out || result.timed_out;
       // Keep the better objective; an exact solver's result wins ties so
       // the response can claim optimality.
       const bool keep =
           !best || result.objective_value < best->objective_value ||
-          (stage.exact() &&
+          (stage_exact &&
            result.objective_value <= best->objective_value);
       if (keep) {
-        response.exact = stage.exact();
+        response.exact = stage_exact;
         best = std::move(result);
         // Feed the incumbent forward for the next stage's pruning bound.
         warm->incumbent = best->mapping;
@@ -251,9 +266,13 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   response.warm_incumbents_seeded = warm->incumbents_seeded - seeded0;
   response.solve_seconds = SecondsSince(start);
 
-  // Budget-truncated portfolios are not cached: the same request with a
-  // looser budget must be able to produce the exact answer later.
-  if (response.cacheable && !response.budget_exhausted) {
+  if (response.timed_out) PIPEMAP_COUNTER_ADD("engine.map.timed_out", 1);
+
+  // Budget-truncated portfolios and deadline-interrupted solves are not
+  // cached: the same request with a looser budget must be able to produce
+  // the exact answer later.
+  if (response.cacheable && !response.budget_exhausted &&
+      !response.timed_out) {
     CachedSolution entry;
     entry.mapping_text = SerializeMapping(response.mapping);
     entry.objective_value = response.objective_value;

@@ -83,9 +83,13 @@ struct MapRequest {
   bool machine_feasibility = true;
   /// Consult/populate the engine's solution cache.
   bool use_cache = true;
-  /// Wall-clock budget for portfolio escalation under kAuto: once spent,
-  /// no further solver is launched (the current best answer is returned
-  /// and marked inexact if only the heuristic completed).
+  /// Wall-clock budget for the whole request. Between portfolio stages
+  /// under kAuto: once spent, no further solver is launched. Within a
+  /// stage: the engine derives a cooperative Deadline (support/deadline.h)
+  /// from this budget and threads it into the solver inner loops via
+  /// MapperOptions::deadline, so a long solve is interrupted mid-stage and
+  /// returns its best incumbent with MapResponse::timed_out set. An
+  /// explicitly supplied options.deadline takes precedence.
   double time_budget_s = std::numeric_limits<double>::infinity();
 };
 
@@ -115,6 +119,10 @@ struct MapResponse {
   std::uint64_t warm_incumbents_seeded = 0;
   /// kAuto stopped escalating because time_budget_s was spent.
   bool budget_exhausted = false;
+  /// A solver was interrupted mid-stage by the request deadline and
+  /// returned its best incumbent. Timed-out responses are never exact and
+  /// never cached.
+  bool timed_out = false;
   double solve_seconds = 0.0;
 
   /// Provenance as JSON (support/json_writer.h); mapping excluded — pair

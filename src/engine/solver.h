@@ -53,6 +53,10 @@ struct SolveResult {
   double latency = 0.0;
   std::uint64_t work = 0;
   std::uint64_t pruned_cells = 0;
+  /// True when MapperOptions::deadline expired mid-solve: `mapping` is the
+  /// best incumbent the solver had, and an exact() solver's answer is NOT
+  /// certified optimal for this run.
+  bool timed_out = false;
 };
 
 class Solver {

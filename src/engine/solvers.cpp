@@ -36,7 +36,7 @@ std::mutex& RegistryMutex() {
 
 SolveResult FromMapping(const Evaluator& eval, Mapping mapping,
                         MapObjective objective, std::uint64_t work,
-                        std::uint64_t pruned_cells) {
+                        std::uint64_t pruned_cells, bool timed_out) {
   SolveResult result;
   result.throughput = eval.Throughput(mapping);
   result.latency = eval.Latency(mapping);
@@ -45,6 +45,7 @@ SolveResult FromMapping(const Evaluator& eval, Mapping mapping,
                                : result.latency;
   result.work = work;
   result.pruned_cells = pruned_cells;
+  result.timed_out = timed_out;
   result.mapping = std::move(mapping);
   return result;
 }
@@ -62,7 +63,8 @@ class DpSolver final : public Solver {
     const DpMapper mapper(request.options);
     MapResult r = mapper.Map(*request.eval, request.total_procs);
     return FromMapping(*request.eval, std::move(r.mapping),
-                       request.objective, r.work, r.pruned_cells);
+                       request.objective, r.work, r.pruned_cells,
+                       r.timed_out);
   }
 };
 
@@ -81,7 +83,8 @@ class GreedySolver final : public Solver {
     const GreedyMapper mapper(options);
     MapResult r = mapper.Map(*request.eval, request.total_procs);
     return FromMapping(*request.eval, std::move(r.mapping),
-                       request.objective, r.work, r.pruned_cells);
+                       request.objective, r.work, r.pruned_cells,
+                       r.timed_out);
   }
 };
 
@@ -99,7 +102,8 @@ class BruteForceSolver final : public Solver {
       const BruteForceMapper mapper(options);
       MapResult r = mapper.Map(*request.eval, request.total_procs);
       return FromMapping(*request.eval, std::move(r.mapping),
-                         request.objective, r.work, r.pruned_cells);
+                         request.objective, r.work, r.pruned_cells,
+                         r.timed_out);
     }
     const double floor = request.objective == MapObjective::kLatencyWithFloor
                              ? request.min_throughput
@@ -107,7 +111,7 @@ class BruteForceSolver final : public Solver {
     LatencyBruteResult r = BruteForceMinLatency(
         *request.eval, request.total_procs, floor, options);
     return FromMapping(*request.eval, std::move(r.mapping),
-                       request.objective, r.work, 0);
+                       request.objective, r.work, 0, r.timed_out);
   }
 };
 
@@ -132,7 +136,7 @@ class LatencySolver final : public Solver {
                                               request.min_throughput)
             : mapper.MinLatency(*request.eval, request.total_procs);
     return FromMapping(*request.eval, std::move(r.mapping),
-                       request.objective, r.work, 0);
+                       request.objective, r.work, 0, r.timed_out);
   }
 };
 

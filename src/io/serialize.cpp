@@ -1,6 +1,7 @@
 #include "io/serialize.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -18,6 +19,20 @@ std::string Num(double v) {
   std::ostringstream os;
   os << std::setprecision(17) << v;
   return os.str();
+}
+
+/// Upper bound on any parsed sample/element count. Parsers reserve() what the
+/// count line promises, so an unvalidated count is an allocation bomb; no
+/// legitimate workload comes close to this.
+constexpr std::size_t kMaxParsedSamples = 1u << 20;
+
+/// Boundary validation (fault containment): malformed inputs must die here
+/// with the offending line in the message, not surface later as NaN
+/// throughputs or UB inside the solvers.
+void CheckFinite(double v, const std::string& what,
+                 const std::string& context) {
+  PIPEMAP_CHECK(std::isfinite(v),
+                "parse: non-finite " + what + " in " + context);
 }
 
 /// Grid of processor counts used when sampling a callback pair cost.
@@ -88,19 +103,24 @@ std::unique_ptr<ScalarCost> ReadScalar(std::istringstream& in,
     double c1 = 0, c2 = 0, c3 = 0;
     PIPEMAP_CHECK(static_cast<bool>(in >> c1 >> c2 >> c3),
                   "chain parse: bad poly coefficients in " + context);
+    CheckFinite(c1, "poly coefficient", context);
+    CheckFinite(c2, "poly coefficient", context);
+    CheckFinite(c3, "poly coefficient", context);
     return std::make_unique<PolyScalarCost>(c1, c2, c3);
   }
   if (kind == "tab") {
     std::size_t n = 0;
-    PIPEMAP_CHECK(static_cast<bool>(in >> n) && n >= 1,
+    PIPEMAP_CHECK(static_cast<bool>(in >> n) && n >= 1 &&
+                      n <= kMaxParsedSamples,
                   "chain parse: bad sample count in " + context);
     std::vector<std::pair<int, double>> samples;
     samples.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       int p = 0;
       double t = 0;
-      PIPEMAP_CHECK(static_cast<bool>(in >> p >> t),
+      PIPEMAP_CHECK(static_cast<bool>(in >> p >> t) && p >= 1,
                     "chain parse: bad sample in " + context);
+      CheckFinite(t, "sample cost", context);
       samples.emplace_back(p, t);
     }
     return std::make_unique<TabulatedScalarCost>(std::move(samples));
@@ -119,12 +139,14 @@ std::unique_ptr<PairCost> ReadPair(std::istringstream& in,
     for (double& v : c) {
       PIPEMAP_CHECK(static_cast<bool>(in >> v),
                     "chain parse: bad poly coefficients in " + context);
+      CheckFinite(v, "poly coefficient", context);
     }
     return std::make_unique<PolyPairCost>(c);
   }
   if (kind == "tab") {
     std::size_t n = 0;
-    PIPEMAP_CHECK(static_cast<bool>(in >> n) && n >= 1,
+    PIPEMAP_CHECK(static_cast<bool>(in >> n) && n >= 1 &&
+                      n <= kMaxParsedSamples,
                   "chain parse: bad sample count in " + context);
     std::vector<TabulatedPairCost::Sample> samples;
     samples.reserve(n);
@@ -132,8 +154,10 @@ std::unique_ptr<PairCost> ReadPair(std::istringstream& in,
       TabulatedPairCost::Sample s{};
       PIPEMAP_CHECK(
           static_cast<bool>(in >> s.sender_procs >> s.receiver_procs >>
-                            s.seconds),
+                            s.seconds) &&
+              s.sender_procs >= 1 && s.receiver_procs >= 1,
           "chain parse: bad sample in " + context);
+      CheckFinite(s.seconds, "sample cost", context);
       samples.push_back(s);
     }
     return std::make_unique<TabulatedPairCost>(std::move(samples));
@@ -186,8 +210,10 @@ TaskChain ParseChain(const std::string& text) {
     std::istringstream ls(line);
     std::string kw1, kw2;
     PIPEMAP_CHECK(static_cast<bool>(ls >> kw1 >> k >> kw2 >> max_procs) &&
-                      kw1 == "tasks" && kw2 == "max_procs" && k >= 1,
-                  "chain parse: bad size line");
+                      kw1 == "tasks" && kw2 == "max_procs" && k >= 1 &&
+                      static_cast<std::size_t>(k) <= kMaxParsedSamples &&
+                      max_procs >= 1,
+                  "chain parse: bad size line: " + line);
   }
 
   std::vector<Task> tasks(k);
@@ -208,7 +234,9 @@ TaskChain ParseChain(const std::string& text) {
           static_cast<bool>(ls >> t >> kw_r >> replicable >> kw_f >> fixed >>
                             kw_d >> dist >> kw_n >> name) &&
               kw_r == "replicable" && kw_f == "mem_fixed" &&
-              kw_d == "mem_dist" && kw_n == "name" && t >= 0 && t < k,
+              kw_d == "mem_dist" && kw_n == "name" && t >= 0 && t < k &&
+              std::isfinite(fixed) && fixed >= 0 && std::isfinite(dist) &&
+              dist >= 0,
           "chain parse: bad task line: " + line);
       tasks[t] = Task{name, replicable != 0};
       memory[t] = MemorySpec{fixed, dist};
@@ -263,6 +291,7 @@ struct MapperOptionsMirror {
   int num_threads;
   bool observe;
   std::shared_ptr<WarmStartState> warm;
+  std::shared_ptr<const Deadline> deadline;
 };
 static_assert(sizeof(MapperOptions) == sizeof(MapperOptionsMirror),
               "MapperOptions gained (or lost) a field: update "
@@ -382,7 +411,9 @@ Mapping ParseMapping(const std::string& text) {
     ModuleAssignment m;
     PIPEMAP_CHECK(static_cast<bool>(ls >> kw >> m.first_task >> m.last_task >>
                                     m.replicas >> m.procs_per_instance) &&
-                      kw == "module",
+                      kw == "module" && m.first_task >= 0 &&
+                      m.last_task >= m.first_task && m.replicas >= 1 &&
+                      m.procs_per_instance >= 1,
                   "mapping parse: bad module line: " + line);
     mapping.modules.push_back(m);
   }
@@ -450,8 +481,32 @@ MachineConfig ParseMachine(const std::string& text) {
     } else {
       throw InvalidArgument("machine parse: unknown key '" + kw + "'");
     }
-    PIPEMAP_CHECK(ok, "machine parse: bad value for '" + kw + "'");
+    PIPEMAP_CHECK(ok, "machine parse: bad value in line: " + line);
   }
+  // Reject configurations the solvers would turn into NaN throughputs or
+  // division-by-zero: every rate must be finite and positive, every
+  // overhead finite and non-negative, and the grid non-empty.
+  PIPEMAP_CHECK(machine.grid_rows >= 1 && machine.grid_cols >= 1,
+                "machine parse: grid must be at least 1x1");
+  PIPEMAP_CHECK(std::isfinite(machine.node_memory_bytes) &&
+                    machine.node_memory_bytes > 0,
+                "machine parse: node_memory_bytes must be finite and > 0");
+  PIPEMAP_CHECK(std::isfinite(machine.node_flops) && machine.node_flops > 0,
+                "machine parse: node_flops must be finite and > 0");
+  PIPEMAP_CHECK(std::isfinite(machine.node_bandwidth) &&
+                    machine.node_bandwidth > 0,
+                "machine parse: node_bandwidth must be finite and > 0");
+  PIPEMAP_CHECK(std::isfinite(machine.msg_overhead_s) &&
+                    machine.msg_overhead_s >= 0,
+                "machine parse: msg_overhead_s must be finite and >= 0");
+  PIPEMAP_CHECK(std::isfinite(machine.transfer_startup_s) &&
+                    machine.transfer_startup_s >= 0,
+                "machine parse: transfer_startup_s must be finite and >= 0");
+  PIPEMAP_CHECK(std::isfinite(machine.sync_per_proc_s) &&
+                    machine.sync_per_proc_s >= 0,
+                "machine parse: sync_per_proc_s must be finite and >= 0");
+  PIPEMAP_CHECK(machine.pathways_per_link >= 1,
+                "machine parse: pathways_per_link must be >= 1");
   return machine;
 }
 

@@ -41,7 +41,9 @@ Mapping ParseMapping(const std::string& text);
 /// Serializes the solver-facing fields of MapperOptions — the canonical
 /// form the engine layer fingerprints for its solution cache. Execution
 /// knobs that cannot change the returned mapping (num_threads, observe,
-/// warm) are deliberately excluded; a custom proc_feasible predicate is
+/// warm, deadline — the engine never caches timed-out results, so a
+/// deadline cannot alter a cacheable answer) are deliberately excluded; a
+/// custom proc_feasible predicate is
 /// recorded only as a presence bit (callbacks are not serializable, and
 /// requests carrying one are uncacheable). A mirror-struct static_assert
 /// in serialize.cpp forces this function to be revisited whenever a field

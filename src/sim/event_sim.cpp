@@ -71,13 +71,27 @@ class Engine {
           total / (busy_time_[m].size() * result.makespan);
     }
     result.module_activity = activity_;
+    if (options_.faults != nullptr && !options_.faults->empty()) {
+      FaultImpact impact;
+      impact.slowdown_events =
+          options_.faults->CountKind(FaultKind::kSlowdown);
+      impact.link_events =
+          options_.faults->CountKind(FaultKind::kLinkDegrade);
+      result.fault_impact = impact;
+    }
     telemetry_.Finish(result);
     return result;
   }
 
  private:
-  double BodyTime(int module, int procs) {
+  double BodyTime(int module, int instance, int procs, double at) {
     const ModuleAssignment& mod = mapping_.modules[module];
+    // Slowdown windows stretch the whole phase by the factor active at its
+    // start (same rule as the pipeline simulator).
+    const double factor =
+        options_.faults != nullptr
+            ? options_.faults->ComputeFactor(module, instance, at)
+            : 1.0;
     double body = 0.0;
     for (int t = mod.first_task; t <= mod.last_task; ++t) {
       body += chain_.costs().Exec(t, procs) * noise_.ExecBias(t);
@@ -85,7 +99,7 @@ class Engine {
         body += chain_.costs().ICom(t, procs) * noise_.IComBias(t);
       }
     }
-    return body;
+    return body * factor;
   }
 
   /// Module-0 instances pull external input whenever they are free.
@@ -97,8 +111,8 @@ class Engine {
     inst.next_dataset += mapping_.modules[m].replicas;
     inst.busy = true;
     enter_[d] = queue_.now();
-    const double body =
-        BodyTime(m, mapping_.modules[m].procs_per_instance);
+    const double body = BodyTime(
+        m, i, mapping_.modules[m].procs_per_instance, queue_.now());
     busy_time_[m][i] += body;
     activity_[m].compute_s += body;
     telemetry_.RecordPhase(m, i, TraceEvent::Phase::kCompute, d,
@@ -147,6 +161,9 @@ class Engine {
         chain_.costs().ECom(edge, mapping_.modules[m - 1].procs_per_instance,
                             mapping_.modules[m].procs_per_instance) *
         noise_.EComBias(edge);
+    if (options_.faults != nullptr) {
+      dur *= options_.faults->TransferFactor(m - 1, queue_.now());
+    }
     if (options_.transfer_adjustment) {
       dur = options_.transfer_adjustment(edge, sender_index, i, dur);
     }
@@ -176,8 +193,8 @@ class Engine {
     }
 
     // The receiver computes immediately after the rendezvous.
-    const double body =
-        BodyTime(m, mapping_.modules[m].procs_per_instance);
+    const double body = BodyTime(
+        m, i, mapping_.modules[m].procs_per_instance, queue_.now());
     busy_time_[m][i] += body;
     activity_[m].compute_s += body;
     telemetry_.RecordPhase(m, i, TraceEvent::Phase::kCompute, d,
@@ -216,6 +233,15 @@ SimResult EventDrivenSimulator::Run(const Mapping& mapping,
                 " and not supported by this engine");
   PIPEMAP_CHECK(!options.collect_profile && !options.collect_trace,
                 "EventDrivenSimulator: profile/trace collection unsupported");
+  if (options.faults != nullptr) {
+    options.faults->Validate(mapping.num_modules());
+    // Crash rerouting changes which instance serves a data set, which this
+    // engine's fixed round-robin rendezvous matching cannot express; the
+    // pipeline simulator handles crashes.
+    PIPEMAP_CHECK(options.faults->CountKind(FaultKind::kCrash) == 0,
+                  "EventDrivenSimulator: crash events are not supported by"
+                  " this engine (use PipelineSimulator)");
+  }
   PIPEMAP_TRACE_SPAN("sim.event.run", "sim", options.num_datasets);
   PIPEMAP_COUNTER_ADD("sim.event.datasets",
                       static_cast<std::uint64_t>(options.num_datasets));

@@ -28,6 +28,21 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
       "sim.pipeline.transfers",
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(l - 1));
 
+  const FaultPlan* faults =
+      (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                              : nullptr;
+  FaultImpact impact;
+  bool any_crash = false;
+  if (faults != nullptr) {
+    faults->Validate(l);
+    impact.crash_events = faults->CountKind(FaultKind::kCrash);
+    impact.slowdown_events = faults->CountKind(FaultKind::kSlowdown);
+    impact.link_events = faults->CountKind(FaultKind::kLinkDegrade);
+    any_crash = impact.crash_events > 0;
+    PIPEMAP_COUNTER_ADD("sim.fault.events",
+                        static_cast<std::uint64_t>(faults->events.size()));
+  }
+
   NoiseModel noise(options.noise, chain.size());
   SimTelemetry telemetry(mapping, n);
 
@@ -55,15 +70,49 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
 
   std::vector<double> done(n, 0.0);
   std::vector<double> enter(n, 0.0);
-  // Completion time of data set d at the *previous* module while scanning
-  // modules left to right.
+  // Completion time and serving instance of data set d at the *previous*
+  // module while scanning modules left to right. Without faults the
+  // serving instance is always d % replicas; crash rerouting can move it.
   double upstream_done = 0.0;
+  int upstream_inst = 0;
 
   for (int d = 0; d < n; ++d) {
     for (int m = 0; m < l; ++m) {
       const ModuleAssignment& mod = mapping.modules[m];
-      const int inst = d % mod.replicas;
+      int inst = d % mod.replicas;
       const int p = mod.procs_per_instance;
+
+      if (any_crash) {
+        // A crashed instance accepts no new work from its crash time
+        // onward (work already started completes); its data sets route to
+        // the surviving sibling that can start earliest, lowest index on
+        // ties.
+        auto tentative = [&](int i) {
+          return m == 0 ? free_at[m][i]
+                        : std::max({upstream_done,
+                                    free_at[m - 1][upstream_inst],
+                                    free_at[m][i]});
+        };
+        if (faults->CrashedAt(m, inst, tentative(inst))) {
+          int best = -1;
+          double best_t = 0.0;
+          for (int i = 0; i < mod.replicas; ++i) {
+            const double t = tentative(i);
+            if (faults->CrashedAt(m, i, t)) continue;
+            if (best < 0 || t < best_t) {
+              best = i;
+              best_t = t;
+            }
+          }
+          if (best < 0) {
+            throw Infeasible("PipelineSimulator: every instance of module " +
+                             std::to_string(m) + " has crashed");
+          }
+          inst = best;
+          ++impact.reroutes;
+          PIPEMAP_COUNTER_ADD("sim.fault.reroutes", 1);
+        }
+      }
 
       double start;
       if (m == 0) {
@@ -72,7 +121,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
         enter[d] = start;
       } else {
         const ModuleAssignment& prev = mapping.modules[m - 1];
-        const int sender = d % prev.replicas;
+        const int sender = upstream_inst;
         const int edge = mod.first_task - 1;
         // The data set is "queued" at m's input from the moment the
         // upstream compute produced it until the rendezvous starts.
@@ -84,6 +133,9 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
         double dur = costs.ECom(edge, prev.procs_per_instance, p) *
                      noise.EComBias(edge) * noise.Jitter() *
                      noise.ContentionFactor(concurrency_at(t_start));
+        if (faults != nullptr) {
+          dur *= faults->TransferFactor(m - 1, t_start);
+        }
         if (options.transfer_adjustment) {
           dur = options.transfer_adjustment(edge, sender, inst, dur);
         }
@@ -118,18 +170,21 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
       }
 
       // Compute phase: member task executions plus internal
-      // redistributions, each an observable sub-phase.
+      // redistributions, each an observable sub-phase. A slowdown window
+      // covering the phase's start stretches the whole phase.
+      const double compute_factor =
+          faults != nullptr ? faults->ComputeFactor(m, inst, start) : 1.0;
       double body = 0.0;
       for (int t = mod.first_task; t <= mod.last_task; ++t) {
-        const double dur =
-            costs.Exec(t, p) * noise.ExecBias(t) * noise.Jitter();
+        const double dur = costs.Exec(t, p) * noise.ExecBias(t) *
+                           noise.Jitter() * compute_factor;
         body += dur;
         if (options.collect_profile) {
           profile.exec_samples[t].push_back({p, dur});
         }
         if (t < mod.last_task) {
-          const double redis =
-              costs.ICom(t, p) * noise.IComBias(t) * noise.Jitter();
+          const double redis = costs.ICom(t, p) * noise.IComBias(t) *
+                               noise.Jitter() * compute_factor;
           body += redis;
           if (options.collect_profile) {
             profile.icom_samples[t].push_back({p, redis});
@@ -147,6 +202,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
             m, inst, d, TraceEvent::Phase::kCompute, start, end});
       }
       upstream_done = end;
+      upstream_inst = inst;
     }
     done[d] = upstream_done;
     telemetry.RecordDataset(d, enter[d], done[d]);
@@ -172,6 +228,7 @@ SimResult PipelineSimulator::Run(const Mapping& mapping,
         total / (busy[m].size() * result.makespan);
   }
   result.module_activity = std::move(activity);
+  if (faults != nullptr) result.fault_impact = impact;
   if (options.collect_profile) result.profile = std::move(profile);
   if (options.collect_trace) {
     trace.makespan = result.makespan;

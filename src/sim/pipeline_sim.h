@@ -27,6 +27,7 @@
 
 #include "core/mapping.h"
 #include "core/task.h"
+#include "fault/fault_plan.h"
 #include "sim/noise.h"
 #include "sim/profile.h"
 #include "sim/trace.h"
@@ -53,6 +54,15 @@ struct SimOptions {
   /// to add routing-distance and link-sharing effects; must be a pure
   /// function of its arguments (order-independent).
   std::function<double(int, int, int, double)> transfer_adjustment;
+
+  /// Optional fault schedule (fault/fault_plan.h), borrowed for the run.
+  /// Crashed instances stop accepting new data sets (work already started
+  /// completes) and their traffic reroutes to surviving siblings; slowdown
+  /// and link events stretch compute and transfer durations inside their
+  /// windows. Module/edge indices in the plan refer to the *mapping*'s
+  /// modules and boundaries. Throws pipemap::Infeasible when every
+  /// instance of a module has crashed.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Per-module activity totals: seconds spent in each phase, summed over
@@ -79,6 +89,8 @@ struct SimResult {
   std::vector<double> module_utilization;
   /// Per-phase busy-time totals per module.
   std::vector<ModuleActivity> module_activity;
+  /// Present when SimOptions::faults supplied a non-empty plan.
+  std::optional<FaultImpact> fault_impact;
   /// Present when SimOptions::collect_profile is set.
   std::optional<Profile> profile;
   /// Present when SimOptions::collect_trace is set.

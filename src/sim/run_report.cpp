@@ -50,6 +50,19 @@ std::string BuildRunReportJson(const Evaluator& evaluator,
   w.EndArray();
   w.EndObject();
 
+  w.Key("faults");
+  if (result.fault_impact.has_value()) {
+    const FaultImpact& f = *result.fault_impact;
+    w.BeginObject();
+    w.Key("crash_events").Int(f.crash_events);
+    w.Key("slowdown_events").Int(f.slowdown_events);
+    w.Key("link_events").Int(f.link_events);
+    w.Key("reroutes").Int(f.reroutes);
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+
   w.Key("attribution").BeginArray();
   for (const ModuleAttribution& a : attribution.modules) {
     w.BeginObject();

@@ -10,6 +10,7 @@
 #include "core/latency_mapper.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
+#include "support/deadline.h"
 #include "support/error.h"
 #include "workloads/fft_hist.h"
 #include "workloads/radar.h"
@@ -265,6 +266,49 @@ TEST(MappingEngineTest, ZeroTimeBudgetStopsAfterGreedyAndIsNotCached) {
   const MapResponse exact = engine.Map(full);
   EXPECT_FALSE(exact.cache_hit);
   EXPECT_TRUE(exact.exact);
+}
+
+TEST(MappingEngineTest, SolverDeadlineReturnsIncumbentWithProvenance) {
+  // A deadline far below the exact DP's runtime interrupts the solve
+  // mid-stage: the response is the heuristic incumbent, valid and usable,
+  // flagged timed_out, never exact, and never cached.
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kDp;
+  request.time_budget_s = 1e-9;
+  const MapResponse truncated = engine.Map(request);
+  EXPECT_TRUE(truncated.timed_out);
+  EXPECT_FALSE(truncated.exact);
+  EXPECT_TRUE(truncated.mapping.IsValidFor(chain.size()));
+  EXPECT_GT(truncated.throughput, 0.0);
+  EXPECT_NE(truncated.ToJson().find("\"timed_out\": true"),
+            std::string::npos);
+
+  // Re-asking without the deadline must solve fresh (no stale hit) and
+  // certify; the incumbent can never beat the true optimum.
+  MapRequest full = request;
+  full.time_budget_s = std::numeric_limits<double>::infinity();
+  const MapResponse exact = engine.Map(full);
+  EXPECT_FALSE(exact.cache_hit);
+  EXPECT_FALSE(exact.timed_out);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_LE(exact.objective_value, truncated.objective_value + 1e-12);
+}
+
+TEST(MappingEngineTest, ExplicitDeadlineOptionTakesPrecedence) {
+  // An already-expired MapperOptions::deadline interrupts even when the
+  // request's own budget is unlimited.
+  const TaskChain chain = ThreeTaskChain();
+  MappingEngine engine;
+
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kDp;
+  request.options.deadline = Deadline::After(0.0);
+  const MapResponse response = engine.Map(request);
+  EXPECT_TRUE(response.timed_out);
+  EXPECT_TRUE(response.mapping.IsValidFor(chain.size()));
 }
 
 TEST(MappingEngineTest, CacheEvictsUnderPressure) {

@@ -1,0 +1,175 @@
+// FaultPlan tests: query semantics, deterministic generation, the text
+// format round-trip, and the inline spec grammar.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+TEST(FaultPlanTest, CrashIsPermanentAndInstanceScoped) {
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kCrash, 2.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   /*module=*/1, /*instance=*/0, 0, 1.0});
+  EXPECT_FALSE(plan.CrashedAt(1, 0, 1.9));
+  EXPECT_TRUE(plan.CrashedAt(1, 0, 2.0));
+  EXPECT_TRUE(plan.CrashedAt(1, 0, 100.0));
+  EXPECT_FALSE(plan.CrashedAt(1, 1, 100.0));
+  EXPECT_FALSE(plan.CrashedAt(0, 0, 100.0));
+}
+
+TEST(FaultPlanTest, CrashWithInstanceMinusOneKillsEveryInstance) {
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kCrash, 1.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   /*module=*/0, /*instance=*/-1, 0, 1.0});
+  EXPECT_TRUE(plan.CrashedAt(0, 0, 1.0));
+  EXPECT_TRUE(plan.CrashedAt(0, 7, 1.0));
+}
+
+TEST(FaultPlanTest, SlowdownFactorsAreWindowedAndMultiplicative) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{FaultKind::kSlowdown, 1.0, 2.0, 0, -1, 0, 3.0});
+  plan.events.push_back(
+      FaultEvent{FaultKind::kSlowdown, 2.0, 2.0, 0, -1, 0, 2.0});
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(0, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(0, 0, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(0, 0, 2.5), 6.0);  // overlap
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(0, 0, 3.5), 2.0);
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(0, 0, 4.0), 1.0);  // window end excl.
+  EXPECT_DOUBLE_EQ(plan.ComputeFactor(1, 0, 1.5), 1.0);  // other module
+}
+
+TEST(FaultPlanTest, TransferFactorTargetsOneBoundary) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{FaultKind::kLinkDegrade, 0.0, 5.0, 0, -1, /*edge=*/1, 4.0});
+  EXPECT_DOUBLE_EQ(plan.TransferFactor(1, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(plan.TransferFactor(0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.TransferFactor(1, 5.0), 1.0);
+}
+
+TEST(FaultPlanTest, FirstCrashPicksEarliest) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{FaultKind::kSlowdown, 0.5, 1.0, 0, -1, 0, 2.0});
+  plan.events.push_back(FaultEvent{FaultKind::kCrash, 3.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   2, 0, 0, 1.0});
+  plan.events.push_back(FaultEvent{FaultKind::kCrash, 1.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   1, 0, 0, 1.0});
+  ASSERT_NE(plan.FirstCrash(), nullptr);
+  EXPECT_EQ(plan.FirstCrash()->module, 1);
+  EXPECT_EQ(plan.CountKind(FaultKind::kCrash), 2);
+  EXPECT_EQ(plan.CountKind(FaultKind::kSlowdown), 1);
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadEvents) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{FaultKind::kSlowdown, -1.0, 1.0, 0, -1, 0, 2.0});
+  EXPECT_THROW(plan.Validate(3), InvalidArgument);
+  plan.events[0] = FaultEvent{FaultKind::kSlowdown, 0.0, 1.0, 0, -1, 0, 0.0};
+  EXPECT_THROW(plan.Validate(3), InvalidArgument);
+  plan.events[0] = FaultEvent{FaultKind::kCrash, 0.0, 1.0, 5, 0, 0, 1.0};
+  EXPECT_THROW(plan.Validate(3), InvalidArgument);  // module out of range
+  plan.events[0] = FaultEvent{FaultKind::kLinkDegrade, 0.0, 1.0, 0, -1, 2, 2.0};
+  EXPECT_THROW(plan.Validate(3), InvalidArgument);  // edge out of range
+  plan.events[0] = FaultEvent{FaultKind::kCrash, 0.0, 1.0, 2, 0, 0, 1.0};
+  EXPECT_NO_THROW(plan.Validate(3));
+}
+
+TEST(FaultPlanTest, GeneratorIsDeterministicPerSeed) {
+  FaultGeneratorSpec spec;
+  spec.seed = 1234;
+  spec.num_modules = 4;
+  spec.num_events = 16;
+  const FaultPlan a = GenerateFaultPlan(spec);
+  const FaultPlan b = GenerateFaultPlan(spec);
+  ASSERT_EQ(a.events.size(), 16u);
+  EXPECT_EQ(SerializeFaultPlan(a), SerializeFaultPlan(b));
+
+  spec.seed = 1235;
+  const FaultPlan c = GenerateFaultPlan(spec);
+  EXPECT_NE(SerializeFaultPlan(a), SerializeFaultPlan(c));
+}
+
+TEST(FaultPlanTest, GeneratedEventsAreSortedAndInHorizon) {
+  FaultGeneratorSpec spec;
+  spec.seed = 7;
+  spec.num_modules = 3;
+  spec.num_events = 32;
+  spec.horizon_s = 5.0;
+  const FaultPlan plan = GenerateFaultPlan(spec);
+  double prev = 0.0;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_GE(e.time_s, prev);
+    EXPECT_LT(e.time_s, spec.horizon_s);
+    prev = e.time_s;
+  }
+}
+
+TEST(FaultPlanTest, SerializeParseRoundTrips) {
+  FaultGeneratorSpec spec;
+  spec.seed = 99;
+  spec.num_modules = 5;
+  spec.num_events = 10;
+  const FaultPlan plan = GenerateFaultPlan(spec);
+  const std::string text = SerializeFaultPlan(plan);
+  const FaultPlan parsed = ParseFaultPlan(text);
+  EXPECT_EQ(SerializeFaultPlan(parsed), text);
+}
+
+TEST(FaultPlanTest, ParsePlanRejectsMalformedText) {
+  EXPECT_THROW(ParseFaultPlan(""), InvalidArgument);
+  EXPECT_THROW(ParseFaultPlan("wrong header\n"), InvalidArgument);
+  EXPECT_THROW(ParseFaultPlan("pipemap-faults v1\nevents 1\nend\n"),
+               InvalidArgument);
+  EXPECT_THROW(
+      ParseFaultPlan("pipemap-faults v1\nevents 1\n"
+                     "crash nan inf 0 0 1\nend\n"),
+      InvalidArgument);
+}
+
+TEST(FaultPlanTest, SpecGrammarParsesAllThreeKinds) {
+  const FaultPlan plan =
+      ParseFaultSpec("crash@2.0:m1.i0; slow@1.0+3.0:m2x2.5 ;link@0.5+1:e0x2");
+  ASSERT_EQ(plan.events.size(), 3u);
+  // Sorted by time: link (0.5), slow (1.0), crash (2.0).
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(plan.events[0].edge, 0);
+  EXPECT_DOUBLE_EQ(plan.events[0].factor, 2.0);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kSlowdown);
+  EXPECT_EQ(plan.events[1].module, 2);
+  EXPECT_EQ(plan.events[1].instance, -1);
+  EXPECT_DOUBLE_EQ(plan.events[1].duration_s, 3.0);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events[2].module, 1);
+  EXPECT_EQ(plan.events[2].instance, 0);
+}
+
+TEST(FaultPlanTest, SpecGrammarRejectsMistakes) {
+  EXPECT_THROW(ParseFaultSpec(""), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("crash@2.0"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("boom@2.0:m0"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("crash@2.0+1.0:m0"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("slow@1.0:m0x2"), InvalidArgument);   // no +D
+  EXPECT_THROW(ParseFaultSpec("slow@1.0+2.0:m0"), InvalidArgument);  // no xF
+  EXPECT_THROW(ParseFaultSpec("link@1.0+2.0:m0x2"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("crash@abc:m0"), InvalidArgument);
+  EXPECT_THROW(ParseFaultSpec("crash@1.0:m0.iX"), InvalidArgument);
+}
+
+TEST(FaultPlanTest, SpecRoundTripsThroughCanonicalForm) {
+  const FaultPlan plan = ParseFaultSpec("crash@2:m0.i1;slow@0+4:m1x3");
+  const FaultPlan reparsed = ParseFaultPlan(SerializeFaultPlan(plan));
+  EXPECT_EQ(SerializeFaultPlan(reparsed), SerializeFaultPlan(plan));
+}
+
+}  // namespace
+}  // namespace pipemap

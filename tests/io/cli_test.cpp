@@ -456,5 +456,159 @@ TEST_F(CliWorkflow, EngineCacheHitYieldsByteIdenticalMapping) {
   std::remove(second_path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Hardened numeric parsing: every raw number a user can type is checked, and
+// a mistake yields one clean error line plus the usage text, exit code 1 —
+// never an unhandled std::invalid_argument / std::out_of_range abort.
+
+TEST_F(CliWorkflow, MalformedIntegerFlagFailsCleanly) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--procs", "abc"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("error: invalid integer value for --procs: 'abc'"),
+            std::string::npos);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+
+  // Trailing garbage is as invalid as no digits at all.
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &output),
+            0)
+      << output;
+  EXPECT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_,
+                        "--datasets", "12x"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("invalid integer value for --datasets: '12x'"),
+            std::string::npos);
+}
+
+TEST_F(CliWorkflow, OutOfRangeNumbersFailCleanly) {
+  std::string output;
+  // Overflows std::stoi.
+  EXPECT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--procs", "99999999999999999999"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("invalid integer value for --procs"),
+            std::string::npos);
+
+  // Overflows to +inf, rejected by the finiteness check.
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &output),
+            0)
+      << output;
+  EXPECT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_, "--noise",
+                        "1e999"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("invalid numeric value for --noise: '1e999'"),
+            std::string::npos);
+}
+
+TEST_F(CliWorkflow, MalformedDoubleFlagsFailCleanly) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--objective", "latency", "--floor",
+                        "fast"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("invalid numeric value for --floor: 'fast'"),
+            std::string::npos);
+
+  EXPECT_EQ(RunCommand({"size", "--chain", chain_path_, "--machine",
+                        machine_path_, "--target", ""},
+                       &output),
+            1);
+  EXPECT_NE(output.find("invalid numeric value for --target: ''"),
+            std::string::npos);
+}
+
+TEST_F(CliWorkflow, NonPositiveSolverDeadlineIsRejected) {
+  std::string output;
+  EXPECT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--solver-deadline", "-1"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("--solver-deadline must be positive"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and repair through the CLI.
+
+TEST_F(CliWorkflow, TinySolverDeadlinePrintsIncumbentNote) {
+  std::string output;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--algorithm", "dp",
+                        "--solver-deadline", "1e-9"},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("solver deadline expired"), std::string::npos);
+  EXPECT_NE(output.find("best incumbent"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, SimulateWithCrashFaultReportsRepair) {
+  std::string map_out;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &map_out),
+            0)
+      << map_out;
+  std::string output;
+  ASSERT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_,
+                        "--datasets", "400", "--faults", "crash@2.0:m0.i0",
+                        "--repair-policy", "floor"},
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("faults: 1 crash"), std::string::npos);
+  EXPECT_NE(output.find("repair (floor)"), std::string::npos);
+  EXPECT_NE(output.find("(retention "), std::string::npos);
+  EXPECT_NE(output.find("recovery: "), std::string::npos);
+  EXPECT_NE(output.find("post-repair simulated throughput"),
+            std::string::npos);
+}
+
+TEST_F(CliWorkflow, RepairPolicyWithoutFaultsIsUsageError) {
+  std::string map_out;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &map_out),
+            0)
+      << map_out;
+  std::string output;
+  EXPECT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_,
+                        "--repair-policy", "full"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("--repair-policy requires --faults"),
+            std::string::npos);
+}
+
+TEST_F(CliWorkflow, MalformedFaultSpecIsUsageError) {
+  std::string map_out;
+  ASSERT_EQ(RunCommand({"map", "--chain", chain_path_, "--machine",
+                        machine_path_, "--out", mapping_path_},
+                       &map_out),
+            0)
+      << map_out;
+  std::string output;
+  EXPECT_EQ(RunCommand({"simulate", "--chain", chain_path_, "--machine",
+                        machine_path_, "--mapping", mapping_path_, "--faults",
+                        "crash@bad"},
+                       &output),
+            1);
+  EXPECT_NE(output.find("FaultPlan"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pipemap::cli

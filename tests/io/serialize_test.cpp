@@ -239,5 +239,95 @@ TEST(FileIoTest, MissingFileThrows) {
   EXPECT_THROW(ReadTextFile("/nonexistent/path/file.txt"), InvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: take a valid serialized workload and corrupt one
+// field at a time — NaN costs, negative/zero resources, truncations. Every
+// corruption must be rejected at the parse boundary with InvalidArgument;
+// none may crash, hang, or leak a poisoned value into the solvers.
+
+/// Replaces the whitespace-delimited token that follows the first
+/// occurrence of `key` with `to`, so corpus entries name fields rather
+/// than hard-coding the serialized values.
+std::string CorruptValue(std::string text, const std::string& key,
+                         const std::string& to) {
+  const auto pos = text.find(key + " ");
+  EXPECT_NE(pos, std::string::npos) << "corpus key missing: " << key;
+  if (pos == std::string::npos) return text;
+  const auto value_begin = pos + key.size() + 1;
+  const auto value_end = text.find_first_of(" \n", value_begin);
+  text.replace(value_begin, value_end - value_begin, to);
+  return text;
+}
+
+TEST(MalformedCorpusTest, CorruptedChainsAreRejected) {
+  const Workload w = workloads::MakeFftHist(64, CommMode::kMessage);
+  const std::string good = SerializeChain(w.chain, 16);
+  ASSERT_NO_THROW(ParseChain(good));
+
+  EXPECT_THROW(ParseChain("pipemap-chain v9\n" + good.substr(good.find('\n'))),
+               InvalidArgument);  // future version
+  const std::vector<std::pair<std::string, std::string>> corpus = {
+      {"tasks", "-3"},          // negative count
+      {"tasks", "999"},         // count > body: exec tables missing
+      {"max_procs", "0"},       // no processors
+      {"replicable", "maybe"},  // non-numeric field
+      {"mem_fixed", "nan"},     // poisoned memory cost
+      {"mem_fixed", "inf"},
+      {"mem_dist", "-1"},       // negative memory
+      {"exec", "9"},            // table index out of range
+  };
+  for (const auto& [key, to] : corpus) {
+    EXPECT_THROW(ParseChain(CorruptValue(good, key, to)), InvalidArgument)
+        << "accepted corruption: " << key << " -> " << to;
+  }
+}
+
+TEST(MalformedCorpusTest, CorruptedMachinesAreRejected) {
+  const Workload w = workloads::MakeFftHist(64, CommMode::kMessage);
+  const std::string good = SerializeMachine(w.machine);
+  ASSERT_NO_THROW(ParseMachine(good));
+
+  const std::vector<std::pair<std::string, std::string>> corpus = {
+      {"grid", "0"},                     // empty grid
+      {"node_memory_bytes", "nan"},      // poisoned capacity
+      {"node_memory_bytes", "-5"},       // negative capacity
+      {"node_flops", "0"},               // division by zero downstream
+      {"node_bandwidth", "inf"},         // non-finite rate
+      {"msg_overhead_s", "-1"},          // negative overhead
+      {"comm_mode", "telepathy"},        // unknown enum
+      {"pathways_per_link", "0"},        // no routes
+  };
+  for (const auto& [key, to] : corpus) {
+    EXPECT_THROW(ParseMachine(CorruptValue(good, key, to)), InvalidArgument)
+        << "accepted corruption: " << key << " -> " << to;
+  }
+  // A line missing its second field is rejected, not silently defaulted.
+  const std::string short_grid = CorruptValue(good, "grid", "8\ngrid_pad");
+  EXPECT_THROW(ParseMachine(short_grid), InvalidArgument);
+}
+
+TEST(MalformedCorpusTest, CorruptedMappingsAreRejected) {
+  Mapping m;
+  m.modules.push_back(ModuleAssignment{0, 1, 2, 3});
+  const std::string good = SerializeMapping(m);
+  ASSERT_NO_THROW(ParseMapping(good));
+
+  const std::vector<std::pair<std::string, std::string>> corpus = {
+      {"modules 1", "modules 2"},              // count > body
+      {"modules 1", "modules x"},              // non-numeric count
+      {"module 0 1 2 3", "module 0 1 2"},      // missing field
+      {"module 0 1 2 3", "module 0 1 -2 3"},   // negative replicas
+      {"module 0 1 2 3\n", ""},                // body shorter than count
+  };
+  for (const auto& [from, to] : corpus) {
+    std::string bad = good;
+    const auto pos = bad.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    EXPECT_THROW(ParseMapping(bad), InvalidArgument)
+        << "accepted corruption: " << from << " -> " << to;
+  }
+}
+
 }  // namespace
 }  // namespace pipemap

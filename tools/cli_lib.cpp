@@ -1,5 +1,6 @@
 #include "tools/cli_lib.h"
 
+#include <cmath>
 #include <map>
 #include <optional>
 #include <set>
@@ -11,6 +12,8 @@
 #include "core/sensitivity.h"
 #include "engine/fingerprint.h"
 #include "engine/mapping_engine.h"
+#include "fault/fault_plan.h"
+#include "fault/repair.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
 #include "sim/attribution.h"
@@ -35,13 +38,17 @@ commands:
             [--algorithm dp|greedy|auto|brute]
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
-            [--unconstrained] [--engine-cache] [--threads N] [--out FILE]
+            [--unconstrained] [--engine-cache] [--threads N]
+            [--solver-deadline S] [--out FILE]
             [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
-            [--noise X] [--seed N]
+            [--noise X] [--seed N] [--faults FILE|SPEC]
+            [--repair-policy full|drop-replica|floor]
+            [--solver-deadline S]
   report    --chain FILE --machine FILE [--procs N]
             [--algorithm dp|greedy|auto|brute]
             [--datasets N] [--noise X] [--seed N] [--threads N]
+            [--solver-deadline S]
             [--out FILE] [--trace FILE] [--metrics FILE] [--unconstrained]
             [--engine-cache]
   explain   --chain FILE --machine FILE --mapping FILE
@@ -67,6 +74,23 @@ gauges, and histograms; --trace FILE writes Chrome trace-event JSON
 (load in chrome://tracing or https://ui.perfetto.dev). Neither flag
 changes the computed mapping.
 
+--solver-deadline S interrupts a solve after S seconds of wall clock and
+returns the best incumbent found so far (flagged as not certified). The
+solvers check the deadline cooperatively inside their inner loops, so
+even a single long DP stage is interrupted mid-flight.
+
+--faults injects failures into the simulation: either a fault-plan file
+(pipemap-faults v1) or an inline spec of ';'-separated events —
+crash@T:mM[.iI] (instance I of module M crashes at time T; omit .iI to
+crash all instances), slow@T+D:mM[.iI]xF (compute slowdown by factor F
+during [T,T+D)), link@T+D:eExF (transfer degradation on the boundary
+between modules E and E+1). With --repair-policy, a crash additionally
+triggers the RepairEngine: the mapping is repaired onto the surviving
+processors (full = re-solve, drop-replica = shrink the failed module,
+floor = drop-replica when it retains >= 50% throughput, else re-solve)
+and the recovery report plus a fault-free replay of the repaired mapping
+are printed.
+
 report maps the chain, executes the mapping in the pipeline simulator,
 and emits one machine-readable JSON run report (schema in DESIGN.md):
 the mapping, predicted vs simulated throughput/latency, per-module
@@ -83,6 +107,32 @@ class UsageError : public InvalidArgument {
  public:
   using InvalidArgument::InvalidArgument;
 };
+
+/// Checked numeric parsing for flag values: the whole token must parse,
+/// and the value must be finite. std::stod/stoi alone would accept
+/// "3abc", throw std::out_of_range as an unhandled crash on "1e999", and
+/// turn typos into silent garbage.
+double CheckedDouble(const std::string& key, const std::string& text) {
+  try {
+    std::size_t idx = 0;
+    const double v = std::stod(text, &idx);
+    if (idx == text.size() && std::isfinite(v)) return v;
+  } catch (const std::exception&) {
+    // Fall through to the uniform UsageError below.
+  }
+  throw UsageError("invalid numeric value for --" + key + ": '" + text + "'");
+}
+
+int CheckedInt(const std::string& key, const std::string& text) {
+  try {
+    std::size_t idx = 0;
+    const int v = std::stoi(text, &idx);
+    if (idx == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw UsageError("invalid integer value for --" + key + ": '" + text +
+                   "'");
+}
 
 /// Strict flag parser: --key value pairs plus standalone switches, each
 /// validated against the owning command's allowlist so a typo fails with
@@ -127,12 +177,12 @@ class Flags {
 
   double GetDouble(const std::string& key, double fallback) const {
     const auto v = Get(key);
-    return v ? std::stod(*v) : fallback;
+    return v ? CheckedDouble(key, *v) : fallback;
   }
 
   int GetInt(const std::string& key, int fallback) const {
     const auto v = Get(key);
-    return v ? std::stoi(*v) : fallback;
+    return v ? CheckedInt(key, *v) : fallback;
   }
 
  private:
@@ -248,6 +298,14 @@ MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
   request.options.allow_clustering = !flags.Has("no-clustering");
   request.machine_feasibility = !flags.Has("unconstrained");
   request.use_cache = flags.Has("engine-cache");
+  if (const auto deadline = flags.Get("solver-deadline")) {
+    const double seconds = CheckedDouble("solver-deadline", *deadline);
+    if (seconds <= 0.0) {
+      throw UsageError("--solver-deadline must be positive, got " +
+                       *deadline);
+    }
+    request.time_budget_s = seconds;
+  }
 
   const std::string objective = flags.Get("objective").value_or("throughput");
   const std::string algorithm = flags.Get("algorithm").value_or("dp");
@@ -255,7 +313,7 @@ MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
     request.solver = SolverPolicy::kLatency;
     if (const auto floor = flags.Get("floor")) {
       request.objective = MapObjective::kLatencyWithFloor;
-      request.min_throughput = std::stod(*floor);
+      request.min_throughput = CheckedDouble("floor", *floor);
     } else {
       request.objective = MapObjective::kLatency;
     }
@@ -282,7 +340,7 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(
       "map", args, 1,
       {"chain", "machine", "procs", "threads", "algorithm", "objective",
-       "floor", "replication", "out", "metrics", "trace"},
+       "floor", "replication", "solver-deadline", "out", "metrics", "trace"},
       {"no-clustering", "unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
@@ -302,6 +360,10 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
   if (flags.Has("engine-cache")) {
     out << "engine cache: " << (response.cache_hit ? "hit" : "miss")
         << " (fingerprint " << FingerprintHex(response.fingerprint) << ")\n";
+  }
+  if (response.timed_out) {
+    out << "note: solver deadline expired; this is the best incumbent, not"
+           " a certified optimum\n";
   }
 
   const Evaluator eval(problem.chain, request.total_procs,
@@ -324,7 +386,7 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
 int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags("simulate", args, 1,
                     {"chain", "machine", "mapping", "datasets", "noise",
-                     "seed"});
+                     "seed", "faults", "repair-policy", "solver-deadline"});
   const LoadedProblem problem = Load(flags);
   const Mapping mapping =
       ParseMapping(ReadTextFile(flags.Require("mapping")));
@@ -337,6 +399,14 @@ int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
   options.noise.jitter_stddev = noise / 3.0;
   options.noise.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
 
+  FaultPlan plan;
+  if (const auto spec = flags.Get("faults")) {
+    plan = LoadFaultPlan(*spec);
+    options.faults = &plan;
+  } else if (flags.Get("repair-policy")) {
+    throw UsageError("--repair-policy requires --faults");
+  }
+
   PipelineSimulator sim(problem.chain);
   const SimResult result = sim.Run(mapping, options);
   out << "simulated " << options.num_datasets << " data sets\n";
@@ -346,13 +416,63 @@ int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
   out << "module utilization:";
   for (double u : result.module_utilization) out << " " << u;
   out << "\n";
+  if (result.fault_impact.has_value()) {
+    const FaultImpact& f = *result.fault_impact;
+    out << "faults: " << f.crash_events << " crash, " << f.slowdown_events
+        << " slowdown, " << f.link_events << " link; " << f.reroutes
+        << " data sets rerouted\n";
+  }
+
+  const auto policy_name = flags.Get("repair-policy");
+  if (!policy_name) return 0;
+  if (plan.FirstCrash() == nullptr) {
+    out << "repair: no crash events in the plan; nothing to repair\n";
+    return 0;
+  }
+
+  RepairRequest rr;
+  rr.chain = &problem.chain;
+  rr.machine = problem.machine;
+  rr.failed_mapping = mapping;
+  rr.policy = RepairPolicyFromName(*policy_name);
+  if (const auto deadline = flags.Get("solver-deadline")) {
+    rr.solver_deadline_s = CheckedDouble("solver-deadline", *deadline);
+    if (rr.solver_deadline_s <= 0.0) {
+      throw UsageError("--solver-deadline must be positive, got " +
+                       *deadline);
+    }
+  }
+  ApplyCrashToRequest(rr, plan);
+  const RepairOutcome outcome = RepairEngine().Repair(rr);
+
+  out << "repair (" << ToString(rr.policy) << "): module " << rr.failed_module
+      << " lost " << rr.failed_instances << " instance(s)\n";
+  out << "  repaired mapping: " << outcome.mapping.ToString(problem.chain)
+      << "\n";
+  out << "  throughput: " << outcome.pre_fault_throughput << " -> "
+      << outcome.post_fault_throughput << " data sets/s (retention "
+      << outcome.throughput_retention << ")\n";
+  out << "  recovery: " << outcome.repair_seconds << " s, "
+      << outcome.attempts << " solve attempt(s), "
+      << (outcome.degraded ? "degraded (drop-replica)"
+                           : "remapped via " + outcome.solver)
+      << (outcome.timed_out ? ", timed out (best incumbent)" : "") << "\n";
+
+  // Prove the repaired mapping actually runs on the survivors: replay it
+  // fault-free (the crashed instances no longer exist in the new mapping).
+  SimOptions verify = options;
+  verify.faults = nullptr;
+  const SimResult repaired = sim.Run(outcome.mapping, verify);
+  out << "  post-repair simulated throughput: " << repaired.throughput
+      << " data sets/s\n";
   return 0;
 }
 
 int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags("report", args, 1,
                     {"chain", "machine", "procs", "threads", "algorithm",
-                     "datasets", "noise", "seed", "out", "metrics", "trace"},
+                     "datasets", "noise", "seed", "solver-deadline", "out",
+                     "metrics", "trace"},
                     {"unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   // The report always embeds a metrics snapshot of its own run, so the
@@ -490,7 +610,7 @@ int SizeCommand(const std::vector<std::string>& args, std::ostream& out) {
                     {"engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
-  const double target = std::stod(flags.Require("target"));
+  const double target = CheckedDouble("target", flags.Require("target"));
   const int max_procs = problem.machine.total_procs();
   MapRequest request;
   request.chain = &problem.chain;

@@ -9,15 +9,21 @@
 //             [--algorithm dp|greedy|auto|brute]
 //             [--objective throughput|latency] [--floor X]
 //             [--replication maximal|none|search] [--no-clustering]
-//             [--unconstrained] [--engine-cache] [--threads N] [--out F]
+//             [--unconstrained] [--engine-cache] [--threads N]
+//             [--solver-deadline S] [--out F]
 //       Computes a mapping (through the MappingEngine facade) and prints
 //       prediction details. --algorithm auto runs the solver portfolio;
 //       --engine-cache serves repeated identical requests from the
 //       in-process solution cache. --threads 0 (default) uses all
 //       hardware threads; 1 forces the serial path.
 //   simulate  --chain F --machine F --mapping F [--datasets N]
-//             [--noise X] [--seed N]
-//       Executes a mapping in the pipeline simulator.
+//             [--noise X] [--seed N] [--faults FILE|SPEC]
+//             [--repair-policy full|drop-replica|floor]
+//             [--solver-deadline S]
+//       Executes a mapping in the pipeline simulator, optionally under an
+//       injected fault plan (crashes, slowdowns, link degradation). With
+//       --repair-policy, a crash triggers the RepairEngine and the
+//       recovery report is printed.
 //   report    --chain F --machine F [--procs N]
 //             [--algorithm dp|greedy|auto|brute] [--engine-cache]
 //             [--datasets N] [--noise X] [--seed N] [--out F] [--trace F]
