@@ -5,10 +5,15 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/dp_sweep_state.h"
+#include "core/simd_kernels.h"
+#include "support/aligned.h"
 #include "support/deadline.h"
 #include "support/error.h"
 #include "support/metrics.h"
@@ -20,57 +25,41 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Backpointer layout: L_prev (6 bits) | b_prev (13 bits) | pp_prev (13 bits).
-// L_prev == 0 marks a first-module state.
-std::uint32_t PackBp(int l_prev, int b_prev, int pp_prev) {
+// Backpointer layout: L_prev (6 bits) | b_prev (13 bits) | slot_prev
+// (13 bits). L_prev == 0 marks a first-module state. slot_prev is the rank
+// of the previous module's instance processor count in the solve's slot
+// universe (see below) — slot ranks are monotone in the processor count,
+// so tie ordering over slots equals tie ordering over raw counts.
+std::uint32_t PackBp(int l_prev, int b_prev, int slot_prev) {
   assert(l_prev >= 0 && l_prev <= 63);
   assert(b_prev >= 0 && b_prev <= 8191);
-  assert(pp_prev >= 0 && pp_prev <= 8191);
+  assert(slot_prev >= 0 && slot_prev <= 8191);
   return (static_cast<std::uint32_t>(l_prev) << 26) |
          (static_cast<std::uint32_t>(b_prev) << 13) |
-         static_cast<std::uint32_t>(pp_prev);
+         static_cast<std::uint32_t>(slot_prev);
 }
 constexpr int BpLen(std::uint32_t bp) { return static_cast<int>(bp >> 26); }
 constexpr int BpBudget(std::uint32_t bp) {
   return static_cast<int>((bp >> 13) & 0x1fff);
 }
-constexpr int BpPrevProcs(std::uint32_t bp) {
+constexpr int BpPrevSlot(std::uint32_t bp) {
   return static_cast<int>(bp & 0x1fff);
 }
 
-/// One DP stage: all states whose last module ends at task `j` and has
-/// length `L`. States are indexed by (p_used, budget, prev_instance_procs).
-struct Stage {
-  std::vector<double> value;  // kInf = unreachable
-  std::vector<std::uint32_t> bp;
-  /// row_live[pu] != 0 iff some (pu, b, pp) cell holds a finite value.
-  /// Written with relaxed atomics: concurrent writers only ever store 1,
-  /// and readers consume the flags after the writing sweep has joined.
-  std::vector<std::atomic<char>> row_live;
-  bool allocated = false;
-};
-
-struct StageGrid {
-  int k = 0;
-  std::vector<Stage> stages;  // indexed j * k + (L - 1)
-
-  Stage& At(int j, int len) { return stages[j * k + (len - 1)]; }
-};
-
-/// Best terminal state, totally ordered by (total, pu, b, pp) so parallel
-/// row sweeps can merge per-worker candidates into exactly the state the
-/// serial sweep would keep (the first one reaching the minimum in
-/// (stage, pu, b, pp) order), independent of arrival order.
+/// Best terminal state, totally ordered by (total, pu, b, slot) so
+/// parallel row sweeps can merge per-worker candidates into exactly the
+/// state the serial sweep would keep (the first one reaching the minimum
+/// in (stage, pu, b, slot) order), independent of arrival order.
 struct BestTerminal {
   double total = kInf;
-  int j = -1, len = -1, pu = -1, b = -1, pp = -1;
+  int j = -1, len = -1, pu = -1, b = -1, slot = -1;
 
   /// True when `other` (from the same stage) must replace this candidate.
   bool WorseThan(const BestTerminal& other) const {
     if (other.total != total) return other.total < total;
     if (other.pu != pu) return other.pu < pu;
     if (other.b != b) return other.b < b;
-    return other.pp < pp;
+    return other.slot < slot;
   }
 };
 
@@ -133,13 +122,14 @@ struct DpContext {
   std::size_t RangeIndex(int first, int last) const {
     return static_cast<std::size_t>(first) * k + last;
   }
-  std::size_t StateIndex(int p_used, int budget, int prev_procs) const {
-    return (static_cast<std::size_t>(p_used) * (cap + 1) + budget) *
-               (cap + 1) +
-           prev_procs;
+  ModuleConfig Cfg(int first, int last, int budget) const {
+    return tables->Config(RangeIndex(first, last), budget);
   }
-  const std::vector<ModuleConfig>& Cfgs(int first, int last) const {
-    return tables->cfg[RangeIndex(first, last)];
+  /// Flat per-budget rows of range (first, last) — the hot loops scan
+  /// these instead of materializing ModuleConfig structs.
+  std::size_t CfgBase(int first, int last) const {
+    return RangeIndex(first, last) *
+           static_cast<std::size_t>(tables->budget_stride);
   }
   int MinBudget(int first, int last) const {
     return tables->min_budget[RangeIndex(first, last)];
@@ -164,25 +154,27 @@ double EvaluateClustering(const DpContext& ctx,
   // floors can legitimately land here with some modules invalid under the
   // tighter floor's tables.
   for (int i = 0; i < l; ++i) {
-    if (!ctx.Cfgs(modules[i].first, modules[i].second)[budgets[i]].valid) {
+    if (!ctx.Cfg(modules[i].first, modules[i].second, budgets[i]).valid) {
       return kInf;
     }
   }
   double total = 0.0;
   for (int i = 0; i < l; ++i) {
     const auto [first, last] = modules[i];
-    const ModuleConfig& cfg = ctx.Cfgs(first, last)[budgets[i]];
+    const ModuleConfig cfg = ctx.Cfg(first, last, budgets[i]);
     const double body = eval.Body(first, last, cfg.procs);
     double in_com = 0.0;
     if (i > 0) {
-      const ModuleConfig& prev =
-          ctx.Cfgs(modules[i - 1].first, modules[i - 1].second)[budgets[i - 1]];
+      const ModuleConfig prev = ctx.Cfg(modules[i - 1].first,
+                                        modules[i - 1].second,
+                                        budgets[i - 1]);
       in_com = eval.ECom(first - 1, prev.procs, cfg.procs);
     }
     double out_com = 0.0;
     if (i + 1 < l) {
-      const ModuleConfig& next =
-          ctx.Cfgs(modules[i + 1].first, modules[i + 1].second)[budgets[i + 1]];
+      const ModuleConfig next = ctx.Cfg(modules[i + 1].first,
+                                        modules[i + 1].second,
+                                        budgets[i + 1]);
       out_com = eval.ECom(last, cfg.procs, next.procs);
     }
     // Mirror the DP's per-module cap test exactly: the terminal module is
@@ -216,7 +208,7 @@ Mapping MappingFromClustering(const DpContext& ctx,
   Mapping mapping;
   for (std::size_t i = 0; i < modules.size(); ++i) {
     const auto [first, last] = modules[i];
-    const ModuleConfig& cfg = ctx.Cfgs(first, last)[budgets[i]];
+    const ModuleConfig cfg = ctx.Cfg(first, last, budgets[i]);
     mapping.modules.push_back(
         ModuleAssignment{first, last, cfg.replicas, cfg.procs});
   }
@@ -263,10 +255,10 @@ Incumbent IncumbentBound(const DpContext& ctx) {
     double worst = -kInf;
     for (int t = 0; t < ctx.k; ++t) {
       if (budgets[t] + 1 > ctx.cap ||
-          !ctx.Cfgs(t, t)[budgets[t] + 1].valid) {
+          !ctx.Cfg(t, t, budgets[t] + 1).valid) {
         continue;
       }
-      const ModuleConfig& cfg = ctx.Cfgs(t, t)[budgets[t]];
+      const ModuleConfig cfg = ctx.Cfg(t, t, budgets[t]);
       const double score = eval.Body(t, t, cfg.procs) / cfg.replicas;
       if (score > worst) {
         worst = score;
@@ -332,6 +324,67 @@ bool TablesUsable(const DpRangeTables& tables, const Evaluator* eval,
   return tables.policy == policy && tables.response_cap == response_cap;
 }
 
+/// Stage-sweep partition floor: a worker must have at least this much
+/// estimated work before fanning a stage out one way further. Stages
+/// lighter than a few groups' worth run on fewer workers (often one) —
+/// dispatching eight workers at a hundred-row stage is exactly the
+/// 8-thread regression the scaling bench used to show.
+constexpr std::int64_t kMinWorkPerWorker = 16384;
+
+int RoundUp4(int n) { return (n + 3) & ~3; }
+
+/// Empty cell marker: lo = 0xffff, hi = 0 (hi <= lo). See
+/// FlatStage::slot_range.
+constexpr std::uint32_t kEmptyCellRange = 0xffffu;
+
+/// (Re)initializes a stage to the unreachable state. Only the per-cell
+/// occupancy ranges and row flags are reset — the value/bp tables are
+/// never bulk-cleared (a full clear of the O(cap^2 * slots) tables per
+/// stage used to dominate the sweep's memory traffic); lanes outside a
+/// cell's [lo, hi) range are garbage by contract and never read.
+void ClearStage(FlatStage& s, std::size_t cells, int rows) {
+  std::uint32_t* r = s.slot_range.data();
+  for (std::size_t i = 0; i < cells; ++i) r[i] = kEmptyCellRange;
+  for (int row = 0; row < rows; ++row) {
+    s.row_live[static_cast<std::size_t>(row)].value.store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+/// First stage index whose captured contents may disagree with `eval`:
+/// the earliest dirty task, dirty edge + 1 (edge e is first charged when a
+/// module ending at e extends, writing stages >= e + 1), or the end task
+/// of a module range whose memory minimum / replicability changed. `k`
+/// means nothing is dirty.
+int ComputeDirtyFrom(const DpSweepState& s, const Evaluator& eval, int k,
+                     int max_len) {
+  int dirty = k;
+  for (int t = 0; t < k; ++t) {
+    if (s.task_hash[static_cast<std::size_t>(t)] != eval.TaskCostHash(t)) {
+      dirty = std::min(dirty, t);
+      break;  // later tasks cannot lower the minimum
+    }
+  }
+  for (int e = 0; e < k - 1 && e + 1 < dirty; ++e) {
+    if (s.edge_hash[static_cast<std::size_t>(e)] != eval.EdgeCostHash(e)) {
+      dirty = std::min(dirty, e + 1);
+      break;
+    }
+  }
+  const std::vector<int>& mp = eval.min_procs_table();
+  const std::vector<char>& rp = eval.replicable_table();
+  for (int first = 0; first < k && dirty > 0; ++first) {
+    const int last_max = std::min(k - 1, first + max_len - 1);
+    for (int last = first; last <= last_max && last < dirty; ++last) {
+      const std::size_t idx = static_cast<std::size_t>(first) * k + last;
+      if (s.min_procs[idx] != mp[idx] || s.replicable[idx] != rp[idx]) {
+        dirty = std::min(dirty, last);
+      }
+    }
+  }
+  return dirty;
+}
+
 }  // namespace
 
 DpSolution RunChainDp(const DpProblem& problem) {
@@ -366,13 +419,12 @@ DpSolution RunChainDp(const DpProblem& problem) {
   const bool path_sum = ctx.path_sum;
   const double response_cap = ctx.response_cap;
 
-  // Per-module-range configuration tables: cfg[(first,last)][budget], the
-  // smallest usable budget per range, and the minimal suffix budgets. A
-  // warm start whose tables match this problem skips the whole
+  // Per-module-range configuration tables: flat (range, budget) arrays,
+  // the smallest usable budget per range, and the minimal suffix budgets.
+  // A warm start whose tables match this problem skips the whole
   // tabulation; otherwise the tables are built here (ranges are
   // independent, so they tabulate in parallel; each worker writes only
-  // its own ranges' cfg and min_budget slots) and handed to the warm
-  // state for the next solve.
+  // its own ranges' rows) and handed to the warm state for the next solve.
   const std::shared_ptr<WarmStartState> warm = options.warm;
   bool reused_tables = false;
   if (warm) {
@@ -403,7 +455,12 @@ DpSolution RunChainDp(const DpProblem& problem) {
     tables.rule = problem.config_rule;
     tables.response_cap = response_cap;
     tables.has_predicate = static_cast<bool>(options.proc_feasible);
-    tables.cfg.resize(static_cast<std::size_t>(k) * k);
+    tables.budget_stride = cap + 1;
+    const std::size_t cfg_size =
+        static_cast<std::size_t>(k) * k * (cap + 1);
+    tables.cfg_replicas.assign(cfg_size, 0);
+    tables.cfg_procs.assign(cfg_size, 0);
+    tables.cfg_valid.assign(cfg_size, 0);
     tables.min_budget.assign(static_cast<std::size_t>(k) * k,
                              kInfeasibleProcs);
     std::vector<std::pair<int, int>> ranges;
@@ -423,18 +480,20 @@ DpSolution RunChainDp(const DpProblem& problem) {
           [&](int, std::int64_t begin, std::int64_t end) {
             for (std::int64_t i = begin; i < end; ++i) {
               const auto [first, last] = ranges[i];
-              auto& cfgs = tables.cfg[ctx.RangeIndex(first, last)];
-              cfgs.assign(cap + 1, ModuleConfig{});
+              const std::size_t ri = ctx.RangeIndex(first, last);
+              const std::size_t base = ri * (cap + 1);
               for (int b = 1; b <= cap; ++b) {
-                cfgs[b] =
+                const ModuleConfig cfg =
                     problem.config_rule == DpConfigRule::kLatencyBody
                         ? LatencyConfig(eval, first, last, b, response_cap,
                                         options.proc_feasible)
                         : ConfigureConstrained(eval, first, last, b, policy,
                                                options.proc_feasible);
-                if (cfgs[b].valid &&
-                    tables.min_budget[ctx.RangeIndex(first, last)] > b) {
-                  tables.min_budget[ctx.RangeIndex(first, last)] = b;
+                tables.cfg_replicas[base + b] = cfg.replicas;
+                tables.cfg_procs[base + b] = cfg.valid ? cfg.procs : 0;
+                tables.cfg_valid[base + b] = cfg.valid ? 1 : 0;
+                if (cfg.valid && tables.min_budget[ri] > b) {
+                  tables.min_budget[ri] = b;
                 }
               }
             }
@@ -467,6 +526,46 @@ DpSolution RunChainDp(const DpProblem& problem) {
     throw Infeasible(
         "RunChainDp: not enough processors to satisfy module memory minima");
   }
+  const char* cfg_valid = ctx.tables->cfg_valid.data();
+  const int* cfg_procs = ctx.tables->cfg_procs.data();
+  const int* cfg_replicas = ctx.tables->cfg_replicas.data();
+
+  // ---------------------------------------------------------------------
+  // Slot universe: the distinct per-instance processor counts any valid
+  // configuration can hand to its successor, plus 0 for "no predecessor".
+  // The previous-procs axis of the DP state is indexed by slot rank
+  // instead of raw count — the axis shrinks from cap+1 to the number of
+  // counts that actually occur, which is what makes the per-cell slot
+  // rows short enough to scan with one or two vector loads. Ranks are
+  // ascending in the processor count, so every tie-break over slots
+  // matches the serial tie-break over raw counts.
+  // ---------------------------------------------------------------------
+  std::vector<int> slot_of(static_cast<std::size_t>(cap) + 1, -1);
+  std::vector<int> slot_procs;
+  {
+    std::vector<char> present(static_cast<std::size_t>(cap) + 1, 0);
+    present[0] = 1;
+    for (int first = 0; first < k; ++first) {
+      for (int last = first; last < std::min(k, first + max_len); ++last) {
+        const std::size_t base = ctx.CfgBase(first, last);
+        for (int b = 1; b <= cap; ++b) {
+          if (cfg_valid[base + b]) present[cfg_procs[base + b]] = 1;
+        }
+      }
+    }
+    for (int p = 0; p <= cap; ++p) {
+      if (present[p]) {
+        slot_of[p] = static_cast<int>(slot_procs.size());
+        slot_procs.push_back(p);
+      }
+    }
+  }
+  const int nslots = static_cast<int>(slot_procs.size());
+  const int nslots4 = RoundUp4(nslots);
+  // Pad the slot pitch to 16 doubles: value rows start on cache lines
+  // (16 * 8 = two lines) and bp rows (4-byte entries) on their own line,
+  // so workers writing neighbouring (pu, b) cells never share one.
+  const int slot_pitch = (nslots + 15) & ~15;
 
   // Upper bound on the optimum from cheap heuristic mappings, tightened
   // by the warm start's incumbent when one fits the current constraints.
@@ -486,48 +585,156 @@ DpSolution RunChainDp(const DpProblem& problem) {
     }
   }
 
-  StageGrid grid;
-  grid.k = k;
-  grid.stages.resize(static_cast<std::size_t>(k) * k);
-  const std::size_t block_states =
-      static_cast<std::size_t>(cap + 1) * (cap + 1) * (cap + 1);
-  const std::size_t bytes_per_block =
-      block_states * (sizeof(double) + sizeof(std::uint32_t));
-  std::size_t allocated_bytes = 0;
-  auto ensure_stage = [&](int j, int len) -> Stage& {
-    Stage& s = grid.At(j, len);
+  // ---------------------------------------------------------------------
+  // Incremental re-solve: check a captured sweep out of the warm state
+  // (exclusively — it is re-attached only on success), find the first
+  // stage whose inputs changed, and keep every earlier stage's tables.
+  // Reuse additionally requires the gate inputs to agree: identical slot
+  // universe and identical suffix-budget bounds over the clean prefix
+  // (both gate which cells exist). When anything disqualifies the capture
+  // the solve silently runs the full sweep — incremental is an
+  // accelerator, never a semantic switch.
+  //
+  // Capture runs with dominance pruning disabled on non-terminal stages
+  // so the kept tables are complete. That is exactness-preserving in both
+  // directions: a write emitted from a cell the pruned sweep would have
+  // skipped carries a value >= its cell bound > threshold >= optimum, and
+  // values never decrease along a chain (max-aggregation, or adding
+  // non-negative costs), so no such write can reach, beat, or tie the
+  // optimum's terminal state — the mapping and objective are bitwise what
+  // the pruned cold solve returns.
+  // ---------------------------------------------------------------------
+  const bool want_capture = options.incremental && warm && eval.tabulated();
+  std::shared_ptr<DpSweepState> sweep;
+  bool used_sweep_prefix = false;
+  // First stage (end-task index) that must be re-swept; k-1 at minimum is
+  // always re-swept so the terminal candidates are re-selected.
+  int rebuild_from = 0;
+  if (want_capture && warm->sweep) {
+    std::shared_ptr<DpSweepState> prior = std::move(warm->sweep);
+    warm->sweep.reset();
+    const DpSweepState& s = *prior;
+    const bool key_ok =
+        s.k == k && s.cap == cap && s.max_len == max_len &&
+        s.policy == policy && s.rule == problem.config_rule &&
+        s.response_cap == response_cap &&
+        s.has_predicate == static_cast<bool>(options.proc_feasible) &&
+        s.path_sum == path_sum && s.slot_procs == slot_procs &&
+        s.slot_pitch == slot_pitch;
+    if (key_ok) {
+      int dirty = ComputeDirtyFrom(s, eval, k, max_len);
+      bool gates_ok = true;
+      for (int t = 0; t <= std::min(dirty, k); ++t) {
+        if (s.suffix_min[static_cast<std::size_t>(t)] != suffix_min[t]) {
+          gates_ok = false;
+          break;
+        }
+      }
+      if (gates_ok && dirty > 0) {
+        sweep = std::move(prior);
+        used_sweep_prefix = true;  // dirty == k reuses every stage but last
+        rebuild_from = std::min(dirty, k - 1);
+        ++warm->prefix_reused;
+        PIPEMAP_COUNTER_ADD("dp.sweep_prefix_reused", 1);
+      }
+    }
+  }
+  const bool fresh_grid = sweep == nullptr;
+  if (fresh_grid) {
+    sweep = std::make_shared<DpSweepState>();
+    sweep->stages.resize(static_cast<std::size_t>(k) * k);
+    rebuild_from = 0;
+  }
+  DpSweepState& grid = *sweep;
+  auto stage_at = [&grid, k](int j, int len) -> FlatStage& {
+    return grid.stages[static_cast<std::size_t>(j) * k + (len - 1)];
+  };
+
+  const std::size_t stage_cells =
+      static_cast<std::size_t>(cap + 1) * (cap + 1);
+  const std::size_t stage_extent = stage_cells * slot_pitch;
+  const std::size_t bytes_per_stage =
+      stage_extent * (sizeof(double) + sizeof(std::uint32_t)) +
+      stage_cells * sizeof(std::uint32_t) +
+      static_cast<std::size_t>(cap + 1) * kCacheLineBytes;
+  auto ensure_stage = [&](int j, int len) -> FlatStage& {
+    FlatStage& s = stage_at(j, len);
     if (!s.allocated) {
-      allocated_bytes += bytes_per_block;
-      if (allocated_bytes > options.max_table_bytes) {
+      grid.allocated_bytes += bytes_per_stage;
+      if (grid.allocated_bytes > options.max_table_bytes) {
         throw ResourceLimit(
             "RunChainDp: DP table exceeds max_table_bytes; reduce P or use "
             "GreedyMapper");
       }
-      s.value.assign(block_states, kInf);
-      s.bp.assign(block_states, 0);
-      s.row_live = std::vector<std::atomic<char>>(cap + 1);
+      s.value.Reset(stage_extent);
+      s.bp.Reset(stage_extent);
+      s.slot_range.Reset(stage_cells);
+      s.row_live =
+          std::vector<CacheLinePadded<std::atomic<char>>>(cap + 1);
+      ClearStage(s, stage_cells, cap + 1);
       s.allocated = true;
     }
     return s;
   };
-  auto state_index = [&ctx](int p_used, int budget, int prev_procs) {
-    return ctx.StateIndex(p_used, budget, prev_procs);
+  // Stages at or past the rebuild point are re-derived from scratch.
+  if (!fresh_grid) {
+    for (int j = rebuild_from; j < k; ++j) {
+      for (int len = 1; len <= std::min(max_len, j + 1); ++len) {
+        FlatStage& s = stage_at(j, len);
+        if (s.allocated) ClearStage(s, stage_cells, cap + 1);
+      }
+    }
+  }
+  auto cell_index = [cap](int pu, int b) {
+    return static_cast<std::size_t>(pu) * (cap + 1) + b;
   };
 
-  // Seed: first module [0 .. len-1] with budget b.
+  // Single write point for a stage cell (pu, b, dslot): maintains the
+  // cell's initialized-lane range (gap lanes fill with +inf on extension),
+  // applies the strict-< minimum rule against initialized lanes, and
+  // stores value + backpointer together. Every (cell, slot) is owned by
+  // exactly one worker within a sweep (the source row of a write to
+  // (pu + b2, b2) is recoverable as pu), so no synchronization is needed.
+  // Returns whether the cell was updated.
+  auto cell_write = [slot_pitch](FlatStage& s, std::size_t cell, int dslot,
+                                 double nv, std::uint32_t bpv) -> bool {
+    const std::size_t base = cell * static_cast<std::size_t>(slot_pitch);
+    double* lanes = s.value.data() + base;
+    std::uint32_t& range = s.slot_range[cell];
+    const int lo = static_cast<int>(range & 0xffffu);
+    const int hi = static_cast<int>(range >> 16);
+    if (hi <= lo) {
+      range = static_cast<std::uint32_t>(dslot) |
+              (static_cast<std::uint32_t>(dslot + 1) << 16);
+    } else if (dslot < lo) {
+      for (int g = dslot + 1; g < lo; ++g) lanes[g] = kInf;
+      range = static_cast<std::uint32_t>(dslot) |
+              (static_cast<std::uint32_t>(hi) << 16);
+    } else if (dslot >= hi) {
+      for (int g = hi; g < dslot; ++g) lanes[g] = kInf;
+      range = static_cast<std::uint32_t>(lo) |
+              (static_cast<std::uint32_t>(dslot + 1) << 16);
+    } else if (!(nv < lanes[dslot])) {
+      return false;
+    }
+    lanes[dslot] = nv;
+    s.bp[base + dslot] = bpv;
+    return true;
+  };
+
+  // Seed: first module [0 .. len-1] with budget b. Under prefix reuse,
+  // seeds landing in clean stages are already in the captured tables.
   for (int len = 1; len <= std::min(max_len, k); ++len) {
     const int last = len - 1;
-    const auto& cfgs = ctx.Cfgs(0, last);
+    if (!fresh_grid && last < rebuild_from) continue;
+    const std::size_t cbase = ctx.CfgBase(0, last);
     const long long suffix_needed = suffix_min[last + 1];
     for (int b = 1; b <= cap; ++b) {
-      if (!cfgs[b].valid) continue;
+      if (!cfg_valid[cbase + b]) continue;
       if (b + suffix_needed > cap) break;
-      Stage& s = ensure_stage(last, len);
-      const std::size_t idx = state_index(b, b, 0);
-      if (s.value[idx] > 0.0) {
-        s.value[idx] = 0.0;
-        s.bp[idx] = PackBp(0, 0, 0);
-        s.row_live[b].store(1, std::memory_order_relaxed);
+      FlatStage& s = ensure_stage(last, len);
+      if (cell_write(s, cell_index(b, b), 0, 0.0, PackBp(0, 0, 0))) {
+        s.row_live[b].value.store(1, std::memory_order_relaxed);
       }
     }
   }
@@ -536,10 +743,41 @@ DpSolution RunChainDp(const DpProblem& problem) {
   std::uint64_t work = 0;
   std::uint64_t pruned_cells = 0;
 
-  // Per-worker reduction slots for the parallel row sweeps.
-  std::vector<BestTerminal> worker_best(num_threads);
-  std::vector<std::uint64_t> worker_work(num_threads, 0);
-  std::vector<std::uint64_t> worker_pruned(num_threads, 0);
+  // Per-worker reduction slots for the parallel row sweeps, each on its
+  // own cache line so concurrent accumulation never bounces a line.
+  struct WorkerAcc {
+    BestTerminal best;
+    std::uint64_t work = 0;
+    std::uint64_t pruned = 0;
+  };
+  std::vector<CacheLinePadded<WorkerAcc>> workers(
+      static_cast<std::size_t>(num_threads));
+  std::vector<std::uint64_t> worker_work_total(
+      static_cast<std::size_t>(num_threads), 0);
+
+  // Per-worker scratch for the vectorized transition kernel: the compacted
+  // source arrays of the current cell and the per-target running minima.
+  // Rounded up so the kernels can always read/write whole vectors.
+  struct WorkerScratch {
+    std::vector<double> src_v, src_c, src_d;
+    std::vector<int> src_slot;
+    std::vector<double> best, src_idx;
+  };
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(num_threads));
+  for (WorkerScratch& ws : scratch) {
+    ws.src_v.resize(static_cast<std::size_t>(nslots4));
+    ws.src_c.resize(static_cast<std::size_t>(nslots4));
+    ws.src_d.resize(static_cast<std::size_t>(nslots4));
+    ws.src_slot.resize(static_cast<std::size_t>(nslots));
+    const std::size_t cap4 = static_cast<std::size_t>(RoundUp4(cap + 1));
+    ws.best.assign(cap4, kInf);
+    ws.src_idx.assign(cap4, -1.0);
+  }
+
+  // Whether dominance pruning may skip cells. Capture keeps the tables
+  // complete, so pruning stays off on stages with outgoing writes; the
+  // terminal stage writes nothing, so it always prunes.
+  const bool capture_tables = want_capture;
 
   // Cooperative deadline: any worker observing expiry raises the shared
   // flag; the other workers bail at their next row boundary and the stage
@@ -550,17 +788,25 @@ DpSolution RunChainDp(const DpProblem& problem) {
   bool aborted = false;
 
   // Process stages in increasing end-task order so transitions always move
-  // forward.
-  for (int j = 0; j < k && !aborted; ++j) {
+  // forward. Under prefix reuse, stages before the rebuild point are
+  // re-swept only as sources for rebuilt destinations (a module spans at
+  // most max_len tasks, so stages earlier than rebuild_from - max_len
+  // cannot write into the rebuilt suffix at all).
+  const int sweep_from =
+      fresh_grid ? 0 : std::max(0, rebuild_from - max_len);
+  for (int j = sweep_from; j < k && !aborted; ++j) {
+    // Clean source stages only emit into rebuilt destinations; their own
+    // tables and terminal candidates are already accounted for.
+    const bool source_only = !fresh_grid && j < rebuild_from;
     for (int len = 1; len <= std::min(max_len, j + 1); ++len) {
       if (deadline != nullptr && deadline->ExpiredNow()) {
         aborted = true;
         break;
       }
-      Stage& s = grid.At(j, len);
+      FlatStage& s = stage_at(j, len);
       if (!s.allocated) continue;
       const int first = j - len + 1;
-      const auto& cfgs = ctx.Cfgs(first, j);
+      const std::size_t cbase = ctx.CfgBase(first, j);
       const bool is_last_stage = (j == k - 1);
 
       // Row-level suffix prune: a state using pu processors still needs
@@ -570,7 +816,7 @@ DpSolution RunChainDp(const DpProblem& problem) {
       std::vector<int> live_rows;
       for (int pu = 1; pu <= cap; ++pu) {
         if (pu + row_suffix > cap) break;
-        if (s.row_live[pu].load(std::memory_order_relaxed)) {
+        if (s.row_live[pu].value.load(std::memory_order_relaxed)) {
           live_rows.push_back(pu);
         }
       }
@@ -581,15 +827,61 @@ DpSolution RunChainDp(const DpProblem& problem) {
       PIPEMAP_HISTOGRAM_RECORD("dp.stage_live_rows",
                                static_cast<double>(live_rows.size()));
 
+      // Everything in a cell's transition that depends only on the current
+      // module's configuration — its body time, its incoming transfer from
+      // each possible predecessor, its outgoing transfer to each target
+      // budget — is loop-invariant across the O(cap^2) cells sharing that
+      // configuration. Cache it per distinct configuration ("rank") up
+      // front, so the per-cell loop does table lookups only. Ranks cover
+      // every valid budget b <= the largest live row (the per-row loops
+      // scan b <= pu).
+      const int max_live_pu = live_rows.back();
+      std::vector<int> rank_of_slot(static_cast<std::size_t>(nslots), -1);
+      std::vector<int> rank_slots;
+      for (int b = 1; b <= max_live_pu; ++b) {
+        if (!cfg_valid[cbase + b]) continue;
+        const int sl = slot_of[static_cast<std::size_t>(cfg_procs[cbase + b])];
+        if (rank_of_slot[static_cast<std::size_t>(sl)] < 0) {
+          rank_of_slot[static_cast<std::size_t>(sl)] =
+              static_cast<int>(rank_slots.size());
+          rank_slots.push_back(sl);
+        }
+      }
+      const int nranks = static_cast<int>(rank_slots.size());
+      // body per rank, and (incoming transfer + body) per (rank, source
+      // slot) — the exact expression the serial sweep computes per cell
+      // (slot 0 is the no-predecessor marker: in_com = 0.0; entries for
+      // slot > 0 at first == 0 are never read, first-module stages only
+      // hold seeds).
+      std::vector<double> body_of_rank(static_cast<std::size_t>(nranks));
+      std::vector<double> in_body(static_cast<std::size_t>(nranks) * nslots);
+      for (int r = 0; r < nranks; ++r) {
+        const int procs = slot_procs[static_cast<std::size_t>(rank_slots[r])];
+        const double body = eval.Body(first, j, procs);
+        body_of_rank[r] = body;
+        double* row = in_body.data() + static_cast<std::size_t>(r) * nslots;
+        row[0] = 0.0 + body;
+        for (int slot = 1; slot < nslots; ++slot) {
+          row[slot] =
+              first > 0
+                  ? eval.ECom(first - 1, slot_procs[slot], procs) + body
+                  : body;
+        }
+      }
+
       // Pre-allocate every stage this sweep can write, so the parallel
-      // rows never mutate the grid. Reachability matches the per-row
-      // budget test at the smallest live row (the easiest to extend).
+      // rows never mutate the grid, and flatten each target's valid
+      // budgets into ascending arrays the kernel can scan, together with
+      // the outgoing-transfer costs per rank (gathered once per stage
+      // instead of once per cell). Reachability matches the per-row budget
+      // test at the smallest live row (the easiest to extend).
       struct Target {
-        Stage* stage = nullptr;
-        const std::vector<ModuleConfig>* cfgs = nullptr;
+        FlatStage* stage = nullptr;
         long long tail_needed = 0;
         int next_min = kInfeasibleProcs;
-        int next_last = 0;
+        std::vector<int> b2s;  // ascending valid budgets
+        int o_pitch = 0;       // b2s.size() rounded up to 4
+        std::vector<double> o;  // [rank][idx]: ECom(j, procs(rank), procs2)
       };
       std::vector<Target> targets;
       if (!is_last_stage) {
@@ -597,16 +889,46 @@ DpSolution RunChainDp(const DpProblem& problem) {
         for (int len2 = 1; len2 <= std::min(max_len, k - 1 - j); ++len2) {
           const int next_last = j + len2;
           Target t;
-          t.next_last = next_last;
           t.next_min = ctx.MinBudget(j + 1, next_last);
           t.tail_needed = suffix_min[next_last + 1];
-          if (t.next_min < kInfeasibleProcs &&
-              min_live_pu + t.next_min + t.tail_needed <= cap) {
+          const bool reachable =
+              t.next_min < kInfeasibleProcs &&
+              min_live_pu + t.next_min + t.tail_needed <= cap;
+          // Under prefix reuse, writes into clean stages are already in
+          // the captured tables (and would be no-ops: the min-update is
+          // idempotent); skip them.
+          const bool wanted =
+              fresh_grid || next_last >= rebuild_from;
+          if (reachable && wanted) {
             t.stage = &ensure_stage(next_last, len2);
-            t.cfgs = &ctx.Cfgs(j + 1, next_last);
+            const std::size_t nbase = ctx.CfgBase(j + 1, next_last);
+            std::vector<int> procs2;
+            for (int b2 = 1; b2 <= cap; ++b2) {
+              if (!cfg_valid[nbase + b2]) continue;
+              t.b2s.push_back(b2);
+              procs2.push_back(cfg_procs[nbase + b2]);
+            }
+            const int count = static_cast<int>(t.b2s.size());
+            t.o_pitch = RoundUp4(count);
+            t.o.assign(static_cast<std::size_t>(nranks) * t.o_pitch, kInf);
+            for (int r = 0; r < nranks; ++r) {
+              const int procs = slot_procs[rank_slots[r]];
+              const double* erow =
+                  eval.tabulated() ? eval.EComRow(j, procs) : nullptr;
+              double* dst = t.o.data() + static_cast<std::size_t>(r) * t.o_pitch;
+              for (int idx = 0; idx < count; ++idx) {
+                dst[idx] = erow != nullptr ? erow[procs2[idx]]
+                                           : eval.ECom(j, procs, procs2[idx]);
+              }
+            }
           }
-          targets.push_back(t);
+          targets.push_back(std::move(t));
         }
+      }
+      if (source_only) {
+        bool any_target = false;
+        for (const Target& t : targets) any_target |= t.stage != nullptr;
+        if (!any_target) continue;
       }
 
       // The dominance threshold stays frozen for the whole stage: `best`
@@ -616,12 +938,14 @@ DpSolution RunChainDp(const DpProblem& problem) {
       const double frozen_threshold = std::min(incumbent.value, best.total);
 
       for (int w = 0; w < num_threads; ++w) {
-        worker_best[w] = BestTerminal{};
+        workers[static_cast<std::size_t>(w)].value.best = BestTerminal{};
       }
 
       auto sweep_rows = [&](int worker, std::int64_t row_begin,
                             std::int64_t row_end) {
-        BestTerminal& local_best = worker_best[worker];
+        WorkerAcc& acc = workers[static_cast<std::size_t>(worker)].value;
+        WorkerScratch& ws = scratch[static_cast<std::size_t>(worker)];
+        BestTerminal local_best = acc.best;
         std::uint64_t local_work = 0;
         std::uint64_t local_pruned = 0;
         for (std::int64_t row = row_begin; row < row_end; ++row) {
@@ -633,94 +957,170 @@ DpSolution RunChainDp(const DpProblem& problem) {
           }
           const int pu = live_rows[static_cast<std::size_t>(row)];
           for (int b = 1; b <= pu; ++b) {
-            const ModuleConfig& cfg = cfgs[b];
-            if (!cfg.valid) continue;
-            const std::size_t base = state_index(pu, b, 0);
+            if (!cfg_valid[cbase + b]) continue;
+            const std::size_t cell = cell_index(pu, b);
+            const std::uint32_t crange = s.slot_range[cell];
+            const int lo = static_cast<int>(crange & 0xffffu);
+            const int hi = static_cast<int>(crange >> 16);
+            if (hi <= lo) continue;  // cell never written
+            const int procs = cfg_procs[cbase + b];
+            const int replicas = cfg_replicas[cbase + b];
+            const int rank = rank_of_slot[static_cast<std::size_t>(
+                slot_of[static_cast<std::size_t>(procs)])];
+            const double* vrow =
+                s.value.data() + cell * static_cast<std::size_t>(slot_pitch);
 
-            // Dominance prune: the best completion through (pu, b, *) is at
-            // least the cheapest incoming value combined with this module's
-            // body at zero boundary communication. Strictly worse than the
-            // threshold means no completion can beat or tie the optimum.
-            double v_min = kInf;
-            for (int pp = 0; pp <= cap; ++pp) {
-              v_min = std::min(v_min, s.value[base + pp]);
-            }
-            if (v_min == kInf) continue;
-            const double body = eval.Body(first, j, cfg.procs);
+            // Dominance prune: the best completion through (pu, b, *) is
+            // at least the cheapest incoming value combined with this
+            // module's body at zero boundary communication. Strictly worse
+            // than the threshold means no completion can beat or tie the
+            // optimum. With capture on, the prune is disabled (the tables
+            // must stay complete); the extra writes can never displace the
+            // optimum — see the capture comment above. The min over the
+            // initialized lanes equals the min over the whole conceptual
+            // row: uninitialized lanes are +inf by definition.
+            const double v_min = simd::RowMin(vrow + lo, hi - lo);
+            const double body = body_of_rank[static_cast<std::size_t>(rank)];
             const double cell_bound =
                 path_sum ? v_min + body
-                         : std::max(v_min, body / cfg.replicas);
-            if (cell_bound > std::min(frozen_threshold, local_best.total)) {
+                         : std::max(v_min, body / replicas);
+            if ((!capture_tables || is_last_stage) &&
+                cell_bound > std::min(frozen_threshold, local_best.total)) {
               ++local_pruned;
               continue;
             }
 
-            for (int pp = 0; pp <= cap; ++pp) {
-              const double v = s.value[base + pp];
+            // Compact the finite sources of this cell: value, in + body,
+            // value + body, and the slot id, in ascending slot order (the
+            // serial sweep's previous-procs order, so first-wins ties
+            // resolve identically).
+            const double* in_body_row =
+                in_body.data() + static_cast<std::size_t>(rank) * nslots;
+            int n = 0;
+            for (int slot = lo; slot < hi; ++slot) {
+              const double v = vrow[slot];
               if (v == kInf) continue;
-              const double in_com =
-                  pp > 0 ? eval.ECom(first - 1, pp, cfg.procs) : 0.0;
+              ws.src_v[n] = v;
+              ws.src_c[n] = in_body_row[slot];
+              ws.src_d[n] = v + body;
+              ws.src_slot[n] = slot;
+              ++n;
+            }
+            const double replicas_d = static_cast<double>(replicas);
 
-              if (is_last_stage) {
+            if (is_last_stage) {
+              for (int i = 0; i < n; ++i) {
                 ++local_work;
-                const double resp = (in_com + body) / cfg.replicas;
+                const double resp = ws.src_c[i] / replicas_d;
                 if (resp > response_cap) continue;
-                // Path-sum counts the body only: the incoming transfer was
-                // charged when the previous module completed.
+                // Path-sum counts the body only: the incoming transfer
+                // was charged when the previous module completed.
                 const double total =
-                    path_sum ? v + body : std::max(v, resp);
+                    path_sum ? ws.src_d[i] : std::max(ws.src_v[i], resp);
                 if (total < local_best.total) {
-                  local_best = BestTerminal{total, j, len, pu, b, pp};
+                  local_best =
+                      BestTerminal{total, j, len, pu, b, ws.src_slot[i]};
                 }
+              }
+              continue;
+            }
+            if (source_only && n == 0) continue;
+
+            // Extend with the next module [j+1 .. j+len2] and budget b2.
+            // The kernel runs per source over the contiguous valid-b2
+            // axis, maintaining per-target minima; the merge below then
+            // performs one strict-< update per destination cell. Rows of
+            // the destination stage are owned exclusively: the source row
+            // of a write to (pu + b2, b2, *) is recoverable as
+            // pu = (pu + b2) - b2, so no two source rows ever touch the
+            // same destination cell.
+            const int dslot = slot_of[static_cast<std::size_t>(procs)];
+            for (const Target& t : targets) {
+              if (t.stage == nullptr ||
+                  pu + t.next_min + t.tail_needed > cap) {
                 continue;
               }
+              // Valid budgets are ascending; the row's budget headroom
+              // cuts them to a prefix.
+              const long long limit_ll = cap - pu - t.tail_needed;
+              if (limit_ll < 1) continue;
+              const int limit = static_cast<int>(
+                  std::min<long long>(limit_ll, cap));
+              const int m = static_cast<int>(
+                  std::upper_bound(t.b2s.begin(), t.b2s.end(), limit) -
+                  t.b2s.begin());
+              if (m == 0) continue;
+              local_work += static_cast<std::uint64_t>(n) * m;
 
-              // Extend with the next module [j+1 .. j+len2] and budget b2.
-              for (const Target& t : targets) {
-                if (t.stage == nullptr ||
-                    pu + t.next_min + t.tail_needed > cap) {
-                  continue;
-                }
-                Stage& ns = *t.stage;
-                for (int b2 = 1; pu + b2 <= cap; ++b2) {
-                  const ModuleConfig& cfg2 = (*t.cfgs)[b2];
-                  if (!cfg2.valid) continue;
-                  if (pu + b2 + t.tail_needed > cap) break;
-                  ++local_work;
-                  const double out_com = eval.ECom(j, cfg.procs, cfg2.procs);
-                  const double resp =
-                      (in_com + body + out_com) / cfg.replicas;
-                  if (resp > response_cap) continue;
-                  const double nv =
-                      path_sum ? v + body + out_com : std::max(v, resp);
-                  // Rows of the destination stage are owned exclusively:
-                  // the source row of a write to (pu + b2, b2, *) is
-                  // recoverable as pu = (pu + b2) - b2, so no two source
-                  // rows ever touch the same destination cell.
-                  const std::size_t nidx =
-                      state_index(pu + b2, b2, cfg.procs);
-                  if (nv < ns.value[nidx]) {
-                    ns.value[nidx] = nv;
-                    ns.bp[nidx] = PackBp(len, b, pp);
-                    ns.row_live[pu + b2].store(1, std::memory_order_relaxed);
-                  }
+              const double* o =
+                  t.o.data() + static_cast<std::size_t>(rank) * t.o_pitch;
+              const int m4 = RoundUp4(m);
+              for (int idx = 0; idx < m4; ++idx) {
+                ws.best[idx] = kInf;
+                ws.src_idx[idx] = -1.0;
+              }
+              for (int i = 0; i < n; ++i) {
+                simd::UpdateBestOverTargets(
+                    ws.src_v[i], ws.src_c[i], ws.src_d[i],
+                    static_cast<double>(i), o, m, replicas_d,
+                    response_cap, path_sum, ws.best.data(),
+                    ws.src_idx.data());
+              }
+              FlatStage& ns = *t.stage;
+              for (int idx = 0; idx < m; ++idx) {
+                const double nv = ws.best[idx];
+                if (nv == kInf) continue;
+                const int b2 = t.b2s[idx];
+                const int i = static_cast<int>(ws.src_idx[idx]);
+                if (cell_write(ns, cell_index(pu + b2, b2), dslot, nv,
+                               PackBp(len, b, ws.src_slot[i]))) {
+                  ns.row_live[pu + b2].value.store(
+                      1, std::memory_order_relaxed);
                 }
               }
             }
           }
         }
-        worker_work[worker] += local_work;
-        worker_pruned[worker] += local_pruned;
+        acc.best = local_best;
+        acc.work += local_work;
+        acc.pruned += local_pruned;
       };
 
-      // Static partitioning keeps each worker's row set — and therefore the
-      // terminal-stage pruning decisions and work counters — reproducible
-      // for a given thread count. The reduction below is order-independent,
-      // so dynamic scheduling would still yield identical mappings; static
-      // costs little here because live rows have similar weight.
-      ParallelFor(num_threads,
-                  static_cast<std::int64_t>(live_rows.size()),
-                  ParallelSchedule::kStatic, 1, sweep_rows);
+      // Weighted contiguous partitioning: heavier rows (more budget cells,
+      // more transition headroom) get fewer neighbours, and the group
+      // count shrinks when the stage is too light to feed every worker —
+      // fine-grained fan-out of tiny stages is where the old sweep lost
+      // its 8-thread scaling. Each group maps to one worker, so per-worker
+      // reductions stay reproducible for a given thread count; the merge
+      // below is order-independent, so the mapping is identical for every
+      // thread count regardless of the partition.
+      std::vector<std::int64_t> weights(live_rows.size());
+      {
+        // valid-budget prefix counts for the current range.
+        std::vector<std::int64_t> valid_prefix(
+            static_cast<std::size_t>(cap) + 1, 0);
+        for (int b = 1; b <= cap; ++b) {
+          valid_prefix[b] = valid_prefix[b - 1] + (cfg_valid[cbase + b] ? 1 : 0);
+        }
+        for (std::size_t r = 0; r < live_rows.size(); ++r) {
+          const int pu = live_rows[r];
+          const std::int64_t cells = valid_prefix[pu];
+          const std::int64_t span =
+              is_last_stage ? 1
+                            : std::max<std::int64_t>(1, cap - pu + 1);
+          weights[r] = 1 + cells * span;
+        }
+      }
+      const std::vector<std::int64_t> bounds =
+          BalancedPartition(weights, num_threads, kMinWorkPerWorker);
+      const int groups = static_cast<int>(bounds.size()) - 1;
+      ParallelFor(groups, groups, ParallelSchedule::kStatic, 1,
+                  [&](int worker, std::int64_t begin, std::int64_t end) {
+                    for (std::int64_t g = begin; g < end; ++g) {
+                      sweep_rows(worker, bounds[static_cast<std::size_t>(g)],
+                                 bounds[static_cast<std::size_t>(g) + 1]);
+                    }
+                  });
 
       if (deadline_hit.load(std::memory_order_relaxed)) {
         aborted = true;
@@ -728,25 +1128,30 @@ DpSolution RunChainDp(const DpProblem& problem) {
       }
 
       for (int w = 0; w < num_threads; ++w) {
-        if (worker_best[w].total == kInf) continue;
+        const BestTerminal& cand =
+            workers[static_cast<std::size_t>(w)].value.best;
+        if (cand.total == kInf) continue;
         // Candidates from this stage beat the incumbent only strictly, and
-        // among themselves the smallest (pu, b, pp) wins ties — exactly the
-        // state the serial sweep reaches first.
-        if (worker_best[w].total < best.total ||
-            (worker_best[w].total == best.total && best.j == j &&
-             best.len == len && best.WorseThan(worker_best[w]))) {
-          best = worker_best[w];
+        // among themselves the smallest (pu, b, slot) wins ties — exactly
+        // the state the serial sweep reaches first.
+        if (cand.total < best.total ||
+            (cand.total == best.total && best.j == j && best.len == len &&
+             best.WorseThan(cand))) {
+          best = cand;
         }
       }
     }
   }
   for (int w = 0; w < num_threads; ++w) {
-    work += worker_work[w];
-    pruned_cells += worker_pruned[w];
+    const WorkerAcc& acc = workers[static_cast<std::size_t>(w)].value;
+    work += acc.work;
+    pruned_cells += acc.pruned;
+    worker_work_total[static_cast<std::size_t>(w)] = acc.work;
   }
   PIPEMAP_COUNTER_ADD("dp.cells_evaluated", work);
   PIPEMAP_COUNTER_ADD("dp.cells_pruned", pruned_cells);
-  PIPEMAP_GAUGE_MAX("dp.table_bytes", static_cast<double>(allocated_bytes));
+  PIPEMAP_GAUGE_MAX("dp.table_bytes",
+                    static_cast<double>(grid.allocated_bytes));
 
   const bool timed_out = aborted;
   if (timed_out) PIPEMAP_COUNTER_ADD("dp.deadline_expirations", 1);
@@ -769,22 +1174,25 @@ DpSolution RunChainDp(const DpProblem& problem) {
     // Reconstruct module list by walking backpointers from the best
     // terminal state.
     std::vector<ModuleAssignment> reversed;
-    int j = best.j, len = best.len, pu = best.pu, b = best.b, pp = best.pp;
+    int j = best.j, len = best.len, pu = best.pu, b = best.b;
+    int slot = best.slot;
     while (true) {
       const int first = j - len + 1;
-      const ModuleConfig& cfg = ctx.Cfgs(first, j)[b];
+      const ModuleConfig cfg = ctx.Cfg(first, j, b);
       reversed.push_back(ModuleAssignment{first, j, cfg.replicas, cfg.procs});
-      const Stage& s = grid.At(j, len);
-      const std::uint32_t bp = s.bp[state_index(pu, b, pp)];
+      const FlatStage& s = stage_at(j, len);
+      const std::uint32_t bp =
+          s.bp[cell_index(pu, b) * static_cast<std::size_t>(slot_pitch) +
+               slot];
       const int l_prev = BpLen(bp);
       if (l_prev == 0) break;
       const int b_prev = BpBudget(bp);
-      const int pp_prev = BpPrevProcs(bp);
+      const int slot_prev = BpPrevSlot(bp);
       j = first - 1;
       pu -= b;
       len = l_prev;
       b = b_prev;
-      pp = pp_prev;
+      slot = slot_prev;
     }
     std::reverse(reversed.begin(), reversed.end());
     solution.mapping.modules = std::move(reversed);
@@ -798,7 +1206,37 @@ DpSolution RunChainDp(const DpProblem& problem) {
   solution.reused_tables = reused_tables;
   solution.seeded_incumbent = seeded_incumbent;
   solution.timed_out = timed_out;
+  solution.used_sweep_prefix = used_sweep_prefix;
+  solution.resweep_from = used_sweep_prefix ? rebuild_from : -1;
+  solution.worker_work = std::move(worker_work_total);
   if (warm) warm->incumbent = solution.mapping;
+
+  // Re-attach the sweep for the next incremental solve. Timed-out grids
+  // are dropped: a partially swept stage is not a function of the problem
+  // alone, so it must never seed a future prefix.
+  if (want_capture && !timed_out) {
+    DpSweepState& st = grid;
+    st.k = k;
+    st.cap = cap;
+    st.max_len = max_len;
+    st.policy = policy;
+    st.rule = problem.config_rule;
+    st.response_cap = response_cap;
+    st.has_predicate = static_cast<bool>(options.proc_feasible);
+    st.path_sum = path_sum;
+    st.task_hash.resize(static_cast<std::size_t>(k));
+    for (int t = 0; t < k; ++t) st.task_hash[t] = eval.TaskCostHash(t);
+    st.edge_hash.resize(static_cast<std::size_t>(std::max(0, k - 1)));
+    for (int e = 0; e < k - 1; ++e) st.edge_hash[e] = eval.EdgeCostHash(e);
+    st.min_procs = eval.min_procs_table();
+    st.replicable = eval.replicable_table();
+    st.suffix_min = suffix_min;
+    st.slot_procs = slot_procs;
+    st.slot_pitch = slot_pitch;
+    warm->sweep = std::move(sweep);
+    ++warm->sweeps_captured;
+    PIPEMAP_COUNTER_ADD("dp.sweeps_captured", 1);
+  }
   return solution;
 }
 

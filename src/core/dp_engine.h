@@ -70,6 +70,11 @@ ModuleConfig LatencyConfig(const Evaluator& eval, int first, int last,
 /// — notably not on the processor budget of an individual solve (budgets
 /// are tabulated up to `cap`, and any solve with total_procs <= cap reads
 /// a prefix) — which makes them the reusable half of a warm start.
+///
+/// Configurations are stored structure-of-arrays (parallel replicas /
+/// procs / valid arrays indexed by range * budget_stride + budget) so the
+/// DP's budget loops scan contiguous memory instead of hopping across
+/// 12-byte structs.
 struct DpRangeTables {
   // Key: everything the table contents depend on. `response_cap` only
   // shapes configurations under DpConfigRule::kLatencyBody; it is stored
@@ -85,13 +90,25 @@ struct DpRangeTables {
   double response_cap = std::numeric_limits<double>::infinity();
   bool has_predicate = false;
 
-  /// cfg[first * k + last][budget]; ranges longer than max_len are empty.
-  std::vector<std::vector<ModuleConfig>> cfg;
+  /// Budget axis pitch of the flat configuration arrays (cap + 1).
+  int budget_stride = 0;
+  /// Flat per-(range, budget) configurations at
+  /// (first * k + last) * budget_stride + budget; ranges longer than
+  /// max_len hold invalid entries. cfg_procs is 0 when invalid.
+  std::vector<int> cfg_replicas;
+  std::vector<int> cfg_procs;
+  std::vector<char> cfg_valid;
   /// Smallest budget with a valid configuration per range
   /// (kInfeasibleProcs when none exists within cap).
   std::vector<int> min_budget;
   /// Minimum total budget to map tasks t..k-1 (index k holds 0).
   std::vector<long long> suffix_min;
+
+  ModuleConfig Config(std::size_t range_index, int budget) const {
+    const std::size_t i =
+        range_index * static_cast<std::size_t>(budget_stride) + budget;
+    return ModuleConfig{cfg_replicas[i], cfg_procs[i], cfg_valid[i] != 0};
+  }
 };
 
 struct DpSolution {
@@ -109,6 +126,16 @@ struct DpSolution {
   /// Neither affects the returned mapping or objective.
   bool reused_tables = false;
   bool seeded_incumbent = false;
+  /// Incremental provenance (MapperOptions::incremental): whether a
+  /// captured sweep's clean prefix was reused, and the first stage index
+  /// that was actually re-swept (-1 when the whole sweep ran). Purely
+  /// informational — incremental results are byte-identical to cold ones.
+  bool used_sweep_prefix = false;
+  int resweep_from = -1;
+  /// Per-worker share of `work` across the parallel stage sweeps (index =
+  /// worker id, size = resolved thread count; sums to `work`). Exposes
+  /// partition imbalance for the scaling bench's diagnostics.
+  std::vector<std::uint64_t> worker_work;
   /// True when MapperOptions::deadline expired mid-sweep: `mapping` is the
   /// best incumbent found up to that point (a heuristic seed, a warm-start
   /// carry-over, or the best terminal of the completed stages), not a

@@ -1,0 +1,96 @@
+// Captured DP sweep state for incremental re-solves.
+//
+// A completed chain-DP sweep leaves behind per-stage value/backpointer
+// tables whose contents at stage (j, len) depend only on
+//   * tasks 0..j-1 and edges 0..j-1 of the chain's cost model,
+//   * the module-range metadata (memory minima, replicability) and the
+//     configuration rule / replication policy / feasibility predicate,
+//   * the suffix budget bounds suffix_min[0..j+1] that gate seeds, row
+//     filters, and writes.
+// A re-solve whose chain differs only from some task index onward can
+// therefore reuse every stage strictly before the first dirty index and
+// re-sweep only the dirty suffix — exactness-preserving, because the
+// reused tables are bitwise what the cold solve's prefix sweep would
+// produce (capture runs with dominance pruning disabled on non-terminal
+// stages, and a pruned-off write can never reach or tie the optimum; see
+// dp_engine.cpp).
+//
+// Dirtiness is detected by content, not identity: FNV-1a hashes of the
+// evaluator's tabulated cost rows (exec per task; icom row + ecom block
+// per edge) plus direct comparison of the small min-procs/replicable range
+// caches. This makes the state reusable across Evaluator instances — the
+// engine rebuilds its evaluator per request — as long as the machine size
+// and the clean prefix's cost content are unchanged. Only tabulated
+// evaluators can be fingerprinted; untabulated ones never capture.
+//
+// Ownership: a DpSweepState hangs off WarmStartState::sweep and is checked
+// out exclusively by a solve (the solve detaches it, mutates the stage
+// tables in place during the incremental re-sweep, and re-attaches on
+// success). A solve that aborts — deadline expiry, infeasibility — leaves
+// the state detached, so a corrupt half-rebuilt grid is never reused.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dp_engine.h"
+#include "support/aligned.h"
+
+namespace pipemap::detail {
+
+/// One DP stage as flat structure-of-arrays tables. States are indexed by
+/// ((pu * (cap+1) + b) * slot_pitch + slot): `pu` processors used, `b` the
+/// last module's budget, `slot` the rank of the previous module's
+/// per-instance processor count in the solve's slot universe (slot 0 is
+/// the no-predecessor marker). slot_pitch is padded to whole cache lines
+/// so workers sweeping different rows never share a line, and so the
+/// vector kernels can read full lanes (padding holds +inf).
+struct FlatStage {
+  AlignedBuffer<double> value;
+  AlignedBuffer<std::uint32_t> bp;
+  /// Per-(pu, b) cell occupancy range, packed lo | hi << 16: slots in
+  /// [lo, hi) have been initialized (written once, or gap-filled with
+  /// +inf); lanes outside are uninitialized garbage and must never be
+  /// read. hi <= lo means the cell is empty. This is what lets a stage
+  /// skip clearing its O(cap^2 * slots) value/bp tables — only this
+  /// O(cap^2) array is reset — and lets the per-cell scans touch just the
+  /// handful of live lanes instead of the whole slot axis.
+  AlignedBuffer<std::uint32_t> slot_range;
+  /// row_live[pu] != 0 iff some (pu, b, slot) cell is finite. One cache
+  /// line per flag: the flags are written concurrently (relaxed stores of
+  /// 1) by workers sweeping different source rows.
+  std::vector<CacheLinePadded<std::atomic<char>>> row_live;
+  bool allocated = false;
+};
+
+struct DpSweepState {
+  // Problem key: everything the stage contents depend on besides the cost
+  // values themselves (fingerprinted below). `cap` must match exactly —
+  // stage extents and the suffix gates depend on it.
+  int k = 0;
+  int cap = 0;
+  int max_len = 0;
+  ReplicationPolicy policy = ReplicationPolicy::kMaximal;
+  DpConfigRule rule = DpConfigRule::kPolicy;
+  double response_cap = 0.0;
+  bool has_predicate = false;
+  bool path_sum = false;
+
+  // Content fingerprints of the evaluator the sweep was captured against.
+  std::vector<std::uint64_t> task_hash;  // k entries: exec row
+  std::vector<std::uint64_t> edge_hash;  // k-1: icom row + ecom block
+  std::vector<int> min_procs;            // k*k range cache copy
+  std::vector<char> replicable;          // k*k range cache copy
+  std::vector<long long> suffix_min;     // k+1, from the capture's tables
+
+  // The pp -> slot compression this capture's backpointers use.
+  std::vector<int> slot_procs;  // ascending, slot_procs[0] == 0
+  int slot_pitch = 0;
+
+  std::vector<FlatStage> stages;  // indexed j * k + (len - 1)
+  std::size_t allocated_bytes = 0;
+};
+
+}  // namespace pipemap::detail

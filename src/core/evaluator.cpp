@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/simd_kernels.h"
 #include "costmodel/memory.h"
+#include "costmodel/poly.h"
 #include "support/error.h"
+#include "support/hash.h"
 #include "support/metrics.h"
 #include "support/thread_pool.h"
 #include "support/tracer.h"
@@ -15,6 +18,28 @@ namespace {
 // Above this machine size the O(k P^2) external-communication tables stop
 // paying for themselves; fall back to direct cost-function calls.
 constexpr int kTabulationLimit = 512;
+
+/// Fills row[p] = cost.Eval(p) for p in [1, max_p]. Section-5 polynomial
+/// costs take the vectorized kernel (bitwise identical to per-entry Eval:
+/// same expression, same association, no FMA contraction on either path);
+/// everything else calls Eval per entry.
+void FillScalarRow(const ScalarCost& cost, double* row, int max_p) {
+  if (const auto* poly = dynamic_cast<const PolyScalarCost*>(&cost)) {
+    simd::PolyScalarRow(poly->coeffs().data(), row, max_p);
+    return;
+  }
+  for (int p = 1; p <= max_p; ++p) row[p] = cost.Eval(p);
+}
+
+/// Fills row[pr] = cost.Eval(ps, pr) for pr in [1, max_p] at fixed sender
+/// count ps; polynomial pair costs take the vectorized kernel.
+void FillPairRow(const PairCost& cost, int ps, double* row, int max_p) {
+  if (const auto* poly = dynamic_cast<const PolyPairCost*>(&cost)) {
+    simd::PolyPairRow(poly->coeffs().data(), ps, row, max_p);
+    return;
+  }
+  for (int pr = 1; pr <= max_p; ++pr) row[pr] = cost.Eval(ps, pr);
+}
 
 }  // namespace
 
@@ -42,16 +67,16 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
     ecom_table_.assign(
         static_cast<std::size_t>(std::max(0, k_ - 1)) * pp * pp, 0.0);
     for (int t = 0; t < k_; ++t) {
-      for (int p = 1; p <= max_procs_; ++p) {
-        exec_table_[static_cast<std::size_t>(t) * pp + p] = costs.Exec(t, p);
-      }
+      FillScalarRow(costs.ExecFn(t),
+                    &exec_table_[static_cast<std::size_t>(t) * pp],
+                    max_procs_);
     }
     PIPEMAP_COUNTER_ADD("evaluator.exec_evals",
                         static_cast<std::uint64_t>(k_) * max_procs_);
     for (int e = 0; e < k_ - 1; ++e) {
-      for (int p = 1; p <= max_procs_; ++p) {
-        icom_table_[static_cast<std::size_t>(e) * pp + p] = costs.ICom(e, p);
-      }
+      FillScalarRow(costs.IComFn(e),
+                    &icom_table_[static_cast<std::size_t>(e) * pp],
+                    max_procs_);
     }
     PIPEMAP_COUNTER_ADD(
         "evaluator.icom_evals",
@@ -68,9 +93,7 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
             const int ps = static_cast<int>(i % max_procs_) + 1;
             double* row =
                 &ecom_table_[(static_cast<std::size_t>(e) * pp + ps) * pp];
-            for (int pr = 1; pr <= max_procs_; ++pr) {
-              row[pr] = costs.ECom(e, ps, pr);
-            }
+            FillPairRow(costs.EComFn(e), ps, row, max_procs_);
           }
           // One bulk add per chunk keeps the counter out of the fill loop.
           PIPEMAP_COUNTER_ADD(
@@ -100,6 +123,48 @@ Evaluator::Evaluator(const TaskChain& chain, int max_procs,
           chain.RangeReplicable(first, last) ? 1 : 0;
     }
   }
+
+  // Content hashes for incremental re-solves: a task's hash covers its
+  // execution row, an edge's its redistribution row and external block.
+  // Cheap next to the tabulation itself (one pass over the same memory).
+  if (tabulated_) {
+    task_hash_.resize(k_);
+    for (int t = 0; t < k_; ++t) {
+      task_hash_[t] = FnvHashDoubles(
+          &exec_table_[static_cast<std::size_t>(t) * pp], pp);
+    }
+    edge_hash_.resize(std::max(0, k_ - 1));
+    for (int e = 0; e < k_ - 1; ++e) {
+      std::uint64_t h = FnvHashDoubles(
+          &icom_table_[static_cast<std::size_t>(e) * pp], pp);
+      edge_hash_[e] = FnvHashDoubles(
+          &ecom_table_[static_cast<std::size_t>(e) * pp * pp],
+          static_cast<std::size_t>(pp) * pp, h);
+    }
+  }
+}
+
+const double* Evaluator::EComRow(int edge, int sender_procs) const {
+  PIPEMAP_CHECK(tabulated_, "EComRow: evaluator is not tabulated");
+  PIPEMAP_CHECK(edge >= 0 && edge < k_ - 1, "EComRow: edge out of range");
+  PIPEMAP_CHECK(sender_procs >= 1 && sender_procs <= max_procs_,
+                "EComRow: sender count out of range");
+  const int pp = max_procs_ + 1;
+  return &ecom_table_[(static_cast<std::size_t>(edge) * pp + sender_procs) *
+                      pp];
+}
+
+std::uint64_t Evaluator::TaskCostHash(int task) const {
+  PIPEMAP_CHECK(tabulated_, "TaskCostHash: evaluator is not tabulated");
+  PIPEMAP_CHECK(task >= 0 && task < k_, "TaskCostHash: task out of range");
+  return task_hash_[task];
+}
+
+std::uint64_t Evaluator::EdgeCostHash(int edge) const {
+  PIPEMAP_CHECK(tabulated_, "EdgeCostHash: evaluator is not tabulated");
+  PIPEMAP_CHECK(edge >= 0 && edge < k_ - 1,
+                "EdgeCostHash: edge out of range");
+  return edge_hash_[edge];
 }
 
 int Evaluator::MinProcsUncached(int first, int last) const {

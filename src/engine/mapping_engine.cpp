@@ -1,5 +1,6 @@
 #include "engine/mapping_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -91,6 +92,8 @@ std::string MapResponse::ToJson() const {
   w.Key("tables_built").UInt(warm_tables_built);
   w.Key("tables_reused").UInt(warm_tables_reused);
   w.Key("incumbents_seeded").UInt(warm_incumbents_seeded);
+  w.Key("sweeps_captured").UInt(warm_sweeps_captured);
+  w.Key("sweep_prefix_reused").UInt(warm_sweep_prefix_reused);
   w.EndObject();
   w.Key("budget_exhausted").Bool(budget_exhausted);
   w.Key("timed_out").Bool(timed_out);
@@ -172,14 +175,49 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
 
   // One warm-start state threads greedy's incumbent into the DP (and any
   // caller-provided state carries across engine calls on the same chain).
+  // Incremental requests without their own state check one out of the
+  // engine's pool, keyed by everything EXCEPT the chain: the captured DP
+  // sweep inside validates the chain's cost content itself (hash-based)
+  // and reuses whatever prefix is still clean, so a remap after a cost
+  // perturbation re-sweeps only the dirty suffix.
   std::shared_ptr<WarmStartState> warm = solve.options.warm;
+  std::uint64_t warm_key = 0;
+  bool pooled_warm = false;
+  if (!warm && solve.options.incremental &&
+      !request.options.proc_feasible) {
+    FingerprintBuilder fb;
+    fb.Append("pipemap-warm-pool v1");
+    fb.Append(SerializeMachine(request.machine));
+    fb.Append(SerializeMapperOptions(request.options));
+    fb.Append(static_cast<int>(request.objective));
+    fb.Append(static_cast<int>(request.solver));
+    fb.Append(procs);
+    fb.Append(request.min_throughput);
+    fb.Append(request.machine_feasibility);
+    warm_key = fb.value();
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    const auto it = warm_pool_.find(warm_key);
+    if (it != warm_pool_.end()) {
+      warm = std::move(it->second);
+      warm_pool_.erase(it);
+      const auto pos =
+          std::find(warm_order_.begin(), warm_order_.end(), warm_key);
+      if (pos != warm_order_.end()) warm_order_.erase(pos);
+      PIPEMAP_COUNTER_ADD("engine.warm_pool.hits", 1);
+    } else {
+      PIPEMAP_COUNTER_ADD("engine.warm_pool.misses", 1);
+    }
+    pooled_warm = true;
+  }
   if (!warm) {
     warm = std::make_shared<WarmStartState>();
-    solve.options.warm = warm;
   }
+  solve.options.warm = warm;
   const std::uint64_t built0 = warm->tables_built;
   const std::uint64_t reused0 = warm->tables_reused;
   const std::uint64_t seeded0 = warm->incumbents_seeded;
+  const std::uint64_t captured0 = warm->sweeps_captured;
+  const std::uint64_t prefix0 = warm->prefix_reused;
 
   // Portfolio stage list.
   std::vector<const Solver*> stages;
@@ -264,7 +302,25 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   response.warm_tables_built = warm->tables_built - built0;
   response.warm_tables_reused = warm->tables_reused - reused0;
   response.warm_incumbents_seeded = warm->incumbents_seeded - seeded0;
+  response.warm_sweeps_captured = warm->sweeps_captured - captured0;
+  response.warm_sweep_prefix_reused = warm->prefix_reused - prefix0;
   response.solve_seconds = SecondsSince(start);
+
+  // Return the pooled state so the next incremental request on the same
+  // machine/options finds the sweep this solve just captured. On an
+  // exception above the state is simply dropped — the next request solves
+  // cold, which is always correct.
+  if (pooled_warm) {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    if (warm_pool_.size() >= config_.cache_capacity &&
+        !warm_order_.empty()) {
+      warm_pool_.erase(warm_order_.front());
+      warm_order_.pop_front();
+    }
+    if (warm_pool_.emplace(warm_key, warm).second) {
+      warm_order_.push_back(warm_key);
+    }
+  }
 
   if (response.timed_out) PIPEMAP_COUNTER_ADD("engine.map.timed_out", 1);
 

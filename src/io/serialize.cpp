@@ -291,6 +291,9 @@ struct MapperOptionsMirror {
   int num_threads;
   bool observe;
   std::shared_ptr<WarmStartState> warm;
+  bool incremental;  // accelerator-only, like warm/deadline: excluded from
+                     // serialization and the cache fingerprint (incremental
+                     // results are byte-identical to cold ones)
   std::shared_ptr<const Deadline> deadline;
 };
 static_assert(sizeof(MapperOptions) == sizeof(MapperOptionsMirror),

@@ -1,0 +1,40 @@
+// FNV-1a hashing over raw bytes and numeric spans.
+//
+// Used by the incremental DP re-solve to fingerprint evaluator cost-table
+// rows: a stage's inputs are the exec/icom/ecom values of a task prefix,
+// so equal row hashes (plus a direct compare of the small metadata arrays)
+// certify that a cached sweep prefix is still exact. FNV-1a is not
+// cryptographic; it is a cheap content check between solves in one
+// process, where an adversarial collision is not a concern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pipemap {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t FnvMixBytes(std::uint64_t h, const void* data,
+                                 std::size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Hashes `n` doubles by bit pattern (so -0.0 != 0.0 and NaNs are stable).
+inline std::uint64_t FnvHashDoubles(const double* data, std::size_t n,
+                                    std::uint64_t seed = kFnvOffsetBasis) {
+  return FnvMixBytes(seed, data, n * sizeof(double));
+}
+
+inline std::uint64_t FnvMixU64(std::uint64_t h, std::uint64_t v) {
+  return FnvMixBytes(h, &v, sizeof(v));
+}
+
+}  // namespace pipemap

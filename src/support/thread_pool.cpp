@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "support/error.h"
 #include "support/metrics.h"
@@ -163,6 +168,25 @@ int ThreadPool::HardwareConcurrency() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int ThreadPool::AvailableConcurrency() {
+  static const int available = [] {
+    if (const char* env = std::getenv("PIPEMAP_HARDWARE_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return std::min(v, kMaxWorkers);
+    }
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      const int n = CPU_COUNT(&mask);
+      if (n >= 1) return n;
+    }
+#endif
+    return HardwareConcurrency();
+  }();
+  return available;
+}
+
 int ThreadPool::ResolveThreads(int requested) {
   if (requested <= 0) return HardwareConcurrency();
   return std::min(requested, kMaxWorkers);
@@ -175,6 +199,41 @@ void ParallelFor(int num_threads, std::int64_t n, ParallelSchedule schedule,
     return;
   }
   ThreadPool::Shared().ParallelFor(num_threads, n, schedule, grain, body);
+}
+
+std::vector<std::int64_t> BalancedPartition(
+    const std::vector<std::int64_t>& weights, int max_groups,
+    std::int64_t min_group_weight) {
+  const std::int64_t n = static_cast<std::int64_t>(weights.size());
+  std::int64_t total = 0;
+  for (const std::int64_t w : weights) total += w;
+
+  std::int64_t groups = std::max<std::int64_t>(
+      1, std::min<std::int64_t>(max_groups, n));
+  if (min_group_weight > 0) {
+    groups = std::min(groups,
+                      std::max<std::int64_t>(1, total / min_group_weight));
+  }
+
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(groups) + 1);
+  bounds.push_back(0);
+  std::int64_t acc = 0;
+  std::int64_t i = 0;
+  for (std::int64_t g = 1; g < groups; ++g) {
+    // Close group g-1 at the first item whose cumulative weight reaches
+    // the g-th ideal cut; always take at least one item, and leave at
+    // least one per remaining group.
+    const std::int64_t cut = total * g / groups;
+    const std::int64_t last_start = n - (groups - g);
+    do {
+      acc += weights[static_cast<std::size_t>(i)];
+      ++i;
+    } while (i < last_start && acc < cut);
+    bounds.push_back(i);
+  }
+  bounds.push_back(n);
+  return bounds;
 }
 
 }  // namespace pipemap

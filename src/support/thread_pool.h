@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace pipemap {
 
@@ -58,6 +59,14 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static int HardwareConcurrency();
 
+  /// Processors actually available to this process: the CPU affinity mask
+  /// when the platform exposes one (a container or cpuset can grant fewer
+  /// CPUs than the machine has), else HardwareConcurrency. The
+  /// PIPEMAP_HARDWARE_THREADS environment variable overrides the probe —
+  /// benchmarks use it to label runs honestly on constrained hosts.
+  /// Probed once per process; floor of 1.
+  static int AvailableConcurrency();
+
   /// Maps a MapperOptions::num_threads value to a worker count:
   /// <= 0 means hardware concurrency, anything else is clamped to
   /// [1, kMaxWorkers].
@@ -75,5 +84,19 @@ class ThreadPool {
 /// touched), on ThreadPool::Shared() otherwise.
 void ParallelFor(int num_threads, std::int64_t n, ParallelSchedule schedule,
                  std::int64_t grain, const ThreadPool::Body& body);
+
+/// Splits items [0, n) into at most `max_groups` contiguous groups of
+/// near-equal total weight; returns the group boundaries (boundaries[g] ..
+/// boundaries[g+1] is group g; front() == 0, back() == n). The group count
+/// adapts to the work available: it never exceeds the item count, and is
+/// reduced so every group carries at least `min_group_weight` (when the
+/// total allows) — parallel loops use this to stop fanning tiny stages out
+/// to workers whose dispatch costs more than their share of the loop.
+/// Deterministic: depends only on the arguments. Weights must be
+/// non-negative; items heavier than the ideal share get a group of their
+/// own and the remainder rebalances.
+std::vector<std::int64_t> BalancedPartition(
+    const std::vector<std::int64_t>& weights, int max_groups,
+    std::int64_t min_group_weight);
 
 }  // namespace pipemap

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "core/latency_mapper.h"
+#include "costmodel/cost_function.h"
 #include "io/serialize.h"
 #include "machine/feasible.h"
 #include "support/deadline.h"
@@ -519,6 +521,61 @@ TEST(MappingEngineTest, InvalidRequestsThrow) {
   floor.objective = MapObjective::kLatencyWithFloor;
   floor.min_throughput = 0.5;
   EXPECT_NO_THROW(engine.Map(floor));
+}
+
+/// The chain with its last edge's communication costs scaled by `factor`
+/// (a suffix-only perturbation, as a drifted cost model would produce).
+TaskChain ScaleLastEdge(const TaskChain& chain, double factor) {
+  const int edge = chain.size() - 2;
+  ChainCostModel costs = chain.costs();
+  std::shared_ptr<ScalarCost> icom(costs.IComFn(edge).Clone());
+  std::shared_ptr<PairCost> ecom(costs.EComFn(edge).Clone());
+  costs.SetEdge(
+      edge,
+      std::make_unique<CallbackScalarCost>(
+          [icom, factor](int p) { return icom->Eval(p) * factor; }),
+      std::make_unique<CallbackPairCost>([ecom, factor](int s, int r) {
+        return ecom->Eval(s, r) * factor;
+      }));
+  return chain.WithCosts(std::move(costs));
+}
+
+TEST(MappingEngineTest, IncrementalWarmPoolReusesSweepAcrossRequests) {
+  MappingEngine engine;
+  const TaskChain chain = ThreeTaskChain();
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kDp;
+  request.use_cache = false;
+  request.options.incremental = true;
+  const MapResponse first = engine.Map(request);
+  EXPECT_EQ(first.warm_sweeps_captured, 1u);
+  EXPECT_EQ(first.warm_sweep_prefix_reused, 0u);
+
+  // A perturbed chain keys to the same pool entry (the chain is excluded
+  // from the pool key) and reuses the captured sweep's clean prefix.
+  const TaskChain perturbed = ScaleLastEdge(chain, 1.05);
+  MapRequest again = RequestFor(perturbed, SmallMachine());
+  again.solver = SolverPolicy::kDp;
+  again.use_cache = false;
+  again.options.incremental = true;
+  const MapResponse warm = engine.Map(again);
+  EXPECT_EQ(warm.warm_sweep_prefix_reused, 1u);
+
+  // Byte-identical to a cold solve of the perturbed chain.
+  MappingEngine cold_engine;
+  MapRequest cold = RequestFor(perturbed, SmallMachine());
+  cold.solver = SolverPolicy::kDp;
+  cold.use_cache = false;
+  const MapResponse cold_response = cold_engine.Map(cold);
+  EXPECT_EQ(SerializeMapping(warm.mapping),
+            SerializeMapping(cold_response.mapping));
+  EXPECT_EQ(warm.throughput, cold_response.throughput);
+  EXPECT_EQ(warm.objective_value, cold_response.objective_value);
+
+  const std::string json = warm.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"sweeps_captured\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep_prefix_reused\""), std::string::npos);
 }
 
 }  // namespace
