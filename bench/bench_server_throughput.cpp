@@ -1,0 +1,262 @@
+// Server throughput harness (writes BENCH_server_throughput.json).
+//
+// Runs an in-process PipemapServer on an ephemeral loopback port and
+// drives it over real sockets across a concurrency ladder: for each
+// client count, every client issues `map` requests drawn from a skewed
+// problem mix (one hot problem most of the time, a tail of cold
+// variants), the shape a mapping service sees in production. Recorded
+// per rung:
+//
+//   * requests/s and p50/p95/p99 client-observed latency;
+//   * the shared solution cache's hit ratio under the skewed mix (the
+//     whole point of one process-wide engine: concurrent connections
+//     feed each other's cache);
+//   * malformed-response and error counts — the bench double-checks the
+//     server's core output contract (every response parses as strict
+//     JSON) while measuring it.
+//
+// Exit status is nonzero when any response is malformed or any request
+// fails — never on throughput numbers, which are host-dependent; the
+// JSON records them so the trajectory is tracked PR over PR.
+//
+// Usage: bench_server_throughput [output.json] [requests_per_client]
+//        defaults: BENCH_server_throughput.json 24
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/mapping_engine.h"
+#include "io/serialize.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "support/json_verify.h"
+#include "support/json_writer.h"
+#include "workloads/synthetic.h"
+
+namespace pipemap::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kSkew = 0.8;  // probability of the hot problem
+constexpr int kVariants = 4;
+
+struct RungResult {
+  int clients = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t errors = 0;
+  double elapsed_s = 0.0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_ratio = 0.0;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo);
+}
+
+struct ProblemMix {
+  std::vector<std::string> chains;
+  std::vector<std::string> machines;
+};
+
+ProblemMix MakeMix() {
+  ProblemMix mix;
+  for (int v = 0; v < kVariants; ++v) {
+    workloads::SyntheticSpec spec;
+    spec.num_tasks = 4 + (v % 3);
+    spec.machine_procs = 16;
+    spec.mean_work_s = 0.05 * (1 + v);
+    const Workload workload =
+        workloads::MakeSynthetic(spec, static_cast<std::uint64_t>(v + 1));
+    mix.chains.push_back(
+        SerializeChain(workload.chain, workload.machine.total_procs()));
+    mix.machines.push_back(SerializeMachine(workload.machine));
+  }
+  return mix;
+}
+
+RungResult RunRung(int clients, int requests_per_client, int port,
+                   const ProblemMix& mix, MappingEngine& engine) {
+  const SolutionCacheStats before = engine.cache().stats();
+  RungResult rung;
+  rung.clients = clients;
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(c) * 7919u + 1);
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      std::uniform_int_distribution<int> tail(1, kVariants - 1);
+      try {
+        server::ServerClient client("127.0.0.1", port);
+        for (int i = 0; i < requests_per_client; ++i) {
+          const int variant = uniform(rng) < kSkew ? 0 : tail(rng);
+          server::ServerRequest request;
+          request.op = "map";
+          request.algorithm = "auto";
+          request.chain_text = mix.chains[variant];
+          request.machine_text = mix.machines[variant];
+          request.has_chain = true;
+          request.has_machine = true;
+          const Clock::time_point t0 = Clock::now();
+          const std::string response = client.Call(request);
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double>(Clock::now() - t0).count());
+          if (!IsValidJson(response)) {
+            malformed.fetch_add(1);
+          } else if (response.find("\"ok\": true") != std::string::npos) {
+            ok.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  rung.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  rung.completed = static_cast<std::uint64_t>(all.size());
+  rung.ok = ok.load();
+  rung.malformed = malformed.load();
+  rung.errors = errors.load();
+  rung.requests_per_s =
+      rung.elapsed_s > 0.0
+          ? static_cast<double>(rung.completed) / rung.elapsed_s
+          : 0.0;
+  rung.p50_ms = Percentile(all, 0.50) * 1e3;
+  rung.p95_ms = Percentile(all, 0.95) * 1e3;
+  rung.p99_ms = Percentile(all, 0.99) * 1e3;
+
+  const SolutionCacheStats after = engine.cache().stats();
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t misses = after.misses - before.misses;
+  rung.cache_hit_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  return rung;
+}
+
+int Run(const std::string& out_path, int requests_per_client) {
+  const ProblemMix mix = MakeMix();
+
+  MappingEngine engine;
+  server::ServerConfig config;
+  config.engine = &engine;
+  config.num_workers = 4;
+  config.queue_capacity = 256;
+  server::PipemapServer server(config);
+  server.Start();
+  std::printf("bench_server_throughput: server on port %d, %d requests per"
+              " client, skew %.2f\n",
+              server.port(), requests_per_client, kSkew);
+
+  const std::vector<int> ladder = {1, 4, 16, 64};
+  std::vector<RungResult> rungs;
+  bool contract_violated = false;
+  for (const int clients : ladder) {
+    const RungResult rung = RunRung(clients, requests_per_client,
+                                    server.port(), mix, engine);
+    std::printf("  clients %2d: %8.1f req/s  p50 %7.3f ms  p95 %7.3f ms"
+                "  p99 %7.3f ms  cache %4.2f  malformed %llu\n",
+                rung.clients, rung.requests_per_s, rung.p50_ms, rung.p95_ms,
+                rung.p99_ms, rung.cache_hit_ratio,
+                static_cast<unsigned long long>(rung.malformed));
+    if (rung.malformed > 0 || rung.errors > 0 ||
+        rung.completed != static_cast<std::uint64_t>(clients) *
+                              static_cast<std::uint64_t>(
+                                  requests_per_client)) {
+      contract_violated = true;
+    }
+    rungs.push_back(rung);
+  }
+  server.Drain();
+  const server::ServerCounters counters = server.counters();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("server_throughput");
+  w.Key("requests_per_client").Int(requests_per_client);
+  w.Key("skew").Double(kSkew);
+  w.Key("variants").Int(kVariants);
+  w.Key("workers").Int(config.num_workers);
+  w.Key("rungs").BeginArray();
+  for (const RungResult& rung : rungs) {
+    w.BeginObject();
+    w.Key("clients").Int(rung.clients);
+    w.Key("completed").UInt(rung.completed);
+    w.Key("ok").UInt(rung.ok);
+    w.Key("malformed").UInt(rung.malformed);
+    w.Key("errors").UInt(rung.errors);
+    w.Key("elapsed_s").Double(rung.elapsed_s);
+    w.Key("requests_per_s").Double(rung.requests_per_s);
+    w.Key("p50_ms").Double(rung.p50_ms);
+    w.Key("p95_ms").Double(rung.p95_ms);
+    w.Key("p99_ms").Double(rung.p99_ms);
+    w.Key("cache_hit_ratio").Double(rung.cache_hit_ratio);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("server").BeginObject();
+  w.Key("connections").UInt(counters.connections);
+  w.Key("accepted").UInt(counters.accepted);
+  w.Key("rejected").UInt(counters.rejected);
+  w.Key("completed").UInt(counters.completed);
+  w.Key("parse_errors").UInt(counters.parse_errors);
+  w.EndObject();
+  w.Key("contract_violated").Bool(contract_violated);
+  w.EndObject();
+
+  std::ofstream out(out_path);
+  out << w.str();
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (contract_violated) {
+    std::fprintf(stderr, "bench_server_throughput: CONTRACT VIOLATED —"
+                 " malformed or missing responses\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pipemap::bench
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_server_throughput.json";
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 24;
+  return pipemap::bench::Run(out_path, requests > 0 ? requests : 24);
+}

@@ -160,11 +160,14 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   solve.objective = request.objective;
   solve.min_throughput = request.min_throughput;
   solve.options = ResolveOptions(request);
-  // A finite budget becomes a cooperative deadline threaded into the solver
-  // inner loops, anchored at this request's start so the in-solver checks
-  // and the between-stage check below agree. An explicitly supplied
-  // options.deadline wins (the caller measured its own anchor).
-  if (!solve.options.deadline && std::isfinite(request.time_budget_s)) {
+  // A binding budget (positive finite; 0/unset means unlimited — see
+  // MapRequest::time_budget_s) becomes a cooperative deadline threaded
+  // into the solver inner loops, anchored at this request's start so the
+  // in-solver checks and the between-stage check below agree. An
+  // explicitly supplied options.deadline wins (the caller measured its own
+  // anchor).
+  const bool has_budget = Deadline::HasBudget(request.time_budget_s);
+  if (!solve.options.deadline && has_budget) {
     solve.options.deadline =
         Deadline::AfterAnchor(start, request.time_budget_s);
   }
@@ -257,7 +260,7 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
                   "MappingEngine: solver '" + std::string(stage.name()) +
                       "' does not support objective " +
                       ToString(request.objective));
-    if (i > 0 && SecondsSince(start) > request.time_budget_s) {
+    if (i > 0 && has_budget && SecondsSince(start) > request.time_budget_s) {
       response.budget_exhausted = true;
       break;
     }

@@ -83,14 +83,18 @@ struct MapRequest {
   bool machine_feasibility = true;
   /// Consult/populate the engine's solution cache.
   bool use_cache = true;
-  /// Wall-clock budget for the whole request. Between portfolio stages
+  /// Wall-clock budget for the whole request. The budget binds only when
+  /// it is a positive finite number of seconds (Deadline::HasBudget);
+  /// zero, negative, and infinite values all mean "no budget" — so a
+  /// caller that leaves a protocol field at 0 gets an unconstrained solve,
+  /// never one that expires at the starting line. Between portfolio stages
   /// under kAuto: once spent, no further solver is launched. Within a
   /// stage: the engine derives a cooperative Deadline (support/deadline.h)
   /// from this budget and threads it into the solver inner loops via
   /// MapperOptions::deadline, so a long solve is interrupted mid-stage and
   /// returns its best incumbent with MapResponse::timed_out set. An
   /// explicitly supplied options.deadline takes precedence.
-  double time_budget_s = std::numeric_limits<double>::infinity();
+  double time_budget_s = 0.0;
 };
 
 /// A solved mapping plus provenance.

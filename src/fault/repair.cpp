@@ -8,6 +8,7 @@
 
 #include "core/evaluator.h"
 #include "core/warm_start.h"
+#include "support/deadline.h"
 #include "support/error.h"
 #include "support/json_writer.h"
 #include "support/metrics.h"
@@ -191,9 +192,15 @@ RepairOutcome RepairEngine::Repair(const RepairRequest& request) const {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(request.backoff_s));
       }
+      // A non-binding deadline (0/inf — see RepairRequest) stays
+      // non-binding: growing it would just produce another unlimited
+      // attempt, and 0 * growth must not turn into a binding microbudget.
       mr.time_budget_s =
-          request.solver_deadline_s *
-          std::pow(request.deadline_growth, static_cast<double>(attempt));
+          Deadline::HasBudget(request.solver_deadline_s)
+              ? request.solver_deadline_s *
+                    std::pow(request.deadline_growth,
+                             static_cast<double>(attempt))
+              : 0.0;
       response = engine_->Map(mr);
       ++outcome.attempts;
       PIPEMAP_COUNTER_ADD("repair.attempts", 1);

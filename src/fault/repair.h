@@ -65,8 +65,10 @@ struct RepairRequest {
   RepairPolicy policy = RepairPolicy::kFullRemap;
   /// Minimum acceptable post/pre throughput ratio for kThroughputFloor.
   double throughput_floor_fraction = 0.5;
-  /// Per-attempt solver deadline for remap solves; infinity = no deadline.
-  double solver_deadline_s = std::numeric_limits<double>::infinity();
+  /// Per-attempt solver deadline for remap solves. Binds only when
+  /// positive and finite (Deadline::HasBudget): 0, negative, and infinity
+  /// all mean "no deadline", matching MapRequest::time_budget_s.
+  double solver_deadline_s = 0.0;
   /// Retry/backoff loop for timed-out remap attempts.
   int max_attempts = 3;
   double deadline_growth = 2.0;

@@ -1,0 +1,68 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace pipemap::server {
+
+ServerClient::ServerClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("socket failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw InvalidArgument("invalid server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("connect " + host + ":" + std::to_string(port) +
+                " failed: " + reason);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ServerClient::~ServerClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServerClient::ServerClient(ServerClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+std::string ServerClient::Call(const ServerRequest& request) {
+  return CallRaw(SerializeServerRequest(request));
+}
+
+std::string ServerClient::CallRaw(std::string_view payload) {
+  if (fd_ < 0) throw Error("client connection is closed");
+  WriteFrame(fd_, payload);
+  std::string response;
+  // The server answers every frame; EOF here means it died or drained
+  // without replying, which callers must see as an error, not "".
+  if (!ReadFrame(fd_, 64u << 20, &response)) {
+    throw Error("server closed the connection without a response");
+  }
+  return response;
+}
+
+void ServerClient::Close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace pipemap::server

@@ -1,0 +1,40 @@
+// Blocking client for pipemap_server. One ServerClient owns one
+// connection; requests are issued serially on it (the protocol is
+// strictly request/response per connection — concurrency comes from
+// opening more connections, which is exactly what the load generator
+// does).
+#pragma once
+
+#include <string>
+
+#include "server/protocol.h"
+
+namespace pipemap::server {
+
+class ServerClient {
+ public:
+  /// Connects immediately; throws pipemap::Error on failure.
+  ServerClient(const std::string& host, int port);
+  ~ServerClient();
+
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+  ServerClient(ServerClient&& other) noexcept;
+  ServerClient& operator=(ServerClient&&) = delete;
+
+  /// Sends one request and blocks for its JSON response. Throws
+  /// pipemap::Error when the connection dies mid-exchange.
+  std::string Call(const ServerRequest& request);
+
+  /// Sends a raw payload frame (not necessarily a well-formed request —
+  /// the hostile-input tests use this) and returns the response.
+  std::string CallRaw(std::string_view payload);
+
+  /// Half-closes the write side so the server sees a clean EOF.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pipemap::server

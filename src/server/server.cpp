@@ -1,0 +1,573 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "engine/mapping_engine.h"
+#include "io/serialize.h"
+#include "machine/feasible.h"
+#include "sim/attribution.h"
+#include "sim/pipeline_sim.h"
+#include "sim/run_report.h"
+#include "support/deadline.h"
+#include "support/error.h"
+#include "support/json_writer.h"
+#include "support/metrics.h"
+
+namespace pipemap::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One error document. `code` is a machine-matchable token (rejected,
+/// draining, timed_out, invalid_argument, infeasible, frame_too_large,
+/// internal); `detail` is free text and may contain hostile bytes — the
+/// writer sanitizes it.
+std::string ErrorJson(std::string_view code, std::string_view detail) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(false);
+  w.Key("code").String(code);
+  w.Key("error").String(detail);
+  w.EndObject();
+  return w.str();
+}
+
+/// Solver policy and objective fields, mirroring the CLI's --algorithm /
+/// --objective / --floor mapping.
+void ApplyPolicy(const ServerRequest& req, MapRequest* out) {
+  if (req.objective == "latency") {
+    out->solver = SolverPolicy::kLatency;
+    if (req.floor > 0.0) {
+      out->objective = MapObjective::kLatencyWithFloor;
+      out->min_throughput = req.floor;
+    } else {
+      out->objective = MapObjective::kLatency;
+    }
+    return;
+  }
+  if (req.objective != "throughput") {
+    throw InvalidArgument("unknown objective: " + req.objective);
+  }
+  out->objective = MapObjective::kThroughput;
+  if (req.algorithm == "dp") {
+    out->solver = SolverPolicy::kDp;
+  } else if (req.algorithm == "greedy") {
+    out->solver = SolverPolicy::kGreedy;
+  } else if (req.algorithm == "auto") {
+    out->solver = SolverPolicy::kAuto;
+  } else if (req.algorithm == "brute") {
+    out->solver = SolverPolicy::kBrute;
+  } else {
+    throw InvalidArgument("unknown algorithm: " + req.algorithm);
+  }
+}
+
+SimOptions BuildSimOptions(const ServerRequest& req) {
+  SimOptions options;
+  options.num_datasets = req.datasets;
+  if (options.num_datasets < 1 || options.num_datasets > 1'000'000) {
+    throw InvalidArgument("datasets must be in [1, 1000000], got " +
+                          std::to_string(req.datasets));
+  }
+  options.warmup = options.num_datasets / 4;
+  options.noise.systematic_stddev = req.noise;
+  options.noise.jitter_stddev = req.noise / 3.0;
+  options.noise.seed = static_cast<std::uint64_t>(req.seed);
+  return options;
+}
+
+}  // namespace
+
+/// One admitted request. The connection thread owns the promise's future
+/// and blocks on it; a worker fulfills it. `admitted` anchors the
+/// request's deadline, so queue wait counts against the budget.
+struct PipemapServer::Job {
+  ServerRequest request;
+  Clock::time_point admitted;
+  std::promise<std::string> response;
+};
+
+struct PipemapServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};
+};
+
+PipemapServer::PipemapServer(ServerConfig config)
+    : config_(std::move(config)),
+      engine_(config_.engine != nullptr ? config_.engine
+                                        : &MappingEngine::Shared()) {
+  if (config_.num_workers < 1) {
+    throw InvalidArgument("ServerConfig::num_workers must be >= 1");
+  }
+  if (config_.queue_capacity < 1) {
+    throw InvalidArgument("ServerConfig::queue_capacity must be >= 1");
+  }
+}
+
+PipemapServer::~PipemapServer() { Drain(); }
+
+void PipemapServer::Start() {
+  if (started_.exchange(true)) {
+    throw Error("PipemapServer::Start called twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument("invalid bind address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind " + config_.host + ":" + std::to_string(config_.port) +
+                " failed: " + reason);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("listen failed: " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void PipemapServer::Drain() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting. shutdown() wakes the accept thread out of
+  //    accept(); it sees draining_ and exits.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Let workers finish every admitted job, then exit. Connection
+  //    threads are still alive and write those responses out. New frames
+  //    arriving meanwhile are answered with a `draining` error at the
+  //    connection layer (never enqueued).
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 3. Wake readers blocked on idle connections and join everything.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+ServerCounters PipemapServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void PipemapServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+void PipemapServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() from Drain lands here; any other error on a dying
+      // listener also means we are done accepting.
+      return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.connections;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    // Bound the registry on long-running daemons: closed connections are
+    // joined here instead of accumulating until Drain.
+    ReapFinishedConnections();
+  }
+}
+
+void PipemapServer::ConnectionLoop(Connection* conn) {
+  std::string payload;
+  for (;;) {
+    std::string response;
+    try {
+      if (!ReadFrame(conn->fd, config_.max_frame_bytes, &payload)) break;
+    } catch (const FrameTooLarge& e) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.parse_errors;
+      response = ErrorJson("frame_too_large", e.what());
+    } catch (const std::exception&) {
+      break;  // mid-frame EOF or socket error: the stream is gone
+    }
+
+    if (response.empty()) {
+      std::shared_ptr<Job> job;
+      try {
+        auto parsed = ParseServerRequest(payload);
+        job = std::make_shared<Job>();
+        job->request = std::move(parsed);
+        job->admitted = Clock::now();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.parse_errors;
+        response = ErrorJson("invalid_argument", e.what());
+      }
+
+      if (job != nullptr) {
+        std::future<std::string> future = job->response.get_future();
+        bool admitted = false;
+        bool drained = false;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          if (stop_workers_ || draining_.load(std::memory_order_acquire)) {
+            drained = true;
+          } else if (queue_.size() >= config_.queue_capacity) {
+            // full: reject now, never block the connection
+          } else {
+            queue_.push_back(job);
+            admitted = true;
+            PIPEMAP_GAUGE_SET("server.queue_depth", queue_.size());
+          }
+        }
+        if (admitted) {
+          queue_cv_.notify_one();
+          PIPEMAP_COUNTER_ADD("server.accepted", 1);
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.accepted;
+          }
+          response = future.get();
+        } else if (drained) {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.drained;
+          response = ErrorJson("draining",
+                               "server is draining; request refused");
+        } else {
+          PIPEMAP_COUNTER_ADD("server.rejected", 1);
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.rejected;
+          }
+          response = ErrorJson("rejected", "admission queue is full");
+        }
+      }
+    }
+
+    try {
+      WriteFrame(conn->fd, response);
+    } catch (const std::exception&) {
+      break;  // peer went away; nothing left to answer
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void PipemapServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || stop_workers_; });
+      if (queue_.empty()) return;  // stop_workers_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      PIPEMAP_GAUGE_SET("server.queue_depth", queue_.size());
+    }
+
+    const Clock::time_point start = Clock::now();
+    // Queue wait counts against the budget: the remaining budget is what
+    // is left of deadline_s measured from admission. An already-expired
+    // deadline still solves, with a vanishing budget — the engine's
+    // portfolio returns the greedy incumbent flagged timed_out instead of
+    // the request hanging or silently running unbounded.
+    double remaining = 0.0;
+    if (Deadline::HasBudget(job->request.deadline_s)) {
+      remaining = job->request.deadline_s - SecondsBetween(job->admitted, start);
+      if (remaining <= 0.0) remaining = 1e-9;
+    }
+    std::string response = HandleRequest(job->request, remaining);
+    job->response.set_value(std::move(response));
+
+    const double micros = SecondsBetween(start, Clock::now()) * 1e6;
+    PIPEMAP_HISTOGRAM_RECORD("server.request_us", micros);
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.completed;
+    }
+  }
+}
+
+std::string PipemapServer::HandleRequest(const ServerRequest& request,
+                                         double remaining_budget_s) {
+  try {
+    if (request.op == "ping") {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("ok").Bool(true);
+      w.Key("op").String("ping");
+      w.Key("draining").Bool(draining());
+      w.EndObject();
+      return w.str();
+    }
+    if (request.op == "stats") return HandleStats();
+    if (request.op == "map") return HandleMap(request, remaining_budget_s);
+    if (request.op == "simulate") return HandleSimulate(request);
+    if (request.op == "report") return HandleReport(request, remaining_budget_s);
+    return ErrorJson("invalid_argument", "unknown op: " + request.op);
+  } catch (const Infeasible& e) {
+    return ErrorJson("infeasible", e.what());
+  } catch (const ResourceLimit& e) {
+    return ErrorJson("resource_limit", e.what());
+  } catch (const InvalidArgument& e) {
+    return ErrorJson("invalid_argument", e.what());
+  } catch (const std::exception& e) {
+    return ErrorJson("internal", e.what());
+  }
+}
+
+std::string PipemapServer::HandleMap(const ServerRequest& request,
+                                     double budget_s) {
+  if (!request.has_chain || !request.has_machine) {
+    throw InvalidArgument("op map needs chain and machine sections");
+  }
+  const TaskChain chain = ParseChain(request.chain_text);
+  const MachineConfig machine = ParseMachine(request.machine_text);
+
+  MapRequest mr;
+  mr.chain = &chain;
+  mr.machine = machine;
+  mr.total_procs = request.procs > 0 ? request.procs : machine.total_procs();
+  mr.options.num_threads = request.threads;
+  mr.use_cache = request.use_cache;
+  mr.time_budget_s = budget_s;  // 0 = no deadline (Deadline::HasBudget)
+  ApplyPolicy(request, &mr);
+
+  const MapResponse response = engine_->Map(mr);
+  const Evaluator eval(chain, mr.total_procs, machine.node_memory_bytes,
+                       request.threads);
+  const Mapping mapping =
+      FeasibilityChecker(machine).MakeFeasible(response.mapping, eval);
+
+  const bool deadline_expired = response.timed_out || response.budget_exhausted;
+  if (deadline_expired) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.timed_out;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(true);
+  w.Key("op").String("map");
+  w.Key("mapping").String(SerializeMapping(mapping));
+  w.Key("objective_value").Double(response.objective_value);
+  w.Key("throughput").Double(response.throughput);
+  w.Key("latency").Double(response.latency);
+  w.Key("solver").String(response.solver);
+  w.Key("exact").Bool(response.exact);
+  w.Key("cache_hit").Bool(response.cache_hit);
+  w.Key("timed_out").Bool(response.timed_out);
+  w.Key("budget_exhausted").Bool(response.budget_exhausted);
+  w.Key("deadline_expired").Bool(deadline_expired);
+  w.Key("solve_seconds").Double(response.solve_seconds);
+  w.EndObject();
+  return w.str();
+}
+
+std::string PipemapServer::HandleSimulate(const ServerRequest& request) {
+  if (!request.has_chain || !request.has_machine || !request.has_mapping) {
+    throw InvalidArgument("op simulate needs chain, machine, and mapping");
+  }
+  const TaskChain chain = ParseChain(request.chain_text);
+  const MachineConfig machine = ParseMachine(request.machine_text);
+  const Mapping mapping = ParseMapping(request.mapping_text);
+  const SimOptions options = BuildSimOptions(request);
+
+  const SimResult result = PipelineSimulator(chain).Run(mapping, options);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(true);
+  w.Key("op").String("simulate");
+  w.Key("datasets").Int(options.num_datasets);
+  w.Key("throughput").Double(result.throughput);
+  w.Key("mean_latency").Double(result.mean_latency);
+  w.Key("makespan").Double(result.makespan);
+  w.Key("module_utilization").BeginArray();
+  for (const double u : result.module_utilization) w.Double(u);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string PipemapServer::HandleReport(const ServerRequest& request,
+                                        double budget_s) {
+  if (!request.has_chain || !request.has_machine) {
+    throw InvalidArgument("op report needs chain and machine sections");
+  }
+  const TaskChain chain = ParseChain(request.chain_text);
+  const MachineConfig machine = ParseMachine(request.machine_text);
+
+  MapRequest mr;
+  mr.chain = &chain;
+  mr.machine = machine;
+  mr.total_procs = request.procs > 0 ? request.procs : machine.total_procs();
+  mr.options.num_threads = request.threads;
+  mr.use_cache = request.use_cache;
+  mr.time_budget_s = budget_s;
+  ApplyPolicy(request, &mr);
+
+  const MapResponse response = engine_->Map(mr);
+  const Evaluator eval(chain, mr.total_procs, machine.node_memory_bytes,
+                       request.threads);
+  const Mapping mapping =
+      FeasibilityChecker(machine).MakeFeasible(response.mapping, eval);
+
+  const SimOptions options = BuildSimOptions(request);
+  const SimResult result = PipelineSimulator(chain).Run(mapping, options);
+  const BottleneckAttribution attribution =
+      AttributeBottleneck(eval, mapping, result, options.num_datasets);
+
+  RunReportOptions report_options;
+  report_options.num_datasets = options.num_datasets;
+  const std::string report =
+      BuildRunReportJson(eval, mapping, result, attribution, report_options);
+
+  if (response.timed_out || response.budget_exhausted) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.timed_out;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(true);
+  w.Key("op").String("report");
+  w.Key("solver").String(response.solver);
+  w.Key("timed_out").Bool(response.timed_out || response.budget_exhausted);
+  w.Key("report").Raw(report);
+  w.EndObject();
+  return w.str();
+}
+
+std::string PipemapServer::HandleStats() {
+  const ServerCounters snapshot = counters();
+  const SolutionCacheStats cache = engine_->cache().stats();
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(true);
+  w.Key("op").String("stats");
+  w.Key("server").BeginObject();
+  w.Key("connections").UInt(snapshot.connections);
+  w.Key("accepted").UInt(snapshot.accepted);
+  w.Key("rejected").UInt(snapshot.rejected);
+  w.Key("completed").UInt(snapshot.completed);
+  w.Key("timed_out").UInt(snapshot.timed_out);
+  w.Key("parse_errors").UInt(snapshot.parse_errors);
+  w.Key("drained").UInt(snapshot.drained);
+  w.Key("queue_depth").UInt(depth);
+  w.Key("queue_capacity").UInt(config_.queue_capacity);
+  w.Key("workers").Int(config_.num_workers);
+  w.EndObject();
+  w.Key("cache").BeginObject();
+  w.Key("hits").UInt(cache.hits);
+  w.Key("misses").UInt(cache.misses);
+  w.Key("evictions").UInt(cache.evictions);
+  w.Key("inserts").UInt(cache.inserts);
+  w.Key("entries").UInt(cache.entries);
+  w.Key("capacity").UInt(cache.capacity);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace pipemap::server

@@ -1,0 +1,150 @@
+// pipemap_server: mapping-as-a-service on top of MappingEngine.
+//
+// The server turns the in-process engine into a long-running daemon: a
+// TCP listener accepts concurrent connections speaking the framed
+// protocol in server/protocol.h, a bounded admission queue decouples
+// connection handling from solving, and a fixed pool of solver workers
+// drains the queue into one shared MappingEngine — so every request in
+// the process sees the same solution cache and warm pool.
+//
+// Threading model:
+//   * one accept thread; one lightweight thread per connection (reads
+//     frames, parses, enqueues, writes responses). Connection threads
+//     never solve, so the server holds >= 64 open connections with the
+//     solver parallelism fixed by `num_workers`;
+//   * `num_workers` solver threads pop jobs from the admission queue.
+//     Requests default to threads=1 inside the solver (ThreadPool::
+//     Shared() serializes parallel regions, so parallelism across
+//     requests beats parallelism within one);
+//   * admission is bounded: a full queue rejects immediately with a
+//     clean `rejected` error response instead of building backlog.
+//
+// Deadlines: a request's `deadline_s` is anchored at admission, so time
+// spent waiting in the queue counts against it. A job whose deadline has
+// already expired when a worker picks it up is solved with a vanishing
+// budget — the engine returns its greedy incumbent flagged timed_out
+// rather than hanging or silently running long.
+//
+// Shutdown (Drain): stop accepting, reject new frames with a `draining`
+// error, let workers finish every admitted job (each bounded by its own
+// deadline), then wake blocked readers and join all threads. Drain is
+// what the daemon runs on SIGTERM; it is also safe to call twice.
+//
+// Every response — success or failure — is one JSON object; hostile
+// bytes in request sections pass through JsonWriter's sanitizing escaper,
+// so the server never emits a malformed document.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace pipemap {
+class MappingEngine;
+}  // namespace pipemap
+
+namespace pipemap::server {
+
+struct ServerConfig {
+  /// Bind address. The default keeps the daemon loopback-only; the tests
+  /// and the bench talk to it on localhost.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result back via port().
+  int port = 0;
+  /// Solver worker threads draining the admission queue.
+  int num_workers = 4;
+  /// Admission queue bound; a full queue rejects, never blocks.
+  std::size_t queue_capacity = 64;
+  /// Frames above this are drained and refused (see ReadFrame).
+  std::size_t max_frame_bytes = 4u << 20;
+  /// Engine to solve on; nullptr uses MappingEngine::Shared().
+  MappingEngine* engine = nullptr;
+};
+
+/// Monotone counters mirrored into MetricsRegistry ("server.*"). Kept as
+/// plain atomics too so the `stats` op works with metrics collection off.
+struct ServerCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t accepted = 0;      ///< requests admitted to the queue
+  std::uint64_t rejected = 0;      ///< queue-full rejections
+  std::uint64_t completed = 0;     ///< responses produced by workers
+  std::uint64_t timed_out = 0;     ///< responses flagged deadline-expired
+  std::uint64_t parse_errors = 0;  ///< malformed frames answered with errors
+  std::uint64_t drained = 0;       ///< frames refused because of Drain
+};
+
+class PipemapServer {
+ public:
+  explicit PipemapServer(ServerConfig config = {});
+  ~PipemapServer();
+
+  PipemapServer(const PipemapServer&) = delete;
+  PipemapServer& operator=(const PipemapServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread and worker pool.
+  /// Throws pipemap::Error when the address cannot be bound.
+  void Start();
+
+  /// The bound port (resolves config.port == 0), valid after Start().
+  int port() const { return port_; }
+
+  /// Graceful shutdown: finish admitted work, refuse new work, join all
+  /// threads. Blocks until the server is fully stopped. Idempotent.
+  void Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServerCounters counters() const;
+
+ private:
+  struct Job;
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  void WorkerLoop();
+
+  /// Runs one parsed request to a JSON response string. Never throws:
+  /// every failure becomes an {"ok": false, ...} document.
+  std::string HandleRequest(const ServerRequest& request,
+                            double remaining_budget_s);
+  std::string HandleMap(const ServerRequest& request, double budget_s);
+  std::string HandleSimulate(const ServerRequest& request);
+  std::string HandleReport(const ServerRequest& request, double budget_s);
+  std::string HandleStats();
+
+  void ReapFinishedConnections();
+
+  ServerConfig config_;
+  MappingEngine* engine_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  /// Set under queue_mu_ by Drain: workers finish the queue, then exit.
+  bool stop_workers_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+};
+
+}  // namespace pipemap::server

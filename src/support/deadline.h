@@ -30,9 +30,32 @@ class Deadline {
   explicit Deadline(Clock::time_point at) : at_(at) {}
 
   /// A deadline `seconds` from now. Non-finite or huge values yield a token
-  /// that never expires (time_point::max()).
+  /// that never expires (time_point::max()). A zero or negative value is an
+  /// ALREADY-EXPIRED deadline — use HasBudget/ForBudget when the caller's
+  /// convention is "0/unset means no time limit".
   static std::shared_ptr<const Deadline> After(double seconds) {
     return std::make_shared<const Deadline>(TimePointAfter(seconds));
+  }
+
+  /// The pinned budget contract at the engine/server boundary: a
+  /// `time_budget_s`-style field constrains the solve only when it is a
+  /// positive finite number of seconds. Zero, negative, NaN, and infinity
+  /// all mean "no budget" — callers historically used 0/unset
+  /// interchangeably for "unlimited", and After(0)'s expire-immediately
+  /// reading turned that into solves that gave up at the starting line.
+  static bool HasBudget(double seconds) {
+    return std::isfinite(seconds) && seconds > 0.0;
+  }
+
+  /// A deadline for a budget under the HasBudget contract: a token that
+  /// never expires when `seconds` carries no budget, else `seconds` after
+  /// `anchor`.
+  static std::shared_ptr<const Deadline> ForBudget(Clock::time_point anchor,
+                                                   double seconds) {
+    if (!HasBudget(seconds)) {
+      return std::make_shared<const Deadline>(Clock::time_point::max());
+    }
+    return std::make_shared<const Deadline>(TimePointFrom(anchor, seconds));
   }
 
   /// A deadline `seconds` after an externally chosen anchor, so callers that

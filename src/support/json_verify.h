@@ -1,0 +1,27 @@
+// Strict JSON syntax checker (RFC 8259) with UTF-8 well-formedness.
+//
+// The project emits JSON everywhere but deliberately has no general JSON
+// *parser* — consumers are external tools. What the server work needs is
+// the ability to PROVE, in tests / the load generator / CI smoke runs,
+// that every response built from untrusted request bytes is still valid
+// JSON. This is that proof: a single-pass recursive-descent validator
+// that accepts exactly the RFC 8259 grammar (one top-level value,
+// strings must be valid UTF-8 with correctly escaped control characters,
+// numbers in JSON form, no trailing bytes) and reports the first offense
+// with its byte offset.
+//
+// It validates; it does not build a document tree — no allocation beyond
+// the error string, no dependence on input size beyond the nesting-depth
+// cap that keeps hostile deeply-nested inputs from overflowing the stack.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pipemap {
+
+/// True when `text` is exactly one valid JSON document. On failure, when
+/// `error` is non-null it receives "offset N: <what went wrong>".
+bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace pipemap

@@ -1,28 +1,91 @@
 #include "support/json_writer.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace pipemap {
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at v[i], or 0 when
+/// the bytes there are not valid UTF-8 (stray continuation byte, overlong
+/// encoding, surrogate code point, > U+10FFFF, or truncated sequence).
+/// Strictness matters: these strings cross a trust boundary — chain and
+/// module names arrive in server requests — and one raw invalid byte
+/// copied through would make the whole response document malformed.
+std::size_t Utf8SequenceLength(std::string_view v, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(v[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len = 0;
+  std::uint32_t cp = 0;
+  if (b0 < 0x80) return 1;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1Fu;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0Fu;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07u;
+  } else {
+    return 0;  // continuation byte or 0xF8..0xFF lead
+  }
+  if (i + len > v.size()) return 0;  // truncated
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (byte(i + k) & 0x3Fu);
+  }
+  static constexpr std::uint32_t kMinForLength[5] = {0, 0, 0x80, 0x800,
+                                                    0x10000};
+  if (cp < kMinForLength[len]) return 0;              // overlong
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;         // surrogate
+  if (cp > 0x10FFFF) return 0;                        // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
 void JsonWriter::AppendEscaped(std::string& out, std::string_view v) {
   out += '"';
-  for (const char c : v) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
+  for (std::size_t i = 0; i < v.size();) {
+    const char c = v[i];
+    const unsigned char b = static_cast<unsigned char>(c);
+    if (b < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (b < 0x20 || b == 0x7F) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(b));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+      ++i;
+      continue;
+    }
+    // Multi-byte input: copy well-formed UTF-8 through untouched, replace
+    // anything else with U+FFFD (emitted escaped so the output stays
+    // pure ASCII-or-valid-UTF-8 regardless of what arrived). Consuming
+    // one byte per invalid position matches the Unicode recommendation
+    // and guarantees forward progress.
+    const std::size_t len = Utf8SequenceLength(v, i);
+    if (len == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(v.substr(i, len));
+      i += len;
     }
   }
   out += '"';

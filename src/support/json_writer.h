@@ -4,7 +4,11 @@
 // run reports, bench result files, engine provenance — is JSON, and each
 // emitter used to hand-roll its own escaping and number formatting. This
 // writer centralizes the three rules they must agree on:
-//   * strings are escaped (quote, backslash, control characters);
+//   * strings are escaped (quote, backslash, every control byte including
+//     DEL) and sanitized: well-formed UTF-8 passes through, anything else
+//     — stray continuation bytes, overlong encodings, surrogates,
+//     truncated sequences — becomes U+FFFD, so a hostile name arriving
+//     over the wire can never yield a response that is not valid JSON;
 //   * doubles print with 12 significant digits, and non-finite values
 //     become null (JSON has no NaN/Inf);
 //   * output is pretty-printed with two-space indentation, one key or

@@ -1,0 +1,46 @@
+#include "support/parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pipemap {
+
+namespace {
+
+/// stoi/stod silently skip leading whitespace; whole-token parsing must
+/// not.
+bool LeadingSpace(std::string_view text) {
+  return !text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+}  // namespace
+
+std::optional<int> TryParseInt(std::string_view text) {
+  if (text.empty() || LeadingSpace(text)) return std::nullopt;
+  try {
+    const std::string token(text);
+    std::size_t idx = 0;
+    const int v = std::stoi(token, &idx);
+    if (idx == token.size()) return v;
+  } catch (const std::exception&) {
+    // invalid_argument or out_of_range: fall through to nullopt.
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TryParseDouble(std::string_view text) {
+  if (text.empty() || LeadingSpace(text)) return std::nullopt;
+  try {
+    const std::string token(text);
+    std::size_t idx = 0;
+    const double v = std::stod(token, &idx);
+    if (idx == token.size() && std::isfinite(v)) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+}  // namespace pipemap

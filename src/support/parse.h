@@ -1,0 +1,28 @@
+// Checked numeric parsing shared by every boundary that consumes
+// untrusted text: CLI flag values, environment variables, and server
+// request fields.
+//
+// std::atoi/std::stoi/std::stod alone are the wrong tool at a trust
+// boundary: atoi silently turns garbage into 0, stoi accepts "3abc" and
+// throws std::out_of_range as an unhandled crash on "1e999", and none of
+// them reject trailing junk. These helpers parse the WHOLE token or
+// refuse: they return nullopt on empty input, partial parses, overflow,
+// and (for doubles) non-finite results, so callers fail loudly with
+// their own error type instead of computing with silent garbage.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace pipemap {
+
+/// Parses `text` as a base-10 int. The entire token must be consumed and
+/// the value must fit; otherwise nullopt.
+std::optional<int> TryParseInt(std::string_view text);
+
+/// Parses `text` as a finite double. The entire token must be consumed;
+/// overflow ("1e999"), underflow-to-junk, and trailing garbage all yield
+/// nullopt.
+std::optional<double> TryParseDouble(std::string_view text);
+
+}  // namespace pipemap

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,7 @@
 
 #include "support/error.h"
 #include "support/metrics.h"
+#include "support/parse.h"
 #include "support/tracer.h"
 
 namespace pipemap {
@@ -168,11 +171,20 @@ int ThreadPool::HardwareConcurrency() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int ThreadPool::ParseHardwareThreadsOverride(const char* text) {
+  const std::optional<int> v = TryParseInt(text == nullptr ? "" : text);
+  if (!v || *v < 1) {
+    throw InvalidArgument(
+        "PIPEMAP_HARDWARE_THREADS must be a positive integer, got '" +
+        std::string(text == nullptr ? "" : text) + "'");
+  }
+  return std::min(*v, kMaxWorkers);
+}
+
 int ThreadPool::AvailableConcurrency() {
   static const int available = [] {
     if (const char* env = std::getenv("PIPEMAP_HARDWARE_THREADS")) {
-      const int v = std::atoi(env);
-      if (v >= 1) return std::min(v, kMaxWorkers);
+      return ParseHardwareThreadsOverride(env);
     }
 #if defined(__linux__)
     cpu_set_t mask;

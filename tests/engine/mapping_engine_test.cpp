@@ -249,13 +249,13 @@ TEST(MappingEngineTest, CustomPredicateBypassesCache) {
   EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
 }
 
-TEST(MappingEngineTest, ZeroTimeBudgetStopsAfterGreedyAndIsNotCached) {
+TEST(MappingEngineTest, TinyTimeBudgetStopsAfterGreedyAndIsNotCached) {
   const TaskChain chain = ThreeTaskChain();
   MappingEngine engine;
 
   MapRequest request = RequestFor(chain, SmallMachine());
   request.solver = SolverPolicy::kAuto;
-  request.time_budget_s = 0.0;
+  request.time_budget_s = 1e-9;
   const MapResponse response = engine.Map(request);
   EXPECT_EQ(response.solver, "greedy");
   EXPECT_TRUE(response.budget_exhausted);
@@ -268,6 +268,25 @@ TEST(MappingEngineTest, ZeroTimeBudgetStopsAfterGreedyAndIsNotCached) {
   const MapResponse exact = engine.Map(full);
   EXPECT_FALSE(exact.cache_hit);
   EXPECT_TRUE(exact.exact);
+}
+
+TEST(MappingEngineTest, NonPositiveBudgetMeansUnlimited) {
+  // The pinned contract (Deadline::HasBudget): zero, negative, and
+  // infinite budgets all mean "no budget". A caller that leaves a
+  // protocol field at 0 gets the full portfolio, never a solve that
+  // expires at the starting line.
+  const TaskChain chain = ThreeTaskChain();
+  for (const double budget :
+       {0.0, -1.0, std::numeric_limits<double>::infinity()}) {
+    MappingEngine engine;
+    MapRequest request = RequestFor(chain, SmallMachine());
+    request.solver = SolverPolicy::kAuto;
+    request.time_budget_s = budget;
+    const MapResponse response = engine.Map(request);
+    EXPECT_FALSE(response.budget_exhausted) << "budget " << budget;
+    EXPECT_FALSE(response.timed_out) << "budget " << budget;
+    EXPECT_TRUE(response.exact) << "budget " << budget;
+  }
 }
 
 TEST(MappingEngineTest, SolverDeadlineReturnsIncumbentWithProvenance) {

@@ -1,0 +1,143 @@
+// JSON emission under hostile input: names arriving over the wire (server
+// requests, parsed chain files) may contain control bytes and invalid
+// UTF-8, and the writer must still produce a document that any strict
+// JSON parser accepts. The corpus below is the attack surface: raw
+// control characters, DEL, stray continuation bytes, overlong encodings,
+// encoded surrogates, truncated sequences, and out-of-range code points.
+#include "support/json_writer.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "support/json_verify.h"
+
+namespace pipemap {
+namespace {
+
+std::string Escaped(const std::string& in) {
+  std::string out;
+  JsonWriter::AppendEscaped(out, in);
+  return out;
+}
+
+TEST(JsonWriterEscapeTest, PlainStringsPassThrough) {
+  EXPECT_EQ(Escaped("fft_256"), "\"fft_256\"");
+  EXPECT_EQ(Escaped(""), "\"\"");
+  EXPECT_EQ(Escaped("naïve π ✓"), "\"naïve π ✓\"");  // valid UTF-8 untouched
+}
+
+TEST(JsonWriterEscapeTest, QuotesBackslashesAndNamedEscapes) {
+  EXPECT_EQ(Escaped("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(Escaped("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(Escaped("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+}
+
+TEST(JsonWriterEscapeTest, AllControlBytesEscaped) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = Escaped(in);
+    // Every control byte must come out as an escape sequence, never raw
+    // (raw '\n' vs the two-character "\\n" etc.).
+    EXPECT_EQ(out.find(static_cast<char>(c)), std::string::npos)
+        << "control byte " << c << " leaked into " << out;
+    std::string error;
+    EXPECT_TRUE(IsValidJson(out, &error)) << "byte " << c << ": " << error;
+  }
+  EXPECT_EQ(Escaped(std::string(1, '\x7f')), "\"\\u007f\"");
+}
+
+TEST(JsonWriterEscapeTest, InvalidUtf8BecomesReplacementCharacter) {
+  // Each case: hostile bytes -> the emitted literal is valid JSON and the
+  // bad bytes are gone (replaced by the escaped U+FFFD).
+  const std::vector<std::string> corpus = {
+      std::string("\x80", 1),                  // stray continuation byte
+      std::string("\xff\xfe", 2),              // invalid lead bytes
+      std::string("\xc0\xaf", 2),              // overlong '/'
+      std::string("\xc1\xbf", 2),              // overlong
+      std::string("\xe0\x80\xaf", 3),          // overlong 3-byte
+      std::string("\xed\xa0\x80", 3),          // encoded surrogate D800
+      std::string("\xed\xbf\xbf", 3),          // encoded surrogate DFFF
+      std::string("\xf4\x90\x80\x80", 4),      // U+110000 (out of range)
+      std::string("\xf5\x80\x80\x80", 4),      // lead byte beyond U+10FFFF
+      std::string("\xc2", 1),                  // truncated 2-byte sequence
+      std::string("\xe2\x82", 2),              // truncated 3-byte sequence
+      std::string("\xf0\x9f\x92", 3),          // truncated 4-byte sequence
+      std::string("ok\x80ok", 6),              // invalid byte mid-string
+      std::string("a\xc3("),                   // lead byte + non-continuation
+  };
+  for (const std::string& in : corpus) {
+    const std::string out = Escaped(in);
+    std::string error;
+    EXPECT_TRUE(IsValidJson(out, &error))
+        << "input bytes produced invalid JSON: " << error;
+    EXPECT_NE(out.find("\\ufffd"), std::string::npos)
+        << "invalid input was not sanitized: " << out;
+    for (const char c : out) {
+      EXPECT_LT(static_cast<unsigned char>(c), 0x80u)
+          << "raw non-ASCII byte leaked from hostile input";
+    }
+  }
+}
+
+TEST(JsonWriterEscapeTest, ValidMultibyteSurvivesExactly) {
+  const std::vector<std::string> valid = {
+      "\u00e9",          // 2-byte
+      "\u20ac",          // 3-byte
+      "\U0001F4A9",      // 4-byte
+      "\ufffd",          // the replacement character itself
+  };
+  for (const std::string& in : valid) {
+    EXPECT_EQ(Escaped(in), "\"" + in + "\"");
+  }
+}
+
+TEST(JsonWriterEscapeTest, HostileNameInsideFullDocument) {
+  // The end-to-end shape the server relies on: a hostile module name
+  // embedded through the writer still yields one valid document.
+  std::string name("m\x01\xc0\xaf\"\\\x7f", 7);
+  name += std::string("\xed\xa0\x80", 3);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("module").String(name);
+  w.Key("names").BeginArray();
+  w.String(name).String("plain");
+  w.EndArray();
+  w.EndObject();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(w.str(), &error)) << error;
+}
+
+TEST(JsonVerifyTest, AcceptsAndRejectsSyntax) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[1, -2.5e3, \"x\", true, false, null]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": {\"b\": [\"\\u0041\\ud83d\\ude00\"]}}"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{} {}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("[1,]"));
+  EXPECT_FALSE(IsValidJson("[01]"));
+  EXPECT_FALSE(IsValidJson("[1.]"));
+  EXPECT_FALSE(IsValidJson("[+1]"));
+  EXPECT_FALSE(IsValidJson("[nan]"));
+  EXPECT_FALSE(IsValidJson("\"\\x41\""));
+  EXPECT_FALSE(IsValidJson(std::string("\"\x01\"", 3)));   // raw control
+  EXPECT_FALSE(IsValidJson(std::string("\"\x80\"", 3)));   // invalid UTF-8
+  EXPECT_FALSE(IsValidJson("\"\\ud800\""));                 // lone surrogate
+  std::string error;
+  EXPECT_FALSE(IsValidJson("[", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonVerifyTest, DepthLimitRefusesHostileNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(IsValidJson(deep));
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_TRUE(IsValidJson(ok));
+}
+
+}  // namespace
+}  // namespace pipemap

@@ -1,0 +1,67 @@
+// Checked parsing at trust boundaries: whole-token or refusal, and the
+// PIPEMAP_HARDWARE_THREADS override failing loudly instead of silently
+// degrading to atoi-garbage.
+#include "support/parse.h"
+
+#include "gtest/gtest.h"
+#include "support/error.h"
+#include "support/thread_pool.h"
+
+namespace pipemap {
+namespace {
+
+TEST(ParseTest, IntAcceptsWholeTokens) {
+  EXPECT_EQ(TryParseInt("4"), 4);
+  EXPECT_EQ(TryParseInt("-12"), -12);
+  EXPECT_EQ(TryParseInt("0"), 0);
+  EXPECT_EQ(TryParseInt("+7"), 7);
+}
+
+TEST(ParseTest, IntRejectsGarbageAndOverflow) {
+  EXPECT_FALSE(TryParseInt(""));
+  EXPECT_FALSE(TryParseInt("4x"));
+  EXPECT_FALSE(TryParseInt("abc"));
+  EXPECT_FALSE(TryParseInt("4 "));
+  EXPECT_FALSE(TryParseInt(" 4"));  // no silent whitespace trimming
+  EXPECT_FALSE(TryParseInt("99999999999999999999"));
+  EXPECT_FALSE(TryParseInt("1.5"));
+}
+
+TEST(ParseTest, DoubleAcceptsFiniteWholeTokens) {
+  EXPECT_EQ(TryParseDouble("0.5"), 0.5);
+  EXPECT_EQ(TryParseDouble("-3e-2"), -3e-2);
+  EXPECT_EQ(TryParseDouble("0"), 0.0);
+}
+
+TEST(ParseTest, DoubleRejectsGarbageOverflowAndNonFinite) {
+  EXPECT_FALSE(TryParseDouble(""));
+  EXPECT_FALSE(TryParseDouble("3abc"));
+  EXPECT_FALSE(TryParseDouble("1e999"));  // overflow must not crash
+  EXPECT_FALSE(TryParseDouble("inf"));
+  EXPECT_FALSE(TryParseDouble("nan"));
+}
+
+TEST(ParseTest, HardwareThreadsOverrideParsesOrThrows) {
+  EXPECT_EQ(ThreadPool::ParseHardwareThreadsOverride("4"), 4);
+  EXPECT_EQ(ThreadPool::ParseHardwareThreadsOverride("1"), 1);
+  // Clamped, never above the pool's worker cap.
+  EXPECT_EQ(ThreadPool::ParseHardwareThreadsOverride("100000"),
+            ThreadPool::kMaxWorkers);
+  // The PR-7 bug: atoi turned these into 0 and silently fell through to
+  // the affinity probe, mislabeling every benchmark downstream.
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride("4x"),
+               InvalidArgument);
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride("abc"),
+               InvalidArgument);
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride("0"),
+               InvalidArgument);
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride("-2"),
+               InvalidArgument);
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride(""),
+               InvalidArgument);
+  EXPECT_THROW(ThreadPool::ParseHardwareThreadsOverride(nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pipemap

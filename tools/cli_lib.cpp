@@ -21,6 +21,7 @@
 #include "sim/run_report.h"
 #include "support/error.h"
 #include "support/metrics.h"
+#include "support/parse.h"
 #include "support/tracer.h"
 #include "workloads/fft_hist.h"
 #include "workloads/radar.h"
@@ -108,28 +109,17 @@ class UsageError : public InvalidArgument {
   using InvalidArgument::InvalidArgument;
 };
 
-/// Checked numeric parsing for flag values: the whole token must parse,
-/// and the value must be finite. std::stod/stoi alone would accept
-/// "3abc", throw std::out_of_range as an unhandled crash on "1e999", and
-/// turn typos into silent garbage.
+/// Checked numeric parsing for flag values (support/parse.h): the whole
+/// token must parse, and the value must be finite. std::stod/stoi alone
+/// would accept "3abc", throw std::out_of_range as an unhandled crash on
+/// "1e999", and turn typos into silent garbage.
 double CheckedDouble(const std::string& key, const std::string& text) {
-  try {
-    std::size_t idx = 0;
-    const double v = std::stod(text, &idx);
-    if (idx == text.size() && std::isfinite(v)) return v;
-  } catch (const std::exception&) {
-    // Fall through to the uniform UsageError below.
-  }
+  if (const std::optional<double> v = TryParseDouble(text)) return *v;
   throw UsageError("invalid numeric value for --" + key + ": '" + text + "'");
 }
 
 int CheckedInt(const std::string& key, const std::string& text) {
-  try {
-    std::size_t idx = 0;
-    const int v = std::stoi(text, &idx);
-    if (idx == text.size()) return v;
-  } catch (const std::exception&) {
-  }
+  if (const std::optional<int> v = TryParseInt(text)) return *v;
   throw UsageError("invalid integer value for --" + key + ": '" + text +
                    "'");
 }
@@ -300,10 +290,12 @@ MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
   request.use_cache = flags.Has("engine-cache");
   if (const auto deadline = flags.Get("solver-deadline")) {
     const double seconds = CheckedDouble("solver-deadline", *deadline);
-    if (seconds <= 0.0) {
-      throw UsageError("--solver-deadline must be positive, got " +
-                       *deadline);
+    if (seconds < 0.0) {
+      throw UsageError("--solver-deadline must be positive (0 disables"
+                       " the deadline), got " + *deadline);
     }
+    // 0 means "no deadline" at the engine boundary (Deadline::HasBudget),
+    // same as omitting the flag.
     request.time_budget_s = seconds;
   }
 
@@ -437,9 +429,9 @@ int SimulateCommand(const std::vector<std::string>& args, std::ostream& out) {
   rr.policy = RepairPolicyFromName(*policy_name);
   if (const auto deadline = flags.Get("solver-deadline")) {
     rr.solver_deadline_s = CheckedDouble("solver-deadline", *deadline);
-    if (rr.solver_deadline_s <= 0.0) {
-      throw UsageError("--solver-deadline must be positive, got " +
-                       *deadline);
+    if (rr.solver_deadline_s < 0.0) {
+      throw UsageError("--solver-deadline must be positive (0 disables"
+                       " the deadline), got " + *deadline);
     }
   }
   ApplyCrashToRequest(rr, plan);

@@ -1,0 +1,279 @@
+// pipemap_loadgen: concurrent load generator for pipemap_server.
+//
+// Opens N connections, each driven by its own thread issuing `map`
+// requests drawn from a small set of synthetic problems with a
+// configurable hot-key skew (a high --skew exercises the shared
+// solution cache the way a production mix would). Every response is
+// checked against the strict JSON validator; the exit status is the
+// contract the CI smoke test asserts: 0 only when every connection got
+// a well-formed response for every request.
+//
+// Output: one JSON summary on stdout — requests/s, latency percentiles,
+// ok/error/malformed counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/serialize.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "support/json_verify.h"
+#include "support/json_writer.h"
+#include "support/parse.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int requests = 20;  // per connection
+  int variants = 4;   // distinct problems in the mix
+  double skew = 0.0;  // probability of picking the hot variant
+  double deadline_s = 0.0;
+  int seed = 42;
+  std::string op = "map";
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_s;
+  std::uint64_t ok = 0;
+  std::uint64_t server_errors = 0;  // well-formed {"ok": false, ...}
+  std::uint64_t malformed = 0;      // invalid JSON or missing ok field
+  std::uint64_t transport_errors = 0;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pipemap_loadgen --port N [--host ADDR] [--connections N]\n"
+      "                       [--requests N] [--variants N] [--skew X]\n"
+      "                       [--deadline S] [--seed N] [--op map|ping]\n"
+      "\n"
+      "Drives N concurrent connections, --requests requests each, and\n"
+      "validates every response against a strict JSON parser. Exits 0\n"
+      "only when zero responses were malformed and every connection\n"
+      "completed; the summary JSON goes to stdout.\n");
+  return 2;
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// The request mix: `variants` distinct problems, serialized once. The
+/// hot variant (index 0) is picked with probability `skew`, the rest
+/// uniformly — so skew 0.9 reproduces a cache-friendly production mix
+/// and skew 0 a cache-hostile one.
+struct ProblemMix {
+  std::vector<std::string> chains;
+  std::vector<std::string> machines;
+
+  explicit ProblemMix(const LoadgenOptions& options) {
+    for (int v = 0; v < options.variants; ++v) {
+      pipemap::workloads::SyntheticSpec spec;
+      spec.num_tasks = 4 + (v % 3);
+      spec.machine_procs = 16;
+      spec.mean_work_s = 0.05 * (1 + v);
+      const pipemap::Workload workload =
+          pipemap::workloads::MakeSynthetic(
+              spec, static_cast<std::uint64_t>(options.seed + v));
+      chains.push_back(pipemap::SerializeChain(
+          workload.chain, workload.machine.total_procs()));
+      machines.push_back(pipemap::SerializeMachine(workload.machine));
+    }
+  }
+
+  int Pick(std::mt19937_64& rng, double skew) const {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (chains.size() == 1 || uniform(rng) < skew) return 0;
+    std::uniform_int_distribution<int> rest(
+        1, static_cast<int>(chains.size()) - 1);
+    return rest(rng);
+  }
+};
+
+WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
+                       int worker_index) {
+  WorkerResult result;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(options.seed) * 1000003u +
+                      static_cast<std::uint64_t>(worker_index));
+  try {
+    pipemap::server::ServerClient client(options.host, options.port);
+    for (int i = 0; i < options.requests; ++i) {
+      pipemap::server::ServerRequest request;
+      request.op = options.op;
+      request.deadline_s = options.deadline_s;
+      if (options.op == "map") {
+        const int variant = mix.Pick(rng, options.skew);
+        request.chain_text = mix.chains[variant];
+        request.machine_text = mix.machines[variant];
+        request.has_chain = true;
+        request.has_machine = true;
+        request.algorithm = "auto";
+      }
+      const Clock::time_point start = Clock::now();
+      std::string response;
+      try {
+        response = client.Call(request);
+      } catch (const std::exception&) {
+        ++result.transport_errors;
+        break;  // this connection is dead; others keep going
+      }
+      result.latencies_s.push_back(
+          std::chrono::duration<double>(Clock::now() - start).count());
+      if (!pipemap::IsValidJson(response)) {
+        ++result.malformed;
+      } else if (response.find("\"ok\": true") != std::string::npos) {
+        ++result.ok;
+      } else if (response.find("\"ok\": false") != std::string::npos) {
+        ++result.server_errors;
+      } else {
+        ++result.malformed;  // valid JSON but not a protocol response
+      }
+    }
+  } catch (const std::exception&) {
+    ++result.transport_errors;  // connect failed
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  bool saw_port = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "pipemap_loadgen: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    const auto checked_int = [&](const std::string& text) {
+      const std::optional<int> v = pipemap::TryParseInt(text);
+      if (!v) {
+        std::fprintf(stderr, "pipemap_loadgen: %s needs an integer, got"
+                     " '%s'\n", arg.c_str(), text.c_str());
+        std::exit(2);
+      }
+      return *v;
+    };
+    const auto checked_double = [&](const std::string& text) {
+      const std::optional<double> v = pipemap::TryParseDouble(text);
+      if (!v) {
+        std::fprintf(stderr, "pipemap_loadgen: %s needs a number, got"
+                     " '%s'\n", arg.c_str(), text.c_str());
+        std::exit(2);
+      }
+      return *v;
+    };
+    if (arg == "--host") {
+      options.host = value();
+    } else if (arg == "--port") {
+      options.port = checked_int(value());
+      saw_port = true;
+    } else if (arg == "--connections") {
+      options.connections = checked_int(value());
+    } else if (arg == "--requests") {
+      options.requests = checked_int(value());
+    } else if (arg == "--variants") {
+      options.variants = std::max(1, checked_int(value()));
+    } else if (arg == "--skew") {
+      options.skew = checked_double(value());
+    } else if (arg == "--deadline") {
+      options.deadline_s = checked_double(value());
+    } else if (arg == "--seed") {
+      options.seed = checked_int(value());
+    } else if (arg == "--op") {
+      options.op = value();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "pipemap_loadgen: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (!saw_port || options.port <= 0) {
+    std::fprintf(stderr, "pipemap_loadgen: --port is required\n");
+    return Usage();
+  }
+  if (options.op != "map" && options.op != "ping") {
+    std::fprintf(stderr, "pipemap_loadgen: --op must be map or ping\n");
+    return Usage();
+  }
+
+  const ProblemMix mix(options);
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(options.connections));
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < options.connections; ++c) {
+    threads.emplace_back([&, c] { results[c] = RunWorker(options, mix, c); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start)
+                             .count();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ok += r.ok;
+    total.server_errors += r.server_errors;
+    total.malformed += r.malformed;
+    total.transport_errors += r.transport_errors;
+    total.latencies_s.insert(total.latencies_s.end(), r.latencies_s.begin(),
+                             r.latencies_s.end());
+  }
+  std::sort(total.latencies_s.begin(), total.latencies_s.end());
+  const std::uint64_t completed =
+      static_cast<std::uint64_t>(total.latencies_s.size());
+
+  pipemap::JsonWriter w;
+  w.BeginObject();
+  w.Key("connections").Int(options.connections);
+  w.Key("requests_per_connection").Int(options.requests);
+  w.Key("op").String(options.op);
+  w.Key("skew").Double(options.skew);
+  w.Key("completed").UInt(completed);
+  w.Key("ok").UInt(total.ok);
+  w.Key("server_errors").UInt(total.server_errors);
+  w.Key("malformed").UInt(total.malformed);
+  w.Key("transport_errors").UInt(total.transport_errors);
+  w.Key("elapsed_s").Double(elapsed);
+  w.Key("requests_per_s")
+      .Double(elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0);
+  w.Key("latency_ms").BeginObject();
+  w.Key("p50").Double(Percentile(total.latencies_s, 0.50) * 1e3);
+  w.Key("p95").Double(Percentile(total.latencies_s, 0.95) * 1e3);
+  w.Key("p99").Double(Percentile(total.latencies_s, 0.99) * 1e3);
+  w.EndObject();
+  w.EndObject();
+  std::fputs(w.str().c_str(), stdout);
+
+  const std::uint64_t expected = static_cast<std::uint64_t>(
+      options.connections) * static_cast<std::uint64_t>(options.requests);
+  if (total.malformed > 0 || total.transport_errors > 0 ||
+      completed != expected) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// pipemap_server: the mapping-as-a-service daemon.
+//
+// Binds the TCP listener (src/server/server.h), prints the bound
+// address on stdout (machine-parsable, flushed — CI and the tests read
+// the port from it when binding port 0), then blocks until SIGTERM or
+// SIGINT. Signals are observed via the self-pipe trick so the handler
+// stays async-signal-safe; the main thread then runs the graceful drain:
+// admitted solves finish (bounded by their own deadlines), new requests
+// get clean `draining` errors, and the process exits 0 with a final
+// counters document on stdout.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+#include "support/error.h"
+#include "support/json_writer.h"
+#include "support/metrics.h"
+#include "support/parse.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe already has a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pipemap_server [--host ADDR] [--port N]\n"
+               "                      [--workers N] [--queue N]\n"
+               "\n"
+               "Runs the mapping daemon until SIGTERM/SIGINT, then drains:\n"
+               "in-flight solves finish or time out, new requests are\n"
+               "refused with a clean error, and the process exits 0.\n"
+               "--port 0 (default) binds an ephemeral port; the bound\n"
+               "address is printed on stdout as 'listening HOST PORT'.\n");
+  return 2;
+}
+
+int CheckedFlag(const char* name, const std::string& value) {
+  const std::optional<int> v = pipemap::TryParseInt(value);
+  if (!v) {
+    std::fprintf(stderr, "pipemap_server: %s needs an integer, got '%s'\n",
+                 name, value.c_str());
+    std::exit(2);
+  }
+  return *v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pipemap::server::ServerConfig config;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "pipemap_server: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--host") {
+      config.host = value();
+    } else if (arg == "--port") {
+      config.port = CheckedFlag("--port", value());
+    } else if (arg == "--workers") {
+      config.num_workers = CheckedFlag("--workers", value());
+    } else if (arg == "--queue") {
+      config.queue_capacity =
+          static_cast<std::size_t>(CheckedFlag("--queue", value()));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "pipemap_server: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipemap_server: pipe");
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const pipemap::ScopedMetricsEnable metrics_on(true);
+  pipemap::server::PipemapServer server(config);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pipemap_server: %s\n", e.what());
+    return 1;
+  }
+  std::printf("listening %s %d\n", config.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "pipemap_server: signal received, draining\n");
+  server.Drain();
+
+  const pipemap::server::ServerCounters counters = server.counters();
+  pipemap::JsonWriter w;
+  w.BeginObject();
+  w.Key("drained").Bool(true);
+  w.Key("connections").UInt(counters.connections);
+  w.Key("accepted").UInt(counters.accepted);
+  w.Key("rejected").UInt(counters.rejected);
+  w.Key("completed").UInt(counters.completed);
+  w.Key("timed_out").UInt(counters.timed_out);
+  w.Key("parse_errors").UInt(counters.parse_errors);
+  w.EndObject();
+  std::fputs(w.str().c_str(), stdout);
+  return 0;
+}
