@@ -14,6 +14,8 @@
 #include "support/error.h"
 #include "support/json_writer.h"
 #include "support/metrics.h"
+#include "support/trace_context.h"
+#include "support/tracer.h"
 
 namespace pipemap {
 
@@ -100,6 +102,7 @@ std::string MapResponse::ToJson() const {
   w.Key("solve_seconds").Double(solve_seconds);
   w.Key("work").UInt(work);
   w.Key("pruned_cells").UInt(pruned_cells);
+  if (trace_id != 0) w.Key("trace_id").String(FormatTraceId(trace_id));
   w.EndObject();
   return w.str();
 }
@@ -134,9 +137,17 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   ValidateRequest(request);
   const auto start = std::chrono::steady_clock::now();
   PIPEMAP_COUNTER_ADD("engine.map.calls", 1);
+  // The request's trace id rides the span's arg, so trace_join.py can
+  // correlate this solve with the server-side spans of the same request
+  // (-1 = untraced; the exporter omits negative args).
+  PIPEMAP_TRACE_SPAN("engine.map", "engine",
+                     request.trace_id != 0
+                         ? static_cast<std::int64_t>(request.trace_id)
+                         : -1);
   const int procs = ResolveProcs(request);
 
   MapResponse response;
+  response.trace_id = request.trace_id;
   response.cacheable = request.use_cache && !request.options.proc_feasible;
   if (response.cacheable) {
     response.fingerprint = Fingerprint(request);

@@ -83,6 +83,12 @@ struct MapRequest {
   bool machine_feasibility = true;
   /// Consult/populate the engine's solution cache.
   bool use_cache = true;
+  /// Request trace id (support/trace_context.h); 0 = untraced. Purely
+  /// provenance: it never enters the fingerprint (two requests differing
+  /// only in trace_id are the same problem and share a cache entry), but
+  /// it is echoed in MapResponse, stamped on the engine's trace spans,
+  /// and joins the solve to the server's access-log line.
+  std::uint64_t trace_id = 0;
   /// Wall-clock budget for the whole request. The budget binds only when
   /// it is a positive finite number of seconds (Deadline::HasBudget);
   /// zero, negative, and infinite values all mean "no budget" — so a
@@ -134,6 +140,9 @@ struct MapResponse {
   /// never cached.
   bool timed_out = false;
   double solve_seconds = 0.0;
+  /// Echo of MapRequest::trace_id (0 = untraced); rendered as 16 hex
+  /// digits in ToJson when set.
+  std::uint64_t trace_id = 0;
 
   /// Provenance as JSON (support/json_writer.h); mapping excluded — pair
   /// with SerializeMapping or the run report for the mapping itself.

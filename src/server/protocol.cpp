@@ -9,6 +9,7 @@
 
 #include "support/error.h"
 #include "support/parse.h"
+#include "support/trace_context.h"
 
 namespace pipemap::server {
 namespace {
@@ -118,6 +119,14 @@ ServerRequest ParseServerRequest(std::string_view payload) {
     if (key == "op") {
       request.op = std::string(value);
       saw_op = true;
+    } else if (key == "trace_id") {
+      const std::optional<std::uint64_t> id = ParseTraceId(value);
+      if (!id) {
+        throw InvalidArgument(
+            "server request: 'trace_id' must be 1-16 nonzero hex digits, "
+            "got '" + std::string(value) + "'");
+      }
+      request.trace_id = *id;
     } else if (key == "deadline_s") {
       request.deadline_s = CheckedDoubleField(key, value);
     } else if (key == "procs") {
@@ -196,6 +205,9 @@ ServerRequest ParseServerRequest(std::string_view payload) {
 std::string SerializeServerRequest(const ServerRequest& request) {
   std::string out = "pipemap-server v1\n";
   out += "op " + request.op + "\n";
+  if (request.trace_id != 0) {
+    out += "trace_id " + FormatTraceId(request.trace_id) + "\n";
+  }
   const auto number = [](double v) {
     // Shortest round-trip-safe form; matches what TryParseDouble accepts.
     char buf[64];

@@ -11,7 +11,12 @@
 // Request payload grammar ("pipemap-server v1"):
 //
 //   pipemap-server v1
-//   op <map|simulate|report|ping|stats>
+//   op <map|simulate|report|ping|stats|metrics>
+//   [trace_id <hex>]          1-16 hex digits, nonzero: the client's end
+//                             of request tracing. Echoed in the response,
+//                             stamped on spans and the access-log line;
+//                             absent = the server generates one at
+//                             admission (support/trace_context.h)
 //   [deadline_s <double>]     per-request wall-clock budget; 0/absent =
 //                             no deadline (Deadline::HasBudget contract)
 //   [procs <int>]             processor budget; 0 = whole machine
@@ -49,6 +54,9 @@ namespace pipemap::server {
 /// layer runs them through the io/serialize parsers, which validate.
 struct ServerRequest {
   std::string op;
+  /// Client-supplied trace id (0 = none; the server generates one at
+  /// admission). Canonical wire form is FormatTraceId's 16 hex digits.
+  std::uint64_t trace_id = 0;
   /// Wall-clock budget in seconds; <= 0 means no deadline.
   double deadline_s = 0.0;
   int procs = 0;

@@ -23,6 +23,9 @@
 #include "support/error.h"
 #include "support/json_writer.h"
 #include "support/metrics.h"
+#include "support/prometheus.h"
+#include "support/trace_context.h"
+#include "support/tracer.h"
 
 namespace pipemap::server {
 namespace {
@@ -36,13 +39,16 @@ double SecondsBetween(Clock::time_point a, Clock::time_point b) {
 /// One error document. `code` is a machine-matchable token (rejected,
 /// draining, timed_out, invalid_argument, infeasible, frame_too_large,
 /// internal); `detail` is free text and may contain hostile bytes — the
-/// writer sanitizes it.
-std::string ErrorJson(std::string_view code, std::string_view detail) {
+/// writer sanitizes it. Every error carries the request's trace id so a
+/// failing request is still joinable across log, trace, and response.
+std::string ErrorJson(std::string_view code, std::string_view detail,
+                      std::uint64_t trace_id) {
   JsonWriter w;
   w.BeginObject();
   w.Key("ok").Bool(false);
   w.Key("code").String(code);
   w.Key("error").String(detail);
+  if (trace_id != 0) w.Key("trace_id").String(FormatTraceId(trace_id));
   w.EndObject();
   return w.str();
 }
@@ -95,10 +101,17 @@ SimOptions BuildSimOptions(const ServerRequest& req) {
 
 /// One admitted request. The connection thread owns the promise's future
 /// and blocks on it; a worker fulfills it. `admitted` anchors the
-/// request's deadline, so queue wait counts against the budget.
+/// request's deadline, so queue wait counts against the budget. The
+/// request's trace_id is always set by the time a Job exists (parsed or
+/// generated at frame decode), and bytes_in/admitted_ns carry the decode
+/// context the worker needs for the access-log line and the spans.
 struct PipemapServer::Job {
   ServerRequest request;
   Clock::time_point admitted;
+  std::size_t bytes_in = 0;
+  /// Tracer-timebase admission stamp (0 when tracing is disabled): lets
+  /// the worker record the queue-wait span with its true begin time.
+  std::uint64_t admitted_ns = 0;
   std::promise<std::string> response;
 };
 
@@ -111,13 +124,24 @@ struct PipemapServer::Connection {
 PipemapServer::PipemapServer(ServerConfig config)
     : config_(std::move(config)),
       engine_(config_.engine != nullptr ? config_.engine
-                                        : &MappingEngine::Shared()) {
+                                        : &MappingEngine::Shared()),
+      slo_(SloConfig{config_.slo_p99_ms, config_.slo_max_error_rate,
+                     config_.slo_window_s}) {
   if (config_.num_workers < 1) {
     throw InvalidArgument("ServerConfig::num_workers must be >= 1");
   }
   if (config_.queue_capacity < 1) {
     throw InvalidArgument("ServerConfig::queue_capacity must be >= 1");
   }
+#if !defined(PIPEMAP_NO_OBSERVABILITY)
+  if (!config_.access_log_path.empty()) {
+    AccessLogger::Options options;
+    options.path = config_.access_log_path;
+    options.max_bytes = config_.access_log_max_bytes;
+    options.queue_capacity = config_.access_log_queue;
+    access_log_ = std::make_unique<AccessLogger>(options);
+  }
+#endif
 }
 
 PipemapServer::~PipemapServer() { Drain(); }
@@ -211,6 +235,11 @@ void PipemapServer::Drain() {
     if (conn->thread.joinable()) conn->thread.join();
     if (conn->fd >= 0) ::close(conn->fd);
   }
+
+  // 4. Every request's access-log line is enqueued by now (workers and
+  //    connection threads are joined); put them on disk so the drain
+  //    report and post-mortem tooling see the complete log.
+  FlushAccessLog();
 }
 
 ServerCounters PipemapServer::counters() const {
@@ -277,24 +306,53 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
     try {
       if (!ReadFrame(conn->fd, config_.max_frame_bytes, &payload)) break;
     } catch (const FrameTooLarge& e) {
-      std::lock_guard<std::mutex> lock(counters_mu_);
-      ++counters_.parse_errors;
-      response = ErrorJson("frame_too_large", e.what());
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.parse_errors;
+      }
+      // The frame never parsed, so the client's trace_id (if any) is
+      // unreadable; a generated id still makes the failure joinable
+      // between the response and the access log.
+      const std::uint64_t tid = GenerateTraceId();
+      response = ErrorJson("frame_too_large", e.what(), tid);
+      RequestOutcome outcome;
+      outcome.status = "frame_too_large";
+      FinishRequest(tid, "unknown", outcome, 0, response.size(), 0.0, 0.0,
+                    0.0);
     } catch (const std::exception&) {
       break;  // mid-frame EOF or socket error: the stream is gone
     }
 
     if (response.empty()) {
+      const Clock::time_point received = Clock::now();
       std::shared_ptr<Job> job;
       try {
         auto parsed = ParseServerRequest(payload);
         job = std::make_shared<Job>();
         job->request = std::move(parsed);
-        job->admitted = Clock::now();
+        // Admission assigns the TraceContext: a client-supplied id is
+        // kept, everything else gets a fresh one, so every request in
+        // the process is joinable across response / spans / access log.
+        if (job->request.trace_id == 0) {
+          job->request.trace_id = GenerateTraceId();
+        }
+        job->admitted = received;
+        job->bytes_in = payload.size();
+#if !defined(PIPEMAP_NO_OBSERVABILITY)
+        if (Tracer::Enabled()) job->admitted_ns = Tracer::NowNs();
+#endif
       } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.parse_errors;
-        response = ErrorJson("invalid_argument", e.what());
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.parse_errors;
+        }
+        const std::uint64_t tid = GenerateTraceId();
+        response = ErrorJson("invalid_argument", e.what(), tid);
+        RequestOutcome outcome;
+        outcome.status = "invalid_argument";
+        FinishRequest(tid, "unknown", outcome, payload.size(),
+                      response.size(), 0.0, 0.0,
+                      SecondsBetween(received, Clock::now()));
       }
 
       if (job != nullptr) {
@@ -322,17 +380,31 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
           }
           response = future.get();
         } else if (drained) {
-          std::lock_guard<std::mutex> lock(counters_mu_);
-          ++counters_.drained;
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.drained;
+          }
           response = ErrorJson("draining",
-                               "server is draining; request refused");
+                               "server is draining; request refused",
+                               job->request.trace_id);
+          RequestOutcome outcome;
+          outcome.status = "draining";
+          FinishRequest(job->request.trace_id, job->request.op, outcome,
+                        job->bytes_in, response.size(), 0.0, 0.0,
+                        SecondsBetween(received, Clock::now()));
         } else {
           PIPEMAP_COUNTER_ADD("server.rejected", 1);
           {
             std::lock_guard<std::mutex> lock(counters_mu_);
             ++counters_.rejected;
           }
-          response = ErrorJson("rejected", "admission queue is full");
+          response = ErrorJson("rejected", "admission queue is full",
+                               job->request.trace_id);
+          RequestOutcome outcome;
+          outcome.status = "rejected";
+          FinishRequest(job->request.trace_id, job->request.op, outcome,
+                        job->bytes_in, response.size(), 0.0, 0.0,
+                        SecondsBetween(received, Clock::now()));
         }
       }
     }
@@ -371,48 +443,95 @@ void PipemapServer::WorkerLoop() {
       remaining = job->request.deadline_s - SecondsBetween(job->admitted, start);
       if (remaining <= 0.0) remaining = 1e-9;
     }
-    std::string response = HandleRequest(job->request, remaining);
+    const double queue_wait_s = SecondsBetween(job->admitted, start);
+    RequestOutcome outcome;
+    std::string response = HandleRequest(job->request, remaining, &outcome);
+    const Clock::time_point done = Clock::now();
+    const double solve_s = SecondsBetween(start, done);
+    const double total_s = SecondsBetween(job->admitted, done);
+    const std::size_t bytes_out = response.size();
     job->response.set_value(std::move(response));
 
-    const double micros = SecondsBetween(start, Clock::now()) * 1e6;
-    PIPEMAP_HISTOGRAM_RECORD("server.request_us", micros);
+#if !defined(PIPEMAP_NO_OBSERVABILITY)
+    // Correlated spans, all carrying the trace id as the arg: the whole
+    // request from admission, the queue wait inside it, and the handler.
+    // Explicit timestamps reconstruct the queue phase the worker never
+    // saw live (admitted_ns was stamped by the connection thread).
+    if (Tracer::Enabled() && job->admitted_ns != 0) {
+      const auto span_arg =
+          static_cast<std::int64_t>(job->request.trace_id) >= 0
+              ? static_cast<std::int64_t>(job->request.trace_id)
+              : std::int64_t{-1};
+      const std::uint64_t start_ns =
+          job->admitted_ns +
+          static_cast<std::uint64_t>(queue_wait_s * 1e9);
+      const std::uint64_t solve_ns =
+          static_cast<std::uint64_t>(solve_s * 1e9);
+      Tracer& tracer = Tracer::Global();
+      tracer.Record("server.queue_wait", "server", job->admitted_ns,
+                    start_ns - job->admitted_ns, span_arg);
+      tracer.Record("server.solve", "server", start_ns, solve_ns, span_arg);
+      tracer.Record("server.request", "server", job->admitted_ns,
+                    start_ns - job->admitted_ns + solve_ns, span_arg);
+    }
+#endif
+
+    PIPEMAP_HISTOGRAM_RECORD("server.request_us", total_s * 1e6);
+    PIPEMAP_HISTOGRAM_RECORD("server.queue_wait_us", queue_wait_s * 1e6);
+    PIPEMAP_HISTOGRAM_RECORD("server.solve_us", solve_s * 1e6);
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.completed;
     }
+    FinishRequest(job->request.trace_id, job->request.op, outcome,
+                  job->bytes_in, bytes_out, queue_wait_s, solve_s, total_s);
   }
 }
 
 std::string PipemapServer::HandleRequest(const ServerRequest& request,
-                                         double remaining_budget_s) {
+                                         double remaining_budget_s,
+                                         RequestOutcome* outcome) {
   try {
     if (request.op == "ping") {
       JsonWriter w;
       w.BeginObject();
       w.Key("ok").Bool(true);
       w.Key("op").String("ping");
+      w.Key("trace_id").String(FormatTraceId(request.trace_id));
       w.Key("draining").Bool(draining());
       w.EndObject();
       return w.str();
     }
-    if (request.op == "stats") return HandleStats();
-    if (request.op == "map") return HandleMap(request, remaining_budget_s);
+    if (request.op == "stats") return HandleStats(request);
+    if (request.op == "metrics") return HandleMetrics(request);
+    if (request.op == "map") {
+      return HandleMap(request, remaining_budget_s, outcome);
+    }
     if (request.op == "simulate") return HandleSimulate(request);
-    if (request.op == "report") return HandleReport(request, remaining_budget_s);
-    return ErrorJson("invalid_argument", "unknown op: " + request.op);
+    if (request.op == "report") {
+      return HandleReport(request, remaining_budget_s, outcome);
+    }
+    outcome->status = "invalid_argument";
+    return ErrorJson("invalid_argument", "unknown op: " + request.op,
+                     request.trace_id);
   } catch (const Infeasible& e) {
-    return ErrorJson("infeasible", e.what());
+    outcome->status = "infeasible";
+    return ErrorJson("infeasible", e.what(), request.trace_id);
   } catch (const ResourceLimit& e) {
-    return ErrorJson("resource_limit", e.what());
+    outcome->status = "resource_limit";
+    return ErrorJson("resource_limit", e.what(), request.trace_id);
   } catch (const InvalidArgument& e) {
-    return ErrorJson("invalid_argument", e.what());
+    outcome->status = "invalid_argument";
+    return ErrorJson("invalid_argument", e.what(), request.trace_id);
   } catch (const std::exception& e) {
-    return ErrorJson("internal", e.what());
+    outcome->status = "internal";
+    return ErrorJson("internal", e.what(), request.trace_id);
   }
 }
 
 std::string PipemapServer::HandleMap(const ServerRequest& request,
-                                     double budget_s) {
+                                     double budget_s,
+                                     RequestOutcome* outcome) {
   if (!request.has_chain || !request.has_machine) {
     throw InvalidArgument("op map needs chain and machine sections");
   }
@@ -426,6 +545,7 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
   mr.options.num_threads = request.threads;
   mr.use_cache = request.use_cache;
   mr.time_budget_s = budget_s;  // 0 = no deadline (Deadline::HasBudget)
+  mr.trace_id = request.trace_id;
   ApplyPolicy(request, &mr);
 
   const MapResponse response = engine_->Map(mr);
@@ -439,11 +559,15 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.timed_out;
   }
+  outcome->solver = response.solver;
+  outcome->cache_hit = response.cache_hit;
+  outcome->timed_out = deadline_expired;
 
   JsonWriter w;
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("map");
+  w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("mapping").String(SerializeMapping(mapping));
   w.Key("objective_value").Double(response.objective_value);
   w.Key("throughput").Double(response.throughput);
@@ -474,6 +598,7 @@ std::string PipemapServer::HandleSimulate(const ServerRequest& request) {
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("simulate");
+  w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("datasets").Int(options.num_datasets);
   w.Key("throughput").Double(result.throughput);
   w.Key("mean_latency").Double(result.mean_latency);
@@ -486,7 +611,8 @@ std::string PipemapServer::HandleSimulate(const ServerRequest& request) {
 }
 
 std::string PipemapServer::HandleReport(const ServerRequest& request,
-                                        double budget_s) {
+                                        double budget_s,
+                                        RequestOutcome* outcome) {
   if (!request.has_chain || !request.has_machine) {
     throw InvalidArgument("op report needs chain and machine sections");
   }
@@ -500,6 +626,7 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
   mr.options.num_threads = request.threads;
   mr.use_cache = request.use_cache;
   mr.time_budget_s = budget_s;
+  mr.trace_id = request.trace_id;
   ApplyPolicy(request, &mr);
 
   const MapResponse response = engine_->Map(mr);
@@ -518,25 +645,32 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
   const std::string report =
       BuildRunReportJson(eval, mapping, result, attribution, report_options);
 
-  if (response.timed_out || response.budget_exhausted) {
+  const bool deadline_expired = response.timed_out || response.budget_exhausted;
+  if (deadline_expired) {
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.timed_out;
   }
+  outcome->solver = response.solver;
+  outcome->cache_hit = response.cache_hit;
+  outcome->timed_out = deadline_expired;
 
   JsonWriter w;
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("report");
+  w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("solver").String(response.solver);
-  w.Key("timed_out").Bool(response.timed_out || response.budget_exhausted);
+  w.Key("timed_out").Bool(deadline_expired);
   w.Key("report").Raw(report);
   w.EndObject();
   return w.str();
 }
 
-std::string PipemapServer::HandleStats() {
+std::string PipemapServer::HandleStats(const ServerRequest& request) {
   const ServerCounters snapshot = counters();
   const SolutionCacheStats cache = engine_->cache().stats();
+  const SloState slo = slo_.Snapshot();
+  const AccessLogger::Stats log_stats = access_log_stats();
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -546,6 +680,7 @@ std::string PipemapServer::HandleStats() {
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("stats");
+  w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("server").BeginObject();
   w.Key("connections").UInt(snapshot.connections);
   w.Key("accepted").UInt(snapshot.accepted);
@@ -566,8 +701,124 @@ std::string PipemapServer::HandleStats() {
   w.Key("entries").UInt(cache.entries);
   w.Key("capacity").UInt(cache.capacity);
   w.EndObject();
+  w.Key("slo").BeginObject();
+  w.Key("window_s").Int(slo.window_s);
+  w.Key("requests").UInt(slo.requests);
+  w.Key("errors").UInt(slo.errors);
+  w.Key("error_rate").Double(slo.error_rate);
+  w.Key("p50_ms").Double(slo.p50_ms);
+  w.Key("p99_ms").Double(slo.p99_ms);
+  w.Key("p99_objective_ms").Double(slo.p99_objective_ms);
+  w.Key("error_rate_objective").Double(slo.error_rate_objective);
+  w.Key("p99_burn_ratio").Double(slo.p99_burn_ratio);
+  w.Key("error_burn_ratio").Double(slo.error_burn_ratio);
+  w.Key("p99_breach").Bool(slo.p99_breach);
+  w.Key("error_breach").Bool(slo.error_breach);
+  w.Key("burning").Bool(slo.burning);
+  w.EndObject();
+  w.Key("access_log").BeginObject();
+  w.Key("enabled").Bool(access_log_ != nullptr);
+  w.Key("lines_written").UInt(log_stats.lines_written);
+  w.Key("lines_dropped").UInt(log_stats.lines_dropped);
+  w.Key("rotations").UInt(log_stats.rotations);
+  w.Key("bytes_written").UInt(log_stats.bytes_written);
+  w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+std::string PipemapServer::HandleMetrics(const ServerRequest& request) {
+  // Publish the rolling SLO window as gauges first, so one scrape sees a
+  // consistent picture: request histograms and burn state side by side.
+  PublishSloGauges();
+  const std::string exposition =
+      PrometheusExposition(MetricsRegistry::Global().Snapshot());
+  // Wrapped in the protocol's one-JSON-object response contract; the
+  // scraper unwraps `exposition` (tools/check_prometheus.py does). An
+  // empty registry — metrics disabled, or PIPEMAP_NO_OBSERVABILITY —
+  // yields an empty string, which is a valid (empty-series) exposition.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(true);
+  w.Key("op").String("metrics");
+  w.Key("trace_id").String(FormatTraceId(request.trace_id));
+  w.Key("content_type").String("text/plain; version=0.0.4");
+  w.Key("exposition").String(exposition);
+  w.EndObject();
+  return w.str();
+}
+
+void PipemapServer::PublishSloGauges() {
+#if !defined(PIPEMAP_NO_OBSERVABILITY)
+  const SloState slo = slo_.Snapshot();
+  PIPEMAP_GAUGE_SET("slo.window_requests", static_cast<double>(slo.requests));
+  PIPEMAP_GAUGE_SET("slo.window_errors", static_cast<double>(slo.errors));
+  PIPEMAP_GAUGE_SET("slo.error_rate", slo.error_rate);
+  PIPEMAP_GAUGE_SET("slo.p50_ms", slo.p50_ms);
+  PIPEMAP_GAUGE_SET("slo.p99_ms", slo.p99_ms);
+  PIPEMAP_GAUGE_SET("slo.p99_burn_ratio", slo.p99_burn_ratio);
+  PIPEMAP_GAUGE_SET("slo.error_burn_ratio", slo.error_burn_ratio);
+  PIPEMAP_GAUGE_SET("slo.burning", slo.burning ? 1.0 : 0.0);
+#endif
+}
+
+void PipemapServer::FinishRequest(std::uint64_t trace_id,
+                                  const std::string& op,
+                                  const RequestOutcome& outcome,
+                                  std::size_t bytes_in, std::size_t bytes_out,
+                                  double queue_wait_s, double solve_s,
+                                  double total_s) {
+#if !defined(PIPEMAP_NO_OBSERVABILITY)
+  slo_.Record(total_s * 1e3, outcome.status != "ok");
+  if (access_log_ != nullptr) {
+    // Hand-rolled compact object: the access log is JSONL, one line per
+    // request (JsonWriter pretty-prints across lines). Strings that can
+    // carry hostile bytes (op echoes request text) go through the shared
+    // escaper, so a line is always one valid JSON document.
+    std::string line;
+    line.reserve(256);
+    line += "{\"trace_id\": \"";
+    line += FormatTraceId(trace_id);
+    line += "\", \"op\": ";
+    JsonWriter::AppendEscaped(line, op);
+    line += ", \"status\": ";
+    JsonWriter::AppendEscaped(line, outcome.status);
+    line += ", \"bytes_in\": " + std::to_string(bytes_in);
+    line += ", \"bytes_out\": " + std::to_string(bytes_out);
+    line += ", \"queue_wait_us\": " +
+            std::to_string(static_cast<std::uint64_t>(queue_wait_s * 1e6));
+    line += ", \"solve_us\": " +
+            std::to_string(static_cast<std::uint64_t>(solve_s * 1e6));
+    line += ", \"total_us\": " +
+            std::to_string(static_cast<std::uint64_t>(total_s * 1e6));
+    line += std::string(", \"cache_hit\": ") +
+            (outcome.cache_hit ? "true" : "false");
+    line += ", \"solver\": ";
+    JsonWriter::AppendEscaped(line, outcome.solver);
+    line += std::string(", \"timed_out\": ") +
+            (outcome.timed_out ? "true" : "false");
+    line += "}";
+    access_log_->Append(line);
+  }
+#else
+  (void)trace_id;
+  (void)op;
+  (void)outcome;
+  (void)bytes_in;
+  (void)bytes_out;
+  (void)queue_wait_s;
+  (void)solve_s;
+  (void)total_s;
+#endif
+}
+
+AccessLogger::Stats PipemapServer::access_log_stats() const {
+  if (access_log_ == nullptr) return AccessLogger::Stats{};
+  return access_log_->stats();
+}
+
+void PipemapServer::FlushAccessLog() {
+  if (access_log_ != nullptr) access_log_->Flush();
 }
 
 }  // namespace pipemap::server

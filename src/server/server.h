@@ -33,6 +33,16 @@
 // Every response — success or failure — is one JSON object; hostile
 // bytes in request sections pass through JsonWriter's sanitizing escaper,
 // so the server never emits a malformed document.
+//
+// Observability (DESIGN.md §9): every request carries a TraceContext —
+// client-supplied `trace_id` or one generated at admission — that is
+// echoed in the response, stamped on correlated Tracer spans
+// (server.request / server.queue_wait / server.solve, arg = trace id,
+// joining the engine.map span of the same solve), written to the
+// structured access log, and fed to the rolling-window SLO monitor. The
+// `metrics` op serves the whole registry as Prometheus text exposition.
+// All of it compiles to a no-op under PIPEMAP_NO_OBSERVABILITY except
+// the trace-id echo, which is protocol surface, not instrumentation.
 #pragma once
 
 #include <atomic>
@@ -46,6 +56,8 @@
 #include <vector>
 
 #include "server/protocol.h"
+#include "server/slo.h"
+#include "support/access_log.h"
 
 namespace pipemap {
 class MappingEngine;
@@ -67,6 +79,23 @@ struct ServerConfig {
   std::size_t max_frame_bytes = 4u << 20;
   /// Engine to solve on; nullptr uses MappingEngine::Shared().
   MappingEngine* engine = nullptr;
+
+  /// Structured access log: one JSONL line per request (trace_id, op,
+  /// bytes in/out, queue wait, solve time, cache/solver/deadline
+  /// provenance, status), written asynchronously (support/access_log.h —
+  /// a full log queue drops lines, never blocks requests). Empty path
+  /// disables it; the whole feature compiles out under
+  /// PIPEMAP_NO_OBSERVABILITY.
+  std::string access_log_path;
+  std::size_t access_log_max_bytes = 64u << 20;
+  std::size_t access_log_queue = 4096;
+
+  /// SLO objectives tracked by the rolling-window monitor
+  /// (server/slo.h): p99 served latency in ms and error rate in [0, 1];
+  /// 0 leaves an objective unconfigured (the window is still tracked).
+  double slo_p99_ms = 0.0;
+  double slo_max_error_rate = 0.0;
+  int slo_window_s = 60;
 };
 
 /// Monotone counters mirrored into MetricsRegistry ("server.*"). Kept as
@@ -104,22 +133,60 @@ class PipemapServer {
 
   ServerCounters counters() const;
 
+  /// The rolling SLO window (burn state also surfaced by `stats` and the
+  /// `metrics` op).
+  SloState slo() const { return slo_.Snapshot(); }
+
+  /// Access-log activity; all-zero when no access log is configured.
+  AccessLogger::Stats access_log_stats() const;
+
+  /// Blocks until every access-log line enqueued so far is on disk.
+  /// No-op without an access log. The drain path and the tests use it.
+  void FlushAccessLog();
+
  private:
   struct Job;
   struct Connection;
+
+  /// What one request did, for the access-log line, the SLO monitor, and
+  /// the server.* metrics — filled by the handler that produced the
+  /// response JSON.
+  struct RequestOutcome {
+    std::string status = "ok";  // "ok" or the error code of the response
+    std::string solver;
+    bool cache_hit = false;
+    bool timed_out = false;
+  };
 
   void AcceptLoop();
   void ConnectionLoop(Connection* conn);
   void WorkerLoop();
 
   /// Runs one parsed request to a JSON response string. Never throws:
-  /// every failure becomes an {"ok": false, ...} document.
+  /// every failure becomes an {"ok": false, ...} document (and
+  /// `outcome->status` its code).
   std::string HandleRequest(const ServerRequest& request,
-                            double remaining_budget_s);
-  std::string HandleMap(const ServerRequest& request, double budget_s);
+                            double remaining_budget_s,
+                            RequestOutcome* outcome);
+  std::string HandleMap(const ServerRequest& request, double budget_s,
+                        RequestOutcome* outcome);
   std::string HandleSimulate(const ServerRequest& request);
-  std::string HandleReport(const ServerRequest& request, double budget_s);
-  std::string HandleStats();
+  std::string HandleReport(const ServerRequest& request, double budget_s,
+                           RequestOutcome* outcome);
+  std::string HandleStats(const ServerRequest& request);
+  std::string HandleMetrics(const ServerRequest& request);
+
+  /// Publishes the SLO window as slo.* gauges (snapshot-time, not
+  /// per-request) so the `metrics` exposition carries burn state.
+  void PublishSloGauges();
+
+  /// One finished request: emits the access-log line, feeds the SLO
+  /// monitor, and records the per-phase histograms/spans. `received_ns`
+  /// is 0 for requests that never reached the tracer timebase.
+  void FinishRequest(std::uint64_t trace_id, const std::string& op,
+                     const RequestOutcome& outcome, std::size_t bytes_in,
+                     std::size_t bytes_out, double queue_wait_s,
+                     double solve_s, double total_s);
 
   void ReapFinishedConnections();
 
@@ -145,6 +212,11 @@ class PipemapServer {
 
   mutable std::mutex counters_mu_;
   ServerCounters counters_;
+
+  SloMonitor slo_;
+  /// Null when no access log is configured (or under
+  /// PIPEMAP_NO_OBSERVABILITY).
+  std::unique_ptr<AccessLogger> access_log_;
 };
 
 }  // namespace pipemap::server

@@ -1,0 +1,96 @@
+#include "server/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pipemap::server {
+
+SloMonitor::SloMonitor(SloConfig config)
+    : config_(config), epoch_(Clock::now()) {
+  config_.window_s = std::clamp(config_.window_s, 1, kMaxWindowS);
+  config_.p99_latency_ms = std::max(0.0, config_.p99_latency_ms);
+  config_.max_error_rate = std::clamp(config_.max_error_rate, 0.0, 1.0);
+}
+
+int SloMonitor::BucketOf(double latency_ms) {
+  if (!(latency_ms > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(latency_ms, &exp);  // latency_ms = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp + kBias, 0, kLatencyBuckets - 1);
+}
+
+double SloMonitor::BucketUpperEdgeMs(int bucket) {
+  return std::ldexp(1.0, bucket - kBias);
+}
+
+std::int64_t SloMonitor::SecondOf(Clock::time_point t) const {
+  return std::chrono::duration_cast<std::chrono::seconds>(t - epoch_)
+      .count();
+}
+
+void SloMonitor::RecordAt(Clock::time_point now, double latency_ms,
+                          bool error) {
+  const std::int64_t second = SecondOf(now);
+  if (second < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = ring_[static_cast<std::size_t>(second % kMaxWindowS)];
+  if (bucket.second != second) {
+    // The slot last served a second at least kMaxWindowS ago; recycle it.
+    bucket = Bucket{};
+    bucket.second = second;
+  }
+  ++bucket.count;
+  if (error) ++bucket.errors;
+  ++bucket.latency[static_cast<std::size_t>(BucketOf(latency_ms))];
+}
+
+SloState SloMonitor::SnapshotAt(Clock::time_point now) const {
+  SloState state;
+  state.window_s = config_.window_s;
+  state.p99_objective_ms = config_.p99_latency_ms;
+  state.error_rate_objective = config_.max_error_rate;
+
+  const std::int64_t newest = SecondOf(now);
+  const std::int64_t oldest = newest - config_.window_s + 1;
+  std::array<std::uint64_t, kLatencyBuckets> merged{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Bucket& bucket : ring_) {
+      if (bucket.second < oldest || bucket.second > newest) continue;
+      state.requests += bucket.count;
+      state.errors += bucket.errors;
+      for (int b = 0; b < kLatencyBuckets; ++b) {
+        merged[static_cast<std::size_t>(b)] +=
+            bucket.latency[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  if (state.requests > 0) {
+    state.error_rate = static_cast<double>(state.errors) /
+                       static_cast<double>(state.requests);
+    const auto quantile = [&](double q) {
+      const auto rank = static_cast<std::uint64_t>(
+          q * static_cast<double>(state.requests - 1));
+      std::uint64_t seen = 0;
+      for (int b = 0; b < kLatencyBuckets; ++b) {
+        seen += merged[static_cast<std::size_t>(b)];
+        if (seen > rank) return BucketUpperEdgeMs(b);
+      }
+      return BucketUpperEdgeMs(kLatencyBuckets - 1);
+    };
+    state.p50_ms = quantile(0.50);
+    state.p99_ms = quantile(0.99);
+  }
+  if (config_.p99_latency_ms > 0.0) {
+    state.p99_burn_ratio = state.p99_ms / config_.p99_latency_ms;
+    state.p99_breach = state.p99_burn_ratio > 1.0;
+  }
+  if (config_.max_error_rate > 0.0) {
+    state.error_burn_ratio = state.error_rate / config_.max_error_rate;
+    state.error_breach = state.error_burn_ratio > 1.0;
+  }
+  state.burning = state.p99_breach || state.error_breach;
+  return state;
+}
+
+}  // namespace pipemap::server

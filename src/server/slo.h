@@ -1,0 +1,101 @@
+// Rolling-window SLO tracking for pipemap_server: observed p99 latency
+// and error rate over the last `window_s` seconds, compared against
+// configured objectives.
+//
+// The monitor keeps one bucket per second in a fixed ring (count, error
+// count, and a power-of-two latency histogram), so Record is O(1), the
+// memory is a few KB regardless of traffic, and a snapshot merges at
+// most `window_s` buckets. Latency percentiles are bucket-estimated the
+// same way support/metrics.h estimates them (upper-edge of the bucket
+// holding the rank), so served-latency p99 here and in the registry
+// agree on methodology.
+//
+// Burn state: an objective of 0 means "not configured" — the monitor
+// still reports the observed window, it just never flags a breach. With
+// an objective set, `burn_ratio` is observed/objective (1.0 = exactly at
+// objective) and `breach` is ratio > 1. `burning` is the OR of the two
+// breaches; the server surfaces it in `stats`, in `slo.*` gauges behind
+// the `metrics` op, and in the daemon's final drain report.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace pipemap::server {
+
+struct SloConfig {
+  /// p99 served-latency objective in milliseconds; 0 = not configured.
+  double p99_latency_ms = 0.0;
+  /// Error-rate objective in [0, 1]; 0 = not configured.
+  double max_error_rate = 0.0;
+  /// Rolling window length in seconds (clamped to [1, kMaxWindowS]).
+  int window_s = 60;
+};
+
+struct SloState {
+  int window_s = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double error_rate = 0.0;
+  /// Bucket-estimated latency percentiles over the window, ms.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p99_objective_ms = 0.0;
+  double error_rate_objective = 0.0;
+  /// observed / objective; 0 when the objective is not configured.
+  double p99_burn_ratio = 0.0;
+  double error_burn_ratio = 0.0;
+  bool p99_breach = false;
+  bool error_breach = false;
+  bool burning = false;
+};
+
+class SloMonitor {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr int kMaxWindowS = 600;
+
+  explicit SloMonitor(SloConfig config = {});
+
+  /// Accounts one finished request. `error` means the response carried
+  /// "ok": false (any code) — protocol errors burn the error budget the
+  /// same as internal ones.
+  void Record(double latency_ms, bool error) {
+    RecordAt(Clock::now(), latency_ms, error);
+  }
+  SloState Snapshot() const { return SnapshotAt(Clock::now()); }
+
+  /// Explicit-time variants: the deterministic seam the unit tests use.
+  void RecordAt(Clock::time_point now, double latency_ms, bool error);
+  SloState SnapshotAt(Clock::time_point now) const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  /// Power-of-two latency buckets over milliseconds: bucket b holds
+  /// samples in (2^(b-1-kBias), 2^(b-kBias)] ms; bucket 0 absorbs
+  /// everything smaller. With kBias 6, bucket 0 is <= ~0.016 ms and the
+  /// top bucket is ~2^41 ms — far beyond any real request.
+  static constexpr int kLatencyBuckets = 48;
+  static constexpr int kBias = 6;
+  static int BucketOf(double latency_ms);
+  static double BucketUpperEdgeMs(int bucket);
+
+  struct Bucket {
+    std::int64_t second = -1;  // epoch second this bucket represents
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    std::array<std::uint32_t, kLatencyBuckets> latency{};
+  };
+
+  std::int64_t SecondOf(Clock::time_point t) const;
+
+  SloConfig config_;
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::array<Bucket, kMaxWindowS> ring_;
+};
+
+}  // namespace pipemap::server

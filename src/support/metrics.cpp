@@ -79,6 +79,10 @@ double MetricsRegistry::Histogram::BucketRepresentative(int bucket) {
   return 0.75 * std::ldexp(1.0, bucket + kMinExp);
 }
 
+double MetricsRegistry::Histogram::BucketUpperEdge(int bucket) {
+  return std::ldexp(1.0, bucket + kMinExp);
+}
+
 void MetricsRegistry::Histogram::Record(double v) {
   Shard& s = shards_[ShardIndex()];
   s.count.fetch_add(1, std::memory_order_relaxed);
@@ -99,7 +103,10 @@ void MetricsRegistry::Histogram::Record(double v) {
 }
 
 double HistogramStats::Quantile(double q) const {
+  // Pinned edge cases (tests/support/metrics_test.cpp): empty → 0, one
+  // sample → that sample, regardless of q.
   if (count == 0 || buckets.empty()) return 0.0;
+  if (count == 1) return min;
   q = std::clamp(q, 0.0, 1.0);
   const auto rank =
       static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
@@ -113,6 +120,29 @@ double HistogramStats::Quantile(double q) const {
     }
   }
   return max;
+}
+
+std::vector<HistogramStats::CumulativeBucket>
+HistogramStats::CumulativeBuckets() const {
+  std::vector<CumulativeBucket> out;
+  if (count == 0 || buckets.empty()) return out;
+  std::size_t first = buckets.size();
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] != 0) {
+      if (first == buckets.size()) first = b;
+      last = b;
+    }
+  }
+  if (first == buckets.size()) return out;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = first; b <= last; ++b) {
+    cumulative += buckets[b];
+    out.push_back({MetricsRegistry::Histogram::BucketUpperEdge(
+                       static_cast<int>(b)),
+                   cumulative});
+  }
+  return out;
 }
 
 HistogramStats MetricsRegistry::Histogram::Stats() const {

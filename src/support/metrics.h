@@ -50,12 +50,33 @@ struct HistogramStats {
   double p99 = 0.0;
 
   /// Bucket-estimated quantile for any q in [0, 1] (the pXX fields above
-  /// are precomputed calls of this). 0 when the histogram is empty.
+  /// are precomputed calls of this). The edge cases are pinned, not
+  /// accidental: an empty histogram returns 0 for every q, and a
+  /// single-sample histogram returns that sample exactly (min == max ==
+  /// the sample, so no bucket estimate is involved).
   double Quantile(double q) const;
+
+  /// One cumulative bucket of the fixed-bound export: the number of
+  /// samples <= `le`. `le` bounds are exact powers of two (the internal
+  /// bucket edges), so the cumulative counts are exact, monotone, and sum
+  /// to `count` — the shape Prometheus text exposition requires. (A
+  /// sample landing exactly on a power of two is bucketed upward, so for
+  /// such boundary samples the count is effectively "< le"; measured
+  /// doubles essentially never hit an edge exactly.)
+  struct CumulativeBucket {
+    double le = 0.0;
+    std::uint64_t cumulative_count = 0;
+  };
+
+  /// Fixed-bound cumulative view of the distribution, trimmed to the
+  /// occupied bucket range (empty histogram → empty vector). The last
+  /// entry's cumulative_count always equals `count`; an implicit +Inf
+  /// bucket is the consumer's to add (support/prometheus.h does).
+  std::vector<CumulativeBucket> CumulativeBuckets() const;
 
   /// Aggregated power-of-two bucket counts, retained at snapshot time so
   /// Quantile can answer arbitrary q. Internal representation — consumers
-  /// should use Quantile / the pXX fields.
+  /// should use Quantile / the pXX fields / CumulativeBuckets.
   std::vector<std::uint64_t> buckets;
 };
 
@@ -117,6 +138,9 @@ class MetricsRegistry {
     static constexpr int kMinExp = -40;
     static int BucketOf(double v);
     static double BucketRepresentative(int bucket);
+    /// Inclusive upper edge of `bucket` (2^(bucket + kMinExp)); the `le`
+    /// bound the fixed-bucket export publishes for it.
+    static double BucketUpperEdge(int bucket);
     struct alignas(64) Shard {
       std::atomic<std::uint64_t> count{0};
       std::atomic<double> sum{0.0};

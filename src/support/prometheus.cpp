@@ -1,0 +1,85 @@
+#include "support/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace pipemap {
+namespace {
+
+/// Shortest round-trip-safe rendering; Prometheus accepts scientific
+/// notation and "+Inf"/"-Inf"/"NaN" spellings.
+std::string Number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+std::string Unsigned(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return std::string(buf);
+}
+
+void AppendFamilyHeader(std::string* out, const std::string& name,
+                        std::string_view original, std::string_view type) {
+  out->append("# HELP ").append(name).append(" pipemap metric ");
+  out->append(original);
+  out->push_back('\n');
+  out->append("# TYPE ").append(name).push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view metric_name) {
+  std::string out = "pipemap_";
+  for (const char c : metric_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusExposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusName(name);
+    AppendFamilyHeader(&out, pname, name, "counter");
+    out.append(pname).push_back(' ');
+    out.append(Unsigned(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusName(name);
+    AppendFamilyHeader(&out, pname, name, "gauge");
+    out.append(pname).push_back(' ');
+    out.append(Number(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    const std::string pname = PrometheusName(name);
+    AppendFamilyHeader(&out, pname, name, "histogram");
+    for (const HistogramStats::CumulativeBucket& bucket :
+         stats.CumulativeBuckets()) {
+      out.append(pname).append("_bucket{le=\"").append(Number(bucket.le));
+      out.append("\"} ").append(Unsigned(bucket.cumulative_count));
+      out.push_back('\n');
+    }
+    out.append(pname).append("_bucket{le=\"+Inf\"} ");
+    out.append(Unsigned(stats.count));
+    out.push_back('\n');
+    out.append(pname).append("_sum ").append(Number(stats.sum));
+    out.push_back('\n');
+    out.append(pname).append("_count ").append(Unsigned(stats.count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pipemap

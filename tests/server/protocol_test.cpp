@@ -54,6 +54,52 @@ TEST(ProtocolTest, RoundTripsAllFields) {
   EXPECT_FALSE(parsed.has_mapping);
 }
 
+TEST(ProtocolTest, TraceIdRoundTripsInCanonicalForm) {
+  ServerRequest request;
+  request.op = "ping";
+  request.trace_id = 0x00c0ffee12345678ull;
+  const std::string wire = SerializeServerRequest(request);
+  // Canonical wire form: exactly 16 lowercase hex digits, zero-padded.
+  EXPECT_NE(wire.find("trace_id 00c0ffee12345678\n"), std::string::npos)
+      << wire;
+  EXPECT_EQ(ParseServerRequest(wire).trace_id, request.trace_id);
+
+  // Zero means "no id assigned": the field is omitted entirely, and the
+  // parsed request comes back with trace_id 0 for admission to fill.
+  ServerRequest no_id;
+  no_id.op = "ping";
+  const std::string bare = SerializeServerRequest(no_id);
+  EXPECT_EQ(bare.find("trace_id"), std::string::npos);
+  EXPECT_EQ(ParseServerRequest(bare).trace_id, 0u);
+
+  // Short (unpadded) client ids and uppercase hex are accepted on input.
+  EXPECT_EQ(ParseServerRequest(
+                "pipemap-server v1\nop ping\ntrace_id abc\nend\n")
+                .trace_id,
+            0xabcu);
+  EXPECT_EQ(ParseServerRequest(
+                "pipemap-server v1\nop ping\ntrace_id DEADBEEF\nend\n")
+                .trace_id,
+            0xdeadbeefu);
+}
+
+TEST(ProtocolTest, RejectsMalformedTraceIds) {
+  const auto rejects = [](const std::string& value) {
+    const std::string payload =
+        "pipemap-server v1\nop ping\ntrace_id " + value + "\nend\n";
+    EXPECT_THROW(ParseServerRequest(payload), InvalidArgument)
+        << "accepted trace_id: '" << value << "'";
+  };
+  rejects("");                   // empty value
+  rejects("0");                  // zero is reserved for "unassigned"
+  rejects("00000000");           // ...in any width
+  rejects("xyz");                // not hex
+  rejects("12g4");               // one bad digit
+  rejects("0x12ab");             // no 0x prefix on the wire
+  rejects("00c0ffee123456789");  // 17 digits overflows the canonical form
+  rejects("-1");
+}
+
 TEST(ProtocolTest, SectionsAreByteCountedNotScanned) {
   // A section body containing protocol keywords must pass through raw:
   // byte counting means content is never mistaken for grammar.

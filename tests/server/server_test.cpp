@@ -13,12 +13,21 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
 #include "engine/mapping_engine.h"
 #include "gtest/gtest.h"
 #include "io/serialize.h"
 #include "server/client.h"
 #include "support/error.h"
 #include "support/json_verify.h"
+#include "support/metrics.h"
+#include "support/trace_context.h"
+#include "support/tracer.h"
 #include "workloads/synthetic.h"
 
 namespace pipemap::server {
@@ -286,6 +295,231 @@ TEST(ServerTest, DrainFinishesAdmittedWorkAndStopsTheWorld) {
   EXPECT_THROW(ts.Connect(), Error);
   // Drain is idempotent.
   ts.server->Drain();
+}
+
+/// Polls `pred` until it holds or ~10s pass. The server records a
+/// request's observability (access log line, SLO sample) right after it
+/// fulfills the response promise, so a client that just got a response
+/// may be a few microseconds ahead of the bookkeeping.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+TEST(ServerTest, ClientSuppliedTraceIdIsEchoedOnEveryOp) {
+  TestServer ts;
+  ServerClient client = ts.Connect();
+  const std::uint64_t id = 0x00c0ffee12345678ull;
+  const std::string echo = "\"trace_id\": \"" + FormatTraceId(id) + "\"";
+
+  ServerRequest ping;
+  ping.op = "ping";
+  ping.trace_id = id;
+  EXPECT_NE(CheckedCall(client, ping).find(echo), std::string::npos);
+
+  ServerRequest map = MapRequestFor(MakeProblem(4, 8));
+  map.trace_id = id;
+  EXPECT_NE(CheckedCall(client, map).find(echo), std::string::npos);
+
+  ServerRequest stats;
+  stats.op = "stats";
+  stats.trace_id = id;
+  EXPECT_NE(CheckedCall(client, stats).find(echo), std::string::npos);
+
+  // Errors are joinable too: a handler failure (map without sections) and
+  // an unknown op both echo the id the client sent.
+  ServerRequest bad;
+  bad.op = "map";
+  bad.trace_id = id;
+  const std::string handler_error = CheckedCall(client, bad);
+  EXPECT_FALSE(IsOk(handler_error));
+  EXPECT_NE(handler_error.find(echo), std::string::npos);
+
+  ServerRequest unknown;
+  unknown.op = "no_such_op";
+  unknown.trace_id = id;
+  const std::string op_error = CheckedCall(client, unknown);
+  EXPECT_FALSE(IsOk(op_error));
+  EXPECT_NE(op_error.find(echo), std::string::npos);
+}
+
+TEST(ServerTest, ServerGeneratesAWellFormedTraceIdWhenAbsent) {
+  TestServer ts;
+  ServerClient client = ts.Connect();
+  ServerRequest ping;
+  ping.op = "ping";
+  const std::string response = CheckedCall(client, ping);
+  const std::string key = "\"trace_id\": \"";
+  const std::size_t pos = response.find(key);
+  ASSERT_NE(pos, std::string::npos) << response;
+  // Canonical wire form: exactly 16 hex digits, then the closing quote,
+  // and it parses back to a nonzero id.
+  const std::string hex = response.substr(pos + key.size(), 16);
+  EXPECT_TRUE(ParseTraceId(hex).has_value()) << hex;
+  ASSERT_GT(response.size(), pos + key.size() + 16);
+  EXPECT_EQ(response[pos + key.size() + 16], '"');
+
+  // Even a frame that never parsed gets a generated id, so the error
+  // response stays joinable with the access log.
+  const std::string garbage = client.CallRaw("definitely not a request");
+  EXPECT_TRUE(IsValidJson(garbage));
+  EXPECT_NE(garbage.find(key), std::string::npos) << garbage;
+}
+
+TEST(ServerTest, MetricsOpServesPrometheusExposition) {
+  MetricsRegistry::Global().Reset();
+  const ScopedMetricsEnable enable(true);
+  TestServer ts;
+  ServerClient client = ts.Connect();
+  ServerRequest ping;
+  ping.op = "ping";
+  CheckedCall(client, ping);
+
+  ServerRequest metrics;
+  metrics.op = "metrics";
+  const std::string response = CheckedCall(client, metrics);
+  EXPECT_TRUE(IsOk(response));
+  EXPECT_NE(response.find("\"content_type\": \"text/plain; version=0.0.4\""),
+            std::string::npos)
+      << response;
+  // The exposition (an escaped string inside the JSON response) carries
+  // the server request counters and the SLO gauges published at scrape
+  // time. server.accepted is bumped at admission, strictly before the
+  // ping response is sent, so it is deterministically visible here.
+  EXPECT_NE(response.find("pipemap_server_accepted"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("pipemap_slo_window_requests"), std::string::npos)
+      << response;
+  MetricsRegistry::Global().Reset();
+}
+
+TEST(ServerTest, AccessLogHasOneJoinableLinePerRequest) {
+  const std::string path = "/tmp/pipemap_server_access_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  std::uint64_t ping_id = 0;
+  {
+    ServerConfig config;
+    config.access_log_path = path;
+    TestServer ts(std::move(config));
+    ServerClient client = ts.Connect();
+
+    ping_id = GenerateTraceId();
+    ServerRequest ping;
+    ping.op = "ping";
+    ping.trace_id = ping_id;
+    CheckedCall(client, ping);
+    CheckedCall(client, MapRequestFor(MakeProblem(4, 8)));
+    client.CallRaw("definitely not a request");  // parse errors logged too
+
+    ServerRequest stats;
+    stats.op = "stats";
+    const std::string response = CheckedCall(client, stats);
+    EXPECT_NE(response.find("\"access_log\""), std::string::npos);
+    EXPECT_NE(response.find("\"enabled\": true"), std::string::npos);
+
+    // Drain joins the workers (so every FinishRequest has run) and
+    // flushes the log; afterwards the accounting is final.
+    ts.server->Drain();
+    const AccessLogger::Stats log_stats = ts.server->access_log_stats();
+    EXPECT_EQ(log_stats.lines_written, 4u);
+    EXPECT_EQ(log_stats.lines_dropped, 0u);
+  }
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+
+  std::string all;
+  for (const std::string& l : lines) {
+    // JSONL: every line is its own complete, valid JSON object with the
+    // joinable fields present.
+    EXPECT_TRUE(IsValidJson(l)) << l;
+    EXPECT_NE(l.find("\"trace_id\": \""), std::string::npos) << l;
+    EXPECT_NE(l.find("\"total_us\": "), std::string::npos) << l;
+    all += l;
+    all += '\n';
+  }
+  // The client-supplied ping id is in the log verbatim; the map line
+  // carries solver provenance; the hostile frame logged as a parse error.
+  EXPECT_NE(all.find(FormatTraceId(ping_id)), std::string::npos);
+  EXPECT_NE(all.find("\"op\": \"map\""), std::string::npos);
+  EXPECT_NE(all.find("\"status\": \"invalid_argument\""), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(ServerTest, SloWindowTracksRequestsAndBurnsOnBreach) {
+  ServerConfig config;
+  config.slo_p99_ms = 0.0001;  // far below any served request's latency
+  config.slo_window_s = 60;
+  TestServer ts(std::move(config));
+  ServerClient client = ts.Connect();
+  ServerRequest ping;
+  ping.op = "ping";
+  for (int i = 0; i < 3; ++i) CheckedCall(client, ping);
+  client.CallRaw("garbage");  // errors count against the window
+
+  ASSERT_TRUE(WaitFor([&] {
+    const SloState s = ts.server->slo();
+    return s.requests >= 4 && s.errors >= 1;
+  }));
+  const SloState state = ts.server->slo();
+  EXPECT_GE(state.requests, 4u);
+  EXPECT_GE(state.errors, 1u);
+  EXPECT_DOUBLE_EQ(state.p99_objective_ms, 0.0001);
+  EXPECT_GT(state.p99_ms, state.p99_objective_ms);
+  EXPECT_TRUE(state.p99_breach);
+  EXPECT_TRUE(state.burning);
+
+  // The same burn state is protocol surface via `stats`.
+  ServerRequest stats;
+  stats.op = "stats";
+  const std::string response = CheckedCall(client, stats);
+  EXPECT_NE(response.find("\"slo\""), std::string::npos);
+  EXPECT_NE(response.find("\"p99_breach\": true"), std::string::npos);
+  EXPECT_NE(response.find("\"burning\": true"), std::string::npos);
+}
+
+TEST(ServerTest, TracerSpansCarryTheTraceIdAsTheirArg) {
+  Tracer::Global().Clear();
+  Tracer::Global().Enable(true);
+  std::uint64_t id = 0;
+  {
+    TestServer ts;
+    ServerClient client = ts.Connect();
+    id = GenerateTraceId();
+    ServerRequest ping;
+    ping.op = "ping";
+    ping.trace_id = id;
+    CheckedCall(client, ping);
+    ts.server->Drain();  // the worker's span records before it exits
+  }
+  Tracer::Global().Enable(false);
+
+  bool saw_request = false, saw_queue_wait = false, saw_solve = false;
+  for (const Tracer::Event& event : Tracer::Global().Events()) {
+    if (event.arg != static_cast<std::int64_t>(id)) continue;
+    const std::string name = event.name;
+    if (name == "server.request") saw_request = true;
+    if (name == "server.queue_wait") saw_queue_wait = true;
+    if (name == "server.solve") saw_solve = true;
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_solve);
+  Tracer::Global().Clear();
 }
 
 TEST(ServerTest, CountersAddUp) {

@@ -1,0 +1,135 @@
+#include "server/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace pipemap::server {
+namespace {
+
+using Clock = SloMonitor::Clock;
+using std::chrono::seconds;
+
+/// A base instant a few seconds after the monitor's construction epoch
+/// (the monitor anchors its ring at Clock::now() when built). All test
+/// times are whole-second offsets from this base, so the mapping to ring
+/// seconds is a uniform shift and every assertion is deterministic.
+Clock::time_point Base() { return Clock::now() + seconds(5); }
+
+TEST(SloMonitorTest, EmptyWindowIsQuietRegardlessOfObjectives) {
+  SloMonitor monitor(SloConfig{10.0, 0.01, 60});
+  const Clock::time_point t0 = Base();
+  const SloState state = monitor.SnapshotAt(t0);
+  EXPECT_EQ(state.requests, 0u);
+  EXPECT_EQ(state.errors, 0u);
+  EXPECT_DOUBLE_EQ(state.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(state.p99_ms, 0.0);
+  EXPECT_FALSE(state.p99_breach);
+  EXPECT_FALSE(state.error_breach);
+  EXPECT_FALSE(state.burning);
+}
+
+TEST(SloMonitorTest, CountsRequestsAndErrorsInWindow) {
+  SloMonitor monitor(SloConfig{0.0, 0.0, 60});
+  const Clock::time_point t0 = Base();
+  for (int i = 0; i < 90; ++i) {
+    monitor.RecordAt(t0 + seconds(i % 10), 5.0, i % 10 == 0);
+  }
+  const SloState state = monitor.SnapshotAt(t0 + seconds(10));
+  EXPECT_EQ(state.window_s, 60);
+  EXPECT_EQ(state.requests, 90u);
+  EXPECT_EQ(state.errors, 9u);
+  EXPECT_DOUBLE_EQ(state.error_rate, 0.1);
+  // Unconfigured objectives (0) never flag a breach.
+  EXPECT_FALSE(state.burning);
+  EXPECT_DOUBLE_EQ(state.p99_burn_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(state.error_burn_ratio, 0.0);
+}
+
+TEST(SloMonitorTest, OldBucketsAgeOutOfTheWindow) {
+  SloMonitor monitor(SloConfig{0.0, 0.0, 10});
+  const Clock::time_point t0 = Base();
+  monitor.RecordAt(t0, 5.0, false);
+  monitor.RecordAt(t0 + seconds(1), 5.0, false);
+  // Inside the window both are visible...
+  EXPECT_EQ(monitor.SnapshotAt(t0 + seconds(5)).requests, 2u);
+  // ...9s later only the second sample's second still qualifies...
+  EXPECT_EQ(monitor.SnapshotAt(t0 + seconds(10)).requests, 1u);
+  // ...and past both, the window is empty.
+  EXPECT_EQ(monitor.SnapshotAt(t0 + seconds(30)).requests, 0u);
+}
+
+TEST(SloMonitorTest, LatencyPercentilesAreBucketUpperEdges) {
+  SloMonitor monitor(SloConfig{0.0, 0.0, 60});
+  const Clock::time_point t0 = Base();
+  // Half fast, half slow: p50 stays in the fast samples' bucket, p99
+  // lands in the slow samples' bucket (edges are powers of two in ms).
+  for (int i = 0; i < 50; ++i) monitor.RecordAt(t0, 1.0, false);
+  for (int i = 0; i < 50; ++i) monitor.RecordAt(t0, 500.0, false);
+  const SloState state = monitor.SnapshotAt(t0 + seconds(1));
+  EXPECT_GT(state.p50_ms, 0.0);
+  EXPECT_LE(state.p50_ms, 4.0);  // 1ms lands in a small po2 bucket
+  EXPECT_GE(state.p99_ms, 500.0);   // the slow samples' bucket edge
+  EXPECT_LE(state.p99_ms, 2048.0);  // ...which is a power of two above it
+  EXPECT_GE(state.p99_ms, state.p50_ms);
+}
+
+TEST(SloMonitorTest, P99BreachSetsBurnState) {
+  SloMonitor monitor(SloConfig{10.0, 0.0, 60});
+  const Clock::time_point t0 = Base();
+  for (int i = 0; i < 100; ++i) monitor.RecordAt(t0, 80.0, false);
+  const SloState state = monitor.SnapshotAt(t0 + seconds(1));
+  EXPECT_DOUBLE_EQ(state.p99_objective_ms, 10.0);
+  EXPECT_GT(state.p99_ms, 10.0);
+  EXPECT_GT(state.p99_burn_ratio, 1.0);
+  EXPECT_TRUE(state.p99_breach);
+  EXPECT_FALSE(state.error_breach);  // error objective unconfigured
+  EXPECT_TRUE(state.burning);
+}
+
+TEST(SloMonitorTest, ErrorBreachSetsBurnState) {
+  SloMonitor monitor(SloConfig{0.0, 0.05, 60});
+  const Clock::time_point t0 = Base();
+  for (int i = 0; i < 100; ++i) monitor.RecordAt(t0, 1.0, i < 20);
+  const SloState state = monitor.SnapshotAt(t0 + seconds(1));
+  EXPECT_DOUBLE_EQ(state.error_rate, 0.2);
+  EXPECT_DOUBLE_EQ(state.error_rate_objective, 0.05);
+  EXPECT_DOUBLE_EQ(state.error_burn_ratio, 4.0);
+  EXPECT_TRUE(state.error_breach);
+  EXPECT_FALSE(state.p99_breach);
+  EXPECT_TRUE(state.burning);
+}
+
+TEST(SloMonitorTest, MeetingObjectivesDoesNotBurn) {
+  SloMonitor monitor(SloConfig{1000.0, 0.5, 60});
+  const Clock::time_point t0 = Base();
+  for (int i = 0; i < 100; ++i) monitor.RecordAt(t0, 1.0, i == 0);
+  const SloState state = monitor.SnapshotAt(t0 + seconds(1));
+  EXPECT_LE(state.p99_burn_ratio, 1.0);
+  EXPECT_LE(state.error_burn_ratio, 1.0);
+  EXPECT_FALSE(state.burning);
+}
+
+TEST(SloMonitorTest, WindowIsClampedToSupportedRange) {
+  SloMonitor small(SloConfig{0.0, 0.0, 0});
+  EXPECT_GE(small.config().window_s, 1);
+  SloMonitor large(SloConfig{0.0, 0.0, 100000});
+  EXPECT_LE(large.config().window_s, SloMonitor::kMaxWindowS);
+}
+
+TEST(SloMonitorTest, RingReusesSecondsFarApart) {
+  // Two bursts separated by more than the ring size: the second burst
+  // must not inherit counts from the first (the ring slot is reclaimed).
+  SloMonitor monitor(SloConfig{0.0, 0.0, 60});
+  const Clock::time_point t0 = Base();
+  for (int i = 0; i < 10; ++i) monitor.RecordAt(t0, 1.0, false);
+  // Exactly kMaxWindowS later lands on the SAME ring slot as the first
+  // burst, so this exercises the slot-recycling path, not just aging.
+  const auto later = t0 + seconds(SloMonitor::kMaxWindowS);
+  for (int i = 0; i < 3; ++i) monitor.RecordAt(later, 1.0, false);
+  const SloState state = monitor.SnapshotAt(later);
+  EXPECT_EQ(state.requests, 3u);
+}
+
+}  // namespace
+}  // namespace pipemap::server

@@ -121,8 +121,66 @@ TEST_F(MetricsTest, EmptyHistogramQuantilesAreZero) {
   auto* hist = MetricsRegistry::Global().GetHistogram("test.empty_quantile");
   const HistogramStats stats = hist->Stats();
   EXPECT_EQ(stats.count, 0u);
-  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 0.0);
+  // Pinned edge case: every quantile of an empty histogram is exactly 0,
+  // including the extremes.
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(stats.Quantile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
   EXPECT_DOUBLE_EQ(stats.p95, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.0);
+}
+
+TEST_F(MetricsTest, SingleSampleQuantilesAreTheSample) {
+  // Pinned edge case: with one sample there is nothing to estimate —
+  // every quantile is that sample exactly, not its bucket's upper edge.
+  for (const double sample : {0.75, 1.0, 3.5, 1234.5}) {
+    MetricsRegistry::Global().Reset();
+    auto* hist = MetricsRegistry::Global().GetHistogram("test.single");
+    hist->Record(sample);
+    const HistogramStats stats = hist->Stats();
+    ASSERT_EQ(stats.count, 1u);
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(stats.Quantile(q), sample)
+          << "q=" << q << " sample=" << sample;
+    }
+    EXPECT_DOUBLE_EQ(stats.p50, sample);
+    EXPECT_DOUBLE_EQ(stats.p99, sample);
+  }
+}
+
+TEST_F(MetricsTest, CumulativeBucketsAreExactMonotoneAndComplete) {
+  auto* hist = MetricsRegistry::Global().GetHistogram("test.cumulative");
+  // x.5 samples never sit exactly on a power-of-two bucket edge, so
+  // "<= le" and the bucketing's "< le" boundary convention agree and the
+  // hand count below must match exactly.
+  for (int i = 1; i <= 500; ++i) hist->Record(i + 0.5);
+  const HistogramStats stats = hist->Stats();
+  const auto buckets = stats.CumulativeBuckets();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t prev = 0;
+  double prev_le = 0.0;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.le, prev_le);             // strictly increasing bounds
+    EXPECT_GE(b.cumulative_count, prev);  // monotone counts
+    prev = b.cumulative_count;
+    prev_le = b.le;
+  }
+  // The last bucket covers everything.
+  EXPECT_EQ(buckets.back().cumulative_count, stats.count);
+  // The `le` bounds are exact: counting samples <= le by hand agrees.
+  for (const auto& b : buckets) {
+    std::uint64_t manual = 0;
+    for (int i = 1; i <= 500; ++i) {
+      if (i + 0.5 <= b.le) ++manual;
+    }
+    EXPECT_EQ(b.cumulative_count, manual) << "le=" << b.le;
+  }
+}
+
+TEST_F(MetricsTest, CumulativeBucketsOfEmptyHistogramAreEmpty) {
+  auto* hist = MetricsRegistry::Global().GetHistogram("test.cumulative_empty");
+  EXPECT_TRUE(hist->Stats().CumulativeBuckets().empty());
 }
 
 TEST_F(MetricsTest, SnapshotJsonCarriesPercentiles) {

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json result files into one summary.
+
+Every bench binary in bench/ writes a JSON document with a "bench" name
+and a bench-specific shape (scalars, arrays of rungs/runs, nested
+objects). CI produces several of them per run; this tool flattens each
+into dotted-key scalars and prints one combined table, so a run's whole
+benchmark story is readable in one artifact.
+
+Arrays of objects are summarized: their length, plus the numeric fields
+of the LAST element (benches order rungs by increasing load/threads, so
+the last element is the headline number). Long scalar arrays report only
+their length.
+
+Usage: bench_summary.py BENCH_a.json BENCH_b.json ... [--out summary.json]
+Exit 0 on success, 1 when an input is unreadable or not valid JSON.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def flatten(value, prefix, out):
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            flatten(inner, f"{prefix}.{key}" if prefix else key, out)
+    elif isinstance(value, list):
+        out[f"{prefix}.len"] = len(value)
+        if value and isinstance(value[-1], dict):
+            # Last element carries the headline numbers (highest rung).
+            for key, inner in value[-1].items():
+                if isinstance(inner, (int, float, bool, str)):
+                    out[f"{prefix}.last.{key}"] = inner
+    elif isinstance(value, (int, float, bool, str)):
+        out[prefix] = value
+    # null and other shapes are dropped
+
+
+def render(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str):
+        return value if len(value) <= 40 else value[:37] + "..."
+    return str(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--out", default=None,
+                        help="also write the combined summary as JSON")
+    args = parser.parse_args()
+
+    combined = {}
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+        name = doc.get("bench") if isinstance(doc, dict) else None
+        if not isinstance(name, str) or not name:
+            name = path.rsplit("/", 1)[-1]
+            if name.startswith("BENCH_"):
+                name = name[len("BENCH_"):]
+            if name.endswith(".json"):
+                name = name[: -len(".json")]
+        flat = {}
+        flatten(doc, "", flat)
+        flat.pop("bench", None)
+        combined[name] = flat
+
+    width = max((len(k) for flat in combined.values() for k in flat),
+                default=0)
+    for name in sorted(combined):
+        print(f"== {name} ==")
+        for key in sorted(combined[name]):
+            print(f"  {key:<{width}}  {render(combined[name][key])}")
+        print()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(combined, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_summary: wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

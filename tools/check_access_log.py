@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a pipemap_server access log (JSONL) against loadgen trace ids.
+
+Checks:
+  * every line is one complete JSON object with the expected fields;
+  * numeric fields are nonnegative, and the timing identity holds:
+    total_us >= queue_wait_us + solve_us - tolerance (the three durations
+    are cut from the same two timestamps server-side);
+  * with --trace-ids (the file pipemap_loadgen --trace-ids wrote): every
+    id the loadgen sent appears EXACTLY once across the given log files —
+    no lost requests, no duplicated lines. Extra lines (other clients,
+    the metrics scrape) are fine.
+
+Pass the live log and, if rotation happened, the `.1` generation too.
+Exit 0 when valid, 1 with a reason on stderr otherwise.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_FIELDS = (
+    "trace_id", "op", "status", "bytes_in", "bytes_out",
+    "queue_wait_us", "solve_us", "total_us", "cache_hit", "solver",
+    "timed_out",
+)
+TOLERANCE_US = 2  # double->us truncation slack
+
+
+def fail(msg):
+    print(f"check_access_log: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("logs", nargs="+",
+                        help="access log files (live + rotated)")
+    parser.add_argument("--trace-ids", default=None,
+                        help="file of expected trace ids, one hex id/line")
+    args = parser.parse_args()
+
+    seen = collections.Counter()
+    lines = 0
+    for path in args.logs:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                lines += 1
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: not valid JSON ({e})")
+                for field in REQUIRED_FIELDS:
+                    if field not in entry:
+                        fail(f"{path}:{lineno}: missing field {field!r}")
+                for field in ("bytes_in", "bytes_out", "queue_wait_us",
+                              "solve_us", "total_us"):
+                    value = entry[field]
+                    if not isinstance(value, int) or value < 0:
+                        fail(f"{path}:{lineno}: {field} must be a "
+                             f"nonnegative integer, got {value!r}")
+                total = entry["total_us"]
+                parts = entry["queue_wait_us"] + entry["solve_us"]
+                if total + TOLERANCE_US < parts:
+                    fail(f"{path}:{lineno}: total_us {total} < "
+                         f"queue_wait_us + solve_us {parts}")
+                tid = entry["trace_id"]
+                if (not isinstance(tid, str) or len(tid) != 16
+                        or any(c not in "0123456789abcdef" for c in tid)):
+                    fail(f"{path}:{lineno}: trace_id {tid!r} is not "
+                         f"16 lowercase hex digits")
+                seen[tid] += 1
+
+    if args.trace_ids:
+        with open(args.trace_ids, "r", encoding="utf-8") as f:
+            expected = [l.strip() for l in f if l.strip()]
+        missing = [t for t in expected if seen[t] == 0]
+        duplicated = [t for t in expected if seen[t] > 1]
+        if missing:
+            fail(f"{len(missing)} loadgen trace ids missing from the log "
+                 f"(first: {missing[0]})")
+        if duplicated:
+            fail(f"{len(duplicated)} loadgen trace ids appear more than "
+                 f"once (first: {duplicated[0]})")
+        print(f"check_access_log: OK ({lines} lines, "
+              f"{len(expected)} loadgen ids each seen exactly once)")
+    else:
+        print(f"check_access_log: OK ({lines} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,18 +1,25 @@
 // pipemap_loadgen: concurrent load generator for pipemap_server.
 //
-// Opens N connections, each driven by its own thread issuing `map`
-// requests drawn from a small set of synthetic problems with a
-// configurable hot-key skew (a high --skew exercises the shared
-// solution cache the way a production mix would). Every response is
-// checked against the strict JSON validator; the exit status is the
-// contract the CI smoke test asserts: 0 only when every connection got
-// a well-formed response for every request.
+// Opens N connections, each driven by its own thread issuing requests
+// drawn from a small set of synthetic problems with a configurable
+// hot-key skew (a high --skew exercises the shared solution cache the
+// way a production mix would). Every response is checked against the
+// strict JSON validator; the exit status is the contract the CI smoke
+// test asserts: 0 only when every connection got a well-formed response
+// for every request AND every response echoed the trace id it was sent.
 //
-// Output: one JSON summary on stdout — requests/s, latency percentiles,
-// ok/error/malformed counts.
+// Trace propagation: every request carries a generated trace_id
+// (support/trace_context.h); the worker verifies the response echoes it
+// back, so the loadgen doubles as an end-to-end test of the server's
+// TraceContext plumbing. --trace-ids dumps every id sent (one hex id
+// per line) for joining against the server's access log.
+//
+// Output: one JSON summary on stdout — requests/s, latency percentiles
+// overall and per op, ok/error/malformed/trace-mismatch counts.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <random>
@@ -26,6 +33,7 @@
 #include "support/json_verify.h"
 #include "support/json_writer.h"
 #include "support/parse.h"
+#include "support/trace_context.h"
 #include "workloads/synthetic.h"
 
 namespace {
@@ -41,15 +49,27 @@ struct LoadgenOptions {
   double skew = 0.0;  // probability of picking the hot variant
   double deadline_s = 0.0;
   int seed = 42;
+  /// "map", "ping", or "mix" (map-dominated with ping and stats mixed in).
   std::string op = "map";
+  /// When non-empty: write every trace id sent, one 16-hex-digit id per
+  /// line, for joining against the server's access log.
+  std::string trace_ids_path;
+  /// When non-empty: issue one `metrics` op after the run and write the
+  /// raw JSON response here (the exposition scrape CI validates).
+  std::string scrape_metrics_path;
 };
 
 struct WorkerResult {
   std::vector<double> latencies_s;
+  /// Parallel to latencies_s: which op each latency belongs to.
+  std::vector<std::string> ops;
+  std::vector<std::uint64_t> trace_ids_sent;
   std::uint64_t ok = 0;
   std::uint64_t server_errors = 0;  // well-formed {"ok": false, ...}
   std::uint64_t malformed = 0;      // invalid JSON or missing ok field
   std::uint64_t transport_errors = 0;
+  /// Responses that did not echo the trace id they were sent.
+  std::uint64_t trace_mismatches = 0;
 };
 
 int Usage() {
@@ -57,12 +77,19 @@ int Usage() {
       stderr,
       "usage: pipemap_loadgen --port N [--host ADDR] [--connections N]\n"
       "                       [--requests N] [--variants N] [--skew X]\n"
-      "                       [--deadline S] [--seed N] [--op map|ping]\n"
+      "                       [--deadline S] [--seed N]\n"
+      "                       [--op map|ping|mix]\n"
+      "                       [--trace-ids FILE] [--scrape-metrics FILE]\n"
       "\n"
       "Drives N concurrent connections, --requests requests each, and\n"
-      "validates every response against a strict JSON parser. Exits 0\n"
-      "only when zero responses were malformed and every connection\n"
-      "completed; the summary JSON goes to stdout.\n");
+      "validates every response against a strict JSON parser. Every\n"
+      "request carries a generated trace_id; the response must echo it.\n"
+      "Exits 0 only when zero responses were malformed or mismatched and\n"
+      "every connection completed; the summary JSON goes to stdout.\n"
+      "--op mix sends a map-dominated mix with ping and stats requests.\n"
+      "--trace-ids writes one hex trace id per line (for joining against\n"
+      "the server's access log); --scrape-metrics issues one metrics op\n"
+      "after the run and saves the raw JSON response.\n");
   return 2;
 }
 
@@ -107,6 +134,27 @@ struct ProblemMix {
   }
 };
 
+/// The op for one request. "mix" is map-dominated (80%) with ping (10%)
+/// and stats (10%) riding along, so a single run exercises the solver
+/// path, the cheap path, and the introspection path together.
+std::string PickOp(const LoadgenOptions& options, std::mt19937_64& rng) {
+  if (options.op != "mix") return options.op;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double r = uniform(rng);
+  if (r < 0.8) return "map";
+  if (r < 0.9) return "ping";
+  return "stats";
+}
+
+/// True when `response` echoes exactly `trace_id` (as the 16-hex-digit
+/// string the server formats). Substring match is safe: the value is
+/// quoted and the key appears once per response document.
+bool EchoesTraceId(const std::string& response, std::uint64_t trace_id) {
+  const std::string needle =
+      "\"trace_id\": \"" + pipemap::FormatTraceId(trace_id) + "\"";
+  return response.find(needle) != std::string::npos;
+}
+
 WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
                        int worker_index) {
   WorkerResult result;
@@ -116,9 +164,10 @@ WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
     pipemap::server::ServerClient client(options.host, options.port);
     for (int i = 0; i < options.requests; ++i) {
       pipemap::server::ServerRequest request;
-      request.op = options.op;
+      request.op = PickOp(options, rng);
       request.deadline_s = options.deadline_s;
-      if (options.op == "map") {
+      request.trace_id = pipemap::GenerateTraceId();
+      if (request.op == "map") {
         const int variant = mix.Pick(rng, options.skew);
         request.chain_text = mix.chains[variant];
         request.machine_text = mix.machines[variant];
@@ -136,6 +185,8 @@ WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
       }
       result.latencies_s.push_back(
           std::chrono::duration<double>(Clock::now() - start).count());
+      result.ops.push_back(request.op);
+      result.trace_ids_sent.push_back(request.trace_id);
       if (!pipemap::IsValidJson(response)) {
         ++result.malformed;
       } else if (response.find("\"ok\": true") != std::string::npos) {
@@ -144,6 +195,9 @@ WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
         ++result.server_errors;
       } else {
         ++result.malformed;  // valid JSON but not a protocol response
+      }
+      if (!EchoesTraceId(response, request.trace_id)) {
+        ++result.trace_mismatches;
       }
     }
   } catch (const std::exception&) {
@@ -205,6 +259,10 @@ int main(int argc, char** argv) {
       options.seed = checked_int(value());
     } else if (arg == "--op") {
       options.op = value();
+    } else if (arg == "--trace-ids") {
+      options.trace_ids_path = value();
+    } else if (arg == "--scrape-metrics") {
+      options.scrape_metrics_path = value();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -217,8 +275,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pipemap_loadgen: --port is required\n");
     return Usage();
   }
-  if (options.op != "map" && options.op != "ping") {
-    std::fprintf(stderr, "pipemap_loadgen: --op must be map or ping\n");
+  if (options.op != "map" && options.op != "ping" && options.op != "mix") {
+    std::fprintf(stderr, "pipemap_loadgen: --op must be map, ping, or mix\n");
     return Usage();
   }
 
@@ -235,17 +293,68 @@ int main(int argc, char** argv) {
                              .count();
 
   WorkerResult total;
+  std::map<std::string, std::vector<double>> per_op;
   for (const WorkerResult& r : results) {
     total.ok += r.ok;
     total.server_errors += r.server_errors;
     total.malformed += r.malformed;
     total.transport_errors += r.transport_errors;
+    total.trace_mismatches += r.trace_mismatches;
     total.latencies_s.insert(total.latencies_s.end(), r.latencies_s.begin(),
                              r.latencies_s.end());
+    total.trace_ids_sent.insert(total.trace_ids_sent.end(),
+                                r.trace_ids_sent.begin(),
+                                r.trace_ids_sent.end());
+    for (std::size_t i = 0; i < r.latencies_s.size(); ++i) {
+      per_op[r.ops[i]].push_back(r.latencies_s[i]);
+    }
   }
   std::sort(total.latencies_s.begin(), total.latencies_s.end());
   const std::uint64_t completed =
       static_cast<std::uint64_t>(total.latencies_s.size());
+
+  if (!options.trace_ids_path.empty()) {
+    if (std::FILE* f = std::fopen(options.trace_ids_path.c_str(), "w")) {
+      for (const std::uint64_t id : total.trace_ids_sent) {
+        const std::string line = pipemap::FormatTraceId(id) + "\n";
+        std::fwrite(line.data(), 1, line.size(), f);
+      }
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "pipemap_loadgen: cannot write %s\n",
+                   options.trace_ids_path.c_str());
+      return 1;
+    }
+  }
+
+  // One metrics scrape on a fresh connection, after the load is done, so
+  // the exposition covers the whole run.
+  bool scrape_failed = false;
+  if (!options.scrape_metrics_path.empty()) {
+    try {
+      pipemap::server::ServerClient client(options.host, options.port);
+      pipemap::server::ServerRequest request;
+      request.op = "metrics";
+      request.trace_id = pipemap::GenerateTraceId();
+      const std::string response = client.Call(request);
+      if (!pipemap::IsValidJson(response) ||
+          response.find("\"ok\": true") == std::string::npos) {
+        scrape_failed = true;
+      }
+      if (std::FILE* f =
+              std::fopen(options.scrape_metrics_path.c_str(), "w")) {
+        std::fwrite(response.data(), 1, response.size(), f);
+        std::fclose(f);
+      } else {
+        scrape_failed = true;
+      }
+    } catch (const std::exception&) {
+      scrape_failed = true;
+    }
+    if (scrape_failed) {
+      std::fprintf(stderr, "pipemap_loadgen: metrics scrape failed\n");
+    }
+  }
 
   pipemap::JsonWriter w;
   w.BeginObject();
@@ -258,6 +367,7 @@ int main(int argc, char** argv) {
   w.Key("server_errors").UInt(total.server_errors);
   w.Key("malformed").UInt(total.malformed);
   w.Key("transport_errors").UInt(total.transport_errors);
+  w.Key("trace_mismatches").UInt(total.trace_mismatches);
   w.Key("elapsed_s").Double(elapsed);
   w.Key("requests_per_s")
       .Double(elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0);
@@ -266,13 +376,24 @@ int main(int argc, char** argv) {
   w.Key("p95").Double(Percentile(total.latencies_s, 0.95) * 1e3);
   w.Key("p99").Double(Percentile(total.latencies_s, 0.99) * 1e3);
   w.EndObject();
+  w.Key("per_op").BeginObject();
+  for (auto& [op_name, latencies] : per_op) {
+    std::sort(latencies.begin(), latencies.end());
+    w.Key(op_name).BeginObject();
+    w.Key("count").UInt(static_cast<std::uint64_t>(latencies.size()));
+    w.Key("p50_ms").Double(Percentile(latencies, 0.50) * 1e3);
+    w.Key("p95_ms").Double(Percentile(latencies, 0.95) * 1e3);
+    w.Key("p99_ms").Double(Percentile(latencies, 0.99) * 1e3);
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
   std::fputs(w.str().c_str(), stdout);
 
   const std::uint64_t expected = static_cast<std::uint64_t>(
       options.connections) * static_cast<std::uint64_t>(options.requests);
   if (total.malformed > 0 || total.transport_errors > 0 ||
-      completed != expected) {
+      total.trace_mismatches > 0 || completed != expected || scrape_failed) {
     return 1;
   }
   return 0;

@@ -8,6 +8,12 @@
 // admitted solves finish (bounded by their own deadlines), new requests
 // get clean `draining` errors, and the process exits 0 with a final
 // counters document on stdout.
+//
+// Observability flags (DESIGN.md §9): --access-log writes the structured
+// per-request JSONL log, --trace records server/engine spans and dumps
+// Chrome trace JSON at drain, and --slo-* configure the rolling-window
+// objectives whose burn state lands in `stats`, the `metrics` op, and
+// the final drain document.
 #include <signal.h>
 #include <unistd.h>
 
@@ -22,6 +28,7 @@
 #include "support/json_writer.h"
 #include "support/metrics.h"
 #include "support/parse.h"
+#include "support/tracer.h"
 
 namespace {
 
@@ -34,15 +41,24 @@ void OnSignal(int) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: pipemap_server [--host ADDR] [--port N]\n"
-               "                      [--workers N] [--queue N]\n"
-               "\n"
-               "Runs the mapping daemon until SIGTERM/SIGINT, then drains:\n"
-               "in-flight solves finish or time out, new requests are\n"
-               "refused with a clean error, and the process exits 0.\n"
-               "--port 0 (default) binds an ephemeral port; the bound\n"
-               "address is printed on stdout as 'listening HOST PORT'.\n");
+  std::fprintf(
+      stderr,
+      "usage: pipemap_server [--host ADDR] [--port N]\n"
+      "                      [--workers N] [--queue N]\n"
+      "                      [--access-log PATH] [--access-log-max-bytes N]\n"
+      "                      [--trace PATH]\n"
+      "                      [--slo-p99-ms X] [--slo-error-rate X]\n"
+      "                      [--slo-window-s N]\n"
+      "\n"
+      "Runs the mapping daemon until SIGTERM/SIGINT, then drains:\n"
+      "in-flight solves finish or time out, new requests are\n"
+      "refused with a clean error, and the process exits 0.\n"
+      "--port 0 (default) binds an ephemeral port; the bound\n"
+      "address is printed on stdout as 'listening HOST PORT'.\n"
+      "--access-log appends one JSONL line per request (trace_id, op,\n"
+      "bytes, queue wait, solve time, status); --trace dumps Chrome\n"
+      "trace JSON on drain; --slo-* set the rolling-window objectives\n"
+      "surfaced by the stats and metrics ops.\n");
   return 2;
 }
 
@@ -56,10 +72,21 @@ int CheckedFlag(const char* name, const std::string& value) {
   return *v;
 }
 
+double CheckedDoubleFlag(const char* name, const std::string& value) {
+  const std::optional<double> v = pipemap::TryParseDouble(value);
+  if (!v) {
+    std::fprintf(stderr, "pipemap_server: %s needs a number, got '%s'\n",
+                 name, value.c_str());
+    std::exit(2);
+  }
+  return *v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   pipemap::server::ServerConfig config;
+  std::string trace_path;
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -80,6 +107,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue") {
       config.queue_capacity =
           static_cast<std::size_t>(CheckedFlag("--queue", value()));
+    } else if (arg == "--access-log") {
+      config.access_log_path = value();
+    } else if (arg == "--access-log-max-bytes") {
+      config.access_log_max_bytes = static_cast<std::size_t>(
+          CheckedFlag("--access-log-max-bytes", value()));
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--slo-p99-ms") {
+      config.slo_p99_ms = CheckedDoubleFlag("--slo-p99-ms", value());
+    } else if (arg == "--slo-error-rate") {
+      config.slo_max_error_rate =
+          CheckedDoubleFlag("--slo-error-rate", value());
+    } else if (arg == "--slo-window-s") {
+      config.slo_window_s = CheckedFlag("--slo-window-s", value());
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -101,6 +142,7 @@ int main(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   const pipemap::ScopedMetricsEnable metrics_on(true);
+  if (!trace_path.empty()) pipemap::Tracer::Global().Enable(true);
   pipemap::server::PipemapServer server(config);
   try {
     server.Start();
@@ -117,7 +159,20 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "pipemap_server: signal received, draining\n");
   server.Drain();
 
+  if (!trace_path.empty()) {
+    if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+      const std::string json = pipemap::Tracer::Global().ToChromeJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "pipemap_server: cannot write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+
   const pipemap::server::ServerCounters counters = server.counters();
+  const pipemap::server::SloState slo = server.slo();
+  const pipemap::AccessLogger::Stats log_stats = server.access_log_stats();
   pipemap::JsonWriter w;
   w.BeginObject();
   w.Key("drained").Bool(true);
@@ -127,6 +182,23 @@ int main(int argc, char** argv) {
   w.Key("completed").UInt(counters.completed);
   w.Key("timed_out").UInt(counters.timed_out);
   w.Key("parse_errors").UInt(counters.parse_errors);
+  w.Key("slo").BeginObject();
+  w.Key("window_s").Int(slo.window_s);
+  w.Key("requests").UInt(slo.requests);
+  w.Key("errors").UInt(slo.errors);
+  w.Key("error_rate").Double(slo.error_rate);
+  w.Key("p50_ms").Double(slo.p50_ms);
+  w.Key("p99_ms").Double(slo.p99_ms);
+  w.Key("p99_burn_ratio").Double(slo.p99_burn_ratio);
+  w.Key("error_burn_ratio").Double(slo.error_burn_ratio);
+  w.Key("burning").Bool(slo.burning);
+  w.EndObject();
+  w.Key("access_log").BeginObject();
+  w.Key("lines_written").UInt(log_stats.lines_written);
+  w.Key("lines_dropped").UInt(log_stats.lines_dropped);
+  w.Key("rotations").UInt(log_stats.rotations);
+  w.Key("bytes_written").UInt(log_stats.bytes_written);
+  w.EndObject();
   w.EndObject();
   std::fputs(w.str().c_str(), stdout);
   return 0;

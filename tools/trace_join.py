@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Join an access log with a Chrome trace by trace id.
+
+The server stamps each request's trace id on its access-log line (16 hex
+digits) and on the args of its server.* spans (`args.v`, the id as an
+integer). This tool joins the two and prints one waterfall per request:
+
+    00c0ffee12345678 map ok        queue   120us | solve  3450us
+        server.queue_wait      12.0us @ 1234.5us
+        server.solve         3450.0us @ 1246.5us
+        server.request       3462.0us @ 1234.5us
+        engine.map           3301.2us @ 1300.0us
+
+Spans recorded by the engine for the same solve (engine.map carries the
+same arg) join automatically. Requests with log lines but no spans (e.g.
+tracing disabled, or ids >= 2^63 which the trace arg cannot carry) print
+without a waterfall; --require-spans makes that an error.
+
+Exit 0 on success, 1 on malformed inputs or --require-spans misses.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_join: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_access_log(paths):
+    entries = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: not valid JSON ({e})")
+    return entries
+
+
+def load_spans(path):
+    """trace id (int) -> list of span events, sorted by start time."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    by_id = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        arg = event.get("args", {}).get("v")
+        if not isinstance(arg, int):
+            continue
+        by_id.setdefault(arg, []).append(event)
+    for spans in by_id.values():
+        spans.sort(key=lambda e: e.get("ts", 0.0))
+    return by_id
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--access-log", nargs="+", required=True,
+                        help="access log files (live + rotated)")
+    parser.add_argument("--trace", required=True,
+                        help="Chrome trace JSON (pipemap_server --trace)")
+    parser.add_argument("--trace-id", default=None,
+                        help="only print this request (16 hex digits)")
+    parser.add_argument("--require-spans", action="store_true",
+                        help="fail if a logged request has no spans")
+    args = parser.parse_args()
+
+    entries = load_access_log(args.access_log)
+    spans_by_id = load_spans(args.trace)
+
+    joined = 0
+    unjoined = 0
+    for entry in entries:
+        tid_hex = entry.get("trace_id", "")
+        if args.trace_id and tid_hex != args.trace_id:
+            continue
+        try:
+            tid = int(tid_hex, 16)
+        except ValueError:
+            fail(f"access log trace_id {tid_hex!r} is not hex")
+        spans = spans_by_id.get(tid, [])
+        print(f"{tid_hex} {entry.get('op', '?'):<9} "
+              f"{entry.get('status', '?'):<16} "
+              f"queue {entry.get('queue_wait_us', 0):>8}us | "
+              f"solve {entry.get('solve_us', 0):>8}us | "
+              f"total {entry.get('total_us', 0):>8}us")
+        if spans:
+            joined += 1
+            for span in spans:
+                print(f"    {span.get('name', '?'):<22} "
+                      f"{span.get('dur', 0.0):>10.1f}us @ "
+                      f"{span.get('ts', 0.0):.1f}us")
+        else:
+            unjoined += 1
+
+    print(f"trace_join: {joined} requests with spans, {unjoined} without",
+          file=sys.stderr)
+    if args.require_spans and unjoined > 0:
+        fail(f"{unjoined} logged requests had no spans in the trace")
+
+
+if __name__ == "__main__":
+    main()
