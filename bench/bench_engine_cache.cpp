@@ -21,6 +21,13 @@
 //      the cold solve vs the cache hit and checks the mappings are
 //      byte-identical (same serialized form).
 //
+//   4. The persistent tier: a writer engine with a cache directory spills
+//      its solve to disk; a fresh engine on the same directory answers
+//      the identical request first from disk (lazily rehydrating its
+//      LRU), then from memory. The bench records cold vs. disk-warm vs.
+//      memory-warm times and checks all three mappings are
+//      byte-identical (tools/check_cache_persist.py gates the ratios).
+//
 // Exit status is nonzero when warm and cold disagree — never on small
 // speedups, which are host-dependent; the JSON records the wall times so
 // the trajectory is tracked PR over PR.
@@ -31,6 +38,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <string>
@@ -78,6 +86,13 @@ struct CacheSample {
   bool byte_identical = true;
 };
 
+struct PersistSample {
+  double cold_s = 0.0;
+  double disk_hit_s = 0.0;
+  double mem_hit_s = 0.0;
+  bool byte_identical = true;
+};
+
 struct AppSample {
   std::string label;
   std::string size;
@@ -85,6 +100,7 @@ struct AppSample {
   FrontierSample frontier;
   SizingSample sizing;
   CacheSample cache;
+  PersistSample persist;
 };
 
 bool SameFrontier(const std::vector<FrontierPoint>& a,
@@ -105,6 +121,10 @@ int Run(const std::string& out_path, int points, int reps) {
               points, reps);
 
   MappingEngine engine;
+  // Scratch directory for the persistent-tier measurements; wiped up
+  // front so stale entries from an earlier run cannot fake a disk hit.
+  const std::string persist_dir = out_path + ".cachedir";
+  std::filesystem::remove_all(persist_dir);
   std::vector<AppSample> apps;
   bool all_identical = true;
   for (const NamedWorkload& c : Table2Configs()) {
@@ -226,6 +246,42 @@ int Run(const std::string& out_path, int points, int reps) {
     }
     all_identical = all_identical && app.cache.byte_identical;
 
+    // Persistent tier: a writer engine spills the solve, then fresh
+    // reader engines on the same directory serve it — the first Map from
+    // disk (rehydrating the reader's LRU), the second from memory.
+    {
+      EngineConfig persist_config;
+      persist_config.cache_dir = persist_dir;
+      MappingEngine writer(persist_config);
+      const double cold_start = Now();
+      const MapResponse persisted = writer.Map(request);
+      app.persist.cold_s = Now() - cold_start;
+      writer.cache().FlushPersistence();
+      const std::string cold_text = SerializeMapping(persisted.mapping);
+
+      app.persist.disk_hit_s = std::numeric_limits<double>::infinity();
+      app.persist.mem_hit_s = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < reps; ++rep) {
+        MappingEngine reader(persist_config);
+        double start = Now();
+        const MapResponse disk_hit = reader.Map(request);
+        app.persist.disk_hit_s =
+            std::min(app.persist.disk_hit_s, Now() - start);
+        app.persist.byte_identical =
+            app.persist.byte_identical && disk_hit.cache_hit &&
+            disk_hit.cache_tier == "disk" &&
+            SerializeMapping(disk_hit.mapping) == cold_text;
+        start = Now();
+        const MapResponse mem_hit = reader.Map(request);
+        app.persist.mem_hit_s = std::min(app.persist.mem_hit_s, Now() - start);
+        app.persist.byte_identical =
+            app.persist.byte_identical && mem_hit.cache_hit &&
+            mem_hit.cache_tier == "memory" &&
+            SerializeMapping(mem_hit.mapping) == cold_text;
+      }
+    }
+    all_identical = all_identical && app.persist.byte_identical;
+
     std::printf("%-10s %-9s %-9s frontier %8.2f ms cold (warm %4.2fx,"
                 " %llu/%llu reused, repeat %7.1fx)  sizing %8.2f ms cold"
                 " (warm %4.2fx, repeat %7.1fx)  map hit %5.2fx%s%s%s\n",
@@ -242,6 +298,12 @@ int Run(const std::string& out_path, int points, int reps) {
                 app.frontier.identical ? "" : "  FRONTIER MISMATCH",
                 app.sizing.identical ? "" : "  SIZING MISMATCH",
                 app.cache.byte_identical ? "" : "  CACHE MISMATCH");
+    std::printf("%-31s persist %8.2f ms cold (disk hit %6.1fx, mem hit"
+                " %6.1fx)%s\n",
+                "", 1e3 * app.persist.cold_s,
+                app.persist.cold_s / app.persist.disk_hit_s,
+                app.persist.cold_s / app.persist.mem_hit_s,
+                app.persist.byte_identical ? "" : "  PERSIST MISMATCH");
     apps.push_back(std::move(app));
   }
 
@@ -298,6 +360,14 @@ int Run(const std::string& out_path, int points, int reps) {
     w.Key("speedup").Double(app.cache.miss_s / app.cache.hit_s);
     w.Key("byte_identical").Bool(app.cache.byte_identical);
     w.EndObject();
+    w.Key("persist").BeginObject();
+    w.Key("cold_s").Double(app.persist.cold_s);
+    w.Key("disk_hit_s").Double(app.persist.disk_hit_s);
+    w.Key("mem_hit_s").Double(app.persist.mem_hit_s);
+    w.Key("disk_speedup").Double(app.persist.cold_s / app.persist.disk_hit_s);
+    w.Key("mem_speedup").Double(app.persist.cold_s / app.persist.mem_hit_s);
+    w.Key("byte_identical").Bool(app.persist.byte_identical);
+    w.EndObject();
     w.EndObject();
   }
   w.EndArray();
@@ -310,6 +380,7 @@ int Run(const std::string& out_path, int points, int reps) {
   w.EndObject();
   w.EndObject();
   out << w.str();
+  std::filesystem::remove_all(persist_dir);
   std::printf("wrote %s\n", out_path.c_str());
   return all_identical ? 0 : 2;
 }

@@ -1,0 +1,361 @@
+#include "engine/cache_persist.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "engine/fingerprint.h"
+#include "support/metrics.h"
+#include "support/parse.h"
+
+namespace pipemap {
+
+namespace {
+
+constexpr std::string_view kMagic = "pipemap-cache v1";
+/// Decode refuses byte-counted fields larger than this: a plausible upper
+/// bound on any real mapping text, and a cheap guard against a corrupt
+/// length making us allocate gigabytes.
+constexpr std::size_t kMaxCountedBytes = 64u << 20;
+
+std::string FormatDouble(double v) {
+  // max_digits10 round-trip precision: the decoded double is bit-identical
+  // to the encoded one, preserving the cache's byte-identity contract
+  // across a restart.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Exactly 16 lowercase hex digits, the FingerprintHex form.
+bool ParseHex64(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+struct Cursor {
+  std::string_view rest;
+};
+
+bool TakeLine(Cursor& c, std::string_view* line) {
+  const std::size_t nl = c.rest.find('\n');
+  if (nl == std::string_view::npos) return false;
+  *line = c.rest.substr(0, nl);
+  c.rest.remove_prefix(nl + 1);
+  return true;
+}
+
+bool TakePrefix(std::string_view* text, std::string_view prefix) {
+  if (text->substr(0, prefix.size()) != prefix) return false;
+  text->remove_prefix(prefix.size());
+  return true;
+}
+
+/// Decimal length at the cursor, bounded by kMaxCountedBytes.
+bool TakeLength(Cursor& c, std::size_t* out) {
+  std::size_t n = 0;
+  std::size_t digits = 0;
+  while (!c.rest.empty() && c.rest.front() >= '0' && c.rest.front() <= '9') {
+    n = n * 10 + static_cast<std::size_t>(c.rest.front() - '0');
+    if (n > kMaxCountedBytes) return false;
+    c.rest.remove_prefix(1);
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *out = n;
+  return true;
+}
+
+/// "<key> <n> <n raw bytes>\n" — the bytes may contain anything,
+/// including newlines, so the count (not a delimiter) bounds them.
+bool TakeCounted(Cursor& c, std::string_view key, std::string_view* bytes) {
+  if (!TakePrefix(&c.rest, key) || !TakePrefix(&c.rest, " ")) return false;
+  std::size_t n = 0;
+  if (!TakeLength(c, &n) || !TakePrefix(&c.rest, " ")) return false;
+  if (c.rest.size() < n) return false;
+  *bytes = c.rest.substr(0, n);
+  c.rest.remove_prefix(n);
+  return TakePrefix(&c.rest, "\n");
+}
+
+bool TakeDoubleField(Cursor& c, std::string_view key, double* out) {
+  std::string_view line;
+  if (!TakeLine(c, &line) || !TakePrefix(&line, key) ||
+      !TakePrefix(&line, " ")) {
+    return false;
+  }
+  const std::optional<double> v = TryParseDouble(line);
+  if (!v) return false;
+  *out = *v;
+  return true;
+}
+
+}  // namespace
+
+std::string CacheEntryFileName(std::uint64_t key) {
+  return FingerprintHex(key) + ".pmc";
+}
+
+std::string EncodeCacheEntry(std::uint64_t key, const CachedSolution& value) {
+  std::string out;
+  out.reserve(value.mapping_text.size() + value.solver.size() + 160);
+  out += kMagic;
+  out += "\nfingerprint ";
+  out += FingerprintHex(key);
+  out += "\nsolver ";
+  out += std::to_string(value.solver.size());
+  out += ' ';
+  out += value.solver;
+  out += "\nexact ";
+  out += value.exact ? '1' : '0';
+  out += "\nobjective ";
+  out += FormatDouble(value.objective_value);
+  out += "\nthroughput ";
+  out += FormatDouble(value.throughput);
+  out += "\nlatency ";
+  out += FormatDouble(value.latency);
+  out += "\npayload ";
+  out += std::to_string(value.mapping_text.size());
+  out += ' ';
+  out += FingerprintHex(Fnv1a64(value.mapping_text));
+  out += '\n';
+  out += value.mapping_text;
+  out += "\nend\n";
+  return out;
+}
+
+std::optional<CachedSolution> DecodeCacheEntry(std::uint64_t key,
+                                               std::string_view bytes,
+                                               std::string* error) {
+  const auto fail = [error](const char* why) -> std::optional<CachedSolution> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  Cursor c{bytes};
+  std::string_view line;
+  if (!TakeLine(c, &line) || line != kMagic) {
+    return fail("bad or missing version line");
+  }
+  if (!TakeLine(c, &line) || !TakePrefix(&line, "fingerprint ")) {
+    return fail("missing fingerprint");
+  }
+  std::uint64_t stored_key = 0;
+  if (!ParseHex64(line, &stored_key)) return fail("unparseable fingerprint");
+  if (stored_key != key) return fail("fingerprint does not match file name");
+  CachedSolution out;
+  std::string_view solver;
+  if (!TakeCounted(c, "solver", &solver)) return fail("bad solver field");
+  out.solver.assign(solver.data(), solver.size());
+  if (!TakeLine(c, &line) || !TakePrefix(&line, "exact ")) {
+    return fail("bad exact field");
+  }
+  if (line == "1") {
+    out.exact = true;
+  } else if (line == "0") {
+    out.exact = false;
+  } else {
+    return fail("bad exact value");
+  }
+  if (!TakeDoubleField(c, "objective", &out.objective_value)) {
+    return fail("bad objective field");
+  }
+  if (!TakeDoubleField(c, "throughput", &out.throughput)) {
+    return fail("bad throughput field");
+  }
+  if (!TakeDoubleField(c, "latency", &out.latency)) {
+    return fail("bad latency field");
+  }
+  if (!TakePrefix(&c.rest, "payload ")) return fail("bad payload field");
+  std::size_t payload_bytes = 0;
+  if (!TakeLength(c, &payload_bytes) || !TakePrefix(&c.rest, " ")) {
+    return fail("bad payload length");
+  }
+  std::uint64_t checksum = 0;
+  if (!TakeLine(c, &line) || !ParseHex64(line, &checksum)) {
+    return fail("unparseable payload checksum");
+  }
+  if (c.rest.size() < payload_bytes) return fail("truncated payload");
+  const std::string_view payload = c.rest.substr(0, payload_bytes);
+  c.rest.remove_prefix(payload_bytes);
+  if (Fnv1a64(payload) != checksum) return fail("payload checksum mismatch");
+  if (!TakePrefix(&c.rest, "\n")) return fail("missing payload terminator");
+  if (!TakeLine(c, &line) || line != "end") return fail("missing end marker");
+  if (!c.rest.empty()) return fail("trailing bytes after end marker");
+  out.mapping_text.assign(payload.data(), payload.size());
+  return out;
+}
+
+DiskPersistence::~DiskPersistence() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void DiskPersistence::Enable(const std::string& dir) {
+  PIPEMAP_CHECK(!dir.empty(), "cache dir must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enabled_.load(std::memory_order_relaxed)) {
+    PIPEMAP_CHECK(dir_ == dir, "cache already persisting to '" + dir_ +
+                                   "', cannot switch to '" + dir + "'");
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  PIPEMAP_CHECK(!ec,
+                "cannot create cache dir '" + dir + "': " + ec.message());
+  dir_ = dir;
+  writer_ = std::thread(&DiskPersistence::WriterLoop, this);
+  enabled_.store(true, std::memory_order_release);
+}
+
+std::string DiskPersistence::dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_;
+}
+
+std::optional<CachedSolution> DiskPersistence::Load(std::uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  // dir_ is immutable once enabled_ is set, so reading it unlocked here
+  // is safe.
+  const std::string path = dir_ + "/" + CacheEntryFileName(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.misses", 1);
+    return std::nullopt;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::string error;
+  std::optional<CachedSolution> decoded = DecodeCacheEntry(key, bytes, &error);
+  if (!decoded) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.corrupt", 1);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.misses", 1);
+    std::fprintf(stderr, "pipemap: skipping corrupt cache entry %s: %s\n",
+                 path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  PIPEMAP_COUNTER_ADD("engine.cache.persist.hits", 1);
+  decoded->from_disk = true;
+  return decoded;
+}
+
+void DiskPersistence::Store(std::uint64_t key, CachedSolution value) {
+  if (!enabled()) return;
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_ && queue_.size() < queue_capacity_) {
+      queue_.emplace_back(key, std::move(value));
+      ++accepted_seq_;
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    cv_.notify_one();
+  } else {
+    write_drops_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.write_drops", 1);
+  }
+}
+
+void DiskPersistence::Flush() {
+  if (!enabled()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t target = accepted_seq_;
+  flush_cv_.wait(lock, [&] { return published_seq_ >= target; });
+}
+
+PersistTierStats DiskPersistence::stats() const {
+  PersistTierStats out;
+  out.enabled = enabled();
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.writes = writes_.load(std::memory_order_relaxed);
+  out.write_drops = write_drops_.load(std::memory_order_relaxed);
+  out.corrupt = corrupt_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void DiskPersistence::WriterLoop() {
+  for (;;) {
+    std::pair<std::uint64_t, CachedSolution> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ with a drained queue: every accepted store is published.
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    PublishEntry(item.first, item.second);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++published_seq_;
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+void DiskPersistence::PublishEntry(std::uint64_t key,
+                                   const CachedSolution& value) {
+  const std::string name = CacheEntryFileName(key);
+  const std::string final_path = dir_ + "/" + name;
+  // The temp name is unique per (instance, attempt) so concurrent writers
+  // sharing a directory never clobber each other's half-written files;
+  // rename(2) into place is what makes publication atomic.
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp-%p-%" PRIu64,
+                static_cast<const void*>(this), ++temp_seq_);
+  const std::string temp_path = dir_ + "/" + name + suffix;
+  const auto fail = [&](const char* what) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.errors", 1);
+    std::fprintf(stderr, "pipemap: cache entry %s not persisted: %s\n",
+                 final_path.c_str(), what);
+    std::remove(temp_path.c_str());
+  };
+  const std::string bytes = EncodeCacheEntry(key, value);
+  std::FILE* f = std::fopen(temp_path.c_str(), "wb");
+  if (f == nullptr) {
+    fail("cannot open temp file");
+    return;
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    fail("short write");
+    return;
+  }
+  if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    fail("rename failed");
+    return;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  PIPEMAP_COUNTER_ADD("engine.cache.persist.writes", 1);
+}
+
+}  // namespace pipemap

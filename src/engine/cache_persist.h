@@ -1,0 +1,150 @@
+// Persistent tier for the solution cache: one compact file per entry.
+//
+// A solved mapping is pure function-of-fingerprint, which makes it an
+// ideal unit of durable reuse: a restarted pipemap_server or a repeated
+// CLI sweep can answer yesterday's fingerprints without re-running the
+// DP. The tier is deliberately simple — no index, no compaction:
+//
+//   * one file per entry, named "<16-hex fingerprint>.pmc" inside the
+//     configured cache directory;
+//   * a versioned text header (format grammar in DESIGN.md §10) carrying
+//     the fingerprint, solve provenance, and an FNV-1a checksum of the
+//     byte-counted mapping payload;
+//   * writes go to a temp file in the same directory and are published
+//     with an atomic rename(2), so readers never observe a torn entry;
+//   * reads are lazy (only on an in-memory miss) and any malformation —
+//     truncation, bad checksum, wrong version, fingerprint mismatch —
+//     is skipped loudly: a stderr line plus the persist.corrupt counter,
+//     never a wrong answer. A corrupt entry heals itself when the re-solve
+//     overwrites it.
+//
+// Writes are write-behind: Store enqueues a copy into a bounded queue
+// drained by a dedicated writer thread (same discipline as
+// support/access_log.h), so persistence never adds filesystem latency to
+// a solve. A full queue drops the write and counts the drop — the entry
+// stays correct in memory and simply is not durable this round. Flush()
+// drains the queue for tests and orderly shutdown; durability is
+// rename-atomic but not fsync-durable (a host crash may lose the tail,
+// which only ever costs a re-solve).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "engine/cached_solution.h"
+#include "support/error.h"
+
+namespace pipemap {
+
+/// Counters of one persistence tier. All zero when disabled.
+struct PersistTierStats {
+  bool enabled = false;
+  std::uint64_t hits = 0;         ///< lookups answered from disk
+  std::uint64_t misses = 0;       ///< disk probed, no usable entry
+  std::uint64_t writes = 0;       ///< entries published to disk
+  std::uint64_t write_drops = 0;  ///< write-behind queue was full
+  std::uint64_t corrupt = 0;      ///< malformed entries skipped (⊆ misses)
+  std::uint64_t errors = 0;       ///< write/rename failures
+};
+
+/// File name of `key`'s entry within a cache directory: "<16hex>.pmc".
+std::string CacheEntryFileName(std::uint64_t key);
+
+/// Serializes one entry in the on-disk format (header + checksummed
+/// payload + terminator). Exact inverse of DecodeCacheEntry.
+std::string EncodeCacheEntry(std::uint64_t key, const CachedSolution& value);
+
+/// Parses an entry's bytes, validating version, fingerprint (must equal
+/// `key`), payload checksum, and terminator. Returns nullopt on any
+/// malformation, with a one-line reason in *error when non-null.
+std::optional<CachedSolution> DecodeCacheEntry(std::uint64_t key,
+                                               std::string_view bytes,
+                                               std::string* error = nullptr);
+
+/// The disk tier as a cache persistence policy: disabled (and free) until
+/// Enable(dir) points it at a directory.
+class DiskPersistence {
+ public:
+  DiskPersistence() = default;
+  /// Drains pending writes, then stops the writer.
+  ~DiskPersistence();
+
+  DiskPersistence(const DiskPersistence&) = delete;
+  DiskPersistence& operator=(const DiskPersistence&) = delete;
+
+  /// Creates `dir` (and parents) if needed and starts the write-behind
+  /// thread. Idempotent for the same directory; throws InvalidArgument
+  /// when already enabled on a different one, or when the directory
+  /// cannot be created.
+  void Enable(const std::string& dir);
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  /// The configured directory; empty until Enable.
+  std::string dir() const;
+
+  /// Synchronously reads and validates `key`'s entry. Counts a tier hit,
+  /// miss, or corrupt-skip. Returns nullopt when disabled.
+  std::optional<CachedSolution> Load(std::uint64_t key);
+
+  /// Enqueues `value` for write-behind publication. Never blocks on I/O;
+  /// drops (and counts) when the queue is full. No-op when disabled.
+  void Store(std::uint64_t key, CachedSolution value);
+
+  /// Blocks until every Store accepted before the call is published (or
+  /// failed and was counted). Test/shutdown seam, not a hot-path call.
+  void Flush();
+
+  PersistTierStats stats() const;
+
+ private:
+  void WriterLoop();
+  /// Temp-write + atomic rename of one entry. Writer thread only.
+  void PublishEntry(std::uint64_t key, const CachedSolution& value);
+
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::string dir_;  // set under mu_ before enabled_; immutable after
+  std::condition_variable cv_;        // wakes the writer
+  std::condition_variable flush_cv_;  // wakes Flush waiters
+  std::deque<std::pair<std::uint64_t, CachedSolution>> queue_;
+  std::size_t queue_capacity_ = 1024;
+  std::uint64_t accepted_seq_ = 0;   // stores accepted into the queue
+  std::uint64_t published_seq_ = 0;  // stores written (or failed+counted)
+  std::uint64_t temp_seq_ = 0;       // temp-name uniquifier; writer only
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> write_drops_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  std::thread writer_;
+};
+
+/// Memory-only instantiations: no tier, no thread, no counters. Enable is
+/// a contract violation — pick DiskPersistence if a directory may ever be
+/// configured.
+struct NullPersistence {
+  void Enable(const std::string&) {
+    PIPEMAP_CHECK(false, "this cache was instantiated without persistence");
+  }
+  bool enabled() const { return false; }
+  std::string dir() const { return {}; }
+  std::optional<CachedSolution> Load(std::uint64_t) { return std::nullopt; }
+  void Store(std::uint64_t, CachedSolution) {}
+  void Flush() {}
+  PersistTierStats stats() const { return {}; }
+};
+
+}  // namespace pipemap

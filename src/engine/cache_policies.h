@@ -1,0 +1,166 @@
+// Policies composed into BasicSolutionCache (engine/solution_cache.h).
+//
+// The cache separates four orthogonal decisions into template policies so
+// callers pick the combination their deployment needs without paying for
+// the rest:
+//   * concurrency control — how lookups/inserts synchronize (sharded
+//     mutexes for the server's worker pool, one mutex for low-contention
+//     embedders, no locking at all for single-threaded CLI runs);
+//   * eviction — which resident entry makes room for a new one (LRU
+//     today; the policy seam is where size- or cost-aware replacement
+//     plugs in without touching the cache skeleton);
+//   * persistence — whether entries additionally spill to a disk tier
+//     (engine/cache_persist.h) or live only in memory;
+//   * statistics — whether the cache meters itself (aggregate stats()
+//     plus engine.cache.* registry counters) or counts nothing.
+//
+// Every policy is stateless-or-self-contained and header-only; the default
+// combination reproduces the original hand-written sharded-LRU cache
+// byte-for-byte (pinned by tests/engine/cache_policies_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <mutex>
+#include <utility>
+
+#include "support/metrics.h"
+
+namespace pipemap {
+
+/// BasicLockable that does nothing, for single-threaded instantiations.
+struct NullMutex {
+  void lock() {}
+  void unlock() {}
+};
+
+// ---------------------------------------------------------------------------
+// Concurrency-control policies. Each names the Mutex type guarding a shard
+// and decides how many shards a requested shard count becomes. Lock
+// acquisition order in the cache is identical across policies; only the
+// mutex type and shard fan-out change.
+
+/// Key's low bits pick one of `requested` independently locked shards —
+/// concurrent engine users do not serialize on one lock. The default.
+struct ShardedMutexConcurrency {
+  using Mutex = std::mutex;
+  static std::size_t NumShards(std::size_t requested) {
+    return std::max<std::size_t>(1, requested);
+  }
+};
+
+/// One mutex, one shard: simplest correct choice when contention is not a
+/// concern (tools, tests, low-QPS embedders).
+struct SingleMutexConcurrency {
+  using Mutex = std::mutex;
+  static std::size_t NumShards(std::size_t) { return 1; }
+};
+
+/// No locking at all. Only valid when every access comes from one thread
+/// (single-threaded CLI sweeps); undefined behavior otherwise.
+struct UnlockedConcurrency {
+  using Mutex = NullMutex;
+  static std::size_t NumShards(std::size_t) { return 1; }
+};
+
+// ---------------------------------------------------------------------------
+// Eviction policies. A shard keeps its entries in a std::list ordered by
+// the policy; the policy reorders on touch/insert and names the victim.
+
+/// Least-recently-used: touches and inserts move to the front, the victim
+/// is the back. Replacement-cost-aware policies would order differently
+/// here without the cache skeleton changing.
+struct LruEviction {
+  template <typename List, typename Iter>
+  static void Touched(List& entries, Iter it) {
+    entries.splice(entries.begin(), entries, it);
+  }
+  template <typename List, typename Entry>
+  static typename List::iterator Inserted(List& entries, Entry&& entry) {
+    entries.emplace_front(std::forward<Entry>(entry));
+    return entries.begin();
+  }
+  template <typename List>
+  static typename List::iterator Victim(List& entries) {
+    return std::prev(entries.end());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Statistics policies. The cache reports every event here; the policy
+// decides whether to count (aggregate snapshot + registry counters) or
+// discard. AggregateStats is the stats() payload either way so the cache's
+// public signature does not depend on the policy.
+
+struct CacheAggregateStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+};
+
+/// Counts everything: an aggregate snapshot under its own mutex (matching
+/// the original cache's stats_mu_ ordering exactly) plus engine.cache.*
+/// registry counters.
+class MeteredStats {
+ public:
+  void RecordLookup(bool hit) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (hit) {
+        ++stats_.hits;
+      } else {
+        ++stats_.misses;
+      }
+    }
+    if (hit) {
+      PIPEMAP_COUNTER_ADD("engine.cache.hits", 1);
+    } else {
+      PIPEMAP_COUNTER_ADD("engine.cache.misses", 1);
+    }
+  }
+
+  void RecordInsert(bool evicted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.inserts;
+      if (evicted) ++stats_.evictions;
+    }
+    PIPEMAP_COUNTER_ADD("engine.cache.inserts", 1);
+    if (evicted) PIPEMAP_COUNTER_ADD("engine.cache.evictions", 1);
+  }
+
+  /// A disk-tier load rehydrating the memory tier is not a caller insert
+  /// (the hits+misses+inserts accounting identity must survive restarts),
+  /// but an eviction it causes is real.
+  void RecordRehydrate(bool evicted) {
+    if (!evicted) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.evictions;
+    }
+    PIPEMAP_COUNTER_ADD("engine.cache.evictions", 1);
+  }
+
+  CacheAggregateStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  CacheAggregateStats stats_;
+};
+
+/// Counts nothing; Snapshot() is all zeros. For instantiations where even
+/// the stats mutex is unwanted.
+struct QuietStats {
+  void RecordLookup(bool) {}
+  void RecordInsert(bool) {}
+  void RecordRehydrate(bool) {}
+  CacheAggregateStats Snapshot() const { return {}; }
+};
+
+}  // namespace pipemap

@@ -76,6 +76,33 @@ MapperOptions ResolveOptions(const MapRequest& request) {
   return options;
 }
 
+/// RAII around a single-flight leader's obligation to publish: unless a
+/// real result is handed over, the destructor publishes "no result" so
+/// followers are never left waiting when the leader's solve throws.
+/// Constructed with a null flight (non-leaders), it does nothing.
+class FlightPublisher {
+ public:
+  FlightPublisher(SingleFlightGroup* group, std::uint64_t key,
+                  std::shared_ptr<SingleFlightGroup::Flight> flight)
+      : group_(group), key_(key), flight_(std::move(flight)) {}
+  ~FlightPublisher() {
+    if (flight_) group_->Publish(key_, flight_, std::nullopt);
+  }
+  FlightPublisher(const FlightPublisher&) = delete;
+  FlightPublisher& operator=(const FlightPublisher&) = delete;
+
+  void Publish(CachedSolution result) {
+    if (!flight_) return;
+    group_->Publish(key_, flight_, std::move(result));
+    flight_.reset();
+  }
+
+ private:
+  SingleFlightGroup* group_;
+  std::uint64_t key_;
+  std::shared_ptr<SingleFlightGroup::Flight> flight_;
+};
+
 }  // namespace
 
 std::string MapResponse::ToJson() const {
@@ -88,6 +115,8 @@ std::string MapResponse::ToJson() const {
   w.Key("latency_s").Double(latency);
   w.Key("exact").Bool(exact);
   w.Key("cache_hit").Bool(cache_hit);
+  w.Key("cache_tier").String(cache_tier);
+  w.Key("shared_solve").Bool(shared_solve);
   w.Key("cacheable").Bool(cacheable);
   w.Key("fingerprint").String(FingerprintHex(fingerprint));
   w.Key("warm").BeginObject();
@@ -109,11 +138,34 @@ std::string MapResponse::ToJson() const {
 
 MappingEngine::MappingEngine(EngineConfig config)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {}
+      cache_(config.cache_capacity, config.cache_shards) {
+  if (!config_.cache_dir.empty()) {
+    cache_.EnablePersistence(config_.cache_dir);
+  }
+}
 
 MappingEngine& MappingEngine::Shared() {
   static MappingEngine engine;
   return engine;
+}
+
+std::uint64_t MappingEngine::WarmPoolKey(const MapRequest& request,
+                                         int procs) const {
+  FingerprintBuilder fb;
+  fb.Append("pipemap-warm-pool v1");
+  fb.Append(SerializeMachine(request.machine));
+  fb.Append(SerializeMapperOptions(request.options));
+  fb.Append(static_cast<int>(request.objective));
+  fb.Append(static_cast<int>(request.solver));
+  fb.Append(procs);
+  fb.Append(request.min_throughput);
+  fb.Append(request.machine_feasibility);
+  return fb.value();
+}
+
+bool MappingEngine::WarmPoolContains(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(sweep_mu_);
+  return warm_pool_.find(key) != warm_pool_.end();
 }
 
 std::uint64_t MappingEngine::Fingerprint(const MapRequest& request) const {
@@ -149,8 +201,21 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   MapResponse response;
   response.trace_id = request.trace_id;
   response.cacheable = request.use_cache && !request.options.proc_feasible;
+  // An incremental request whose configuration has no pooled warm state
+  // solves even when the cache could answer: only a real solve captures
+  // the DP sweep that later perturbed re-solves reuse. Without this, a
+  // process restarted onto a persistent cache would answer from disk
+  // forever and never rebuild its warm pool.
+  bool capture_solve = false;
   if (response.cacheable) {
     response.fingerprint = Fingerprint(request);
+    if (request.options.incremental && !request.options.warm &&
+        !WarmPoolContains(WarmPoolKey(request, procs))) {
+      capture_solve = true;
+      PIPEMAP_COUNTER_ADD("engine.cache.capture_solves", 1);
+    }
+  }
+  if (response.cacheable && !capture_solve) {
     if (std::optional<CachedSolution> hit =
             cache_.Lookup(response.fingerprint)) {
       response.mapping = ParseMapping(hit->mapping_text);
@@ -160,10 +225,56 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
       response.solver = hit->solver;
       response.exact = hit->exact;
       response.cache_hit = true;
+      response.cache_tier = hit->from_disk ? "disk" : "memory";
       response.solve_seconds = SecondsSince(start);
       return response;
     }
   }
+
+  const bool has_budget = Deadline::HasBudget(request.time_budget_s);
+
+  // Single-flight: a cacheable miss joins the in-progress flight for its
+  // fingerprint. The leader falls through and solves; a follower parks on
+  // the flight (bounded by its remaining budget, when it has one) and, if
+  // the leader publishes a clean result, returns it with shared_solve
+  // provenance — one solve, N answers. A follower that times out or whose
+  // leader failed solves for itself below, exactly as if single-flight
+  // did not exist.
+  std::shared_ptr<SingleFlightGroup::Flight> flight;
+  bool flight_leader = false;
+  if (response.cacheable && config_.single_flight && !capture_solve) {
+    const auto joined = single_flight_.Join(response.fingerprint);
+    flight = joined.first;
+    flight_leader = joined.second;
+    if (!flight_leader) {
+      double wait_s = 0.0;  // no budget: wait as long as the solve takes
+      bool can_wait = true;
+      if (has_budget) {
+        wait_s = request.time_budget_s - SecondsSince(start);
+        can_wait = wait_s > 0.0;
+      }
+      if (can_wait) {
+        if (std::optional<CachedSolution> shared =
+                single_flight_.Wait(flight, wait_s)) {
+          response.mapping = ParseMapping(shared->mapping_text);
+          response.objective_value = shared->objective_value;
+          response.throughput = shared->throughput;
+          response.latency = shared->latency;
+          response.solver = shared->solver;
+          response.exact = shared->exact;
+          response.shared_solve = true;
+          response.solve_seconds = SecondsSince(start);
+          return response;
+        }
+      }
+      flight.reset();
+    }
+  }
+  // A leader that throws must still wake its followers: the publisher's
+  // destructor hands them "no result" (each then solves for itself)
+  // unless a clean result is published at the bottom.
+  FlightPublisher publisher(&single_flight_, response.fingerprint,
+                            flight_leader ? flight : nullptr);
 
   // Cold path: resolve options, build the evaluator, run the portfolio.
   SolveRequest solve;
@@ -177,7 +288,6 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   // in-solver checks and the between-stage check below agree. An
   // explicitly supplied options.deadline wins (the caller measured its own
   // anchor).
-  const bool has_budget = Deadline::HasBudget(request.time_budget_s);
   if (!solve.options.deadline && has_budget) {
     solve.options.deadline =
         Deadline::AfterAnchor(start, request.time_budget_s);
@@ -199,16 +309,7 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
   bool pooled_warm = false;
   if (!warm && solve.options.incremental &&
       !request.options.proc_feasible) {
-    FingerprintBuilder fb;
-    fb.Append("pipemap-warm-pool v1");
-    fb.Append(SerializeMachine(request.machine));
-    fb.Append(SerializeMapperOptions(request.options));
-    fb.Append(static_cast<int>(request.objective));
-    fb.Append(static_cast<int>(request.solver));
-    fb.Append(procs);
-    fb.Append(request.min_throughput);
-    fb.Append(request.machine_feasibility);
-    warm_key = fb.value();
+    warm_key = WarmPoolKey(request, procs);
     std::lock_guard<std::mutex> lock(sweep_mu_);
     const auto it = warm_pool_.find(warm_key);
     if (it != warm_pool_.end()) {
@@ -350,7 +451,11 @@ MapResponse MappingEngine::Map(const MapRequest& request) {
     entry.latency = response.latency;
     entry.solver = response.solver;
     entry.exact = response.exact;
-    cache_.Insert(response.fingerprint, std::move(entry));
+    cache_.Insert(response.fingerprint, entry);
+    // Only clean (cacheable) results fan out to followers; unclean ones
+    // fall to the publisher destructor's "no result" and each follower
+    // re-solves under its own budget.
+    publisher.Publish(std::move(entry));
   }
   return response;
 }

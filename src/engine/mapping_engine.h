@@ -26,7 +26,13 @@
 // mapping byte-identical to what a fresh solve would produce — the cache
 // stores serialized mappings, and the tests pin the equality. A custom
 // proc_feasible closure cannot be fingerprinted, so such requests bypass
-// the cache entirely rather than risk a false hit.
+// the cache entirely rather than risk a false hit. With
+// EngineConfig::cache_dir set the cache additionally persists
+// (engine/cache_persist.h): a restarted process answers yesterday's
+// fingerprints from disk, and the response reports which tier hit via
+// MapResponse::cache_tier. Concurrent identical-fingerprint misses
+// collapse into one solve (engine/single_flight.h) whose result fans out
+// to every waiter with MapResponse::shared_solve provenance.
 //
 // Sweeps (Frontier, MinProcs) are cached whole under the same
 // fingerprinting rules: a repeated sweep on an unchanged problem returns
@@ -46,6 +52,7 @@
 #include "core/latency_mapper.h"
 #include "core/mapper.h"
 #include "core/task.h"
+#include "engine/single_flight.h"
 #include "engine/solution_cache.h"
 #include "engine/solver.h"
 #include "machine/machine.h"
@@ -120,6 +127,13 @@ struct MapResponse {
   /// The kept result is provably optimal (within the replication policy).
   bool exact = false;
   bool cache_hit = false;
+  /// Which cache tier answered a hit: "memory", "disk" (persistent tier,
+  /// which also rehydrates memory), or "" when the request was solved.
+  std::string cache_tier;
+  /// This response was served by a concurrent identical solve (single-
+  /// flight dedup): another request's solver produced it and this one
+  /// only waited. Neither a cache hit nor a solve of its own.
+  bool shared_solve = false;
   /// The request could be fingerprinted and was eligible for the cache.
   bool cacheable = false;
   std::uint64_t fingerprint = 0;
@@ -167,6 +181,14 @@ struct EngineConfig {
   /// SolverPolicy::kAuto (exhaustive search is exponential).
   int brute_max_tasks = 5;
   int brute_max_procs = 10;
+  /// When non-empty, the solution cache persists to this directory
+  /// (engine/cache_persist.h): inserts spill write-behind, misses probe
+  /// disk lazily, and a restarted process starts warm.
+  std::string cache_dir;
+  /// Collapse concurrent identical-fingerprint solves into one
+  /// (engine/single_flight.h). Purely a work saver; answers and cache
+  /// contents are unchanged.
+  bool single_flight = true;
 };
 
 class MappingEngine {
@@ -207,14 +229,28 @@ class MappingEngine {
   SolutionCache& cache() { return cache_; }
   const SolutionCache& cache() const { return cache_; }
   const EngineConfig& config() const { return config_; }
+  /// Single-flight dedup activity (engine.singleflight.* counters'
+  /// aggregate twin, available when metrics are disabled).
+  SingleFlightStats single_flight_stats() const {
+    return single_flight_.stats();
+  }
 
   /// Process-wide engine used by the CLI and tools, so repeated commands
   /// in one process share the cache.
   static MappingEngine& Shared();
 
  private:
+  /// Warm-pool key of `request`: the request fingerprint MINUS the chain
+  /// serialization (see warm_pool_ below).
+  std::uint64_t WarmPoolKey(const MapRequest& request, int procs) const;
+  bool WarmPoolContains(std::uint64_t key);
+
   EngineConfig config_;
   SolutionCache cache_;
+  /// Leader-election table collapsing concurrent identical solves
+  /// (engine/single_flight.h); consulted only after a cache miss on
+  /// cacheable requests when config_.single_flight is set.
+  SingleFlightGroup single_flight_;
 
   /// Whole-sweep memoization (Frontier / MinProcs), FIFO-bounded at
   /// config_.cache_capacity entries each. Sweep results are small (a

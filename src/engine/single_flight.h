@@ -1,0 +1,141 @@
+// Single-flight deduplication of identical in-flight solves.
+//
+// Under the server's worker pool, a hot fingerprint that misses the cache
+// can be picked up by several workers at once; each would run the same
+// multi-second DP and all but one insert would be redundant. A
+// SingleFlightGroup collapses them: the first requester of a key becomes
+// the *leader* and solves; every concurrent requester of the same key
+// becomes a *follower* and blocks on the leader's flight, receiving the
+// solved CachedSolution when the leader publishes. Followers therefore
+// cost one condition-variable wait instead of one solve, and the cache
+// sees exactly one insert.
+//
+// Failure never propagates sideways: a leader whose solve is not cleanly
+// shareable — it threw, timed out, or exhausted its budget (such results
+// are never cached, so they must not fan out either) — publishes "no
+// result", and each follower falls back to solving for itself. A follower
+// carrying a deadline waits at most its remaining budget, then gives up
+// and solves with whatever budget is left. Both fallbacks re-enter the
+// normal solve path, so single-flight can only remove work, never change
+// an answer.
+//
+// The group is a leader-election table, not a cache: a flight exists only
+// while its solve is in progress, and Publish removes it before waking
+// waiters so the next request for the key starts fresh.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/cached_solution.h"
+#include "support/metrics.h"
+
+namespace pipemap {
+
+/// Aggregate single-flight activity, for provenance when metrics are
+/// disabled (mirrors the engine.singleflight.* counters).
+struct SingleFlightStats {
+  std::uint64_t leaders = 0;        ///< flights created (leader solves)
+  std::uint64_t shared = 0;         ///< followers served by a leader
+  std::uint64_t wait_timeouts = 0;  ///< followers that gave up waiting
+  std::uint64_t failed_leaders = 0; ///< flights published without a result
+};
+
+class SingleFlightGroup {
+ public:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    /// Set by the leader's Publish; nullopt when the leader has nothing
+    /// shareable and followers must solve for themselves.
+    std::optional<CachedSolution> result;
+  };
+
+  /// Joins the in-progress flight for `key`, creating one if none exists.
+  /// Returns the flight and whether this caller is its leader. A leader
+  /// MUST call Publish exactly once, even when its solve throws.
+  std::pair<std::shared_ptr<Flight>, bool> Join(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) return {it->second, false};
+    auto flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+    leaders_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.singleflight.leaders", 1);
+    return {flight, true};
+  }
+
+  /// Leader hand-off: retires the flight (new requests for the key start
+  /// fresh) and wakes every follower with `result`.
+  void Publish(std::uint64_t key, const std::shared_ptr<Flight>& flight,
+               std::optional<CachedSolution> result) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = flights_.find(key);
+      if (it != flights_.end() && it->second == flight) flights_.erase(it);
+    }
+    if (!result) {
+      failed_leaders_.fetch_add(1, std::memory_order_relaxed);
+      PIPEMAP_COUNTER_ADD("engine.singleflight.failed_leaders", 1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->result = std::move(result);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  }
+
+  /// Follower wait. `wait_s` <= 0 waits without limit; a positive value
+  /// is the follower's remaining budget. Returns the leader's result, or
+  /// nullopt when the wait timed out or the leader had nothing to share —
+  /// either way the follower should fall back to solving itself.
+  std::optional<CachedSolution> Wait(const std::shared_ptr<Flight>& flight,
+                                     double wait_s) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    if (wait_s > 0.0) {
+      const bool done = flight->cv.wait_for(
+          lock, std::chrono::duration<double>(wait_s),
+          [&] { return flight->done; });
+      if (!done) {
+        wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        PIPEMAP_COUNTER_ADD("engine.singleflight.wait_timeouts", 1);
+        return std::nullopt;
+      }
+    } else {
+      flight->cv.wait(lock, [&] { return flight->done; });
+    }
+    if (flight->result) {
+      shared_.fetch_add(1, std::memory_order_relaxed);
+      PIPEMAP_COUNTER_ADD("engine.singleflight.shared", 1);
+    }
+    return flight->result;
+  }
+
+  SingleFlightStats stats() const {
+    SingleFlightStats out;
+    out.leaders = leaders_.load(std::memory_order_relaxed);
+    out.shared = shared_.load(std::memory_order_relaxed);
+    out.wait_timeouts = wait_timeouts_.load(std::memory_order_relaxed);
+    out.failed_leaders = failed_leaders_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  std::atomic<std::uint64_t> leaders_{0};
+  std::atomic<std::uint64_t> shared_{0};
+  std::atomic<std::uint64_t> wait_timeouts_{0};
+  std::atomic<std::uint64_t> failed_leaders_{0};
+};
+
+}  // namespace pipemap

@@ -1,20 +1,40 @@
-// Sharded LRU cache of mapping solutions, keyed by request fingerprint.
+// Policy-composed cache of mapping solutions, keyed by request fingerprint.
 //
 // The engine sees the same problem repeatedly: a frontier sweep rerun with
 // one flag changed, a simulator mapping the workload it just mapped, a
-// benchmark iterating. Solves cost seconds; a lookup costs a hash and a
-// mutex. Values store the *serialized* mapping text (io/serialize.h)
-// rather than the Mapping struct, so the cache-correctness contract —
-// a cached solution is byte-identical to a recomputed one — is directly
-// testable by string comparison, and a hit replays exactly the bytes a
-// cold solve would have produced.
+// benchmark iterating, a server fleet re-solving yesterday's traffic.
+// Solves cost seconds; a lookup costs a hash and a mutex. Values store the
+// *serialized* mapping text (io/serialize.h) rather than the Mapping
+// struct, so the cache-correctness contract — a cached solution is
+// byte-identical to a recomputed one — is directly testable by string
+// comparison, and a hit replays exactly the bytes a cold solve would have
+// produced.
 //
-// Sharding: the key's low bits pick a shard, each with its own mutex and
-// LRU list, so concurrent engine users do not serialize on one lock.
-// Counters are exported both through MetricsRegistry (engine.cache.*) and
-// as stats() for provenance when metrics are disabled.
+// BasicSolutionCache is a skeleton over four policies
+// (engine/cache_policies.h, engine/cache_persist.h):
+//
+//   * Concurrency — how shards synchronize. The default sharded-mutex
+//     policy picks a shard by the key's low bits so concurrent engine
+//     users do not serialize on one lock; single-mutex and unlocked
+//     variants exist for low-contention and single-threaded embedders.
+//   * Eviction — which resident entry a full shard sacrifices (LRU).
+//   * Persistence — an optional disk tier (one checksummed file per
+//     fingerprint, see cache_persist.h). Disabled until
+//     EnablePersistence(dir); when enabled, a memory miss lazily probes
+//     disk and a hit there rehydrates the memory LRU, while inserts
+//     spill write-behind so restarts start warm.
+//   * Stats — aggregate stats() plus engine.cache.* registry counters,
+//     or nothing.
+//
+// The default instantiation (the SolutionCache alias) reproduces the
+// original hand-written sharded-LRU cache byte-for-byte when persistence
+// is not enabled — pinned by tests/engine/cache_policies_test.cpp, which
+// drives this template and a verbatim copy of the old implementation with
+// identical operation sequences.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -22,23 +42,14 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-namespace pipemap {
+#include "engine/cache_policies.h"
+#include "engine/cache_persist.h"
+#include "engine/cached_solution.h"
 
-/// A cached solution: everything needed to answer a MapRequest without
-/// re-solving, plus the provenance of the original solve.
-struct CachedSolution {
-  /// SerializeMapping output of the solved mapping.
-  std::string mapping_text;
-  double objective_value = 0.0;
-  double throughput = 0.0;
-  double latency = 0.0;
-  /// Registry name of the solver that produced the entry (e.g. "dp",
-  /// "greedy+dp").
-  std::string solver;
-  bool exact = false;
-};
+namespace pipemap {
 
 struct SolutionCacheStats {
   std::uint64_t hits = 0;
@@ -47,44 +58,174 @@ struct SolutionCacheStats {
   std::uint64_t inserts = 0;
   std::size_t entries = 0;
   std::size_t capacity = 0;
+  /// Persistent tier (all zero when no cache dir is configured). A disk
+  /// hit counts as a regular hit above AND a persist_hit here; the
+  /// rehydrating memory insert it triggers is NOT counted in inserts, so
+  /// the hits+misses+inserts accounting identity survives restarts.
+  bool persist_enabled = false;
+  std::uint64_t persist_hits = 0;
+  std::uint64_t persist_misses = 0;
+  std::uint64_t persist_writes = 0;
+  std::uint64_t persist_write_drops = 0;
+  std::uint64_t persist_corrupt = 0;
+  std::uint64_t persist_errors = 0;
 };
 
-class SolutionCache {
+template <typename Concurrency = ShardedMutexConcurrency,
+          typename Eviction = LruEviction,
+          typename Persistence = DiskPersistence,
+          typename Stats = MeteredStats>
+class BasicSolutionCache {
  public:
-  /// `capacity` entries total, split evenly over `shards` independent LRU
-  /// lists (each rounded up to hold at least one entry).
-  explicit SolutionCache(std::size_t capacity = 256, std::size_t shards = 8);
+  /// `capacity` entries total, split evenly over the policy's shard count
+  /// (each shard rounded up to hold at least one entry).
+  explicit BasicSolutionCache(std::size_t capacity = 256,
+                              std::size_t shards = 8) {
+    shards = Concurrency::NumShards(shards);
+    capacity = std::max<std::size_t>(shards, capacity);
+    per_shard_capacity_ = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    capacity_ = per_shard_capacity_ * shards;
+  }
 
-  SolutionCache(const SolutionCache&) = delete;
-  SolutionCache& operator=(const SolutionCache&) = delete;
+  BasicSolutionCache(const BasicSolutionCache&) = delete;
+  BasicSolutionCache& operator=(const BasicSolutionCache&) = delete;
 
-  /// Returns the cached solution and refreshes its LRU position, or
-  /// nullopt. Counts a hit or miss either way.
-  std::optional<CachedSolution> Lookup(std::uint64_t key);
+  /// Returns the cached solution and refreshes its eviction-order
+  /// position, or nullopt. A memory miss probes the persistent tier when
+  /// one is enabled; a disk hit (CachedSolution::from_disk set) also
+  /// rehydrates the memory tier. Counts a hit or miss either way.
+  std::optional<CachedSolution> Lookup(std::uint64_t key) {
+    Shard& shard = ShardFor(key);
+    std::optional<CachedSolution> result;
+    {
+      std::lock_guard<typename Concurrency::Mutex> lock(shard.mu);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        Eviction::Touched(shard.lru, it->second);
+        result = it->second->second;
+      }
+    }
+    if (!result && persist_.enabled()) {
+      if (std::optional<CachedSolution> loaded = persist_.Load(key)) {
+        // Rehydrate the memory tier so repeats are pure memory hits (and,
+        // engine-side, the fingerprint is warm-pool eligible again). The
+        // load is not a caller insert — only its eviction is counted.
+        CachedSolution resident = *loaded;
+        resident.from_disk = false;
+        stats_.RecordRehydrate(InsertEntry(key, std::move(resident)));
+        result = std::move(loaded);
+      }
+    }
+    stats_.RecordLookup(result.has_value());
+    return result;
+  }
 
   /// Inserts (or refreshes) `value` under `key`, evicting the shard's
-  /// least recently used entry when full.
-  void Insert(std::uint64_t key, CachedSolution value);
+  /// policy-chosen victim when full, and spills the entry write-behind to
+  /// the persistent tier when one is enabled.
+  void Insert(std::uint64_t key, CachedSolution value) {
+    value.from_disk = false;
+    if (persist_.enabled()) persist_.Store(key, value);
+    stats_.RecordInsert(InsertEntry(key, std::move(value)));
+  }
 
-  SolutionCacheStats stats() const;
-  void Clear();
+  SolutionCacheStats stats() const {
+    const CacheAggregateStats agg = stats_.Snapshot();
+    SolutionCacheStats out;
+    out.hits = agg.hits;
+    out.misses = agg.misses;
+    out.evictions = agg.evictions;
+    out.inserts = agg.inserts;
+    out.capacity = capacity_;
+    for (const auto& shard : shards_) {
+      std::lock_guard<typename Concurrency::Mutex> lock(shard->mu);
+      out.entries += shard->lru.size();
+    }
+    const PersistTierStats tier = persist_.stats();
+    out.persist_enabled = tier.enabled;
+    out.persist_hits = tier.hits;
+    out.persist_misses = tier.misses;
+    out.persist_writes = tier.writes;
+    out.persist_write_drops = tier.write_drops;
+    out.persist_corrupt = tier.corrupt;
+    out.persist_errors = tier.errors;
+    return out;
+  }
+
+  /// Drops every resident entry. The persistent tier, when enabled, is
+  /// untouched: Clear is a memory reset, not a forget.
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<typename Concurrency::Mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  /// Points the persistence policy at `dir` (see DiskPersistence::Enable;
+  /// a contract violation on persistence-free instantiations).
+  void EnablePersistence(const std::string& dir) { persist_.Enable(dir); }
+
+  /// Blocks until every accepted write-behind spill is on disk. No-op
+  /// when persistence is disabled.
+  void FlushPersistence() { persist_.Flush(); }
+
+  bool persistence_enabled() const { return persist_.enabled(); }
+  std::string persistence_dir() const { return persist_.dir(); }
 
  private:
   struct Shard {
-    std::mutex mu;
-    /// Most recently used at the front.
+    // Mutable so const snapshots (stats) can lock like the original
+    // implementation did through its unique_ptr indirection.
+    mutable typename Concurrency::Mutex mu;
+    /// Ordered by the eviction policy (LRU: most recently used first).
     std::list<std::pair<std::uint64_t, CachedSolution>> lru;
-    std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+    std::unordered_map<std::uint64_t, typename decltype(lru)::iterator>
+        index;
   };
 
   Shard& ShardFor(std::uint64_t key) {
     return *shards_[static_cast<std::size_t>(key) % shards_.size()];
   }
 
+  /// Refresh-or-insert under the shard lock; returns whether a resident
+  /// entry was evicted. Stats are the caller's job (a caller insert and a
+  /// disk rehydrate count differently).
+  bool InsertEntry(std::uint64_t key, CachedSolution value) {
+    Shard& shard = ShardFor(key);
+    bool evicted = false;
+    std::lock_guard<typename Concurrency::Mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      Eviction::Touched(shard.lru, it->second);
+    } else {
+      if (shard.lru.size() >= per_shard_capacity_) {
+        const auto victim = Eviction::Victim(shard.lru);
+        shard.index.erase(victim->first);
+        shard.lru.erase(victim);
+        evicted = true;
+      }
+      const auto pos =
+          Eviction::Inserted(shard.lru, std::make_pair(key, std::move(value)));
+      shard.index.emplace(key, pos);
+    }
+    return evicted;
+  }
+
   std::size_t per_shard_capacity_;
+  std::size_t capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex stats_mu_;
-  SolutionCacheStats stats_;
+  Persistence persist_;
+  Stats stats_;
 };
+
+/// The engine's default instantiation: sharded mutexes, LRU, a disk tier
+/// that stays dormant until EnablePersistence, metered stats.
+using SolutionCache = BasicSolutionCache<>;
 
 }  // namespace pipemap

@@ -133,6 +133,9 @@ PipemapServer::PipemapServer(ServerConfig config)
   if (config_.queue_capacity < 1) {
     throw InvalidArgument("ServerConfig::queue_capacity must be >= 1");
   }
+  if (!config_.cache_dir.empty()) {
+    engine_->cache().EnablePersistence(config_.cache_dir);
+  }
 #if !defined(PIPEMAP_NO_OBSERVABILITY)
   if (!config_.access_log_path.empty()) {
     AccessLogger::Options options;
@@ -216,6 +219,12 @@ void PipemapServer::Drain() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+
+  // Workers are gone, so no new spills can be enqueued: flushing here
+  // guarantees every solve this process answered is on disk before the
+  // drain report claims done — a restarted daemon on the same cache dir
+  // starts fully warm.
+  engine_->cache().FlushPersistence();
 
   // 3. Wake readers blocked on idle connections and join everything.
   {
@@ -561,6 +570,8 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
   }
   outcome->solver = response.solver;
   outcome->cache_hit = response.cache_hit;
+  outcome->cache_tier = response.cache_tier;
+  outcome->shared_solve = response.shared_solve;
   outcome->timed_out = deadline_expired;
 
   JsonWriter w;
@@ -575,6 +586,8 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
   w.Key("solver").String(response.solver);
   w.Key("exact").Bool(response.exact);
   w.Key("cache_hit").Bool(response.cache_hit);
+  w.Key("cache_tier").String(response.cache_tier);
+  w.Key("shared_solve").Bool(response.shared_solve);
   w.Key("timed_out").Bool(response.timed_out);
   w.Key("budget_exhausted").Bool(response.budget_exhausted);
   w.Key("deadline_expired").Bool(deadline_expired);
@@ -652,6 +665,8 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
   }
   outcome->solver = response.solver;
   outcome->cache_hit = response.cache_hit;
+  outcome->cache_tier = response.cache_tier;
+  outcome->shared_solve = response.shared_solve;
   outcome->timed_out = deadline_expired;
 
   JsonWriter w;
@@ -669,6 +684,7 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
 std::string PipemapServer::HandleStats(const ServerRequest& request) {
   const ServerCounters snapshot = counters();
   const SolutionCacheStats cache = engine_->cache().stats();
+  const SingleFlightStats flights = engine_->single_flight_stats();
   const SloState slo = slo_.Snapshot();
   const AccessLogger::Stats log_stats = access_log_stats();
   std::size_t depth = 0;
@@ -700,6 +716,21 @@ std::string PipemapServer::HandleStats(const ServerRequest& request) {
   w.Key("inserts").UInt(cache.inserts);
   w.Key("entries").UInt(cache.entries);
   w.Key("capacity").UInt(cache.capacity);
+  w.Key("persist").BeginObject();
+  w.Key("enabled").Bool(cache.persist_enabled);
+  w.Key("hits").UInt(cache.persist_hits);
+  w.Key("misses").UInt(cache.persist_misses);
+  w.Key("writes").UInt(cache.persist_writes);
+  w.Key("write_drops").UInt(cache.persist_write_drops);
+  w.Key("corrupt").UInt(cache.persist_corrupt);
+  w.Key("errors").UInt(cache.persist_errors);
+  w.EndObject();
+  w.EndObject();
+  w.Key("singleflight").BeginObject();
+  w.Key("leaders").UInt(flights.leaders);
+  w.Key("shared").UInt(flights.shared);
+  w.Key("wait_timeouts").UInt(flights.wait_timeouts);
+  w.Key("failed_leaders").UInt(flights.failed_leaders);
   w.EndObject();
   w.Key("slo").BeginObject();
   w.Key("window_s").Int(slo.window_s);
@@ -793,6 +824,10 @@ void PipemapServer::FinishRequest(std::uint64_t trace_id,
             std::to_string(static_cast<std::uint64_t>(total_s * 1e6));
     line += std::string(", \"cache_hit\": ") +
             (outcome.cache_hit ? "true" : "false");
+    line += ", \"cache_tier\": ";
+    JsonWriter::AppendEscaped(line, outcome.cache_tier);
+    line += std::string(", \"shared_solve\": ") +
+            (outcome.shared_solve ? "true" : "false");
     line += ", \"solver\": ";
     JsonWriter::AppendEscaped(line, outcome.solver);
     line += std::string(", \"timed_out\": ") +

@@ -80,6 +80,13 @@ struct ServerConfig {
   /// Engine to solve on; nullptr uses MappingEngine::Shared().
   MappingEngine* engine = nullptr;
 
+  /// When non-empty, the engine's solution cache persists to this
+  /// directory (engine/cache_persist.h): solved fingerprints spill
+  /// write-behind, misses probe disk lazily, and a restarted daemon
+  /// pointed at the same directory serves yesterday's traffic as cache
+  /// hits. Drain flushes pending spills before reporting done.
+  std::string cache_dir;
+
   /// Structured access log: one JSONL line per request (trace_id, op,
   /// bytes in/out, queue wait, solve time, cache/solver/deadline
   /// provenance, status), written asynchronously (support/access_log.h —
@@ -155,6 +162,10 @@ class PipemapServer {
     std::string status = "ok";  // "ok" or the error code of the response
     std::string solver;
     bool cache_hit = false;
+    /// "memory" / "disk" on a cache hit, "" otherwise.
+    std::string cache_tier;
+    /// Served by a concurrent identical solve (single-flight dedup).
+    bool shared_solve = false;
     bool timed_out = false;
   };
 

@@ -1,0 +1,247 @@
+// Persistent cache tier: on-disk entry format (round-trip + corrupt
+// corpus), the write-behind DiskPersistence policy, and the cache-level
+// contract that disk hits rehydrate the in-memory LRU.
+#include "engine/cache_persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "engine/solution_cache.h"
+#include "support/error.h"
+
+namespace pipemap {
+namespace {
+
+CachedSolution Sample() {
+  CachedSolution value;
+  value.mapping_text = "0:0-3\n1:4-7\n2:8-15\n";
+  value.objective_value = 12.625;
+  value.throughput = 3.5;
+  value.latency = 0.875;
+  value.solver = "greedy+dp";
+  value.exact = true;
+  return value;
+}
+
+/// A fresh, empty scratch directory under gtest's per-test temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("pipemap_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CacheEntryFormatTest, FileNameIsFingerprintHex) {
+  EXPECT_EQ(CacheEntryFileName(0xabcull), "0000000000000abc.pmc");
+  EXPECT_EQ(CacheEntryFileName(0xdeadbeefcafef00dull),
+            "deadbeefcafef00d.pmc");
+}
+
+TEST(CacheEntryFormatTest, EncodeDecodeRoundTrip) {
+  const std::uint64_t key = 0x1234567890abcdefull;
+  const CachedSolution original = Sample();
+  const std::string bytes = EncodeCacheEntry(key, original);
+  std::string error;
+  const std::optional<CachedSolution> decoded =
+      DecodeCacheEntry(key, bytes, &error);
+  ASSERT_TRUE(decoded) << error;
+  EXPECT_EQ(decoded->mapping_text, original.mapping_text);
+  EXPECT_EQ(decoded->objective_value, original.objective_value);
+  EXPECT_EQ(decoded->throughput, original.throughput);
+  EXPECT_EQ(decoded->latency, original.latency);
+  EXPECT_EQ(decoded->solver, original.solver);
+  EXPECT_EQ(decoded->exact, original.exact);
+  // Disk provenance is stamped by DiskPersistence::Load, not the codec:
+  // a decode is a pure inverse of the serialized fields.
+  EXPECT_FALSE(decoded->from_disk);
+}
+
+TEST(CacheEntryFormatTest, RoundTripsHostileBytesInCountedFields) {
+  // Counted fields carry raw bytes: newlines, NULs, and header-lookalike
+  // text inside the payload must survive.
+  const std::uint64_t key = 7;
+  CachedSolution value = Sample();
+  value.mapping_text = std::string("end\npayload 3\n\0\xff\n", 17);
+  value.solver = "solver with spaces";
+  const std::optional<CachedSolution> decoded =
+      DecodeCacheEntry(key, EncodeCacheEntry(key, value));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->mapping_text, value.mapping_text);
+  EXPECT_EQ(decoded->solver, value.solver);
+}
+
+TEST(CacheEntryFormatTest, EveryTruncationIsRejected) {
+  const std::uint64_t key = 42;
+  const std::string bytes = EncodeCacheEntry(key, Sample());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(DecodeCacheEntry(key, bytes.substr(0, len), &error))
+        << "prefix of length " << len << " decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(CacheEntryFormatTest, RejectsMalformedEntries) {
+  const std::uint64_t key = 42;
+  const std::string bytes = EncodeCacheEntry(key, Sample());
+
+  // Wrong version magic.
+  std::string wrong_magic = bytes;
+  wrong_magic[wrong_magic.find('1')] = '2';
+  EXPECT_FALSE(DecodeCacheEntry(key, wrong_magic));
+
+  // The file's fingerprint must match the key it is looked up under — a
+  // renamed or misplaced entry never answers the wrong request.
+  EXPECT_FALSE(DecodeCacheEntry(key + 1, bytes));
+
+  // A flipped payload byte fails the checksum.
+  std::string flipped = bytes;
+  flipped[bytes.rfind("0:0-3")] ^= 0x20;
+  EXPECT_FALSE(DecodeCacheEntry(key, flipped));
+
+  // Trailing bytes after the terminator.
+  EXPECT_FALSE(DecodeCacheEntry(key, bytes + "x"));
+
+  // Non-finite provenance doubles.
+  std::string non_finite = bytes;
+  non_finite.replace(non_finite.find("12.625"), 6, "   inf");
+  EXPECT_FALSE(DecodeCacheEntry(key, non_finite));
+
+  // Arbitrary garbage.
+  EXPECT_FALSE(DecodeCacheEntry(key, "not a cache entry at all\n"));
+}
+
+TEST(DiskPersistenceTest, StoreFlushLoadRoundTrip) {
+  const std::string dir = ScratchDir("persist_roundtrip");
+  DiskPersistence tier;
+  tier.Enable(dir);
+  EXPECT_TRUE(tier.enabled());
+  EXPECT_EQ(tier.dir(), dir);
+
+  tier.Store(5, Sample());
+  tier.Flush();
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(5)));
+
+  const std::optional<CachedSolution> loaded = tier.Load(5);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->mapping_text, Sample().mapping_text);
+  EXPECT_TRUE(loaded->from_disk);
+
+  const PersistTierStats stats = tier.stats();
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(DiskPersistenceTest, CorruptEntryIsSkippedThenHealedByOverwrite) {
+  const std::string dir = ScratchDir("persist_corrupt");
+  DiskPersistence tier;
+  tier.Enable(dir);
+
+  EXPECT_FALSE(tier.Load(9));  // absent: a plain miss
+  WriteFile((std::filesystem::path(dir) / CacheEntryFileName(9)).string(),
+            "garbage, not an entry\n");
+  EXPECT_FALSE(tier.Load(9));  // corrupt: skipped, never a wrong answer
+
+  PersistTierStats stats = tier.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.corrupt, 1u);
+
+  // The re-solve's Store overwrites the corrupt file in place.
+  tier.Store(9, Sample());
+  tier.Flush();
+  ASSERT_TRUE(tier.Load(9));
+  stats = tier.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.corrupt, 1u);  // unchanged: healed, not re-read as corrupt
+}
+
+TEST(DiskPersistenceTest, EnableIsIdempotentButRejectsRepointing) {
+  const std::string dir = ScratchDir("persist_enable");
+  DiskPersistence tier;
+  tier.Enable(dir);
+  EXPECT_NO_THROW(tier.Enable(dir));
+  EXPECT_THROW(tier.Enable(dir + "_other"), InvalidArgument);
+}
+
+TEST(DiskPersistenceTest, DisabledTierIsInert) {
+  DiskPersistence tier;
+  EXPECT_FALSE(tier.enabled());
+  EXPECT_FALSE(tier.Load(1));
+  tier.Store(1, Sample());  // dropped silently
+  tier.Flush();
+  const PersistTierStats stats = tier.stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.writes, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(SolutionCachePersistTest, DiskHitRehydratesTheMemoryTier) {
+  const std::string dir = ScratchDir("cache_rehydrate");
+  {
+    SolutionCache writer(8, 2);
+    writer.EnablePersistence(dir);
+    writer.Insert(3, Sample());
+    writer.FlushPersistence();
+  }
+
+  // A fresh cache ("restarted process") on the same directory: the first
+  // lookup is served from disk and planted in the LRU; the second is a
+  // plain memory hit that probes no files.
+  SolutionCache reader(8, 2);
+  reader.EnablePersistence(dir);
+  const std::optional<CachedSolution> disk_hit = reader.Lookup(3);
+  ASSERT_TRUE(disk_hit);
+  EXPECT_TRUE(disk_hit->from_disk);
+  const std::optional<CachedSolution> mem_hit = reader.Lookup(3);
+  ASSERT_TRUE(mem_hit);
+  EXPECT_FALSE(mem_hit->from_disk);
+
+  const SolutionCacheStats stats = reader.stats();
+  EXPECT_EQ(stats.hits, 2u);  // a disk hit is still a cache hit
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.inserts, 0u);  // rehydration is not a caller Insert
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.persist_hits, 1u);  // exactly one file read
+  EXPECT_TRUE(stats.persist_enabled);
+}
+
+TEST(SolutionCachePersistTest, ClearDropsMemoryButNotDisk) {
+  const std::string dir = ScratchDir("cache_clear");
+  SolutionCache cache(8, 2);
+  cache.EnablePersistence(dir);
+  cache.Insert(4, Sample());
+  cache.FlushPersistence();
+
+  cache.Clear();
+  const std::optional<CachedSolution> hit = cache.Lookup(4);
+  ASSERT_TRUE(hit);  // answered from disk again
+  EXPECT_TRUE(hit->from_disk);
+}
+
+TEST(SolutionCachePersistTest, MissingEntryFallsThroughToMiss) {
+  const std::string dir = ScratchDir("cache_miss");
+  SolutionCache cache(8, 2);
+  cache.EnablePersistence(dir);
+  EXPECT_FALSE(cache.Lookup(77));
+  const SolutionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.persist_misses, 1u);
+}
+
+}  // namespace
+}  // namespace pipemap

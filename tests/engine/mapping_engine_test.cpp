@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -595,6 +596,107 @@ TEST(MappingEngineTest, IncrementalWarmPoolReusesSweepAcrossRequests) {
   EXPECT_TRUE(IsValidJson(json)) << json;
   EXPECT_NE(json.find("\"sweeps_captured\""), std::string::npos);
   EXPECT_NE(json.find("\"sweep_prefix_reused\""), std::string::npos);
+}
+
+/// A fresh, empty scratch directory under gtest's per-test temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("pipemap_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(MappingEngineTest, PersistentTierServesRestartedProcessFromDisk) {
+  const std::string dir = ScratchDir("engine_restart");
+  EngineConfig config;
+  config.cache_dir = dir;
+  const TaskChain chain = ThreeTaskChain();
+  std::string cold_text;
+  {
+    MappingEngine writer(config);
+    MapRequest request = RequestFor(chain, SmallMachine());
+    request.solver = SolverPolicy::kDp;
+    request.use_cache = true;
+    const MapResponse cold = writer.Map(request);
+    EXPECT_FALSE(cold.cache_hit);
+    cold_text = SerializeMapping(cold.mapping);
+    writer.cache().FlushPersistence();
+  }
+
+  // A new engine ("restarted process") on the same directory answers the
+  // fingerprint from disk — byte-identical, no re-solve — and from memory
+  // on the repeat, because the disk hit rehydrated its LRU.
+  MappingEngine engine(config);
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kDp;
+  request.use_cache = true;
+  const MapResponse disk = engine.Map(request);
+  EXPECT_TRUE(disk.cache_hit);
+  EXPECT_EQ(disk.cache_tier, "disk");
+  EXPECT_EQ(SerializeMapping(disk.mapping), cold_text);
+  const MapResponse memory = engine.Map(request);
+  EXPECT_TRUE(memory.cache_hit);
+  EXPECT_EQ(memory.cache_tier, "memory");
+  EXPECT_EQ(engine.cache().stats().persist_hits, 1u);
+
+  const std::string json = disk.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"cache_tier\": \"disk\""), std::string::npos);
+}
+
+TEST(MappingEngineTest, RestartedIncrementalRequestRecapturesTheSweep) {
+  // The persistent tier must not starve the warm pool: after a restart,
+  // an incremental request whose configuration has no pooled sweep solves
+  // once more (capture) even though disk could answer it — and the
+  // perturbed re-solve then reuses the captured prefix, exactly as in a
+  // never-restarted process.
+  const std::string dir = ScratchDir("engine_recapture");
+  EngineConfig config;
+  config.cache_dir = dir;
+  const TaskChain chain = ThreeTaskChain();
+  {
+    MappingEngine writer(config);
+    MapRequest request = RequestFor(chain, SmallMachine());
+    request.solver = SolverPolicy::kDp;
+    request.use_cache = true;
+    request.options.incremental = true;
+    const MapResponse first = writer.Map(request);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_EQ(first.warm_sweeps_captured, 1u);
+    writer.cache().FlushPersistence();
+  }
+
+  MappingEngine engine(config);
+  MapRequest request = RequestFor(chain, SmallMachine());
+  request.solver = SolverPolicy::kDp;
+  request.use_cache = true;
+  request.options.incremental = true;
+  const MapResponse captured = engine.Map(request);
+  EXPECT_FALSE(captured.cache_hit);  // solved to capture, not read from disk
+  EXPECT_EQ(captured.warm_sweeps_captured, 1u);
+
+  // With the pool rebuilt, the identical request is a plain cache hit…
+  const MapResponse hit = engine.Map(request);
+  EXPECT_TRUE(hit.cache_hit);
+
+  // …and a perturbed re-solve reuses the recaptured sweep's clean prefix,
+  // byte-identical to a cold solve of the perturbed chain.
+  const TaskChain perturbed = ScaleLastEdge(chain, 1.05);
+  MapRequest again = RequestFor(perturbed, SmallMachine());
+  again.solver = SolverPolicy::kDp;
+  again.use_cache = true;
+  again.options.incremental = true;
+  const MapResponse warm = engine.Map(again);
+  EXPECT_EQ(warm.warm_sweep_prefix_reused, 1u);
+
+  MappingEngine cold_engine;
+  MapRequest cold = RequestFor(perturbed, SmallMachine());
+  cold.solver = SolverPolicy::kDp;
+  cold.use_cache = false;
+  const MapResponse cold_response = cold_engine.Map(cold);
+  EXPECT_EQ(SerializeMapping(warm.mapping),
+            SerializeMapping(cold_response.mapping));
+  EXPECT_EQ(warm.throughput, cold_response.throughput);
 }
 
 }  // namespace

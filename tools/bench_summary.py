@@ -33,10 +33,10 @@ def flatten(value, prefix, out):
     elif isinstance(value, list):
         out[f"{prefix}.len"] = len(value)
         if value and isinstance(value[-1], dict):
-            # Last element carries the headline numbers (highest rung).
-            for key, inner in value[-1].items():
-                if isinstance(inner, (int, float, bool, str)):
-                    out[f"{prefix}.last.{key}"] = inner
+            # Last element carries the headline numbers (highest rung);
+            # flatten it recursively so nested sections (e.g. an app's
+            # persist tier) survive into the summary.
+            flatten(value[-1], f"{prefix}.last", out)
     elif isinstance(value, (int, float, bool, str)):
         out[prefix] = value
     # null and other shapes are dropped

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate over bench_engine_cache's persistent-tier section.
+
+Usage: check_cache_persist.py BENCH_engine_cache.json
+                              [--min-disk-speedup X] [--min-mem-speedup X]
+
+Fails (exit 1) when:
+  * any application's cache or persist section is not byte-identical to
+    the cold solve, or the bench's own all_identical flag is false
+    (correctness — always enforced);
+  * the best disk-warm speedup across applications is below the floor
+    (default 1.2x) — the persistent tier must beat re-solving somewhere;
+  * the best memory-warm speedup across applications is below its floor
+    (default 1.2x).
+
+Per-application speedups are noisy on small problems and shared CI
+hosts, so the perf gates apply to the best application, not each one;
+the per-app numbers are printed as notes either way.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    min_disk = 1.2
+    min_mem = 1.2
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--min-disk-speedup":
+            min_disk = float(args[i + 1])
+            i += 2
+        elif args[i] == "--min-mem-speedup":
+            min_mem = float(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        result = json.load(f)
+
+    failures = []
+    best_disk = 0.0
+    best_mem = 0.0
+
+    if not result.get("all_identical", False):
+        failures.append("bench reports a warm/cold mismatch (all_identical)")
+
+    for app in result.get("applications", []):
+        label = "%s %s %s" % (app.get("program", "?"), app.get("size", ""),
+                              app.get("comm", ""))
+        cache = app.get("cache", {})
+        if not cache.get("byte_identical", False):
+            failures.append("%s: memory cache hit not byte-identical" % label)
+        persist = app.get("persist", {})
+        if not persist:
+            failures.append("%s: no persist section in the bench JSON"
+                            % label)
+            continue
+        if not persist.get("byte_identical", False):
+            failures.append("%s: persistent-tier hit not byte-identical"
+                            % label)
+        disk = persist.get("disk_speedup", 0.0)
+        mem = persist.get("mem_speedup", 0.0)
+        best_disk = max(best_disk, disk)
+        best_mem = max(best_mem, mem)
+        print("  %-30s cold %7.2f ms  disk hit %5.2fx  mem hit %5.2fx"
+              % (label, 1e3 * persist.get("cold_s", 0.0), disk, mem))
+
+    if best_disk < min_disk:
+        failures.append("best disk-warm speedup %.2fx < %.2fx floor"
+                        % (best_disk, min_disk))
+    else:
+        print("  best disk-warm speedup %.2fx (floor %.2fx)"
+              % (best_disk, min_disk))
+    if best_mem < min_mem:
+        failures.append("best memory-warm speedup %.2fx < %.2fx floor"
+                        % (best_mem, min_mem))
+    else:
+        print("  best memory-warm speedup %.2fx (floor %.2fx)"
+              % (best_mem, min_mem))
+
+    for failure in failures:
+        print("FAIL: " + failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

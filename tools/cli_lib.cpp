@@ -39,8 +39,8 @@ commands:
             [--algorithm dp|greedy|auto|brute]
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
-            [--unconstrained] [--engine-cache] [--threads N]
-            [--solver-deadline S] [--out FILE]
+            [--unconstrained] [--engine-cache] [--cache-dir DIR]
+            [--threads N] [--solver-deadline S] [--out FILE]
             [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
             [--noise X] [--seed N] [--faults FILE|SPEC]
@@ -51,7 +51,7 @@ commands:
             [--datasets N] [--noise X] [--seed N] [--threads N]
             [--solver-deadline S]
             [--out FILE] [--trace FILE] [--metrics FILE] [--unconstrained]
-            [--engine-cache]
+            [--engine-cache] [--cache-dir DIR]
   explain   --chain FILE --machine FILE --mapping FILE
   frontier  --chain FILE --machine FILE [--points N] [--threads N]
             [--metrics FILE] [--trace FILE] [--engine-cache]
@@ -68,7 +68,11 @@ every thread count.
 the exact DP warm-started from it, and (on tiny instances) a brute-force
 certification pass. --engine-cache answers repeated identical requests
 from the in-process solution cache; cached mappings are byte-identical
-to recomputed ones. Unknown commands and flags are rejected.
+to recomputed ones. --cache-dir DIR additionally persists solved
+mappings to DIR (one checksummed file per fingerprint) and implies
+--engine-cache: a later pipemap_cli run — or a pipemap_server — pointed
+at the same directory answers the same problem from disk without
+re-solving. Unknown commands and flags are rejected.
 
 --metrics FILE writes a JSON snapshot of the engine's internal counters,
 gauges, and histograms; --trace FILE writes Chrome trace-event JSON
@@ -288,6 +292,13 @@ MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
   request.options.allow_clustering = !flags.Has("no-clustering");
   request.machine_feasibility = !flags.Has("unconstrained");
   request.use_cache = flags.Has("engine-cache");
+  if (const auto dir = flags.Get("cache-dir")) {
+    // Persistence lives on the shared engine's cache, so every later
+    // command in this process (and the cache's write-behind spill of this
+    // solve) sees the same directory. Implies --engine-cache.
+    MappingEngine::Shared().cache().EnablePersistence(*dir);
+    request.use_cache = true;
+  }
   if (const auto deadline = flags.Get("solver-deadline")) {
     const double seconds = CheckedDouble("solver-deadline", *deadline);
     if (seconds < 0.0) {
@@ -332,7 +343,8 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags(
       "map", args, 1,
       {"chain", "machine", "procs", "threads", "algorithm", "objective",
-       "floor", "replication", "solver-deadline", "out", "metrics", "trace"},
+       "floor", "replication", "solver-deadline", "out", "metrics", "trace",
+       "cache-dir"},
       {"no-clustering", "unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
@@ -349,9 +361,14 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
     }
     out << "\n";
   }
-  if (flags.Has("engine-cache")) {
-    out << "engine cache: " << (response.cache_hit ? "hit" : "miss")
-        << " (fingerprint " << FingerprintHex(response.fingerprint) << ")\n";
+  if (request.use_cache) {
+    out << "engine cache: ";
+    if (response.cache_hit) {
+      out << "hit [" << response.cache_tier << "]";
+    } else {
+      out << "miss";
+    }
+    out << " (fingerprint " << FingerprintHex(response.fingerprint) << ")\n";
   }
   if (response.timed_out) {
     out << "note: solver deadline expired; this is the best incumbent, not"
@@ -464,7 +481,7 @@ int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags("report", args, 1,
                     {"chain", "machine", "procs", "threads", "algorithm",
                      "datasets", "noise", "seed", "solver-deadline", "out",
-                     "metrics", "trace"},
+                     "metrics", "trace", "cache-dir"},
                     {"unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   // The report always embeds a metrics snapshot of its own run, so the

@@ -57,6 +57,10 @@ struct LoadgenOptions {
   /// When non-empty: issue one `metrics` op after the run and write the
   /// raw JSON response here (the exposition scrape CI validates).
   std::string scrape_metrics_path;
+  /// When non-empty: issue one `stats` op after the run and write the raw
+  /// JSON response here (the restart-warm smoke reads cache/persist/
+  /// single-flight counters out of it).
+  std::string scrape_stats_path;
 };
 
 struct WorkerResult {
@@ -80,6 +84,7 @@ int Usage() {
       "                       [--deadline S] [--seed N]\n"
       "                       [--op map|ping|mix]\n"
       "                       [--trace-ids FILE] [--scrape-metrics FILE]\n"
+      "                       [--scrape-stats FILE]\n"
       "\n"
       "Drives N concurrent connections, --requests requests each, and\n"
       "validates every response against a strict JSON parser. Every\n"
@@ -89,7 +94,9 @@ int Usage() {
       "--op mix sends a map-dominated mix with ping and stats requests.\n"
       "--trace-ids writes one hex trace id per line (for joining against\n"
       "the server's access log); --scrape-metrics issues one metrics op\n"
-      "after the run and saves the raw JSON response.\n");
+      "after the run and saves the raw JSON response; --scrape-stats does\n"
+      "the same with a stats op (cache hit/persist/single-flight counters\n"
+      "for the restart-warm smoke).\n");
   return 2;
 }
 
@@ -263,6 +270,8 @@ int main(int argc, char** argv) {
       options.trace_ids_path = value();
     } else if (arg == "--scrape-metrics") {
       options.scrape_metrics_path = value();
+    } else if (arg == "--scrape-stats") {
+      options.scrape_stats_path = value();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -327,34 +336,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One metrics scrape on a fresh connection, after the load is done, so
-  // the exposition covers the whole run.
+  // Scrapes run on a fresh connection, after the load is done, so the
+  // snapshot covers the whole run.
   bool scrape_failed = false;
-  if (!options.scrape_metrics_path.empty()) {
+  const auto scrape = [&](const char* op, const std::string& path) {
+    if (path.empty()) return;
+    bool failed = false;
     try {
       pipemap::server::ServerClient client(options.host, options.port);
       pipemap::server::ServerRequest request;
-      request.op = "metrics";
+      request.op = op;
       request.trace_id = pipemap::GenerateTraceId();
       const std::string response = client.Call(request);
       if (!pipemap::IsValidJson(response) ||
           response.find("\"ok\": true") == std::string::npos) {
-        scrape_failed = true;
+        failed = true;
       }
-      if (std::FILE* f =
-              std::fopen(options.scrape_metrics_path.c_str(), "w")) {
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
         std::fwrite(response.data(), 1, response.size(), f);
         std::fclose(f);
       } else {
-        scrape_failed = true;
+        failed = true;
       }
     } catch (const std::exception&) {
+      failed = true;
+    }
+    if (failed) {
+      std::fprintf(stderr, "pipemap_loadgen: %s scrape failed\n", op);
       scrape_failed = true;
     }
-    if (scrape_failed) {
-      std::fprintf(stderr, "pipemap_loadgen: metrics scrape failed\n");
-    }
-  }
+  };
+  scrape("metrics", options.scrape_metrics_path);
+  scrape("stats", options.scrape_stats_path);
 
   pipemap::JsonWriter w;
   w.BeginObject();

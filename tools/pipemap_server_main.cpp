@@ -45,6 +45,7 @@ int Usage() {
       stderr,
       "usage: pipemap_server [--host ADDR] [--port N]\n"
       "                      [--workers N] [--queue N]\n"
+      "                      [--cache-dir DIR]\n"
       "                      [--access-log PATH] [--access-log-max-bytes N]\n"
       "                      [--trace PATH]\n"
       "                      [--slo-p99-ms X] [--slo-error-rate X]\n"
@@ -58,7 +59,10 @@ int Usage() {
       "--access-log appends one JSONL line per request (trace_id, op,\n"
       "bytes, queue wait, solve time, status); --trace dumps Chrome\n"
       "trace JSON on drain; --slo-* set the rolling-window objectives\n"
-      "surfaced by the stats and metrics ops.\n");
+      "surfaced by the stats and metrics ops.\n"
+      "--cache-dir persists solved mappings (one checksummed file per\n"
+      "fingerprint): a daemon restarted onto the same directory serves\n"
+      "previously solved requests as cache hits without re-solving.\n");
   return 2;
 }
 
@@ -107,6 +111,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue") {
       config.queue_capacity =
           static_cast<std::size_t>(CheckedFlag("--queue", value()));
+    } else if (arg == "--cache-dir") {
+      config.cache_dir = value();
     } else if (arg == "--access-log") {
       config.access_log_path = value();
     } else if (arg == "--access-log-max-bytes") {

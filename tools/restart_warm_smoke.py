@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Two-phase restart-warm smoke over the persistent solution-cache tier.
+
+Usage: restart_warm_smoke.py SERVER_BIN LOADGEN_BIN
+                             [--cache-dir DIR] [--min-hit-ratio X]
+
+Phase 1 starts pipemap_server with --cache-dir, drives a fixed-seed map
+workload through pipemap_loadgen (so the request set is reproducible),
+and stops the server with SIGTERM — the graceful drain flushes pending
+write-behind spills to disk. Phase 2 starts a brand-new server process
+on the same directory, replays the identical workload, scrapes the
+`stats` op, and fails (exit 1) unless:
+
+  * both loadgen runs exit 0 (every response well-formed, every trace
+    id echoed);
+  * both servers drain cleanly ('"drained": true' on stdout, exit 0);
+  * phase 2's cache hit ratio hits/(hits+misses) exceeds the floor
+    (default 0.5) — a fresh process must remember the first one's work;
+  * phase 2 served at least one request from disk
+    (cache.persist.hits >= 1) and saw no corrupt entries or write
+    errors.
+"""
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+LOADGEN_ARGS = ["--connections", "4", "--requests", "8", "--variants", "4",
+                "--skew", "0.5", "--seed", "7", "--op", "map"]
+
+
+def start_server(server_bin, cache_dir):
+    proc = subprocess.Popen(
+        [server_bin, "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    line = proc.stdout.readline().strip()
+    parts = line.split()
+    if len(parts) != 3 or parts[0] != "listening":
+        proc.kill()
+        raise RuntimeError("server did not report a port: %r" % line)
+    return proc, int(parts[2])
+
+
+def stop_server(proc, phase):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise RuntimeError("phase %d: server did not drain in time" % phase)
+    if proc.returncode != 0:
+        raise RuntimeError("phase %d: server exited %d" % (phase,
+                                                           proc.returncode))
+    if '"drained": true' not in out:
+        raise RuntimeError("phase %d: no drain document on stdout" % phase)
+
+
+def run_loadgen(loadgen_bin, port, phase, extra=()):
+    cmd = [loadgen_bin, "--port", str(port)] + LOADGEN_ARGS + list(extra)
+    result = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    if result.returncode != 0:
+        raise RuntimeError("phase %d: loadgen exited %d" % (phase,
+                                                            result.returncode))
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    cache_dir = None
+    min_hit_ratio = 0.5
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--cache-dir":
+            cache_dir = args[i + 1]
+            i += 2
+        elif args[i] == "--min-hit-ratio":
+            min_hit_ratio = float(args[i + 1])
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    server_bin, loadgen_bin = positional
+
+    own_dir = cache_dir is None
+    if own_dir:
+        cache_dir = tempfile.mkdtemp(prefix="pipemap-restart-warm-")
+    stats_path = os.path.join(cache_dir, "phase2_stats.json")
+    try:
+        # Phase 1: solve the fixed-seed mix cold and spill it to disk.
+        proc, port = start_server(server_bin, cache_dir)
+        run_loadgen(loadgen_bin, port, 1)
+        stop_server(proc, 1)
+        entries = [n for n in os.listdir(cache_dir) if n.endswith(".pmc")]
+        if not entries:
+            print("FAIL: phase 1 drained without spilling any cache entries",
+                  file=sys.stderr)
+            return 1
+        print("phase 1: ok (%d entries spilled to %s)"
+              % (len(entries), cache_dir))
+
+        # Phase 2: a fresh process on the same directory replays the mix.
+        proc, port = start_server(server_bin, cache_dir)
+        run_loadgen(loadgen_bin, port, 2,
+                    extra=["--scrape-stats", stats_path])
+        with open(stats_path) as f:
+            stats = json.load(f)
+        stop_server(proc, 2)
+    finally:
+        if own_dir:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cache = stats["cache"]
+    persist = cache["persist"]
+    lookups = cache["hits"] + cache["misses"]
+    hit_ratio = cache["hits"] / lookups if lookups else 0.0
+    print("phase 2: hit ratio %.2f (%d/%d), persist hits %d, "
+          "corrupt %d, errors %d"
+          % (hit_ratio, cache["hits"], lookups, persist["hits"],
+             persist["corrupt"], persist["errors"]))
+
+    failures = []
+    if not persist["enabled"]:
+        failures.append("phase 2 server did not enable the persistent tier")
+    if hit_ratio <= min_hit_ratio:
+        failures.append("phase 2 hit ratio %.2f <= %.2f floor: the restart "
+                        "forgot phase 1's solves" % (hit_ratio,
+                                                     min_hit_ratio))
+    if persist["hits"] < 1:
+        failures.append("phase 2 served nothing from disk (persist.hits == 0)")
+    if persist["corrupt"] or persist["errors"]:
+        failures.append("persistent tier reported corrupt=%d errors=%d"
+                        % (persist["corrupt"], persist["errors"]))
+    for failure in failures:
+        print("FAIL: " + failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
