@@ -1,12 +1,20 @@
 #include "engine/cache_persist.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iterator>
+#include <vector>
 
 #include "engine/fingerprint.h"
+#include "support/chaos.h"
 #include "support/metrics.h"
 #include "support/parse.h"
 
@@ -15,6 +23,7 @@ namespace pipemap {
 namespace {
 
 constexpr std::string_view kMagic = "pipemap-cache v1";
+constexpr std::string_view kLockFileName = "pipemap.lock";
 /// Decode refuses byte-counted fields larger than this: a plausible upper
 /// bound on any real mapping text, and a cheap guard against a corrupt
 /// length making us allocate gigabytes.
@@ -102,6 +111,12 @@ bool TakeDoubleField(Cursor& c, std::string_view key, double* out) {
   if (!v) return false;
   *out = *v;
   return true;
+}
+
+bool IsEntryFileName(const std::filesystem::path& path) {
+  if (path.extension() != ".pmc") return false;
+  std::uint64_t ignored = 0;
+  return ParseHex64(path.stem().string(), &ignored);
 }
 
 }  // namespace
@@ -206,21 +221,61 @@ DiskPersistence::~DiskPersistence() {
   }
   cv_.notify_all();
   if (writer_.joinable()) writer_.join();
+  if (lock_fd_ >= 0) {
+    // Closing the fd releases the flock, handing directory ownership to
+    // the next Enable.
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+  }
 }
 
-void DiskPersistence::Enable(const std::string& dir) {
-  PIPEMAP_CHECK(!dir.empty(), "cache dir must be non-empty");
+void DiskPersistence::Enable(const DiskPersistOptions& options) {
+  PIPEMAP_CHECK(!options.dir.empty(), "cache dir must be non-empty");
   std::lock_guard<std::mutex> lock(mu_);
   if (enabled_.load(std::memory_order_relaxed)) {
-    PIPEMAP_CHECK(dir_ == dir, "cache already persisting to '" + dir_ +
-                                   "', cannot switch to '" + dir + "'");
+    PIPEMAP_CHECK(dir_ == options.dir,
+                  "cache already persisting to '" + dir_ +
+                      "', cannot switch to '" + options.dir + "'");
     return;
   }
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  PIPEMAP_CHECK(!ec,
-                "cannot create cache dir '" + dir + "': " + ec.message());
-  dir_ = dir;
+  std::filesystem::create_directories(options.dir, ec);
+  PIPEMAP_CHECK(
+      !ec, "cannot create cache dir '" + options.dir + "': " + ec.message());
+  dir_ = options.dir;
+  max_bytes_ = options.max_bytes;
+  CircuitBreaker::Config breaker;
+  breaker.failure_threshold = options.breaker_failures;
+  breaker.cooldown_s = options.breaker_cooldown_s;
+  breaker_.emplace(breaker);
+
+  // Advisory ownership: exactly one process (and one instance) gets to
+  // write a cache directory. Losing the race is loud but not fatal — the
+  // loser still probes entries the owner publishes.
+  const std::string lock_path = dir_ + "/" + std::string(kLockFileName);
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    std::fprintf(stderr,
+                 "pipemap: cannot open cache lock file %s (%s); cache dir "
+                 "'%s' is read-only for this process\n",
+                 lock_path.c_str(), std::strerror(errno), dir_.c_str());
+    read_only_.store(true, std::memory_order_release);
+  } else if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    std::fprintf(stderr,
+                 "pipemap: cache dir '%s' is locked by another process; "
+                 "falling back to read-only probing (no writes, no "
+                 "eviction)\n",
+                 dir_.c_str());
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    read_only_.store(true, std::memory_order_release);
+  }
+
+  if (!read_only_.load(std::memory_order_relaxed) && max_bytes_ > 0) {
+    // Startup sweep: a previous unbounded run (or a lowered bound) may
+    // have left the directory over budget.
+    SweepDisk();
+  }
   writer_ = std::thread(&DiskPersistence::WriterLoop, this);
   enabled_.store(true, std::memory_order_release);
 }
@@ -232,36 +287,79 @@ std::string DiskPersistence::dir() const {
 
 std::optional<CachedSolution> DiskPersistence::Load(std::uint64_t key) {
   if (!enabled()) return std::nullopt;
+  const auto miss = [this]() -> std::optional<CachedSolution> {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.misses", 1);
+    return std::nullopt;
+  };
+  if (!breaker_->Allow()) {
+    // Disk is considered sick: fast-miss without touching it. The solve
+    // proceeds from scratch, which is slower but never stalls.
+    breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.breaker_skips", 1);
+    return miss();
+  }
   // dir_ is immutable once enabled_ is set, so reading it unlocked here
   // is safe.
   const std::string path = dir_ + "/" + CacheEntryFileName(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    PIPEMAP_COUNTER_ADD("engine.cache.persist.misses", 1);
-    return std::nullopt;
+  std::string bytes;
+  if (ChaosInjector::Global().ShouldInject(ChaosSeam::kPersistReadFail)) {
+    errno = EIO;
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[1 << 16];
+      std::size_t got = 0;
+      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.append(buf, got);
+      }
+      const bool read_error = std::ferror(f) != 0;
+      std::fclose(f);
+      if (read_error) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        PIPEMAP_COUNTER_ADD("engine.cache.persist.errors", 1);
+        breaker_->RecordFailure();
+        std::fprintf(stderr, "pipemap: cache entry %s unreadable\n",
+                     path.c_str());
+        return miss();
+      }
+      std::string error;
+      std::optional<CachedSolution> decoded =
+          DecodeCacheEntry(key, bytes, &error);
+      breaker_->RecordSuccess();  // the disk worked; corruption is data
+      if (!decoded) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        PIPEMAP_COUNTER_ADD("engine.cache.persist.corrupt", 1);
+        std::fprintf(stderr, "pipemap: skipping corrupt cache entry %s: %s\n",
+                     path.c_str(), error.c_str());
+        return miss();
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      PIPEMAP_COUNTER_ADD("engine.cache.persist.hits", 1);
+      decoded->from_disk = true;
+      return decoded;
+    }
   }
-  const std::string bytes((std::istreambuf_iterator<char>(in)),
-                          std::istreambuf_iterator<char>());
-  std::string error;
-  std::optional<CachedSolution> decoded = DecodeCacheEntry(key, bytes, &error);
-  if (!decoded) {
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    PIPEMAP_COUNTER_ADD("engine.cache.persist.corrupt", 1);
-    PIPEMAP_COUNTER_ADD("engine.cache.persist.misses", 1);
-    std::fprintf(stderr, "pipemap: skipping corrupt cache entry %s: %s\n",
-                 path.c_str(), error.c_str());
-    return std::nullopt;
+  if (errno == ENOENT) {
+    // Absence is a healthy answer, not a disk error.
+    breaker_->RecordSuccess();
+    return miss();
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  PIPEMAP_COUNTER_ADD("engine.cache.persist.hits", 1);
-  decoded->from_disk = true;
-  return decoded;
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  PIPEMAP_COUNTER_ADD("engine.cache.persist.errors", 1);
+  breaker_->RecordFailure();
+  std::fprintf(stderr, "pipemap: cannot read cache entry %s: %s\n",
+               path.c_str(), std::strerror(errno));
+  return miss();
 }
 
 void DiskPersistence::Store(std::uint64_t key, CachedSolution value) {
   if (!enabled()) return;
+  if (read_only()) {
+    write_drops_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.write_drops", 1);
+    return;
+  }
   bool accepted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -289,12 +387,19 @@ void DiskPersistence::Flush() {
 PersistTierStats DiskPersistence::stats() const {
   PersistTierStats out;
   out.enabled = enabled();
+  out.read_only = read_only();
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.writes = writes_.load(std::memory_order_relaxed);
   out.write_drops = write_drops_.load(std::memory_order_relaxed);
   out.corrupt = corrupt_.load(std::memory_order_relaxed);
   out.errors = errors_.load(std::memory_order_relaxed);
+  out.evicted = evicted_.load(std::memory_order_relaxed);
+  out.breaker_skips = breaker_skips_.load(std::memory_order_relaxed);
+  if (breaker_.has_value()) {
+    out.breaker_state = ToString(breaker_->state());
+    out.breaker_opens = breaker_->stats().opens;
+  }
   return out;
 }
 
@@ -322,6 +427,13 @@ void DiskPersistence::WriterLoop() {
 
 void DiskPersistence::PublishEntry(std::uint64_t key,
                                    const CachedSolution& value) {
+  if (!breaker_->Allow()) {
+    breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+    write_drops_.fetch_add(1, std::memory_order_relaxed);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.breaker_skips", 1);
+    PIPEMAP_COUNTER_ADD("engine.cache.persist.write_drops", 1);
+    return;
+  }
   const std::string name = CacheEntryFileName(key);
   const std::string final_path = dir_ + "/" + name;
   // The temp name is unique per (instance, attempt) so concurrent writers
@@ -334,10 +446,15 @@ void DiskPersistence::PublishEntry(std::uint64_t key,
   const auto fail = [&](const char* what) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     PIPEMAP_COUNTER_ADD("engine.cache.persist.errors", 1);
+    breaker_->RecordFailure();
     std::fprintf(stderr, "pipemap: cache entry %s not persisted: %s\n",
                  final_path.c_str(), what);
     std::remove(temp_path.c_str());
   };
+  if (ChaosInjector::Global().ShouldInject(ChaosSeam::kPersistWriteFail)) {
+    fail("chaos: injected write failure");
+    return;
+  }
   const std::string bytes = EncodeCacheEntry(key, value);
   std::FILE* f = std::fopen(temp_path.c_str(), "wb");
   if (f == nullptr) {
@@ -356,6 +473,57 @@ void DiskPersistence::PublishEntry(std::uint64_t key,
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
   PIPEMAP_COUNTER_ADD("engine.cache.persist.writes", 1);
+  breaker_->RecordSuccess();
+  if (max_bytes_ > 0) {
+    usage_bytes_ += bytes.size();
+    if (usage_bytes_ > max_bytes_) SweepDisk();
+  }
+}
+
+void DiskPersistence::SweepDisk() {
+  struct EntryFile {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::vector<EntryFile> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::filesystem::path& p = de.path();
+    if (!IsEntryFileName(p)) continue;  // never the lock file or temps
+    EntryFile e;
+    e.path = p;
+    e.size = de.file_size(ec);
+    if (ec) continue;
+    e.mtime = de.last_write_time(ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total > max_bytes_) {
+    // Oldest-first: recency of publication is the only signal we have,
+    // and recently solved fingerprints are the likeliest to recur.
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryFile& a, const EntryFile& b) {
+                return a.mtime < b.mtime;
+              });
+    // Sweep down to ~90% of the bound so a single hot write does not
+    // re-trigger the (full-directory-scan) sweep immediately.
+    const std::uint64_t target =
+        max_bytes_ - std::min<std::uint64_t>(max_bytes_, max_bytes_ / 10);
+    for (const EntryFile& e : entries) {
+      if (total <= target) break;
+      std::error_code rm_ec;
+      if (std::filesystem::remove(e.path, rm_ec) && !rm_ec) {
+        total -= std::min(total, e.size);
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        PIPEMAP_COUNTER_ADD("engine.cache.persist.evicted", 1);
+      }
+    }
+  }
+  usage_bytes_ = total;
 }
 
 }  // namespace pipemap

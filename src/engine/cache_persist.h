@@ -26,6 +26,29 @@
 // drains the queue for tests and orderly shutdown; durability is
 // rename-atomic but not fsync-durable (a host crash may lose the tail,
 // which only ever costs a re-solve).
+//
+// Robustness (DESIGN.md §12):
+//
+//   * ownership — Enable takes an advisory flock(2) on "pipemap.lock"
+//     inside the directory. A second process (or instance) opening the
+//     same directory does NOT get write access: it falls back loudly to
+//     read-only probing (loads work, stores are dropped and counted), so
+//     two daemons can never interleave writer threads on one directory.
+//     The lock dies with the process, so a crashed owner never wedges
+//     the directory.
+//   * bounded size — a non-zero max_bytes arms an eviction sweep: usage
+//     is scanned at Enable and tracked per write, and crossing the bound
+//     deletes the oldest entries (by mtime) until usage is back under
+//     ~90% of it. Evictions are counted (persist.evicted).
+//   * circuit breaker — consecutive disk *errors* (failed writes/renames,
+//     failed reads other than absence) open a breaker that bypasses the
+//     tier: loads fast-miss and stores drop without touching the disk,
+//     until a cooldown elapses and a half-open probe heals it
+//     (support/circuit_breaker.h). A sick disk costs solves, never
+//     stalls or error-storms them.
+//   * chaos — the persist_write_fail / persist_read_fail seams
+//     (support/chaos.h) inject exactly those errors under a seeded spec,
+//     which is how the breaker path stays tested.
 #pragma once
 
 #include <atomic>
@@ -40,6 +63,7 @@
 #include <utility>
 
 #include "engine/cached_solution.h"
+#include "support/circuit_breaker.h"
 #include "support/error.h"
 
 namespace pipemap {
@@ -47,12 +71,20 @@ namespace pipemap {
 /// Counters of one persistence tier. All zero when disabled.
 struct PersistTierStats {
   bool enabled = false;
+  /// Another process holds the directory's advisory lock: loads still
+  /// probe, stores are dropped (counted in write_drops).
+  bool read_only = false;
   std::uint64_t hits = 0;         ///< lookups answered from disk
   std::uint64_t misses = 0;       ///< disk probed, no usable entry
   std::uint64_t writes = 0;       ///< entries published to disk
-  std::uint64_t write_drops = 0;  ///< write-behind queue was full
+  std::uint64_t write_drops = 0;  ///< queue full, read-only, or breaker open
   std::uint64_t corrupt = 0;      ///< malformed entries skipped (⊆ misses)
-  std::uint64_t errors = 0;       ///< write/rename failures
+  std::uint64_t errors = 0;       ///< write/rename/read I/O failures
+  std::uint64_t evicted = 0;      ///< entries deleted by the size sweep
+  /// Disk-error circuit breaker (support/circuit_breaker.h).
+  std::string breaker_state = "closed";
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_skips = 0;  ///< loads/stores bypassed while open
 };
 
 /// File name of `key`'s entry within a cache directory: "<16hex>.pmc".
@@ -69,6 +101,19 @@ std::optional<CachedSolution> DecodeCacheEntry(std::uint64_t key,
                                                std::string_view bytes,
                                                std::string* error = nullptr);
 
+/// How a DiskPersistence tier is armed. `dir` is required; the rest tune
+/// the robustness machinery.
+struct DiskPersistOptions {
+  std::string dir;
+  /// Disk budget for the tier's entries; 0 = unbounded (the pre-bound
+  /// behavior). Crossing it evicts oldest entries by mtime.
+  std::uint64_t max_bytes = 0;
+  /// Disk-error breaker: consecutive errors that open it (<= 0 disables)
+  /// and the open cooldown before a half-open probe.
+  int breaker_failures = 3;
+  double breaker_cooldown_s = 5.0;
+};
+
 /// The disk tier as a cache persistence policy: disabled (and free) until
 /// Enable(dir) points it at a directory.
 class DiskPersistence {
@@ -80,22 +125,35 @@ class DiskPersistence {
   DiskPersistence(const DiskPersistence&) = delete;
   DiskPersistence& operator=(const DiskPersistence&) = delete;
 
-  /// Creates `dir` (and parents) if needed and starts the write-behind
-  /// thread. Idempotent for the same directory; throws InvalidArgument
-  /// when already enabled on a different one, or when the directory
-  /// cannot be created.
-  void Enable(const std::string& dir);
+  /// Creates the directory (and parents) if needed, takes the advisory
+  /// lock (falling back to read-only on contention), runs the startup
+  /// size sweep when bounded, and starts the write-behind thread.
+  /// Idempotent for the same directory; throws InvalidArgument when
+  /// already enabled on a different one, or when the directory cannot be
+  /// created.
+  void Enable(const DiskPersistOptions& options);
+  void Enable(const std::string& dir) {
+    DiskPersistOptions options;
+    options.dir = dir;
+    Enable(options);
+  }
 
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
   /// The configured directory; empty until Enable.
   std::string dir() const;
+  /// This instance lost the advisory-lock race and only probes.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
 
   /// Synchronously reads and validates `key`'s entry. Counts a tier hit,
-  /// miss, or corrupt-skip. Returns nullopt when disabled.
+  /// miss, or corrupt-skip. Returns nullopt when disabled, or instantly
+  /// when the disk breaker is open.
   std::optional<CachedSolution> Load(std::uint64_t key);
 
   /// Enqueues `value` for write-behind publication. Never blocks on I/O;
-  /// drops (and counts) when the queue is full. No-op when disabled.
+  /// drops (and counts) when the queue is full, the tier is read-only,
+  /// or the disk breaker is open. No-op when disabled.
   void Store(std::uint64_t key, CachedSolution value);
 
   /// Blocks until every Store accepted before the call is published (or
@@ -108,8 +166,12 @@ class DiskPersistence {
   void WriterLoop();
   /// Temp-write + atomic rename of one entry. Writer thread only.
   void PublishEntry(std::uint64_t key, const CachedSolution& value);
+  /// Rescans the directory and deletes oldest entries until usage is
+  /// under ~90% of max_bytes. Writer thread (or Enable) only.
+  void SweepDisk();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> read_only_{false};
 
   mutable std::mutex mu_;
   std::string dir_;  // set under mu_ before enabled_; immutable after
@@ -122,12 +184,29 @@ class DiskPersistence {
   std::uint64_t temp_seq_ = 0;       // temp-name uniquifier; writer only
   bool stop_ = false;
 
+  /// Advisory-lock fd on <dir>/pipemap.lock; held for the instance's
+  /// lifetime (the OS releases it if the process dies). -1 = none.
+  int lock_fd_ = -1;
+
+  /// Size bound. usage is an estimate maintained by the writer (exact
+  /// rescan happens inside each sweep); both only touched by Enable and
+  /// the writer thread once enabled.
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t usage_bytes_ = 0;
+
+  /// Disk-error breaker: consecutive write/rename/read errors open it.
+  /// Emplaced by Enable (its config arrives then); always set once the
+  /// tier is enabled, which every caller checks first.
+  std::optional<CircuitBreaker> breaker_;
+  std::atomic<std::uint64_t> breaker_skips_{0};
+
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> write_drops_{0};
   std::atomic<std::uint64_t> corrupt_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> evicted_{0};
 
   std::thread writer_;
 };
@@ -139,8 +218,12 @@ struct NullPersistence {
   void Enable(const std::string&) {
     PIPEMAP_CHECK(false, "this cache was instantiated without persistence");
   }
+  void Enable(const DiskPersistOptions&) {
+    PIPEMAP_CHECK(false, "this cache was instantiated without persistence");
+  }
   bool enabled() const { return false; }
   std::string dir() const { return {}; }
+  bool read_only() const { return false; }
   std::optional<CachedSolution> Load(std::uint64_t) { return std::nullopt; }
   void Store(std::uint64_t, CachedSolution) {}
   void Flush() {}

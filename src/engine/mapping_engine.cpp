@@ -140,7 +140,10 @@ MappingEngine::MappingEngine(EngineConfig config)
     : config_(config),
       cache_(config.cache_capacity, config.cache_shards) {
   if (!config_.cache_dir.empty()) {
-    cache_.EnablePersistence(config_.cache_dir);
+    DiskPersistOptions persist;
+    persist.dir = config_.cache_dir;
+    persist.max_bytes = config_.cache_dir_max_bytes;
+    cache_.EnablePersistence(persist);
   }
 }
 

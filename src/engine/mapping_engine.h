@@ -185,6 +185,9 @@ struct EngineConfig {
   /// (engine/cache_persist.h): inserts spill write-behind, misses probe
   /// disk lazily, and a restarted process starts warm.
   std::string cache_dir;
+  /// Disk budget for the persistent tier; 0 = unbounded. Crossing it
+  /// evicts oldest entries (engine/cache_persist.h).
+  std::uint64_t cache_dir_max_bytes = 0;
   /// Collapse concurrent identical-fingerprint solves into one
   /// (engine/single_flight.h). Purely a work saver; answers and cache
   /// contents are unchanged.

@@ -69,6 +69,12 @@ struct SolutionCacheStats {
   std::uint64_t persist_write_drops = 0;
   std::uint64_t persist_corrupt = 0;
   std::uint64_t persist_errors = 0;
+  std::uint64_t persist_evicted = 0;
+  bool persist_read_only = false;
+  /// Disk-error circuit breaker (support/circuit_breaker.h).
+  std::string persist_breaker_state = "closed";
+  std::uint64_t persist_breaker_opens = 0;
+  std::uint64_t persist_breaker_skips = 0;
 };
 
 template <typename Concurrency = ShardedMutexConcurrency,
@@ -153,6 +159,11 @@ class BasicSolutionCache {
     out.persist_write_drops = tier.write_drops;
     out.persist_corrupt = tier.corrupt;
     out.persist_errors = tier.errors;
+    out.persist_evicted = tier.evicted;
+    out.persist_read_only = tier.read_only;
+    out.persist_breaker_state = tier.breaker_state;
+    out.persist_breaker_opens = tier.breaker_opens;
+    out.persist_breaker_skips = tier.breaker_skips;
     return out;
   }
 
@@ -169,6 +180,10 @@ class BasicSolutionCache {
   /// Points the persistence policy at `dir` (see DiskPersistence::Enable;
   /// a contract violation on persistence-free instantiations).
   void EnablePersistence(const std::string& dir) { persist_.Enable(dir); }
+  /// Same, with the full robustness knobs (size bound, disk breaker).
+  void EnablePersistence(const DiskPersistOptions& options) {
+    persist_.Enable(options);
+  }
 
   /// Blocks until every accepted write-behind spill is on disk. No-op
   /// when persistence is disabled.

@@ -86,6 +86,12 @@ void ReadExact(int fd, void* buffer, std::size_t n, bool* clean_eof) {
     }
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A socket armed with SO_RCVTIMEO ran out of patience: the peer
+        // is stalling (possibly mid-frame). Distinct type so the server
+        // can count it and free the slot.
+        throw IdleTimeout("read timed out waiting for the peer");
+      }
       throw Error(std::string("read failed: ") + std::strerror(errno));
     }
     done += static_cast<std::size_t>(got);

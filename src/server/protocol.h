@@ -101,4 +101,14 @@ class FrameTooLarge : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown by ReadFrame when a read times out on a socket armed with a
+/// receive timeout (SO_RCVTIMEO). The server arms one per connection when
+/// ServerConfig::idle_timeout_s is set, and treats this as "the peer
+/// stalled": the connection slot is freed instead of being held hostage
+/// by a slowloris-style client that drips or withholds bytes forever.
+class IdleTimeout : public std::runtime_error {
+ public:
+  explicit IdleTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace pipemap::server

@@ -19,6 +19,7 @@
 #include "sim/attribution.h"
 #include "sim/pipeline_sim.h"
 #include "sim/run_report.h"
+#include "support/chaos.h"
 #include "support/deadline.h"
 #include "support/error.h"
 #include "support/json_writer.h"
@@ -83,6 +84,38 @@ void ApplyPolicy(const ServerRequest& req, MapRequest* out) {
   }
 }
 
+/// The `overloaded` error document: same shape as ErrorJson plus the
+/// backpressure hint, so a well-behaved client backs off instead of
+/// hammering a shedding server.
+std::string OverloadedJson(double retry_after_ms, std::uint64_t trace_id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok").Bool(false);
+  w.Key("code").String("overloaded");
+  w.Key("error").String("server is overloaded; retry after the hint");
+  w.Key("retry_after_ms").Double(retry_after_ms);
+  if (trace_id != 0) w.Key("trace_id").String(FormatTraceId(trace_id));
+  w.EndObject();
+  return w.str();
+}
+
+OverloadConfig BuildOverloadConfig(const ServerConfig& config) {
+  OverloadConfig out;
+  out.enabled = config.overload_enabled;
+  out.shed_watermark = config.shed_watermark;
+  out.brownout_after_s = config.brownout_after_s;
+  out.recover_after_s = config.recover_after_s;
+  out.degraded_deadline_s = config.degraded_deadline_s;
+  return out;
+}
+
+CircuitBreaker::Config SolverBreakerConfig(const ServerConfig& config) {
+  CircuitBreaker::Config out;
+  out.failure_threshold = config.solver_breaker_failures;
+  out.cooldown_s = config.solver_breaker_cooldown_s;
+  return out;
+}
+
 SimOptions BuildSimOptions(const ServerRequest& req) {
   SimOptions options;
   options.num_datasets = req.datasets;
@@ -126,7 +159,11 @@ PipemapServer::PipemapServer(ServerConfig config)
       engine_(config_.engine != nullptr ? config_.engine
                                         : &MappingEngine::Shared()),
       slo_(SloConfig{config_.slo_p99_ms, config_.slo_max_error_rate,
-                     config_.slo_window_s}) {
+                     config_.slo_window_s}),
+      overload_(BuildOverloadConfig(config_)),
+      map_breaker_(SolverBreakerConfig(config_)),
+      simulate_breaker_(SolverBreakerConfig(config_)),
+      report_breaker_(SolverBreakerConfig(config_)) {
   if (config_.num_workers < 1) {
     throw InvalidArgument("ServerConfig::num_workers must be >= 1");
   }
@@ -134,7 +171,10 @@ PipemapServer::PipemapServer(ServerConfig config)
     throw InvalidArgument("ServerConfig::queue_capacity must be >= 1");
   }
   if (!config_.cache_dir.empty()) {
-    engine_->cache().EnablePersistence(config_.cache_dir);
+    DiskPersistOptions persist;
+    persist.dir = config_.cache_dir;
+    persist.max_bytes = config_.cache_dir_max_bytes;
+    engine_->cache().EnablePersistence(persist);
   }
 #if !defined(PIPEMAP_NO_OBSERVABILITY)
   if (!config_.access_log_path.empty()) {
@@ -256,6 +296,47 @@ ServerCounters PipemapServer::counters() const {
   return counters_;
 }
 
+void PipemapServer::PollOverload() {
+  if (!config_.overload_enabled) return;
+  const std::int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  Clock::now().time_since_epoch())
+                                  .count();
+  std::int64_t last = last_burn_poll_ns_.load(std::memory_order_relaxed);
+  // ~10 Hz cap: losing the CAS race means another thread just polled.
+  if (last != 0 && now_ns - last < 100'000'000) return;
+  if (!last_burn_poll_ns_.compare_exchange_strong(last, now_ns,
+                                                  std::memory_order_relaxed)) {
+    return;
+  }
+  overload_.ObserveBurn(slo_.Snapshot().burning);
+}
+
+CircuitBreaker* PipemapServer::SolverBreaker(const std::string& op) {
+  if (op == "map") return &map_breaker_;
+  if (op == "simulate") return &simulate_breaker_;
+  if (op == "report") return &report_breaker_;
+  return nullptr;
+}
+
+void PipemapServer::ApplyBrownout(MapRequest* mr) {
+  // Greedy-only portfolio for the throughput objective; the latency
+  // solver has no cheaper stage to fall back to, so latency-shaped
+  // requests keep their solver and only lose budget.
+  if (mr->objective == MapObjective::kThroughput) {
+    mr->solver = SolverPolicy::kGreedy;
+  }
+  const double cap = config_.degraded_deadline_s;
+  if (cap > 0.0 &&
+      (!Deadline::HasBudget(mr->time_budget_s) || mr->time_budget_s > cap)) {
+    mr->time_budget_s = cap;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.degraded;
+  }
+  PIPEMAP_COUNTER_ADD("server.degraded", 1);
+}
+
 void PipemapServer::ReapFinishedConnections() {
   std::vector<std::unique_ptr<Connection>> finished;
   {
@@ -309,11 +390,29 @@ void PipemapServer::AcceptLoop() {
 }
 
 void PipemapServer::ConnectionLoop(Connection* conn) {
+  if (config_.idle_timeout_s > 0.0) {
+    // Slowloris guard: a receive timeout turns "peer drips bytes or
+    // stalls forever" into an IdleTimeout from ReadFrame, freeing the
+    // slot. Per-read, so an active connection is never reaped.
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(config_.idle_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (config_.idle_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   std::string payload;
   for (;;) {
     std::string response;
+    ChaosInjector::Global().MaybeDelay(ChaosSeam::kReadDelay);
     try {
       if (!ReadFrame(conn->fd, config_.max_frame_bytes, &payload)) break;
+    } catch (const IdleTimeout&) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.idle_timeouts;
+      }
+      PIPEMAP_COUNTER_ADD("server.idle_timeouts", 1);
+      break;  // stalled peer: free the slot
     } catch (const FrameTooLarge& e) {
       {
         std::lock_guard<std::mutex> lock(counters_mu_);
@@ -330,6 +429,11 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
                     0.0);
     } catch (const std::exception&) {
       break;  // mid-frame EOF or socket error: the stream is gone
+    }
+    if (ChaosInjector::Global().ShouldInject(ChaosSeam::kReadTrunc)) {
+      // Behave exactly as if the client died mid-frame: drop the frame
+      // and tear the connection down without a response.
+      break;
     }
 
     if (response.empty()) {
@@ -368,10 +472,25 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
         std::future<std::string> future = job->response.get_future();
         bool admitted = false;
         bool drained = false;
+        bool shed = false;
+        double retry_after_ms = 0.0;
+        // Only solve-shaped work sheds: ping/stats/metrics are cheap and
+        // are exactly what an operator needs while the server is hot.
+        const bool sheddable = job->request.op == "map" ||
+                               job->request.op == "report" ||
+                               job->request.op == "simulate";
+        // Refresh the burn signal (throttled) before the admission
+        // decision; shedding itself reads queue depth under queue_mu_.
+        PollOverload();
         {
           std::lock_guard<std::mutex> lock(queue_mu_);
           if (stop_workers_ || draining_.load(std::memory_order_acquire)) {
             drained = true;
+          } else if (sheddable &&
+                     overload_.ShouldShed(queue_.size(),
+                                          config_.queue_capacity,
+                                          &retry_after_ms)) {
+            shed = true;
           } else if (queue_.size() >= config_.queue_capacity) {
             // full: reject now, never block the connection
           } else {
@@ -388,6 +507,17 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
             ++counters_.accepted;
           }
           response = future.get();
+        } else if (shed) {
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.shed;
+          }
+          response = OverloadedJson(retry_after_ms, job->request.trace_id);
+          RequestOutcome outcome;
+          outcome.status = "overloaded";
+          FinishRequest(job->request.trace_id, job->request.op, outcome,
+                        job->bytes_in, response.size(), 0.0, 0.0,
+                        SecondsBetween(received, Clock::now()));
         } else if (drained) {
           {
             std::lock_guard<std::mutex> lock(counters_mu_);
@@ -418,6 +548,12 @@ void PipemapServer::ConnectionLoop(Connection* conn) {
       }
     }
 
+    if (ChaosInjector::Global().ShouldInject(ChaosSeam::kConnDrop)) {
+      // The response was computed but the "network" eats it: drop the
+      // connection without writing, as a dying peer or a mid-write RST
+      // would look to the client.
+      break;
+    }
     try {
       WriteFrame(conn->fd, response);
     } catch (const std::exception&) {
@@ -453,7 +589,12 @@ void PipemapServer::WorkerLoop() {
       if (remaining <= 0.0) remaining = 1e-9;
     }
     const double queue_wait_s = SecondsBetween(job->admitted, start);
+    ChaosInjector::Global().MaybeDelay(ChaosSeam::kSolverSlow);
     RequestOutcome outcome;
+    // Brownout decision is taken per job at dispatch (not at admission),
+    // so a queue drained after recovery serves full-fidelity again.
+    PollOverload();
+    outcome.degraded = overload_.degraded();
     std::string response = HandleRequest(job->request, remaining, &outcome);
     const Clock::time_point done = Clock::now();
     const double solve_s = SecondsBetween(start, done);
@@ -500,6 +641,44 @@ void PipemapServer::WorkerLoop() {
 std::string PipemapServer::HandleRequest(const ServerRequest& request,
                                          double remaining_budget_s,
                                          RequestOutcome* outcome) {
+  // Brownout only changes how the solver runs; ops that never solve are
+  // served at full fidelity and must not be flagged degraded.
+  if (request.op != "map" && request.op != "report") {
+    outcome->degraded = false;
+  }
+  CircuitBreaker* breaker = SolverBreaker(request.op);
+  if (breaker != nullptr && !breaker->Allow()) {
+    // The op's recent history is a failure streak: fail fast instead of
+    // burning a worker on a request that is overwhelmingly likely to die
+    // the same way. Heals via the breaker's half-open probes.
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.breaker_fast_fails;
+    }
+    PIPEMAP_COUNTER_ADD("server.breaker_fast_fails", 1);
+    outcome->status = "circuit_open";
+    return ErrorJson("circuit_open",
+                     "op '" + request.op +
+                         "' is failing repeatedly; circuit breaker is open",
+                     request.trace_id);
+  }
+  std::string response = DispatchRequest(request, remaining_budget_s, outcome);
+  if (breaker != nullptr) {
+    // Only internal failures count against the breaker: invalid input,
+    // infeasibility, and resource limits are the request's fault, and a
+    // storm of them must not lock healthy requests out.
+    if (outcome->status == "internal") {
+      breaker->RecordFailure();
+    } else {
+      breaker->RecordSuccess();
+    }
+  }
+  return response;
+}
+
+std::string PipemapServer::DispatchRequest(const ServerRequest& request,
+                                           double remaining_budget_s,
+                                           RequestOutcome* outcome) {
   try {
     if (request.op == "ping") {
       JsonWriter w;
@@ -556,6 +735,7 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
   mr.time_budget_s = budget_s;  // 0 = no deadline (Deadline::HasBudget)
   mr.trace_id = request.trace_id;
   ApplyPolicy(request, &mr);
+  if (outcome->degraded) ApplyBrownout(&mr);
 
   const MapResponse response = engine_->Map(mr);
   const Evaluator eval(chain, mr.total_procs, machine.node_memory_bytes,
@@ -578,6 +758,7 @@ std::string PipemapServer::HandleMap(const ServerRequest& request,
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("map");
+  w.Key("degraded").Bool(outcome->degraded);
   w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("mapping").String(SerializeMapping(mapping));
   w.Key("objective_value").Double(response.objective_value);
@@ -641,6 +822,7 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
   mr.time_budget_s = budget_s;
   mr.trace_id = request.trace_id;
   ApplyPolicy(request, &mr);
+  if (outcome->degraded) ApplyBrownout(&mr);
 
   const MapResponse response = engine_->Map(mr);
   const Evaluator eval(chain, mr.total_procs, machine.node_memory_bytes,
@@ -673,6 +855,7 @@ std::string PipemapServer::HandleReport(const ServerRequest& request,
   w.BeginObject();
   w.Key("ok").Bool(true);
   w.Key("op").String("report");
+  w.Key("degraded").Bool(outcome->degraded);
   w.Key("trace_id").String(FormatTraceId(request.trace_id));
   w.Key("solver").String(response.solver);
   w.Key("timed_out").Bool(deadline_expired);
@@ -705,6 +888,10 @@ std::string PipemapServer::HandleStats(const ServerRequest& request) {
   w.Key("timed_out").UInt(snapshot.timed_out);
   w.Key("parse_errors").UInt(snapshot.parse_errors);
   w.Key("drained").UInt(snapshot.drained);
+  w.Key("shed").UInt(snapshot.shed);
+  w.Key("degraded").UInt(snapshot.degraded);
+  w.Key("idle_timeouts").UInt(snapshot.idle_timeouts);
+  w.Key("breaker_fast_fails").UInt(snapshot.breaker_fast_fails);
   w.Key("queue_depth").UInt(depth);
   w.Key("queue_capacity").UInt(config_.queue_capacity);
   w.Key("workers").Int(config_.num_workers);
@@ -724,6 +911,11 @@ std::string PipemapServer::HandleStats(const ServerRequest& request) {
   w.Key("write_drops").UInt(cache.persist_write_drops);
   w.Key("corrupt").UInt(cache.persist_corrupt);
   w.Key("errors").UInt(cache.persist_errors);
+  w.Key("evicted").UInt(cache.persist_evicted);
+  w.Key("read_only").Bool(cache.persist_read_only);
+  w.Key("breaker_state").String(cache.persist_breaker_state);
+  w.Key("breaker_opens").UInt(cache.persist_breaker_opens);
+  w.Key("breaker_skips").UInt(cache.persist_breaker_skips);
   w.EndObject();
   w.EndObject();
   w.Key("singleflight").BeginObject();
@@ -753,6 +945,38 @@ std::string PipemapServer::HandleStats(const ServerRequest& request) {
   w.Key("lines_dropped").UInt(log_stats.lines_dropped);
   w.Key("rotations").UInt(log_stats.rotations);
   w.Key("bytes_written").UInt(log_stats.bytes_written);
+  w.EndObject();
+  const OverloadState overload = overload_.state();
+  w.Key("overload").BeginObject();
+  w.Key("enabled").Bool(config_.overload_enabled);
+  w.Key("burning").Bool(overload.burning);
+  w.Key("shedding").Bool(overload.shedding);
+  w.Key("degraded").Bool(overload.degraded);
+  w.Key("shed_total").UInt(overload.shed_total);
+  w.Key("brownout_entries").UInt(overload.brownout_entries);
+  w.Key("brownout_recoveries").UInt(overload.brownout_recoveries);
+  w.EndObject();
+  w.Key("breakers").BeginObject();
+  const auto breaker_block = [&w](const char* name, CircuitBreaker& b) {
+    const CircuitBreaker::Stats stats = b.stats();
+    w.Key(name).BeginObject();
+    w.Key("state").String(ToString(b.state()));
+    w.Key("opens").UInt(stats.opens);
+    w.Key("rejected").UInt(stats.rejected);
+    w.EndObject();
+  };
+  breaker_block("map", map_breaker_);
+  breaker_block("simulate", simulate_breaker_);
+  breaker_block("report", report_breaker_);
+  w.EndObject();
+  ChaosInjector& chaos = ChaosInjector::Global();
+  w.Key("chaos").BeginObject();
+  w.Key("enabled").Bool(chaos.enabled());
+  const ChaosStats chaos_stats = chaos.stats();
+  for (int s = 0; s < kChaosSeamCount; ++s) {
+    w.Key(ChaosSeamName(static_cast<ChaosSeam>(s)))
+        .UInt(chaos_stats.injected[s]);
+  }
   w.EndObject();
   w.EndObject();
   return w.str();
@@ -800,7 +1024,13 @@ void PipemapServer::FinishRequest(std::uint64_t trace_id,
                                   double queue_wait_s, double solve_s,
                                   double total_s) {
 #if !defined(PIPEMAP_NO_OBSERVABILITY)
-  slo_.Record(total_s * 1e3, outcome.status != "ok");
+  // Shed requests never enter the SLO window: they are backpressure, not
+  // served work, and counting them as errors (or as microsecond
+  // latencies) would wedge the burn signal on — shedding would cause the
+  // error breach that causes shedding.
+  if (outcome.status != "overloaded") {
+    slo_.Record(total_s * 1e3, outcome.status != "ok");
+  }
   if (access_log_ != nullptr) {
     // Hand-rolled compact object: the access log is JSONL, one line per
     // request (JsonWriter pretty-prints across lines). Strings that can
@@ -832,6 +1062,8 @@ void PipemapServer::FinishRequest(std::uint64_t trace_id,
     JsonWriter::AppendEscaped(line, outcome.solver);
     line += std::string(", \"timed_out\": ") +
             (outcome.timed_out ? "true" : "false");
+    line += std::string(", \"degraded\": ") +
+            (outcome.degraded ? "true" : "false");
     line += "}";
     access_log_->Append(line);
   }

@@ -55,12 +55,15 @@
 #include <thread>
 #include <vector>
 
+#include "server/overload.h"
 #include "server/protocol.h"
 #include "server/slo.h"
 #include "support/access_log.h"
+#include "support/circuit_breaker.h"
 
 namespace pipemap {
 class MappingEngine;
+struct MapRequest;
 }  // namespace pipemap
 
 namespace pipemap::server {
@@ -86,6 +89,32 @@ struct ServerConfig {
   /// pointed at the same directory serves yesterday's traffic as cache
   /// hits. Drain flushes pending spills before reporting done.
   std::string cache_dir;
+  /// Disk budget for the persistent tier; 0 = unbounded. Crossing it
+  /// evicts oldest entries (engine/cache_persist.h).
+  std::uint64_t cache_dir_max_bytes = 0;
+
+  /// Overload resilience (server/overload.h, DESIGN.md §12): adaptive
+  /// admission shedding and brownout serving, driven by the SLO burn
+  /// state (polled at a bounded cadence) and the admission queue depth.
+  /// The defaults keep the layer armed but inert until the SLO monitor
+  /// has objectives or the queue actually fills.
+  bool overload_enabled = true;
+  double shed_watermark = 0.75;
+  double brownout_after_s = 3.0;
+  double recover_after_s = 5.0;
+  double degraded_deadline_s = 0.05;
+
+  /// Per-connection read timeout in seconds; a peer that stalls mid-frame
+  /// (slowloris) or goes silent longer than this has its connection torn
+  /// down and the slot freed (counted in idle_timeouts). 0 disables.
+  double idle_timeout_s = 0.0;
+
+  /// Per-op solver circuit breaker: this many consecutive *internal*
+  /// handler failures on one solve op (map / simulate / report) open the
+  /// breaker, and further requests for that op fail fast with a
+  /// `circuit_open` error until a cooldown probe heals it. <= 0 disables.
+  int solver_breaker_failures = 8;
+  double solver_breaker_cooldown_s = 1.0;
 
   /// Structured access log: one JSONL line per request (trace_id, op,
   /// bytes in/out, queue wait, solve time, cache/solver/deadline
@@ -115,6 +144,10 @@ struct ServerCounters {
   std::uint64_t timed_out = 0;     ///< responses flagged deadline-expired
   std::uint64_t parse_errors = 0;  ///< malformed frames answered with errors
   std::uint64_t drained = 0;       ///< frames refused because of Drain
+  std::uint64_t shed = 0;          ///< requests refused by overload shedding
+  std::uint64_t degraded = 0;      ///< solves served in brownout mode
+  std::uint64_t idle_timeouts = 0; ///< connections reaped by the idle timer
+  std::uint64_t breaker_fast_fails = 0;  ///< circuit_open fast-fail errors
 };
 
 class PipemapServer {
@@ -144,6 +177,10 @@ class PipemapServer {
   /// `metrics` op).
   SloState slo() const { return slo_.Snapshot(); }
 
+  /// Overload layer state: shed/brownout counters and the current mode
+  /// (also surfaced by the `stats` op).
+  OverloadState overload_state() const { return overload_.state(); }
+
   /// Access-log activity; all-zero when no access log is configured.
   AccessLogger::Stats access_log_stats() const;
 
@@ -167,6 +204,10 @@ class PipemapServer {
     /// Served by a concurrent identical solve (single-flight dedup).
     bool shared_solve = false;
     bool timed_out = false;
+    /// Served in brownout mode: greedy-only solver under the degraded
+    /// deadline. Set by the worker before dispatch; echoed in the
+    /// response JSON and the access-log line.
+    bool degraded = false;
   };
 
   void AcceptLoop();
@@ -179,6 +220,12 @@ class PipemapServer {
   std::string HandleRequest(const ServerRequest& request,
                             double remaining_budget_s,
                             RequestOutcome* outcome);
+  /// HandleRequest's dispatch body; HandleRequest wraps it with the
+  /// per-op solver circuit breaker (fail fast with `circuit_open` while
+  /// open, feed it internal-failure outcomes while closed).
+  std::string DispatchRequest(const ServerRequest& request,
+                              double remaining_budget_s,
+                              RequestOutcome* outcome);
   std::string HandleMap(const ServerRequest& request, double budget_s,
                         RequestOutcome* outcome);
   std::string HandleSimulate(const ServerRequest& request);
@@ -200,6 +247,20 @@ class PipemapServer {
                      double solve_s, double total_s);
 
   void ReapFinishedConnections();
+
+  /// Feeds the SLO burn signal into the overload controller, throttled to
+  /// ~10 Hz so neither admission nor workers pay a window snapshot per
+  /// request.
+  void PollOverload();
+
+  /// The solve-shaped op's breaker, or nullptr for ops that never touch
+  /// the solver (ping / stats / metrics).
+  CircuitBreaker* SolverBreaker(const std::string& op);
+
+  /// Downgrades an engine request to brownout fidelity: greedy-only
+  /// portfolio (throughput objective) and the degraded deadline. Counts
+  /// the degraded solve.
+  void ApplyBrownout(MapRequest* mr);
 
   ServerConfig config_;
   MappingEngine* engine_ = nullptr;
@@ -228,6 +289,14 @@ class PipemapServer {
   /// Null when no access log is configured (or under
   /// PIPEMAP_NO_OBSERVABILITY).
   std::unique_ptr<AccessLogger> access_log_;
+
+  OverloadController overload_;
+  /// steady_clock nanos of the last burn-signal poll (0 = never).
+  std::atomic<std::int64_t> last_burn_poll_ns_{0};
+  /// Per-op solver breakers (consecutive internal failures fail fast).
+  CircuitBreaker map_breaker_;
+  CircuitBreaker simulate_breaker_;
+  CircuitBreaker report_breaker_;
 };
 
 }  // namespace pipemap::server

@@ -5,13 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "engine/solution_cache.h"
+#include "support/chaos.h"
 #include "support/error.h"
 
 namespace pipemap {
@@ -231,6 +237,217 @@ TEST(SolutionCachePersistTest, ClearDropsMemoryButNotDisk) {
   const std::optional<CachedSolution> hit = cache.Lookup(4);
   ASSERT_TRUE(hit);  // answered from disk again
   EXPECT_TRUE(hit->from_disk);
+}
+
+TEST(DiskPersistenceTest, AdvisoryLockMakesSecondInstanceReadOnly) {
+  const std::string dir = ScratchDir("persist_lock");
+  DiskPersistence owner;
+  owner.Enable(dir);
+  owner.Store(1, Sample());
+  owner.Flush();
+  ASSERT_FALSE(owner.read_only());
+
+  // A second instance on the same directory loses the flock race: it
+  // still probes (reads work) but every store is dropped and counted.
+  DiskPersistence loser;
+  loser.Enable(dir);
+  EXPECT_TRUE(loser.read_only());
+  ASSERT_TRUE(loser.Load(1));
+  loser.Store(2, Sample());
+  loser.Flush();
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(2)));
+
+  const PersistTierStats stats = loser.stats();
+  EXPECT_TRUE(stats.read_only);
+  EXPECT_GE(stats.write_drops, 1u);
+  EXPECT_FALSE(owner.stats().read_only);
+}
+
+TEST(DiskPersistenceTest, AdvisoryLockIsReleasedOnDestruction) {
+  const std::string dir = ScratchDir("persist_lock_release");
+  {
+    DiskPersistence owner;
+    owner.Enable(dir);
+  }
+  DiskPersistence next;
+  next.Enable(dir);
+  EXPECT_FALSE(next.read_only());
+}
+
+TEST(DiskPersistenceTest, SecondProcessFallsBackToReadOnly) {
+  const std::string dir = ScratchDir("persist_lock_process");
+  DiskPersistence owner;
+  owner.Enable(dir);
+  owner.Flush();  // writer idle before the fork
+
+  // flock(2) is per open file description, so a true child process
+  // exercises exactly the two-daemons-one-directory contention.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    DiskPersistence child;
+    child.Enable(dir);
+    ::_exit(child.read_only() ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(DiskPersistenceTest, MaxBytesEvictsOldestEntriesFirst) {
+  const std::string dir = ScratchDir("persist_evict");
+  const std::uint64_t entry_bytes = EncodeCacheEntry(1, Sample()).size();
+  DiskPersistOptions options;
+  options.dir = dir;
+  options.max_bytes = entry_bytes * 3;
+  DiskPersistence tier;
+  tier.Enable(options);
+
+  for (std::uint64_t key = 1; key <= 6; ++key) {
+    tier.Store(key, Sample());
+    tier.Flush();
+    // Distinct mtimes so oldest-first has a defined order.
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+
+  const PersistTierStats stats = tier.stats();
+  EXPECT_GE(stats.evicted, 2u);
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(1)));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(6)));
+  // The surviving entries fit the budget.
+  std::uint64_t total = 0;
+  for (const auto& file :
+       std::filesystem::directory_iterator(dir)) {
+    if (file.path().extension() == ".pmc") {
+      total += std::filesystem::file_size(file.path());
+    }
+  }
+  EXPECT_LE(total, options.max_bytes);
+  // The lock file is never eviction fodder.
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / "pipemap.lock"));
+}
+
+TEST(DiskPersistenceTest, StartupSweepEnforcesTheBound) {
+  const std::string dir = ScratchDir("persist_startup_sweep");
+  const std::uint64_t entry_bytes = EncodeCacheEntry(1, Sample()).size();
+  {
+    DiskPersistence unbounded;
+    unbounded.Enable(dir);
+    for (std::uint64_t key = 1; key <= 6; ++key) {
+      unbounded.Store(key, Sample());
+      unbounded.Flush();
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+  }
+  DiskPersistOptions options;
+  options.dir = dir;
+  options.max_bytes = entry_bytes * 2;
+  DiskPersistence bounded;
+  bounded.Enable(options);
+  EXPECT_GE(bounded.stats().evicted, 4u);
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(1)));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / CacheEntryFileName(6)));
+}
+
+struct ChaosGuard {
+  ~ChaosGuard() { ChaosInjector::Global().Reset(); }
+};
+
+TEST(DiskPersistenceTest, WriteErrorsOpenTheBreakerAndSkipTheDisk) {
+  ChaosGuard guard;
+  const std::string dir = ScratchDir("persist_breaker_write");
+  DiskPersistOptions options;
+  options.dir = dir;
+  options.breaker_failures = 2;
+  options.breaker_cooldown_s = 60.0;  // no heal inside this test
+  DiskPersistence tier;
+  tier.Enable(options);
+
+  ChaosInjector::Global().Configure(
+      ParseChaosSpec("seed=3,persist_write_fail=1"));
+  tier.Store(1, Sample());
+  tier.Flush();
+  tier.Store(2, Sample());
+  tier.Flush();  // second consecutive failure: the breaker trips
+  PersistTierStats stats = tier.stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_state, "open");
+
+  // While open, publishes are skipped without touching the disk.
+  tier.Store(3, Sample());
+  tier.Flush();
+  stats = tier.stats();
+  EXPECT_GE(stats.breaker_skips, 1u);
+  EXPECT_EQ(stats.errors, 2u);  // no new I/O attempted
+  // Loads fast-miss the same way.
+  EXPECT_FALSE(tier.Load(1));
+}
+
+TEST(DiskPersistenceTest, BreakerHealsAfterTheCooldown) {
+  ChaosGuard guard;
+  const std::string dir = ScratchDir("persist_breaker_heal");
+  DiskPersistOptions options;
+  options.dir = dir;
+  options.breaker_failures = 1;
+  options.breaker_cooldown_s = 0.05;
+  DiskPersistence tier;
+  tier.Enable(options);
+
+  ChaosInjector::Global().Configure(
+      ParseChaosSpec("seed=4,persist_write_fail=1"));
+  tier.Store(1, Sample());
+  tier.Flush();
+  ASSERT_EQ(tier.stats().breaker_opens, 1u);
+
+  // The disk "recovers" (chaos off); the next publish after the cooldown
+  // is the half-open probe, succeeds, and closes the breaker.
+  ChaosInjector::Global().Reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  tier.Store(2, Sample());
+  tier.Flush();
+  const PersistTierStats stats = tier.stats();
+  EXPECT_EQ(stats.breaker_state, "closed");
+  EXPECT_EQ(stats.writes, 1u);
+  ASSERT_TRUE(tier.Load(2));
+}
+
+TEST(DiskPersistenceTest, ReadErrorsTripTheBreakerButAbsenceDoesNot) {
+  ChaosGuard guard;
+  const std::string dir = ScratchDir("persist_breaker_read");
+  DiskPersistOptions options;
+  options.dir = dir;
+  options.breaker_failures = 1;
+  options.breaker_cooldown_s = 60.0;
+  DiskPersistence tier;
+  tier.Enable(options);
+  tier.Store(5, Sample());
+  tier.Flush();
+
+  // A plain miss (absent entry) is healthy, never a breaker failure.
+  EXPECT_FALSE(tier.Load(99));
+  EXPECT_EQ(tier.stats().breaker_opens, 0u);
+
+  ChaosInjector::Global().Configure(
+      ParseChaosSpec("seed=5,persist_read_fail=1"));
+  EXPECT_FALSE(tier.Load(5));  // injected EIO
+  PersistTierStats stats = tier.stats();
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+
+  // Open breaker: the next load is a fast-miss skip, no I/O.
+  ChaosInjector::Global().Reset();
+  EXPECT_FALSE(tier.Load(5));
+  stats = tier.stats();
+  EXPECT_GE(stats.breaker_skips, 1u);
+  EXPECT_EQ(stats.errors, 1u);
 }
 
 TEST(SolutionCachePersistTest, MissingEntryFallsThroughToMiss) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate BENCH_overload.json (bench_overload's overload-resilience ladder).
+
+What must hold, at the deepest rung of the ladder (offered load ~2x the
+baseline queue's saturation point, where BOTH modes are refusing work and
+the comparison is symmetric):
+
+  * bounded tail — served p99 with shedding armed is at most
+    --p99-ratio (default 0.9) of the no-shedding baseline's served p99.
+    The whole point of shedding is that admitted work waits behind a
+    watermark-bounded queue instead of a full one.
+  * goodput parity — ok responses/s with shedding is at least
+    --goodput-ratio (default 0.75) of the baseline's. Shedding refuses
+    work early; it must not refuse work the workers had capacity for.
+    The tolerance absorbs single-core CI noise; the expected ratio is
+    ~1.0 and the run records the actual number for trending.
+  * shedding actually engaged — shed > 0 at the gate rung (a ladder that
+    never saturates gates nothing).
+
+And for the brownout probe (unmeetable SLO, hysteresis armed):
+
+  * the storm shed (burn -> shed), brownout engaged (entries >= 1), and
+    at least one admitted solve was served degraded — the full
+    burn -> brownout -> degraded-serving ladder demonstrably ran.
+
+Contract checks (any mode, any rung): no malformed responses, no
+transport errors against the healthy in-process server, and the bench's
+own contract_violated flag is false.
+
+Exit 0 when every gate holds, 1 with reasons on stderr otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_overload: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_overload.json path")
+    parser.add_argument("--p99-ratio", type=float, default=0.9,
+                        help="max shed_p99 / baseline_p99 at the gate rung")
+    parser.add_argument("--goodput-ratio", type=float, default=0.75,
+                        help="min shed_goodput / baseline_goodput at the "
+                             "gate rung")
+    args = parser.parse_args()
+
+    with open(args.bench_json, "r", encoding="utf-8") as f:
+        bench = json.load(f)
+
+    if bench.get("bench") != "overload":
+        fail(f"not a bench_overload document: {bench.get('bench')!r}")
+    if bench.get("contract_violated"):
+        fail("bench reported contract_violated: true")
+
+    ladder = bench.get("ladder", [])
+    if not ladder:
+        fail("empty ladder")
+    for rung in ladder:
+        for mode in ("shedding", "baseline"):
+            m = rung[mode]
+            if m["malformed"] or m["transport_errors"] or m["other_errors"]:
+                fail(f"rung clients={rung['clients']} mode={mode}: "
+                     f"malformed={m['malformed']} "
+                     f"transport={m['transport_errors']} "
+                     f"other={m['other_errors']}")
+
+    gate = ladder[-1]
+    shed, base = gate["shedding"], gate["baseline"]
+    clients = gate["clients"]
+    if shed["shed"] == 0:
+        fail(f"gate rung clients={clients}: shedding never engaged")
+    if base["p99_ms"] <= 0 or base["goodput_rps"] <= 0:
+        fail(f"gate rung clients={clients}: baseline served nothing")
+
+    p99_ratio = shed["p99_ms"] / base["p99_ms"]
+    goodput_ratio = shed["goodput_rps"] / base["goodput_rps"]
+    print(f"check_overload: gate rung clients={clients}: "
+          f"p99 {shed['p99_ms']:.1f}/{base['p99_ms']:.1f} ms "
+          f"(ratio {p99_ratio:.2f}, max {args.p99_ratio}), "
+          f"goodput {shed['goodput_rps']:.1f}/{base['goodput_rps']:.1f} ok/s "
+          f"(ratio {goodput_ratio:.2f}, min {args.goodput_ratio})")
+    if p99_ratio > args.p99_ratio:
+        fail(f"shed p99 not bounded: ratio {p99_ratio:.2f} > "
+             f"{args.p99_ratio}")
+    if goodput_ratio < args.goodput_ratio:
+        fail(f"shedding gave up goodput: ratio {goodput_ratio:.2f} < "
+             f"{args.goodput_ratio}")
+
+    probe = bench.get("brownout_probe")
+    if probe is None:
+        fail("missing brownout_probe")
+    if probe["malformed"] or probe["transport_errors"] or \
+            probe["other_errors"]:
+        fail("brownout probe had malformed/transport/other errors")
+    if probe["shed"] == 0:
+        fail("brownout probe never shed (burn signal never fired)")
+    if probe["ok"] == 0:
+        fail("brownout probe served nothing")
+    if probe["degraded"] == 0:
+        fail("brownout probe never served a degraded response")
+    if bench.get("brownout_entries", 0) < 1:
+        fail("brownout probe never entered brownout")
+    print(f"check_overload: brownout probe ok={probe['ok']} "
+          f"shed={probe['shed']} degraded={probe['degraded']} "
+          f"entries={bench['brownout_entries']}")
+    print("check_overload: all gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ commands:
             [--objective throughput|latency] [--floor X]
             [--replication maximal|none|search] [--no-clustering]
             [--unconstrained] [--engine-cache] [--cache-dir DIR]
+            [--cache-dir-max-bytes N]
             [--threads N] [--solver-deadline S] [--out FILE]
             [--metrics FILE] [--trace FILE]
   simulate  --chain FILE --machine FILE --mapping FILE [--datasets N]
@@ -51,7 +52,7 @@ commands:
             [--datasets N] [--noise X] [--seed N] [--threads N]
             [--solver-deadline S]
             [--out FILE] [--trace FILE] [--metrics FILE] [--unconstrained]
-            [--engine-cache] [--cache-dir DIR]
+            [--engine-cache] [--cache-dir DIR] [--cache-dir-max-bytes N]
   explain   --chain FILE --machine FILE --mapping FILE
   frontier  --chain FILE --machine FILE [--points N] [--threads N]
             [--metrics FILE] [--trace FILE] [--engine-cache]
@@ -72,7 +73,10 @@ to recomputed ones. --cache-dir DIR additionally persists solved
 mappings to DIR (one checksummed file per fingerprint) and implies
 --engine-cache: a later pipemap_cli run — or a pipemap_server — pointed
 at the same directory answers the same problem from disk without
-re-solving. Unknown commands and flags are rejected.
+re-solving. --cache-dir-max-bytes N bounds the directory: crossing the
+cap evicts the oldest entries first. The directory is guarded by an
+advisory lock; a second process sharing it falls back to read-only.
+Unknown commands and flags are rejected.
 
 --metrics FILE writes a JSON snapshot of the engine's internal counters,
 gauges, and histograms; --trace FILE writes Chrome trace-event JSON
@@ -296,7 +300,17 @@ MapRequest BuildMapRequest(const Flags& flags, const LoadedProblem& problem) {
     // Persistence lives on the shared engine's cache, so every later
     // command in this process (and the cache's write-behind spill of this
     // solve) sees the same directory. Implies --engine-cache.
-    MappingEngine::Shared().cache().EnablePersistence(*dir);
+    DiskPersistOptions persist;
+    persist.dir = *dir;
+    if (const auto cap = flags.Get("cache-dir-max-bytes")) {
+      const int bytes = CheckedInt("cache-dir-max-bytes", *cap);
+      if (bytes <= 0) {
+        throw UsageError("--cache-dir-max-bytes must be positive, got " +
+                         *cap);
+      }
+      persist.max_bytes = static_cast<std::uint64_t>(bytes);
+    }
+    MappingEngine::Shared().cache().EnablePersistence(persist);
     request.use_cache = true;
   }
   if (const auto deadline = flags.Get("solver-deadline")) {
@@ -344,7 +358,7 @@ int MapCommand(const std::vector<std::string>& args, std::ostream& out) {
       "map", args, 1,
       {"chain", "machine", "procs", "threads", "algorithm", "objective",
        "floor", "replication", "solver-deadline", "out", "metrics", "trace",
-       "cache-dir"},
+       "cache-dir", "cache-dir-max-bytes"},
       {"no-clustering", "unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   const ObservationSession observation(flags);
@@ -481,7 +495,7 @@ int ReportCommand(const std::vector<std::string>& args, std::ostream& out) {
   const Flags flags("report", args, 1,
                     {"chain", "machine", "procs", "threads", "algorithm",
                      "datasets", "noise", "seed", "solver-deadline", "out",
-                     "metrics", "trace", "cache-dir"},
+                     "metrics", "trace", "cache-dir", "cache-dir-max-bytes"},
                     {"unconstrained", "engine-cache"});
   const LoadedProblem problem = Load(flags);
   // The report always embeds a metrics snapshot of its own run, so the

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <random>
@@ -61,6 +62,11 @@ struct LoadgenOptions {
   /// JSON response here (the restart-warm smoke reads cache/persist/
   /// single-flight counters out of it).
   std::string scrape_stats_path;
+  /// Per-connection budget of transport-level retries (failed connects,
+  /// connections dying mid-call). Each retry reconnects after a jittered
+  /// exponential backoff; only a request that exhausts the budget counts
+  /// as a transport error. 0 restores fail-on-first-error.
+  int retries = 3;
 };
 
 struct WorkerResult {
@@ -74,6 +80,12 @@ struct WorkerResult {
   std::uint64_t transport_errors = 0;
   /// Responses that did not echo the trace id they were sent.
   std::uint64_t trace_mismatches = 0;
+  /// Transport-level retry attempts (reconnect + resend).
+  std::uint64_t retries = 0;
+  /// Well-formed `overloaded` shed responses (⊆ server_errors).
+  std::uint64_t shed = 0;
+  /// ok responses flagged degraded: true (brownout fidelity).
+  std::uint64_t degraded = 0;
 };
 
 int Usage() {
@@ -82,7 +94,7 @@ int Usage() {
       "usage: pipemap_loadgen --port N [--host ADDR] [--connections N]\n"
       "                       [--requests N] [--variants N] [--skew X]\n"
       "                       [--deadline S] [--seed N]\n"
-      "                       [--op map|ping|mix]\n"
+      "                       [--op map|ping|mix] [--retries N]\n"
       "                       [--trace-ids FILE] [--scrape-metrics FILE]\n"
       "                       [--scrape-stats FILE]\n"
       "\n"
@@ -96,7 +108,9 @@ int Usage() {
       "the server's access log); --scrape-metrics issues one metrics op\n"
       "after the run and saves the raw JSON response; --scrape-stats does\n"
       "the same with a stats op (cache hit/persist/single-flight counters\n"
-      "for the restart-warm smoke).\n");
+      "for the restart-warm smoke). --retries bounds per-connection\n"
+      "transport retries (jittered exponential backoff + reconnect);\n"
+      "retried-then-successful requests do not fail the run.\n");
   return 2;
 }
 
@@ -167,48 +181,83 @@ WorkerResult RunWorker(const LoadgenOptions& options, const ProblemMix& mix,
   WorkerResult result;
   std::mt19937_64 rng(static_cast<std::uint64_t>(options.seed) * 1000003u +
                       static_cast<std::uint64_t>(worker_index));
-  try {
-    pipemap::server::ServerClient client(options.host, options.port);
-    for (int i = 0; i < options.requests; ++i) {
-      pipemap::server::ServerRequest request;
-      request.op = PickOp(options, rng);
-      request.deadline_s = options.deadline_s;
-      request.trace_id = pipemap::GenerateTraceId();
-      if (request.op == "map") {
-        const int variant = mix.Pick(rng, options.skew);
-        request.chain_text = mix.chains[variant];
-        request.machine_text = mix.machines[variant];
-        request.has_chain = true;
-        request.has_machine = true;
-        request.algorithm = "auto";
-      }
-      const Clock::time_point start = Clock::now();
-      std::string response;
+  // Jittered exponential backoff: 10ms * 2^attempt scaled by a uniform
+  // [0.5, 1.5) draw from the worker's deterministic rng, capped at
+  // 500ms so a retry burst cannot stall the run.
+  const auto backoff = [&rng](int attempt) {
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    const double base_ms = 10.0 * static_cast<double>(1 << std::min(attempt, 6));
+    const double delay_ms = std::min(base_ms * jitter(rng), 500.0);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(delay_ms * 1e3)));
+  };
+  int budget = options.retries;  // per connection, across all its requests
+  std::unique_ptr<pipemap::server::ServerClient> client;
+  for (int i = 0; i < options.requests; ++i) {
+    pipemap::server::ServerRequest request;
+    request.op = PickOp(options, rng);
+    request.deadline_s = options.deadline_s;
+    request.trace_id = pipemap::GenerateTraceId();
+    if (request.op == "map") {
+      const int variant = mix.Pick(rng, options.skew);
+      request.chain_text = mix.chains[variant];
+      request.machine_text = mix.machines[variant];
+      request.has_chain = true;
+      request.has_machine = true;
+      request.algorithm = "auto";
+    }
+    // Transport retry loop: a failed connect or a connection dying
+    // mid-call reconnects and resends the same request (same trace_id)
+    // until the per-connection budget runs out. Only budget exhaustion
+    // counts as a transport error.
+    std::string response;
+    bool sent = false;
+    int attempt = 0;
+    double latency_s = 0.0;
+    while (!sent) {
       try {
-        response = client.Call(request);
+        if (!client) {
+          client = std::make_unique<pipemap::server::ServerClient>(
+              options.host, options.port);
+        }
+        const Clock::time_point start = Clock::now();
+        response = client->Call(request);
+        latency_s =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        sent = true;
       } catch (const std::exception&) {
-        ++result.transport_errors;
-        break;  // this connection is dead; others keep going
-      }
-      result.latencies_s.push_back(
-          std::chrono::duration<double>(Clock::now() - start).count());
-      result.ops.push_back(request.op);
-      result.trace_ids_sent.push_back(request.trace_id);
-      if (!pipemap::IsValidJson(response)) {
-        ++result.malformed;
-      } else if (response.find("\"ok\": true") != std::string::npos) {
-        ++result.ok;
-      } else if (response.find("\"ok\": false") != std::string::npos) {
-        ++result.server_errors;
-      } else {
-        ++result.malformed;  // valid JSON but not a protocol response
-      }
-      if (!EchoesTraceId(response, request.trace_id)) {
-        ++result.trace_mismatches;
+        client.reset();  // dead either way; a retry gets a fresh socket
+        if (budget <= 0) break;
+        --budget;
+        ++result.retries;
+        backoff(attempt++);
       }
     }
-  } catch (const std::exception&) {
-    ++result.transport_errors;  // connect failed
+    if (!sent) {
+      ++result.transport_errors;
+      break;  // budget exhausted; other workers keep going
+    }
+    result.latencies_s.push_back(latency_s);
+    result.ops.push_back(request.op);
+    result.trace_ids_sent.push_back(request.trace_id);
+    if (!pipemap::IsValidJson(response)) {
+      ++result.malformed;
+    } else if (response.find("\"ok\": true") != std::string::npos) {
+      ++result.ok;
+      if (response.find("\"degraded\": true") != std::string::npos) {
+        ++result.degraded;
+      }
+    } else if (response.find("\"ok\": false") != std::string::npos) {
+      ++result.server_errors;
+      if (response.find("\"code\": \"overloaded\"") != std::string::npos) {
+        ++result.shed;
+      }
+    } else {
+      ++result.malformed;  // valid JSON but not a protocol response
+    }
+    if (!EchoesTraceId(response, request.trace_id)) {
+      ++result.trace_mismatches;
+    }
   }
   return result;
 }
@@ -266,6 +315,8 @@ int main(int argc, char** argv) {
       options.seed = checked_int(value());
     } else if (arg == "--op") {
       options.op = value();
+    } else if (arg == "--retries") {
+      options.retries = std::max(0, checked_int(value()));
     } else if (arg == "--trace-ids") {
       options.trace_ids_path = value();
     } else if (arg == "--scrape-metrics") {
@@ -309,6 +360,9 @@ int main(int argc, char** argv) {
     total.malformed += r.malformed;
     total.transport_errors += r.transport_errors;
     total.trace_mismatches += r.trace_mismatches;
+    total.retries += r.retries;
+    total.shed += r.shed;
+    total.degraded += r.degraded;
     total.latencies_s.insert(total.latencies_s.end(), r.latencies_s.begin(),
                              r.latencies_s.end());
     total.trace_ids_sent.insert(total.trace_ids_sent.end(),
@@ -381,6 +435,9 @@ int main(int argc, char** argv) {
   w.Key("malformed").UInt(total.malformed);
   w.Key("transport_errors").UInt(total.transport_errors);
   w.Key("trace_mismatches").UInt(total.trace_mismatches);
+  w.Key("retries").UInt(total.retries);
+  w.Key("shed").UInt(total.shed);
+  w.Key("degraded").UInt(total.degraded);
   w.Key("elapsed_s").Double(elapsed);
   w.Key("requests_per_s")
       .Double(elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0);

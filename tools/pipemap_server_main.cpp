@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "server/server.h"
+#include "support/chaos.h"
 #include "support/error.h"
 #include "support/json_writer.h"
 #include "support/metrics.h"
@@ -45,11 +46,18 @@ int Usage() {
       stderr,
       "usage: pipemap_server [--host ADDR] [--port N]\n"
       "                      [--workers N] [--queue N]\n"
-      "                      [--cache-dir DIR]\n"
+      "                      [--cache-dir DIR] [--cache-dir-max-bytes N]\n"
       "                      [--access-log PATH] [--access-log-max-bytes N]\n"
       "                      [--trace PATH]\n"
       "                      [--slo-p99-ms X] [--slo-error-rate X]\n"
       "                      [--slo-window-s N]\n"
+      "                      [--no-overload] [--shed-watermark X]\n"
+      "                      [--brownout-after-s X] [--recover-after-s X]\n"
+      "                      [--degraded-deadline-s X]\n"
+      "                      [--idle-timeout-s X]\n"
+      "                      [--solver-breaker-failures N]\n"
+      "                      [--solver-breaker-cooldown-s X]\n"
+      "                      [--chaos SPEC]\n"
       "\n"
       "Runs the mapping daemon until SIGTERM/SIGINT, then drains:\n"
       "in-flight solves finish or time out, new requests are\n"
@@ -62,7 +70,22 @@ int Usage() {
       "surfaced by the stats and metrics ops.\n"
       "--cache-dir persists solved mappings (one checksummed file per\n"
       "fingerprint): a daemon restarted onto the same directory serves\n"
-      "previously solved requests as cache hits without re-solving.\n");
+      "previously solved requests as cache hits without re-solving.\n"
+      "--cache-dir-max-bytes bounds the directory: crossing it evicts\n"
+      "oldest entries. The directory is advisorily locked; a second\n"
+      "daemon on the same directory falls back to read-only probing.\n"
+      "Overload resilience (DESIGN.md §12): when the SLO window burns\n"
+      "or the queue passes --shed-watermark of capacity, new solves are\n"
+      "refused fast with an `overloaded` error and a retry_after_ms\n"
+      "hint; burn sustained past --brownout-after-s downgrades solves\n"
+      "to greedy-only under --degraded-deadline-s (responses carry\n"
+      "degraded: true) until the burn clears for --recover-after-s.\n"
+      "--idle-timeout-s reaps connections whose peer stalls mid-frame.\n"
+      "--chaos arms the deterministic fault injector (seed=N,\n"
+      "seam=prob[:Nms] entries; seams: read_delay, read_trunc,\n"
+      "conn_drop, solver_slow, persist_write_fail, persist_read_fail).\n"
+      "The PIPEMAP_CHAOS environment variable is an alternative spec\n"
+      "source; --chaos wins when both are set.\n");
   return 2;
 }
 
@@ -91,6 +114,7 @@ double CheckedDoubleFlag(const char* name, const std::string& value) {
 int main(int argc, char** argv) {
   pipemap::server::ServerConfig config;
   std::string trace_path;
+  std::string chaos_spec;
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -113,6 +137,31 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(CheckedFlag("--queue", value()));
     } else if (arg == "--cache-dir") {
       config.cache_dir = value();
+    } else if (arg == "--cache-dir-max-bytes") {
+      config.cache_dir_max_bytes = static_cast<std::uint64_t>(
+          CheckedFlag("--cache-dir-max-bytes", value()));
+    } else if (arg == "--no-overload") {
+      config.overload_enabled = false;
+    } else if (arg == "--shed-watermark") {
+      config.shed_watermark = CheckedDoubleFlag("--shed-watermark", value());
+    } else if (arg == "--brownout-after-s") {
+      config.brownout_after_s =
+          CheckedDoubleFlag("--brownout-after-s", value());
+    } else if (arg == "--recover-after-s") {
+      config.recover_after_s = CheckedDoubleFlag("--recover-after-s", value());
+    } else if (arg == "--degraded-deadline-s") {
+      config.degraded_deadline_s =
+          CheckedDoubleFlag("--degraded-deadline-s", value());
+    } else if (arg == "--idle-timeout-s") {
+      config.idle_timeout_s = CheckedDoubleFlag("--idle-timeout-s", value());
+    } else if (arg == "--solver-breaker-failures") {
+      config.solver_breaker_failures =
+          CheckedFlag("--solver-breaker-failures", value());
+    } else if (arg == "--solver-breaker-cooldown-s") {
+      config.solver_breaker_cooldown_s =
+          CheckedDoubleFlag("--solver-breaker-cooldown-s", value());
+    } else if (arg == "--chaos") {
+      chaos_spec = value();
     } else if (arg == "--access-log") {
       config.access_log_path = value();
     } else if (arg == "--access-log-max-bytes") {
@@ -146,6 +195,23 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    if (!chaos_spec.empty()) {
+      pipemap::ChaosInjector::Global().Configure(
+          pipemap::ParseChaosSpec(chaos_spec));
+      std::fprintf(stderr, "pipemap_server: chaos armed: %s\n",
+                   chaos_spec.c_str());
+    } else if (const std::optional<std::string> env =
+                   pipemap::ConfigureChaosFromEnv()) {
+      std::fprintf(stderr, "pipemap_server: chaos armed from PIPEMAP_CHAOS: %s\n",
+                   env->c_str());
+    }
+  } catch (const std::exception& e) {
+    // A mistyped storm must fail loudly, not silently run fault-free.
+    std::fprintf(stderr, "pipemap_server: %s\n", e.what());
+    return 2;
+  }
 
   const pipemap::ScopedMetricsEnable metrics_on(true);
   if (!trace_path.empty()) pipemap::Tracer::Global().Enable(true);
@@ -188,6 +254,26 @@ int main(int argc, char** argv) {
   w.Key("completed").UInt(counters.completed);
   w.Key("timed_out").UInt(counters.timed_out);
   w.Key("parse_errors").UInt(counters.parse_errors);
+  w.Key("shed").UInt(counters.shed);
+  w.Key("degraded").UInt(counters.degraded);
+  w.Key("idle_timeouts").UInt(counters.idle_timeouts);
+  w.Key("breaker_fast_fails").UInt(counters.breaker_fast_fails);
+  const pipemap::server::OverloadState overload = server.overload_state();
+  w.Key("overload").BeginObject();
+  w.Key("degraded").Bool(overload.degraded);
+  w.Key("brownout_entries").UInt(overload.brownout_entries);
+  w.Key("brownout_recoveries").UInt(overload.brownout_recoveries);
+  w.EndObject();
+  pipemap::ChaosInjector& chaos = pipemap::ChaosInjector::Global();
+  if (chaos.enabled()) {
+    const pipemap::ChaosStats chaos_stats = chaos.stats();
+    w.Key("chaos").BeginObject();
+    for (int s = 0; s < pipemap::kChaosSeamCount; ++s) {
+      w.Key(pipemap::ChaosSeamName(static_cast<pipemap::ChaosSeam>(s)))
+          .UInt(chaos_stats.injected[s]);
+    }
+    w.EndObject();
+  }
   w.Key("slo").BeginObject();
   w.Key("window_s").Int(slo.window_s);
   w.Key("requests").UInt(slo.requests);
